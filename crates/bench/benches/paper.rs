@@ -1,0 +1,71 @@
+//! Criterion benches wrapping the paper's experiments.
+//!
+//! Each bench regenerates one table/figure data point; `cargo bench`
+//! therefore doubles as an end-to-end exercise of the whole stack. Wall
+//! time here is simulator throughput, not storage performance — the
+//! storage numbers are the *outputs*, printed by `repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ustore_bench::{failover, fig5, fig6, power, table2};
+use ustore_cost::{table1, PriceCatalog};
+use ustore_disk::DiskProfile;
+use ustore_workload::AccessSpec;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("sata_4k_seq_read", |b| {
+        b.iter(|| {
+            black_box(table2::run_disk_cell(
+                DiskProfile::sata(),
+                &AccessSpec::new(4096, 100, false),
+                1,
+            ))
+        })
+    });
+    g.bench_function("hs_4m_seq_read", |b| {
+        b.iter(|| black_box(table2::run_fabric_cell(&AccessSpec::new(4 << 20, 100, false), 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    g.bench_function("duplex_12_disks", |b| {
+        b.iter(|| black_box(fig5::duplex(7).rows[0].measured))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    g.bench_function("switch_4_disks", |b| b.iter(|| black_box(fig6::switch_time(4, 9))));
+    g.finish();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failover");
+    g.sample_size(10).measurement_time(Duration::from_secs(30));
+    g.bench_function("host_failure_recovery", |b| {
+        b.iter(|| black_box(failover::run_failover(11, u32::MAX).total))
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models");
+    g.sample_size(20);
+    g.bench_function("table1_cost_model", |b| {
+        b.iter(|| black_box(table1(&PriceCatalog::default(), 10.0)))
+    });
+    g.bench_function("table5_power_model", |b| b.iter(|| black_box(power::table5())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_fig5, bench_fig6, bench_failover, bench_models);
+criterion_main!(benches);

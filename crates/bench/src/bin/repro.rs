@@ -1,0 +1,95 @@
+//! Regenerates every table and figure of the UStore paper.
+//!
+//! ```text
+//! repro [experiment ...] [--seed N] [--repeats N]
+//! ```
+//!
+//! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
+//! failover hdfs rolling ablation all` (default: `all`). Output shows
+//! paper value vs measured value with the relative error; `--json` emits
+//! the same data machine-readably.
+
+use ustore_bench::{ablation, failover, fig5, fig6, hdfs, power, table2, Report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 20150707;
+    let mut repeats: u64 = 6;
+    let mut json = false;
+    let mut picks: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--repeats" => {
+                repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--repeats needs a number"));
+            }
+            "--json" => json = true,
+            "-h" | "--help" => {
+                usage("");
+            }
+            other => picks.push(other.to_owned()),
+        }
+    }
+    if picks.is_empty() || picks.iter().any(|p| p == "all") {
+        picks = [
+            "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6",
+            "failover", "hdfs", "rolling", "ablation",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+    let mut reports: Vec<Report> = Vec::new();
+    for pick in &picks {
+        match pick.as_str() {
+            "table1" => reports.push(power::table1()),
+            "table2" => reports.extend(table2::table2(seed)),
+            "table3" => reports.push(power::table3(seed)),
+            "table4" => reports.push(power::table4()),
+            "table5" => reports.push(power::table5()),
+            "fig5" => reports.extend(fig5::fig5(seed)),
+            "duplex" => reports.push(fig5::duplex(seed)),
+            "fig6" => reports.push(fig6::fig6(seed, repeats)),
+            "failover" => reports.push(failover::failover_report(seed)),
+            "hdfs" => reports.push(hdfs::hdfs_report(seed)),
+            "rolling" => reports.push(power::rolling_spin_up_ablation(seed)),
+            "ablation" => {
+                reports.push(ablation::topology_ablation());
+                reports.push(ablation::heartbeat_sweep(seed));
+                reports.push(ablation::allocation_ablation(seed));
+            }
+            other => usage(&format!("unknown experiment {other:?}")),
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialize")
+        );
+    } else {
+        println!("UStore reproduction — paper vs simulation (seed {seed})\n");
+        for rep in &reports {
+            println!("{rep}");
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [experiment ...] [--seed N] [--repeats N] [--json]\n\
+         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover hdfs rolling ablation all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,206 @@
+//! Figure 5 and the §VII-A duplex experiment: aggregate throughput of
+//! multiple disks behind one host's USB tree.
+//!
+//! The paper attaches 1, 2, 4, 8 and 12 disks to a single host through the
+//! prototype fabric (1–3 leaf hubs) and drives one Iometer worker per
+//! disk. Small transfers scale until the root port's command rate
+//! saturates ("the sequential throughput of 8 disks can saturate the USB
+//! tree"); large transfers fill the ≈300 MB/s root bandwidth with just two
+//! disks; and with half the disks reading while half write, the duplex
+//! link carries ≈540 MB/s — 2160 MB/s across the unit's four root paths.
+
+use std::time::Duration;
+
+use ustore_fabric::{DiskId, FabricRuntime, HostId, RuntimeConfig, Topology};
+use ustore_sim::Sim;
+use ustore_usb::UsbProfile;
+use ustore_workload::{fabric_issuer, AccessSpec, Worker, WorkloadStats};
+
+use crate::report::{Report, Row};
+
+/// Disk counts evaluated by the paper.
+pub const DISK_COUNTS: [usize; 5] = [1, 2, 4, 8, 12];
+
+/// Builds the prototype fabric and steers the first `n` disks onto host 0
+/// (whole groups of four, as the paper wires 1–3 hubs to one port).
+///
+/// Uses a spec-conformant root controller: the paper's Intel quirk caps a
+/// host below 15 devices, which is why they "report 12 disk cases"; we
+/// lift the quirk so the 12-disk point (12 disks + hubs > 15 devices in
+/// our tree encoding) enumerates.
+pub fn disks_on_one_host(sim: &Sim, n: usize) -> (FabricRuntime, Vec<DiskId>) {
+    assert!(n <= 12, "prototype experiment uses up to 12 disks");
+    let (topology, config) = Topology::upper_switched(4, 16, 4);
+    let rt = FabricRuntime::new(
+        sim,
+        topology,
+        config,
+        RuntimeConfig {
+            usb_profile: UsbProfile::spec_conformant(),
+            store_data: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    sim.run_until(sim.now() + Duration::from_secs(10));
+    let groups_needed = n.div_ceil(4);
+    for g in 1..groups_needed {
+        let pairs: Vec<(DiskId, HostId)> =
+            (0..4).map(|i| (DiskId((g * 4 + i) as u32), HostId(0))).collect();
+        rt.execute(sim, pairs, |_, r| r.expect("steer group to host 0"));
+        sim.run_until(sim.now() + Duration::from_secs(10));
+    }
+    let disks: Vec<DiskId> = (0..n as u32).map(DiskId).collect();
+    for d in &disks {
+        assert_eq!(rt.attached_host(*d), Some(HostId(0)), "{d} on host 0");
+        assert!(rt.disk_ready(*d), "{d} enumerated");
+    }
+    (rt, disks)
+}
+
+/// Runs `spec` with one worker per disk and returns merged stats.
+pub fn aggregate(sim: &Sim, rt: &FabricRuntime, disks: &[DiskId], spec: &AccessSpec, window: Duration) -> WorkloadStats {
+    let workers: Vec<Worker> = disks
+        .iter()
+        .map(|d| {
+            Worker::new(
+                spec.clone(),
+                sim.fork_rng(&format!("w{}", d.0)),
+                0,
+                fabric_issuer(rt.clone(), *d),
+            )
+        })
+        .collect();
+    for w in &workers {
+        w.run(sim, window);
+    }
+    sim.run_until(sim.now() + window + Duration::from_secs(2));
+    let mut total = WorkloadStats::default();
+    for w in &workers {
+        total.merge(&w.stats());
+    }
+    total
+}
+
+/// One Figure 5 series: aggregate throughput vs disk count for `spec`.
+pub fn series(spec: &AccessSpec, seed: u64) -> Vec<(usize, f64)> {
+    DISK_COUNTS
+        .iter()
+        .map(|&n| {
+            let sim = Sim::new(seed.wrapping_add(n as u64));
+            let (rt, disks) = disks_on_one_host(&sim, n);
+            let window = if spec.request_bytes >= 1 << 20 {
+                Duration::from_secs(10)
+            } else {
+                Duration::from_secs(3)
+            };
+            let stats = aggregate(&sim, &rt, &disks, spec, window);
+            let v = if spec.request_bytes >= 1 << 20 { stats.mbps() } else { stats.iops() };
+            (n, v)
+        })
+        .collect()
+}
+
+/// Regenerates Figure 5 (four representative workload series).
+pub fn fig5(seed: u64) -> Vec<Report> {
+    let workloads = [
+        AccessSpec::new(4096, 100, false), // 4K-S-R
+        AccessSpec::new(4096, 0, false),   // 4K-S-W
+        AccessSpec::new(4 << 20, 100, false), // 4M-S-R
+        AccessSpec::new(4 << 20, 100, true),  // 4M-R-R
+    ];
+    workloads
+        .iter()
+        .map(|spec| {
+            let unit: &'static str = if spec.request_bytes >= 1 << 20 { "MB/s" } else { "IO/s" };
+            let rows = series(spec, seed)
+                .into_iter()
+                .map(|(n, v)| Row::measured_only(format!("{spec} x{n} disks"), v, unit))
+                .collect();
+            Report::new(format!("Figure 5 ({spec})"), rows)
+        })
+        .collect()
+}
+
+/// The §VII-A duplex experiment: 12 disks on one host, half reading and
+/// half writing 4 MB sequentially.
+pub fn duplex(seed: u64) -> Report {
+    let sim = Sim::new(seed);
+    let (rt, disks) = disks_on_one_host(&sim, 12);
+    let window = Duration::from_secs(10);
+    let readers: Vec<Worker> = disks[..6]
+        .iter()
+        .map(|d| {
+            Worker::new(
+                AccessSpec::new(4 << 20, 100, false),
+                sim.fork_rng(&format!("r{}", d.0)),
+                0,
+                fabric_issuer(rt.clone(), *d),
+            )
+        })
+        .collect();
+    let writers: Vec<Worker> = disks[6..]
+        .iter()
+        .map(|d| {
+            Worker::new(
+                AccessSpec::new(4 << 20, 0, false),
+                sim.fork_rng(&format!("w{}", d.0)),
+                0,
+                fabric_issuer(rt.clone(), *d),
+            )
+        })
+        .collect();
+    for w in readers.iter().chain(writers.iter()) {
+        w.run(&sim, window);
+    }
+    sim.run_until(sim.now() + window + Duration::from_secs(2));
+    let mut total = WorkloadStats::default();
+    for w in readers.iter().chain(writers.iter()) {
+        total.merge(&w.stats());
+    }
+    let per_root = total.mbps();
+    Report::new(
+        "§VII-A duplex throughput",
+        vec![
+            Row::new("one root path, 6R+6W 4M seq", 540.0, per_root, "MB/s"),
+            Row::new("whole unit (4 root paths)", 2160.0, per_root * 4.0, "MB/s"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_sequential_reads_saturate_at_two_disks() {
+        let spec = AccessSpec::new(4 << 20, 100, false);
+        let s = series(&spec, 201);
+        let by_n: std::collections::BTreeMap<usize, f64> = s.into_iter().collect();
+        assert!((by_n[&1] - 185.0).abs() < 10.0, "single disk {:.0}", by_n[&1]);
+        assert!(by_n[&2] > 280.0, "two disks fill the root: {:.0}", by_n[&2]);
+        assert!(by_n[&12] < 320.0, "root bandwidth caps at ~300: {:.0}", by_n[&12]);
+    }
+
+    #[test]
+    fn small_sequential_reads_scale_until_about_eight() {
+        let spec = AccessSpec::new(4096, 100, false);
+        let s = series(&spec, 202);
+        let by_n: std::collections::BTreeMap<usize, f64> = s.into_iter().collect();
+        // Linear-ish up to 4 disks...
+        assert!(by_n[&4] > 3.5 * by_n[&1], "4 disks ~4x: {:.0}", by_n[&4]);
+        // ...saturated by 8: adding 4 more disks buys little.
+        let growth = by_n[&12] / by_n[&8];
+        assert!(growth < 1.15, "8->12 grows {growth:.2}x (saturated)");
+        assert!(by_n[&8] > 35_000.0, "root sustains ~43k IO/s: {:.0}", by_n[&8]);
+    }
+
+    #[test]
+    fn duplex_reaches_paper_band() {
+        let rep = duplex(203);
+        let per_root = rep.rows[0].measured;
+        assert!(
+            (per_root - 540.0).abs() / 540.0 < 0.1,
+            "duplex {per_root:.0} MB/s vs paper 540"
+        );
+    }
+}

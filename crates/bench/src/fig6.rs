@@ -1,0 +1,143 @@
+//! Figure 6: switching time vs number of disks switched together.
+//!
+//! The paper decomposes the delay of moving disks between hosts into
+//! three parts: (1) rejection on the old host until recognition by the
+//! new host's USB driver, (2) recognition until the disk is exposed on
+//! the network, (3) exposure until the ClientLib has remounted. Part 1
+//! grows with the number of disks switched simultaneously (bus-serialized
+//! enumeration); parts 2 and 3 are flat. Each point averages several
+//! repetitions, as in the paper ("repeat each case 6 times").
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use ustore_fabric::{DiskId, FabricRuntime, HostId, RuntimeConfig, Topology};
+use ustore_sim::{Sim, SimTime};
+use ustore_usb::UsbProfile;
+
+use crate::report::{Report, Row};
+
+/// Disk counts of the Figure 6 sweep.
+pub const SWITCH_COUNTS: [usize; 5] = [1, 2, 4, 8, 12];
+
+/// Time from issuing a switch command for `n` disks until every moved
+/// disk has re-enumerated on the new host (part 1, plus the command's
+/// actuation and verification-poll overhead).
+pub fn switch_time(n: usize, seed: u64) -> Duration {
+    let sim = Sim::new(seed);
+    // The leaf-switched (Figure 2 left) fabric moves disks individually.
+    let (topology, config) = Topology::leaf_switched(16, 4);
+    let rt = FabricRuntime::new(
+        &sim,
+        topology,
+        config,
+        RuntimeConfig {
+            usb_profile: UsbProfile::spec_conformant(),
+            store_data: false,
+            verify_poll: Duration::from_millis(50),
+            ..RuntimeConfig::default()
+        },
+    );
+    sim.run_until(sim.now() + Duration::from_secs(20));
+    // Consolidate every disk on host 0 first (the leaf-switched fabric
+    // moves disks individually, so this always succeeds).
+    let all: Vec<(DiskId, HostId)> = rt.disk_ids().into_iter().map(|d| (d, HostId(0))).collect();
+    rt.execute(&sim, all, |_, r| r.expect("consolidate on host 0"));
+    sim.run_until(sim.now() + Duration::from_secs(30));
+    // Pick n disks and move them to host 1.
+    let victims: Vec<DiskId> = rt
+        .disk_ids()
+        .into_iter()
+        .filter(|d| rt.attached_host(*d) == Some(HostId(0)))
+        .take(n)
+        .collect();
+    assert_eq!(victims.len(), n, "need {n} disks on host 0");
+    let pairs: Vec<(DiskId, HostId)> = victims.iter().map(|d| (*d, HostId(1))).collect();
+    let t0 = sim.now();
+    let done = Rc::new(Cell::new(SimTime::ZERO));
+    let d = done.clone();
+    rt.execute(&sim, pairs, move |sim, r| {
+        r.expect("switch command");
+        d.set(sim.now());
+    });
+    sim.run_until(sim.now() + Duration::from_secs(60));
+    assert!(done.get() > SimTime::ZERO, "command completed");
+    done.get().saturating_duration_since(t0)
+}
+
+/// Averaged part-1 time for each disk count.
+pub fn part1_series(seed: u64, repeats: u64) -> Vec<(usize, Duration)> {
+    SWITCH_COUNTS
+        .iter()
+        .map(|&n| {
+            let total: Duration = (0..repeats)
+                .map(|r| switch_time(n, seed.wrapping_mul(31).wrapping_add(r)))
+                .sum();
+            (n, total / repeats as u32)
+        })
+        .collect()
+}
+
+/// Fixed part-2 (target export) and part-3 (remount) times, from the
+/// component configurations they are measured from in the full system.
+pub fn fixed_parts() -> (Duration, Duration) {
+    let export = ustore::EndpointConfig::default().export_delay;
+    let cfg = ustore::ClientLibConfig::default();
+    // Remount = master lookup + iSCSI login round trips (sub-ms in-DC)
+    // plus the device-settle delay.
+    let remount = cfg.mount_settle + Duration::from_millis(50);
+    (export, remount)
+}
+
+/// Regenerates Figure 6.
+pub fn fig6(seed: u64, repeats: u64) -> Report {
+    let (part2, part3) = fixed_parts();
+    let mut rows = Vec::new();
+    for (n, part1) in part1_series(seed, repeats) {
+        rows.push(Row::measured_only(
+            format!("part 1 (re-enumeration) x{n}"),
+            part1.as_secs_f64(),
+            "s",
+        ));
+        rows.push(Row::measured_only(
+            format!("total switch x{n}"),
+            (part1 + part2 + part3).as_secs_f64(),
+            "s",
+        ));
+    }
+    rows.push(Row::measured_only("part 2 (target export)", part2.as_secs_f64(), "s"));
+    rows.push(Row::measured_only("part 3 (remount)", part3.as_secs_f64(), "s"));
+    Report::new("Figure 6 (switching time)", rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part1_grows_with_disk_count_parts23_flat() {
+        let t1 = switch_time(1, 301);
+        let t4 = switch_time(4, 302);
+        let t12 = switch_time(12, 303);
+        assert!(t4 > t1, "{t1:?} -> {t4:?}");
+        assert!(t12 > t4, "{t4:?} -> {t12:?}");
+        // Slope ~ the serialized enumeration cost (0.3 s/disk).
+        let slope = (t12 - t1).as_secs_f64() / 11.0;
+        assert!((slope - 0.3).abs() < 0.1, "slope {slope:.2} s/disk");
+        // Single-disk switch lands in the couple-of-seconds band.
+        assert!(t1 > Duration::from_secs(1) && t1 < Duration::from_secs(4), "{t1:?}");
+    }
+
+    #[test]
+    fn totals_fit_services_tolerance() {
+        // "The delay is short enough for most services in data centers to
+        // be regarded as temporary failure": total stays well under the
+        // 30 s verification bound for every count.
+        let (p2, p3) = fixed_parts();
+        for (n, p1) in part1_series(304, 2) {
+            let total = p1 + p2 + p3;
+            assert!(total < Duration::from_secs(12), "x{n}: {total:?}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ustore-bench — experiment harness for every table and figure
+//!
+//! One module per paper artefact; each produces [`Report`]s comparing the
+//! paper's values against measurements from the simulated system. The
+//! `repro` binary prints them; the Criterion benches time them; the
+//! integration tests assert the shape claims.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table2`] | Table II — single-disk perf, 3 connection types |
+//! | [`fig5`] | Figure 5 — multi-disk aggregate throughput; §VII-A duplex |
+//! | [`fig6`] | Figure 6 — switching time vs disks switched |
+//! | [`failover`] | §I/§VII headline — 5.8 s host-failure recovery |
+//! | [`hdfs`] | §VII-B — DFS over UStore with a mid-write switch |
+//! | [`power`] | Tables I, III, IV, V; rolling spin-up ablation |
+//! | [`ablation`] | switch placement, heartbeat timeout, allocation policy |
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod failover;
+pub mod fig5;
+pub mod fig6;
+pub mod hdfs;
+pub mod power;
+pub mod report;
+pub mod table2;
+
+pub use report::{Report, Row};

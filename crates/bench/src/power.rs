@@ -1,0 +1,186 @@
+//! Power experiments: Tables III, IV, V, the cost Table I, and the
+//! rolling spin-up ablation.
+//!
+//! Tables III and IV are measured from the running component models (the
+//! energy meters integrate power over virtual time, as the paper's
+//! wattmeter does); Tables I and V come from the composition models in
+//! `ustore-cost`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use ustore_cost::{table1 as cost_table1, table5 as power_table5, PowerCatalog, PriceCatalog};
+use ustore_disk::{Disk, DiskProfile};
+use ustore_fabric::FabricRuntime;
+use ustore_sim::Sim;
+use ustore_usb::UsbProfile;
+use ustore_workload::{disk_issuer, AccessSpec, Worker};
+
+use crate::report::{Report, Row};
+
+/// Measures one disk's average power in a given mode over a window.
+fn disk_watts(profile: DiskProfile, mode: &str, seed: u64) -> f64 {
+    let sim = Sim::new(seed);
+    let disk = Disk::new(&sim, "d", profile, false);
+    let window = Duration::from_secs(60);
+    match mode {
+        "spin_down" => disk.spin_down(&sim),
+        "idle" => {}
+        "rw" => {
+            let worker = Worker::new(
+                AccessSpec::new(4 << 20, 50, false),
+                sim.fork_rng("w"),
+                0,
+                disk_issuer(disk.clone()),
+            );
+            worker.run(&sim, window);
+        }
+        other => panic!("unknown mode {other}"),
+    }
+    sim.run_until(sim.now() + window);
+    disk.energy_joules(&sim) / window.as_secs_f64()
+}
+
+/// Regenerates Table III (one disk's power, SATA vs USB bridge).
+pub fn table3(seed: u64) -> Report {
+    let paper = [
+        ("SATA spin down", DiskProfile::sata(), "spin_down", 0.05),
+        ("SATA idle", DiskProfile::sata(), "idle", 4.71),
+        ("SATA read/write", DiskProfile::sata(), "rw", 6.66),
+        ("USB bridge spin down", DiskProfile::usb_bridge(), "spin_down", 1.56),
+        ("USB bridge idle", DiskProfile::usb_bridge(), "idle", 5.76),
+        ("USB bridge read/write", DiskProfile::usb_bridge(), "rw", 7.56),
+    ];
+    let rows = paper
+        .into_iter()
+        .map(|(label, profile, mode, p)| {
+            Row::new(label, p, disk_watts(profile, mode, seed), "W")
+        })
+        .collect();
+    Report::new("Table III (one disk's power)", rows)
+}
+
+/// Regenerates Table IV (hub power vs connected disks).
+pub fn table4() -> Report {
+    let paper = [0.21, 1.06, 1.23, 1.47, 1.67];
+    let profile = UsbProfile::prototype();
+    let rows = paper
+        .iter()
+        .enumerate()
+        .map(|(n, p)| Row::new(format!("hub with {n} disks"), *p, profile.hub_power(n), "W"))
+        .collect();
+    Report::new("Table IV (hub power)", rows)
+}
+
+/// Regenerates Table V (system power comparison).
+pub fn table5() -> Report {
+    let rows = power_table5(&PowerCatalog::default())
+        .into_iter()
+        .flat_map(|r| {
+            let paper = match r.name {
+                "DD860/ES30" => (222.5, 83.5),
+                "Pergamum" => (193.5, 28.9),
+                "UStore" => (166.8, 22.1),
+                _ => unreachable!("unknown system"),
+            };
+            vec![
+                Row::new(format!("{} spinning", r.name), paper.0, r.spinning_w, "W"),
+                Row::new(format!("{} powered off", r.name), paper.1, r.powered_off_w, "W"),
+            ]
+        })
+        .collect();
+    Report::new("Table V (power comparison, 16 disks)", rows)
+}
+
+/// Regenerates Table I (CapEx comparison, 10 PB).
+pub fn table1() -> Report {
+    let paper_capex = [3340.0, 1748.0, 756.0, 598.0, 456.0];
+    let paper_attex = [Some(1525.0), None, Some(415.0), Some(257.0), Some(115.0)];
+    let rows = cost_table1(&PriceCatalog::default(), 10.0)
+        .into_iter()
+        .zip(paper_capex.iter().zip(paper_attex.iter()))
+        .flat_map(|(r, (pc, pa))| {
+            let mut v = vec![Row::new(format!("{} CapEx", r.name), *pc, r.capex / 1000.0, "$k")];
+            if let (Some(pa), Some(attex)) = (pa, r.attex) {
+                v.push(Row::new(format!("{} AttEx", r.name), *pa, attex / 1000.0, "$k"));
+            }
+            v
+        })
+        .collect();
+    Report::new("Table I (CapEx of 10 PB)", rows)
+}
+
+/// Ablation: peak unit power during spin-up vs the rolling stagger.
+pub fn rolling_spin_up_ablation(seed: u64) -> Report {
+    let mut rows = Vec::new();
+    for stagger_ms in [0u64, 500, 2000, 4000] {
+        let sim = Sim::new(seed.wrapping_add(stagger_ms));
+        let rt = FabricRuntime::prototype(&sim);
+        sim.run_until(sim.now() + Duration::from_secs(10));
+        rt.power_off_all_disks(&sim);
+        sim.run_until(sim.now() + Duration::from_secs(3));
+        let peak = Rc::new(Cell::new(0.0f64));
+        let p = peak.clone();
+        let rt2 = rt.clone();
+        sim.every(Duration::from_millis(50), Duration::from_millis(50), move |_| {
+            p.set(p.get().max(rt2.unit_power_w()));
+        });
+        let t0 = sim.now();
+        rt.rolling_spin_up(&sim, Duration::from_millis(stagger_ms));
+        sim.run_until(sim.now() + Duration::from_secs(80));
+        let ready_all = rt.disk_ids().iter().all(|d| rt.disk_ready(*d));
+        assert!(ready_all, "all disks back after spin-up");
+        let _ = t0;
+        rows.push(Row::measured_only(
+            format!("peak W @ stagger {stagger_ms} ms"),
+            peak.get(),
+            "W",
+        ));
+    }
+    Report::new("Ablation: rolling spin-up peak power", rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_measured_matches_paper() {
+        let rep = table3(601);
+        assert!(
+            rep.worst_error_pct().expect("has paper values") < 6.0,
+            "worst error {:?}%\n{rep}",
+            rep.worst_error_pct()
+        );
+    }
+
+    #[test]
+    fn table4_and_5_match() {
+        assert!(table4().worst_error_pct().expect("paper") < 5.0);
+        assert!(table5().worst_error_pct().expect("paper") < 5.0);
+    }
+
+    #[test]
+    fn table1_matches() {
+        let rep = table1();
+        assert!(
+            rep.worst_error_pct().expect("paper") < 11.0,
+            "worst {:?}\n{rep}",
+            rep.worst_error_pct()
+        );
+    }
+
+    #[test]
+    fn rolling_spin_up_cuts_peak_power() {
+        let rep = rolling_spin_up_ablation(602);
+        let all_at_once = rep.rows[0].measured;
+        let staggered = rep.rows.last().expect("rows").measured;
+        assert!(
+            staggered < all_at_once * 0.45,
+            "staggered {staggered:.0} W vs simultaneous {all_at_once:.0} W"
+        );
+        // Simultaneous spin-up approaches 16 x 24 W (+ fabric).
+        assert!(all_at_once > 300.0, "simultaneous peak {all_at_once:.0} W");
+    }
+}

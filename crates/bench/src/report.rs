@@ -1,0 +1,121 @@
+//! Reporting helpers: paper-vs-measured rows and text tables.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// One measured quantity compared against the paper.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Row {
+    /// What is being measured (e.g. `"SATA 4K-S-R"`).
+    pub label: String,
+    /// The paper's value (None when the paper only gives a figure/shape).
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit string (e.g. `"IO/s"`, `"MB/s"`, `"W"`, `"$k"`, `"s"`).
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Creates a row with a paper reference value.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Row {
+        Row { label: label.into(), paper: Some(paper), measured, unit }
+    }
+
+    /// Creates a row without a paper value (figure-only data).
+    pub fn measured_only(label: impl Into<String>, measured: f64, unit: &'static str) -> Row {
+        Row { label: label.into(), paper: None, measured, unit }
+    }
+
+    /// Relative error vs the paper, if a paper value exists.
+    pub fn error_pct(&self) -> Option<f64> {
+        self.paper.map(|p| 100.0 * (self.measured - p) / p)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.paper {
+            Some(p) => write!(
+                f,
+                "{:<28} paper {:>9.1} {:<5} measured {:>9.1} {:<5} ({:+.1}%)",
+                self.label,
+                p,
+                self.unit,
+                self.measured,
+                self.unit,
+                self.error_pct().expect("paper value present"),
+            ),
+            None => write!(
+                f,
+                "{:<28} {:>32} measured {:>9.1} {:<5}",
+                self.label, "", self.measured, self.unit
+            ),
+        }
+    }
+}
+
+/// A titled group of rows (one table or figure).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// Table/figure identifier (e.g. `"Table II"`).
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(title: impl Into<String>, rows: Vec<Row>) -> Report {
+        Report { title: title.into(), rows }
+    }
+
+    /// Largest absolute relative error across rows with paper values.
+    pub fn worst_error_pct(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter_map(Row::error_pct)
+            .map(f64::abs)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_error_and_display() {
+        let r = Row::new("x", 100.0, 95.0, "IO/s");
+        assert_eq!(r.error_pct(), Some(-5.0));
+        assert!(r.to_string().contains("-5.0%"));
+        let m = Row::measured_only("y", 7.0, "s");
+        assert_eq!(m.error_pct(), None);
+        assert!(m.to_string().contains("7.0"));
+    }
+
+    #[test]
+    fn report_worst_error() {
+        let rep = Report::new(
+            "T",
+            vec![
+                Row::new("a", 100.0, 90.0, "W"),
+                Row::new("b", 100.0, 104.0, "W"),
+                Row::measured_only("c", 1.0, "s"),
+            ],
+        );
+        assert_eq!(rep.worst_error_pct(), Some(10.0));
+        assert!(rep.to_string().starts_with("== T =="));
+    }
+}

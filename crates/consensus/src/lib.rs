@@ -1,0 +1,28 @@
+//! # ustore-consensus — Paxos and a ZooKeeper-like coordination service
+//!
+//! The UStore Master is "implemented as a replicated state machine using
+//! the Paxos consensus protocol" and the prototype stores its metadata in
+//! ZooKeeper (§IV-A, §V-B). This crate builds that substrate from scratch
+//! over the simulated network:
+//!
+//! - [`paxos`]: pure single-decree Paxos roles (safety-tested).
+//! - [`store`]: the hierarchical znode store as a deterministic state
+//!   machine (ephemeral/sequential nodes, versions, watch events).
+//! - [`rsm`]: multi-Paxos replication of the store across a 5-node cluster
+//!   ([`CoordServer`]), with leader election, catch-up, client sessions and
+//!   watches.
+//! - [`client`]: a session-oriented client ([`CoordClient`]) with automatic
+//!   leader discovery and retry, plus a leader-election recipe used by the
+//!   Master's active/standby processes.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod paxos;
+pub mod rsm;
+pub mod store;
+
+pub use client::{CoordClient, ClientConfig, ClientError, Election};
+pub use paxos::{Acceptor, AcceptReply, Ballot, PrepareReply, Proposer};
+pub use rsm::{CoordConfig, CoordServer, ReadOp, ReadResult, WatchNotification, WatchReg};
+pub use store::{Applied, Command, CreateMode, SessionId, Stat, StoreError, WatchEvent, ZnodeStore};

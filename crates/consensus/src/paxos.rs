@@ -1,0 +1,349 @@
+//! Pure single-decree Paxos roles.
+//!
+//! The UStore Master "is implemented as a replicated state machine using
+//! the Paxos consensus protocol" (§IV-A, citing Lamport's *Paxos Made
+//! Simple*). This module contains the protocol's per-role state machines as
+//! pure, message-in/message-out logic — no network, no timers — so that the
+//! safety argument can be tested exhaustively (including with property
+//! tests). The replicated log in [`crate::rsm`] drives one instance of this
+//! logic per log slot.
+
+use std::fmt;
+
+/// A totally ordered proposal number: `(round, proposer id)`.
+///
+/// Uniqueness per proposer is guaranteed by embedding the node id; ties on
+/// `round` break by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ballot {
+    /// Monotonically increasing round number.
+    pub round: u64,
+    /// Proposing node's id (tie-breaker).
+    pub node: u32,
+}
+
+impl Ballot {
+    /// The smallest ballot; never actually proposed.
+    pub const ZERO: Ballot = Ballot { round: 0, node: 0 };
+
+    /// Creates a ballot.
+    pub fn new(round: u64, node: u32) -> Self {
+        Ballot { round, node }
+    }
+
+    /// The next round for `node`, strictly greater than `self`.
+    pub fn next_for(self, node: u32) -> Ballot {
+        Ballot { round: self.round + 1, node }
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.round, self.node)
+    }
+}
+
+/// Acceptor-side state for one decree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Acceptor<V> {
+    promised: Option<Ballot>,
+    accepted: Option<(Ballot, V)>,
+}
+
+/// Reply to a prepare (phase 1a) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepareReply<V> {
+    /// Promise not to accept ballots below `ballot`; reports the
+    /// highest-ballot value accepted so far, if any.
+    Promised {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// Previously accepted `(ballot, value)`, if any.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// The acceptor already promised a higher ballot.
+    Rejected {
+        /// The conflicting promise.
+        promised: Ballot,
+    },
+}
+
+/// Reply to an accept (phase 2a) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptReply {
+    /// The value was accepted at `ballot`.
+    Accepted {
+        /// The accepted ballot.
+        ballot: Ballot,
+    },
+    /// The acceptor promised a higher ballot.
+    Rejected {
+        /// The conflicting promise.
+        promised: Ballot,
+    },
+}
+
+impl<V: Clone> Acceptor<V> {
+    /// Creates a fresh acceptor.
+    pub fn new() -> Self {
+        Acceptor { promised: None, accepted: None }
+    }
+
+    /// Handles phase 1a.
+    pub fn on_prepare(&mut self, ballot: Ballot) -> PrepareReply<V> {
+        match self.promised {
+            Some(p) if p > ballot => PrepareReply::Rejected { promised: p },
+            _ => {
+                self.promised = Some(ballot);
+                PrepareReply::Promised { ballot, accepted: self.accepted.clone() }
+            }
+        }
+    }
+
+    /// Handles phase 2a.
+    pub fn on_accept(&mut self, ballot: Ballot, value: V) -> AcceptReply {
+        match self.promised {
+            Some(p) if p > ballot => AcceptReply::Rejected { promised: p },
+            _ => {
+                self.promised = Some(ballot);
+                self.accepted = Some((ballot, value));
+                AcceptReply::Accepted { ballot }
+            }
+        }
+    }
+
+    /// The highest ballot promised, if any.
+    pub fn promised(&self) -> Option<Ballot> {
+        self.promised
+    }
+
+    /// The accepted `(ballot, value)`, if any.
+    pub fn accepted(&self) -> Option<&(Ballot, V)> {
+        self.accepted.as_ref()
+    }
+}
+
+/// Proposer-side state for one decree at one ballot.
+#[derive(Debug, Clone)]
+pub struct Proposer<V> {
+    ballot: Ballot,
+    quorum: usize,
+    /// Nodes that promised, with any previously accepted value.
+    promises: Vec<(u32, Option<(Ballot, V)>)>,
+    /// Nodes that accepted in phase 2.
+    accepts: Vec<u32>,
+    value: Option<V>,
+}
+
+impl<V: Clone> Proposer<V> {
+    /// Starts a proposal at `ballot` needing `quorum` acceptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` is zero.
+    pub fn new(ballot: Ballot, quorum: usize) -> Self {
+        assert!(quorum > 0, "quorum must be positive");
+        Proposer {
+            ballot,
+            quorum,
+            promises: Vec::new(),
+            accepts: Vec::new(),
+            value: None,
+        }
+    }
+
+    /// The proposal's ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    /// Records a promise from `node`. Returns `true` when phase 1 has just
+    /// reached quorum (exactly once).
+    pub fn on_promise(&mut self, node: u32, accepted: Option<(Ballot, V)>) -> bool {
+        if self.promises.iter().any(|(n, _)| *n == node) {
+            return false;
+        }
+        self.promises.push((node, accepted));
+        self.promises.len() == self.quorum
+    }
+
+    /// Chooses the value for phase 2: the value of the highest-ballot
+    /// promise if any acceptor already accepted one, else `preferred`.
+    ///
+    /// This is the core safety rule of Paxos.
+    pub fn choose_value(&mut self, preferred: V) -> V {
+        let forced = self
+            .promises
+            .iter()
+            .filter_map(|(_, a)| a.as_ref())
+            .max_by_key(|(b, _)| *b)
+            .map(|(_, v)| v.clone());
+        let v = forced.unwrap_or(preferred);
+        self.value = Some(v.clone());
+        v
+    }
+
+    /// Records an accept from `node`. Returns `true` when the value has
+    /// just been chosen (quorum reached, exactly once).
+    pub fn on_accepted(&mut self, node: u32) -> bool {
+        if self.accepts.contains(&node) {
+            return false;
+        }
+        self.accepts.push(node);
+        self.accepts.len() == self.quorum
+    }
+
+    /// The value sent in phase 2, if phase 2 has started.
+    pub fn value(&self) -> Option<&V> {
+        self.value.as_ref()
+    }
+
+    /// Number of promises collected.
+    pub fn promise_count(&self) -> usize {
+        self.promises.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_ordering() {
+        assert!(Ballot::new(1, 2) < Ballot::new(2, 1));
+        assert!(Ballot::new(2, 1) < Ballot::new(2, 2));
+        assert_eq!(Ballot::new(3, 1).next_for(2), Ballot::new(4, 2));
+        assert_eq!(Ballot::new(5, 7).to_string(), "5.7");
+    }
+
+    #[test]
+    fn acceptor_promises_monotonically() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        assert!(matches!(a.on_prepare(Ballot::new(2, 0)), PrepareReply::Promised { .. }));
+        // Lower ballot rejected.
+        assert_eq!(
+            a.on_prepare(Ballot::new(1, 0)),
+            PrepareReply::Rejected { promised: Ballot::new(2, 0) }
+        );
+        // Equal or higher fine.
+        assert!(matches!(a.on_prepare(Ballot::new(2, 0)), PrepareReply::Promised { .. }));
+    }
+
+    #[test]
+    fn acceptor_reports_accepted_value_in_promise() {
+        let mut a: Acceptor<&str> = Acceptor::new();
+        a.on_prepare(Ballot::new(1, 0));
+        assert_eq!(
+            a.on_accept(Ballot::new(1, 0), "v1"),
+            AcceptReply::Accepted { ballot: Ballot::new(1, 0) }
+        );
+        match a.on_prepare(Ballot::new(2, 1)) {
+            PrepareReply::Promised { accepted, .. } => {
+                assert_eq!(accepted, Some((Ballot::new(1, 0), "v1")));
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn acceptor_rejects_stale_accept() {
+        let mut a: Acceptor<&str> = Acceptor::new();
+        a.on_prepare(Ballot::new(5, 0));
+        assert_eq!(
+            a.on_accept(Ballot::new(3, 0), "old"),
+            AcceptReply::Rejected { promised: Ballot::new(5, 0) }
+        );
+        assert!(a.accepted().is_none());
+    }
+
+    #[test]
+    fn accept_without_prepare_is_allowed() {
+        // Multi-Paxos leaders skip phase 1 for new slots.
+        let mut a: Acceptor<&str> = Acceptor::new();
+        assert!(matches!(a.on_accept(Ballot::new(1, 0), "v"), AcceptReply::Accepted { .. }));
+    }
+
+    #[test]
+    fn proposer_quorum_counting() {
+        let mut p: Proposer<&str> = Proposer::new(Ballot::new(1, 0), 2);
+        assert!(!p.on_promise(0, None));
+        assert!(!p.on_promise(0, None), "duplicate promise ignored");
+        assert!(p.on_promise(1, None), "quorum reached");
+        assert!(!p.on_promise(2, None), "only signalled once");
+        assert_eq!(p.promise_count(), 3);
+    }
+
+    #[test]
+    fn proposer_adopts_highest_accepted() {
+        let mut p: Proposer<&str> = Proposer::new(Ballot::new(9, 0), 3);
+        p.on_promise(0, Some((Ballot::new(3, 1), "low")));
+        p.on_promise(1, None);
+        p.on_promise(2, Some((Ballot::new(7, 2), "high")));
+        assert_eq!(p.choose_value("mine"), "high");
+    }
+
+    #[test]
+    fn proposer_free_to_choose_when_unconstrained() {
+        let mut p: Proposer<&str> = Proposer::new(Ballot::new(1, 0), 2);
+        p.on_promise(0, None);
+        p.on_promise(1, None);
+        assert_eq!(p.choose_value("mine"), "mine");
+        assert_eq!(p.value(), Some(&"mine"));
+    }
+
+    #[test]
+    fn proposer_accept_quorum() {
+        let mut p: Proposer<&str> = Proposer::new(Ballot::new(1, 0), 2);
+        assert!(!p.on_accepted(0));
+        assert!(!p.on_accepted(0), "duplicate ignored");
+        assert!(p.on_accepted(1));
+        assert!(!p.on_accepted(2));
+    }
+
+    /// A miniature model-checking test: run two competing proposers through
+    /// interleaved message orders over three acceptors and assert that at
+    /// most one value is ever chosen.
+    #[test]
+    fn safety_under_contention() {
+        // Enumerate interleavings by bitmask: bit k decides which proposer
+        // moves at step k. Small but adversarial.
+        for schedule in 0u32..64 {
+            let mut acceptors: Vec<Acceptor<&str>> = vec![Acceptor::new(); 3];
+            let mut chosen: Vec<&str> = Vec::new();
+            // Proposer A at ballot (1,0) value "a", proposer B at (2,1) "b".
+            for (pi, (ballot, value)) in
+                [(Ballot::new(1, 0), "a"), (Ballot::new(2, 1), "b")].iter().enumerate()
+            {
+                let order = if schedule & (1 << pi) == 0 { [0usize, 1, 2] } else { [2, 1, 0] };
+                let mut prop = Proposer::new(*ballot, 2);
+                let mut phase2 = false;
+                for &ai in &order {
+                    if !phase2 {
+                        if let PrepareReply::Promised { accepted, .. } =
+                            acceptors[ai].on_prepare(*ballot)
+                        {
+                            phase2 = prop.on_promise(ai as u32, accepted);
+                            if phase2 {
+                                prop.choose_value(value);
+                            }
+                        }
+                    }
+                }
+                if phase2 {
+                    let v = *prop.value().expect("phase 2 value");
+                    for &ai in &order {
+                        if let AcceptReply::Accepted { .. } = acceptors[ai].on_accept(*ballot, v) {
+                            if prop.on_accepted(ai as u32) {
+                                chosen.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+            // Both may fail; but two different chosen values is a safety bug.
+            if chosen.len() == 2 {
+                assert_eq!(chosen[0], chosen[1], "schedule {schedule}: split decision");
+            }
+        }
+    }
+}

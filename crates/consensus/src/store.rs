@@ -1,0 +1,641 @@
+//! The coordination service's hierarchical store, as a pure state machine.
+//!
+//! The paper's prototype stores the Master's metadata "in ZooKeeper …
+//! organized in a hierarchical tree structure. Each host creates an
+//! ephemeral znode to represent its liveness" (§V-B). [`ZnodeStore`] is
+//! that data model: a tree of znodes with versions, ephemeral and
+//! sequential creation modes, and session-scoped lifetimes. It is a
+//! deterministic state machine — commands in, results and watch events out
+//! — which is exactly what the Paxos replicated log in [`crate::rsm`]
+//! needs to replicate it.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A coordination session (one client connection's lifetime).
+pub type SessionId = u64;
+
+/// Creation mode of a znode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CreateMode {
+    /// Survives its creator.
+    Persistent,
+    /// Deleted automatically when the creating session expires.
+    Ephemeral,
+    /// Persistent with a server-assigned monotonic suffix.
+    PersistentSequential,
+    /// Ephemeral with a server-assigned monotonic suffix.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// Whether this mode ties the node to a session.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+
+    /// Whether this mode appends a sequence number.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CreateMode::PersistentSequential | CreateMode::EphemeralSequential
+        )
+    }
+}
+
+/// Errors returned by store commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The path (or its parent) does not exist.
+    NoNode,
+    /// A node already exists at the path.
+    NodeExists,
+    /// Delete of a node that still has children.
+    NotEmpty,
+    /// Conditional op failed the version check.
+    BadVersion,
+    /// The command referenced an unknown or expired session.
+    NoSession,
+    /// Ephemeral nodes cannot have children.
+    EphemeralParent,
+    /// Malformed path.
+    BadPath,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreError::NoNode => "no such znode",
+            StoreError::NodeExists => "znode already exists",
+            StoreError::NotEmpty => "znode has children",
+            StoreError::BadVersion => "version check failed",
+            StoreError::NoSession => "no such session",
+            StoreError::EphemeralParent => "ephemeral znodes cannot have children",
+            StoreError::BadPath => "malformed znode path",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A replicated command (one log entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Registers a new session.
+    CreateSession {
+        /// Client-chosen unique session id.
+        id: SessionId,
+    },
+    /// Expires a session, deleting its ephemerals.
+    ExpireSession {
+        /// The session to expire.
+        id: SessionId,
+    },
+    /// Creates a znode.
+    Create {
+        /// Owning session (for ephemerals; validated for all).
+        session: SessionId,
+        /// Requested path (sequential modes append a suffix).
+        path: String,
+        /// Initial data.
+        data: Vec<u8>,
+        /// Creation mode.
+        mode: CreateMode,
+    },
+    /// Deletes a znode.
+    Delete {
+        /// Path to delete.
+        path: String,
+        /// If set, only delete when the data version matches.
+        version: Option<u64>,
+    },
+    /// Replaces a znode's data.
+    SetData {
+        /// Path to update.
+        path: String,
+        /// New data.
+        data: Vec<u8>,
+        /// If set, only update when the data version matches.
+        version: Option<u64>,
+    },
+    /// No-op (used by new leaders to fill log gaps).
+    Noop,
+}
+
+/// Successful command results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Applied {
+    /// Session registered.
+    SessionCreated,
+    /// Session expired; lists the ephemeral paths that were removed.
+    SessionExpired(Vec<String>),
+    /// Node created at the (possibly sequence-suffixed) path.
+    Created(String),
+    /// Node deleted.
+    Deleted,
+    /// Data updated; reports the new version.
+    DataSet(u64),
+    /// No-op applied.
+    Noop,
+}
+
+/// What happened to a path, for watch matching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WatchEvent {
+    /// The node was created.
+    Created(String),
+    /// The node was deleted.
+    Deleted(String),
+    /// The node's data changed.
+    DataChanged(String),
+    /// The node's child list changed.
+    ChildrenChanged(String),
+}
+
+impl WatchEvent {
+    /// The affected path.
+    pub fn path(&self) -> &str {
+        match self {
+            WatchEvent::Created(p)
+            | WatchEvent::Deleted(p)
+            | WatchEvent::DataChanged(p)
+            | WatchEvent::ChildrenChanged(p) => p,
+        }
+    }
+}
+
+/// A stored node's metadata returned by reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stat {
+    /// Data version (bumped by `SetData`).
+    pub version: u64,
+    /// Owning session for ephemerals.
+    pub owner: Option<SessionId>,
+    /// Whether the node is ephemeral.
+    pub ephemeral: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Znode {
+    data: Vec<u8>,
+    version: u64,
+    owner: Option<SessionId>,
+    ephemeral: bool,
+    child_seq: u64,
+}
+
+/// The deterministic store state machine.
+#[derive(Debug, Clone, Default)]
+pub struct ZnodeStore {
+    nodes: BTreeMap<String, Znode>,
+    sessions: HashMap<SessionId, HashSet<String>>,
+}
+
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+fn valid_path(path: &str) -> bool {
+    path.starts_with('/')
+        && (path == "/" || !path.ends_with('/'))
+        && !path.contains("//")
+        && !path.is_empty()
+}
+
+impl ZnodeStore {
+    /// Creates an empty store (the root `/` implicitly exists).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one command, returning the result and any watch events.
+    pub fn apply(&mut self, cmd: &Command) -> (Result<Applied, StoreError>, Vec<WatchEvent>) {
+        match cmd {
+            Command::Noop => (Ok(Applied::Noop), Vec::new()),
+            Command::CreateSession { id } => {
+                self.sessions.entry(*id).or_default();
+                (Ok(Applied::SessionCreated), Vec::new())
+            }
+            Command::ExpireSession { id } => {
+                let Some(paths) = self.sessions.remove(id) else {
+                    return (Err(StoreError::NoSession), Vec::new());
+                };
+                let mut removed: Vec<String> = paths.into_iter().collect();
+                removed.sort();
+                let mut events = Vec::new();
+                for p in &removed {
+                    if self.nodes.remove(p).is_some() {
+                        events.push(WatchEvent::Deleted(p.clone()));
+                        events.push(WatchEvent::ChildrenChanged(parent_of(p).to_owned()));
+                    }
+                }
+                (Ok(Applied::SessionExpired(removed)), events)
+            }
+            Command::Create { session, path, data, mode } => {
+                self.create(*session, path, data.clone(), *mode)
+            }
+            Command::Delete { path, version } => self.delete(path, *version),
+            Command::SetData { path, data, version } => {
+                self.set_data(path, data.clone(), *version)
+            }
+        }
+    }
+
+    fn node_exists(&self, path: &str) -> bool {
+        path == "/" || self.nodes.contains_key(path)
+    }
+
+    fn create(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        data: Vec<u8>,
+        mode: CreateMode,
+    ) -> (Result<Applied, StoreError>, Vec<WatchEvent>) {
+        if !valid_path(path) || path == "/" {
+            return (Err(StoreError::BadPath), Vec::new());
+        }
+        if !self.sessions.contains_key(&session) {
+            return (Err(StoreError::NoSession), Vec::new());
+        }
+        let parent = parent_of(path).to_owned();
+        if !self.node_exists(&parent) {
+            return (Err(StoreError::NoNode), Vec::new());
+        }
+        if let Some(p) = self.nodes.get(&parent) {
+            if p.ephemeral {
+                return (Err(StoreError::EphemeralParent), Vec::new());
+            }
+        }
+        let actual = if mode.is_sequential() {
+            let seq = if parent == "/" {
+                // Root sequence counter kept on a synthetic root entry.
+                let root = self.nodes.entry("/".to_owned()).or_insert(Znode {
+                    data: Vec::new(),
+                    version: 0,
+                    owner: None,
+                    ephemeral: false,
+                    child_seq: 0,
+                });
+                let s = root.child_seq;
+                root.child_seq += 1;
+                s
+            } else {
+                let p = self.nodes.get_mut(&parent).expect("parent exists");
+                let s = p.child_seq;
+                p.child_seq += 1;
+                s
+            };
+            format!("{path}{seq:010}")
+        } else {
+            path.to_owned()
+        };
+        if self.nodes.contains_key(&actual) {
+            return (Err(StoreError::NodeExists), Vec::new());
+        }
+        let ephemeral = mode.is_ephemeral();
+        self.nodes.insert(
+            actual.clone(),
+            Znode {
+                data,
+                version: 0,
+                owner: ephemeral.then_some(session),
+                ephemeral,
+                child_seq: 0,
+            },
+        );
+        if ephemeral {
+            self.sessions
+                .get_mut(&session)
+                .expect("session checked")
+                .insert(actual.clone());
+        }
+        let events = vec![
+            WatchEvent::Created(actual.clone()),
+            WatchEvent::ChildrenChanged(parent),
+        ];
+        (Ok(Applied::Created(actual)), events)
+    }
+
+    fn delete(
+        &mut self,
+        path: &str,
+        version: Option<u64>,
+    ) -> (Result<Applied, StoreError>, Vec<WatchEvent>) {
+        if path == "/" {
+            return (Err(StoreError::BadPath), Vec::new());
+        }
+        let Some(node) = self.nodes.get(path) else {
+            return (Err(StoreError::NoNode), Vec::new());
+        };
+        if let Some(v) = version {
+            if node.version != v {
+                return (Err(StoreError::BadVersion), Vec::new());
+            }
+        }
+        if self.children(path).next().is_some() {
+            return (Err(StoreError::NotEmpty), Vec::new());
+        }
+        let node = self.nodes.remove(path).expect("checked above");
+        if let Some(owner) = node.owner {
+            if let Some(s) = self.sessions.get_mut(&owner) {
+                s.remove(path);
+            }
+        }
+        let events = vec![
+            WatchEvent::Deleted(path.to_owned()),
+            WatchEvent::ChildrenChanged(parent_of(path).to_owned()),
+        ];
+        (Ok(Applied::Deleted), events)
+    }
+
+    fn set_data(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        version: Option<u64>,
+    ) -> (Result<Applied, StoreError>, Vec<WatchEvent>) {
+        let Some(node) = self.nodes.get_mut(path) else {
+            return (Err(StoreError::NoNode), Vec::new());
+        };
+        if let Some(v) = version {
+            if node.version != v {
+                return (Err(StoreError::BadVersion), Vec::new());
+            }
+        }
+        node.data = data;
+        node.version += 1;
+        let v = node.version;
+        (
+            Ok(Applied::DataSet(v)),
+            vec![WatchEvent::DataChanged(path.to_owned())],
+        )
+    }
+
+    /// Reads a node's data and stat.
+    pub fn get(&self, path: &str) -> Option<(Vec<u8>, Stat)> {
+        self.nodes.get(path).map(|n| {
+            (
+                n.data.clone(),
+                Stat {
+                    version: n.version,
+                    owner: n.owner,
+                    ephemeral: n.ephemeral,
+                },
+            )
+        })
+    }
+
+    /// Whether a node exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.node_exists(path) && (path == "/" || self.nodes.contains_key(path))
+    }
+
+    /// Iterates the direct children names of `path`, sorted.
+    pub fn children<'a>(&'a self, path: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        let prefix = if path == "/" {
+            "/".to_owned()
+        } else {
+            format!("{path}/")
+        };
+        let prefix_len = prefix.len();
+        self.nodes
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.starts_with(&prefix))
+            .filter(move |(k, _)| !k[prefix_len..].contains('/'))
+            .filter(|(k, _)| k.as_str() != "/")
+            .map(move |(k, _)| &k[prefix_len..])
+    }
+
+    /// All live session ids, sorted.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut v: Vec<SessionId> = self.sessions.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether a session is live.
+    pub fn has_session(&self, id: SessionId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_session() -> ZnodeStore {
+        let mut s = ZnodeStore::new();
+        s.apply(&Command::CreateSession { id: 1 }).0.expect("session");
+        s
+    }
+
+    fn create(s: &mut ZnodeStore, path: &str, mode: CreateMode) -> Result<Applied, StoreError> {
+        s.apply(&Command::Create {
+            session: 1,
+            path: path.to_owned(),
+            data: b"x".to_vec(),
+            mode,
+        })
+        .0
+    }
+
+    #[test]
+    fn create_get_set_delete() {
+        let mut s = store_with_session();
+        assert_eq!(
+            create(&mut s, "/a", CreateMode::Persistent),
+            Ok(Applied::Created("/a".into()))
+        );
+        let (data, stat) = s.get("/a").expect("exists");
+        assert_eq!(data, b"x");
+        assert_eq!(stat.version, 0);
+        let (r, evs) = s.apply(&Command::SetData {
+            path: "/a".into(),
+            data: b"y".to_vec(),
+            version: None,
+        });
+        assert_eq!(r, Ok(Applied::DataSet(1)));
+        assert_eq!(evs, vec![WatchEvent::DataChanged("/a".into())]);
+        let (r, _) = s.apply(&Command::Delete { path: "/a".into(), version: None });
+        assert_eq!(r, Ok(Applied::Deleted));
+        assert!(s.get("/a").is_none());
+    }
+
+    #[test]
+    fn parent_must_exist_and_duplicates_rejected() {
+        let mut s = store_with_session();
+        assert_eq!(create(&mut s, "/a/b", CreateMode::Persistent), Err(StoreError::NoNode));
+        create(&mut s, "/a", CreateMode::Persistent).expect("create /a");
+        create(&mut s, "/a/b", CreateMode::Persistent).expect("create /a/b");
+        assert_eq!(create(&mut s, "/a", CreateMode::Persistent), Err(StoreError::NodeExists));
+    }
+
+    #[test]
+    fn delete_nonempty_rejected() {
+        let mut s = store_with_session();
+        create(&mut s, "/a", CreateMode::Persistent).expect("a");
+        create(&mut s, "/a/b", CreateMode::Persistent).expect("b");
+        assert_eq!(
+            s.apply(&Command::Delete { path: "/a".into(), version: None }).0,
+            Err(StoreError::NotEmpty)
+        );
+    }
+
+    #[test]
+    fn version_checks() {
+        let mut s = store_with_session();
+        create(&mut s, "/a", CreateMode::Persistent).expect("a");
+        assert_eq!(
+            s.apply(&Command::SetData { path: "/a".into(), data: vec![], version: Some(3) }).0,
+            Err(StoreError::BadVersion)
+        );
+        s.apply(&Command::SetData { path: "/a".into(), data: vec![], version: Some(0) })
+            .0
+            .expect("v0 matches");
+        assert_eq!(
+            s.apply(&Command::Delete { path: "/a".into(), version: Some(0) }).0,
+            Err(StoreError::BadVersion)
+        );
+        s.apply(&Command::Delete { path: "/a".into(), version: Some(1) })
+            .0
+            .expect("v1 matches");
+    }
+
+    #[test]
+    fn sequential_names_are_monotonic() {
+        let mut s = store_with_session();
+        create(&mut s, "/q", CreateMode::Persistent).expect("q");
+        let a = create(&mut s, "/q/n-", CreateMode::PersistentSequential).expect("n0");
+        let b = create(&mut s, "/q/n-", CreateMode::PersistentSequential).expect("n1");
+        assert_eq!(a, Applied::Created("/q/n-0000000000".into()));
+        assert_eq!(b, Applied::Created("/q/n-0000000001".into()));
+    }
+
+    #[test]
+    fn ephemerals_die_with_session() {
+        let mut s = store_with_session();
+        create(&mut s, "/live", CreateMode::Persistent).expect("live");
+        create(&mut s, "/live/host-1", CreateMode::Ephemeral).expect("eph");
+        let (r, evs) = s.apply(&Command::ExpireSession { id: 1 });
+        assert_eq!(r, Ok(Applied::SessionExpired(vec!["/live/host-1".into()])));
+        assert!(evs.contains(&WatchEvent::Deleted("/live/host-1".into())));
+        assert!(evs.contains(&WatchEvent::ChildrenChanged("/live".into())));
+        assert!(s.get("/live/host-1").is_none());
+        assert!(s.get("/live").is_some(), "persistent survives");
+    }
+
+    #[test]
+    fn explicit_delete_of_ephemeral_detaches_from_session() {
+        let mut s = store_with_session();
+        create(&mut s, "/e", CreateMode::Ephemeral).expect("e");
+        s.apply(&Command::Delete { path: "/e".into(), version: None }).0.expect("del");
+        let (r, _) = s.apply(&Command::ExpireSession { id: 1 });
+        assert_eq!(r, Ok(Applied::SessionExpired(vec![]))); // nothing left to remove
+    }
+
+    #[test]
+    fn ephemeral_cannot_have_children() {
+        let mut s = store_with_session();
+        create(&mut s, "/e", CreateMode::Ephemeral).expect("e");
+        assert_eq!(
+            create(&mut s, "/e/kid", CreateMode::Persistent),
+            Err(StoreError::EphemeralParent)
+        );
+    }
+
+    #[test]
+    fn children_listing() {
+        let mut s = store_with_session();
+        create(&mut s, "/a", CreateMode::Persistent).expect("a");
+        create(&mut s, "/a/x", CreateMode::Persistent).expect("x");
+        create(&mut s, "/a/y", CreateMode::Persistent).expect("y");
+        create(&mut s, "/a/x/deep", CreateMode::Persistent).expect("deep");
+        create(&mut s, "/ab", CreateMode::Persistent).expect("ab is not a child of /a");
+        let kids: Vec<&str> = s.children("/a").collect();
+        assert_eq!(kids, vec!["x", "y"]);
+        let root_kids: Vec<&str> = s.children("/").collect();
+        assert_eq!(root_kids, vec!["a", "ab"]);
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut s = store_with_session();
+        for p in ["", "a", "/a/", "//a", "/"] {
+            assert_eq!(
+                create(&mut s, p, CreateMode::Persistent),
+                Err(StoreError::BadPath),
+                "path {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_session_rejected() {
+        let mut s = ZnodeStore::new();
+        assert_eq!(
+            s.apply(&Command::Create {
+                session: 42,
+                path: "/a".into(),
+                data: vec![],
+                mode: CreateMode::Persistent,
+            })
+            .0,
+            Err(StoreError::NoSession)
+        );
+        assert_eq!(
+            s.apply(&Command::ExpireSession { id: 42 }).0,
+            Err(StoreError::NoSession)
+        );
+    }
+
+    #[test]
+    fn create_events_fire() {
+        let mut s = store_with_session();
+        let (_, evs) = s.apply(&Command::Create {
+            session: 1,
+            path: "/a".into(),
+            data: vec![],
+            mode: CreateMode::Persistent,
+        });
+        assert_eq!(
+            evs,
+            vec![
+                WatchEvent::Created("/a".into()),
+                WatchEvent::ChildrenChanged("/".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_identical_command_streams() {
+        let cmds = vec![
+            Command::CreateSession { id: 1 },
+            Command::Create {
+                session: 1,
+                path: "/x".into(),
+                data: b"1".to_vec(),
+                mode: CreateMode::Persistent,
+            },
+            Command::Create {
+                session: 1,
+                path: "/x/e-".into(),
+                data: vec![],
+                mode: CreateMode::EphemeralSequential,
+            },
+            Command::SetData { path: "/x".into(), data: b"2".to_vec(), version: None },
+            Command::ExpireSession { id: 1 },
+        ];
+        let mut a = ZnodeStore::new();
+        let mut b = ZnodeStore::new();
+        let ra: Vec<_> = cmds.iter().map(|c| a.apply(c)).collect();
+        let rb: Vec<_> = cmds.iter().map(|c| b.apply(c)).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.get("/x"), b.get("/x"));
+    }
+}

@@ -1,0 +1,549 @@
+//! The UStore ClientLib (§IV-D).
+//!
+//! The client library abstracts away disk–host connectivity and exposes
+//! allocated spaces as block devices. It provides storage-management APIs
+//! (allocate, release, directory lookup), mounts targets over the
+//! iSCSI-style protocol, and — crucially for failover — **remounts
+//! automatically**: when a mounted space becomes unreachable, pending IO
+//! is queued, the Master is re-queried for the space's new host, the
+//! session is re-established, and the queue drains. From the upper
+//! layer's view there is only "a temporary high latency accessing local
+//! disks".
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use ustore_fabric::DiskId;
+use ustore_net::{
+    Addr, BlockDevice, BlockError, IscsiSession, Network, ReadCb, RpcNode, WriteCb,
+};
+use ustore_sim::{Sim, TraceLevel};
+
+use crate::ids::SpaceName;
+use crate::messages::{
+    AllocateReq, DiskPowerReq, EndpointAck, LookupReq, MasterError, ReleaseReq, SpaceInfo,
+};
+
+/// ClientLib tunables.
+#[derive(Debug, Clone)]
+pub struct ClientLibConfig {
+    /// RPC timeout to the Master.
+    pub master_timeout: Duration,
+    /// Attempts across master processes before failing an operation.
+    pub master_attempts: u32,
+    /// Backoff between master retries.
+    pub master_backoff: Duration,
+    /// IO timeout on a mounted session (detects dead hosts).
+    pub io_timeout: Duration,
+    /// Delay after an iSCSI login before the device is usable (device
+    /// scan — Figure 6 part 3).
+    pub mount_settle: Duration,
+    /// Backoff between remount attempts.
+    pub remount_backoff: Duration,
+    /// Give up remounting after this long and fail queued IO.
+    pub remount_deadline: Duration,
+}
+
+impl Default for ClientLibConfig {
+    fn default() -> Self {
+        ClientLibConfig {
+            master_timeout: Duration::from_millis(600),
+            master_attempts: 12,
+            master_backoff: Duration::from_millis(250),
+            io_timeout: Duration::from_millis(800),
+            mount_settle: Duration::from_millis(1000),
+            remount_backoff: Duration::from_millis(300),
+            remount_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Client-visible errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientLibError {
+    /// No master answered within the retry budget.
+    MasterUnreachable,
+    /// The master rejected the request.
+    Master(MasterError),
+    /// The space could not be (re)mounted before the deadline.
+    MountFailed(String),
+}
+
+impl fmt::Display for ClientLibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientLibError::MasterUnreachable => write!(f, "no master reachable"),
+            ClientLibError::Master(e) => write!(f, "master: {e}"),
+            ClientLibError::MountFailed(w) => write!(f, "mount failed: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientLibError {}
+
+/// The UStore client library, bound to one network address.
+#[derive(Clone)]
+pub struct UStoreClient {
+    rpc: RpcNode,
+    masters: Vec<Addr>,
+    hint: Rc<RefCell<usize>>,
+    config: ClientLibConfig,
+}
+
+impl fmt::Debug for UStoreClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UStoreClient").field("addr", self.rpc.addr()).finish()
+    }
+}
+
+impl UStoreClient {
+    /// Creates a client at `addr` talking to the given master processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` is empty.
+    pub fn new(net: &Network, addr: Addr, masters: Vec<Addr>, config: ClientLibConfig) -> Self {
+        assert!(!masters.is_empty(), "need at least one master address");
+        UStoreClient {
+            rpc: RpcNode::new(net, addr),
+            masters,
+            hint: Rc::new(RefCell::new(0)),
+            config,
+        }
+    }
+
+    /// The client's network address (useful as a locality hint).
+    pub fn addr(&self) -> Addr {
+        self.rpc.addr().clone()
+    }
+
+    fn master_call<T: Clone + 'static>(
+        &self,
+        sim: &Sim,
+        method: &'static str,
+        body: Rc<dyn std::any::Any>,
+        cb: impl FnOnce(&Sim, Result<T, ClientLibError>) + 'static,
+    ) {
+        let attempts = self.config.master_attempts;
+        self.master_call_attempt(sim, method, body, attempts, Box::new(cb));
+    }
+
+    fn master_call_attempt<T: Clone + 'static>(
+        &self,
+        sim: &Sim,
+        method: &'static str,
+        body: Rc<dyn std::any::Any>,
+        attempts: u32,
+        cb: Box<dyn FnOnce(&Sim, Result<T, ClientLibError>)>,
+    ) {
+        if attempts == 0 {
+            cb(sim, Err(ClientLibError::MasterUnreachable));
+            return;
+        }
+        let target = self.masters[*self.hint.borrow() % self.masters.len()].clone();
+        let this = self.clone();
+        let body2 = body.clone();
+        self.rpc.call::<T>(
+            sim,
+            &target,
+            method,
+            body,
+            128,
+            self.config.master_timeout,
+            move |sim, r| {
+                match r {
+                    Ok(resp) => cb(sim, Ok((*resp).clone())),
+                    Err(_) => {
+                        *this.hint.borrow_mut() += 1;
+                        let backoff = this.config.master_backoff;
+                        let this2 = this.clone();
+                        sim.schedule_in(backoff, move |sim| {
+                            this2.master_call_attempt(sim, method, body2, attempts - 1, cb);
+                        });
+                    }
+                }
+            },
+        );
+    }
+
+    /// Dispatch helper that retries `NotActive` responses on the other
+    /// master (with a bounded budget — a standby answering instantly must
+    /// not reset the overall retry loop forever).
+    fn master_result<T: Clone + 'static>(
+        &self,
+        sim: &Sim,
+        method: &'static str,
+        body: Rc<dyn std::any::Any>,
+        cb: impl FnOnce(&Sim, Result<T, ClientLibError>) + 'static,
+    ) where
+        Result<T, MasterError>: Clone,
+    {
+        let rounds = self.config.master_attempts;
+        self.master_result_attempt(sim, method, body, rounds, Box::new(cb));
+    }
+
+    fn master_result_attempt<T: Clone + 'static>(
+        &self,
+        sim: &Sim,
+        method: &'static str,
+        body: Rc<dyn std::any::Any>,
+        rounds_left: u32,
+        cb: Box<dyn FnOnce(&Sim, Result<T, ClientLibError>)>,
+    ) where
+        Result<T, MasterError>: Clone,
+    {
+        if rounds_left == 0 {
+            cb(sim, Err(ClientLibError::MasterUnreachable));
+            return;
+        }
+        let this = self.clone();
+        let body2 = body.clone();
+        self.master_call::<Result<T, MasterError>>(sim, method, body, move |sim, r| match r {
+            Err(e) => cb(sim, Err(e)),
+            Ok(Ok(v)) => cb(sim, Ok(v)),
+            Ok(Err(MasterError::NotActive)) => {
+                *this.hint.borrow_mut() += 1;
+                let backoff = this.config.master_backoff;
+                let this2 = this.clone();
+                sim.schedule_in(backoff, move |sim| {
+                    this2.master_result_attempt(sim, method, body2, rounds_left - 1, cb);
+                });
+            }
+            Ok(Err(e)) => cb(sim, Err(ClientLibError::Master(e))),
+        });
+    }
+
+    /// Requests `size` bytes for `service` (with this client as the
+    /// locality hint).
+    pub fn allocate(
+        &self,
+        sim: &Sim,
+        service: impl Into<String>,
+        size: u64,
+        cb: impl FnOnce(&Sim, Result<SpaceInfo, ClientLibError>) + 'static,
+    ) {
+        let req = AllocateReq {
+            service: service.into(),
+            size,
+            near: Some(self.addr()),
+        };
+        self.master_result::<SpaceInfo>(sim, "master.allocate", Rc::new(req), cb);
+    }
+
+    /// Directory lookup: where does this space live right now?
+    pub fn lookup(
+        &self,
+        sim: &Sim,
+        name: SpaceName,
+        cb: impl FnOnce(&Sim, Result<SpaceInfo, ClientLibError>) + 'static,
+    ) {
+        self.master_result::<SpaceInfo>(sim, "master.lookup", Rc::new(LookupReq { name }), cb);
+    }
+
+    /// Releases an allocated space.
+    pub fn release(
+        &self,
+        sim: &Sim,
+        name: SpaceName,
+        cb: impl FnOnce(&Sim, Result<(), ClientLibError>) + 'static,
+    ) {
+        self.master_result::<()>(sim, "master.release", Rc::new(ReleaseReq { name }), cb);
+    }
+
+    /// Spins a disk belonging to this service up or down (§IV-F exposes
+    /// disk management to upper-layer services).
+    pub fn disk_power(
+        &self,
+        sim: &Sim,
+        disk: DiskId,
+        up: bool,
+        cb: impl FnOnce(&Sim, Result<(), ClientLibError>) + 'static,
+    ) {
+        self.master_call::<EndpointAck>(
+            sim,
+            "master.disk_power",
+            Rc::new(DiskPowerReq { disk, up }),
+            move |sim, r| {
+                let out = match r {
+                    Err(e) => Err(e),
+                    Ok(Ok(())) => Ok(()),
+                    Ok(Err(w)) => Err(ClientLibError::MountFailed(w)),
+                };
+                cb(sim, out);
+            },
+        );
+    }
+
+    /// Mounts a space; `cb` fires once the device is usable. The returned
+    /// handle keeps working across failovers (auto-remount).
+    pub fn mount(
+        &self,
+        sim: &Sim,
+        name: SpaceName,
+        cb: impl FnOnce(&Sim, Result<Mounted, ClientLibError>) + 'static,
+    ) {
+        let mounted = Mounted {
+            inner: Rc::new(RefCell::new(Mount {
+                name,
+                size: 0,
+                session: None,
+                remounting: false,
+                queue: VecDeque::new(),
+                remount_count: 0,
+                on_remount: Vec::new(),
+            })),
+            client: self.clone(),
+        };
+        let m2 = mounted.clone();
+        let once = Rc::new(RefCell::new(Some(cb)));
+        mounted.remount(sim, move |sim, r| {
+            if let Some(cb) = once.borrow_mut().take() {
+                match r {
+                    Ok(()) => cb(sim, Ok(m2.clone())),
+                    Err(e) => cb(sim, Err(e)),
+                }
+            }
+        });
+    }
+}
+
+enum QueuedOp {
+    Read { offset: u64, len: u64, cb: ReadCb, attempts: u32 },
+    Write { offset: u64, data: Vec<u8>, cb: WriteCb, attempts: u32 },
+}
+
+struct Mount {
+    name: SpaceName,
+    size: u64,
+    session: Option<IscsiSession>,
+    remounting: bool,
+    queue: VecDeque<QueuedOp>,
+    remount_count: u64,
+    on_remount: Vec<Rc<dyn Fn(&Sim)>>,
+}
+
+/// A mounted UStore space: a [`BlockDevice`] that survives failovers.
+#[derive(Clone)]
+pub struct Mounted {
+    inner: Rc<RefCell<Mount>>,
+    client: UStoreClient,
+}
+
+impl fmt::Debug for Mounted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.inner.borrow();
+        f.debug_struct("Mounted")
+            .field("name", &m.name)
+            .field("mounted", &m.session.is_some())
+            .field("queued", &m.queue.len())
+            .finish()
+    }
+}
+
+impl Mounted {
+    /// The mounted space's name.
+    pub fn name(&self) -> SpaceName {
+        self.inner.borrow().name
+    }
+
+    /// How many times this mount has recovered via remount.
+    pub fn remount_count(&self) -> u64 {
+        self.inner.borrow().remount_count
+    }
+
+    /// Registers a callback fired after every successful (re)mount —
+    /// the paper's "notification call backs ... of disk status changes".
+    pub fn on_remount(&self, cb: impl Fn(&Sim) + 'static) {
+        self.inner.borrow_mut().on_remount.push(Rc::new(cb));
+    }
+
+    fn enqueue(&self, sim: &Sim, op: QueuedOp) {
+        self.inner.borrow_mut().queue.push_back(op);
+        self.pump(sim);
+    }
+
+    fn pump(&self, sim: &Sim) {
+        let (session, op) = {
+            let mut m = self.inner.borrow_mut();
+            let Some(session) = m.session.clone() else {
+                return; // remount in progress will re-pump
+            };
+            let Some(op) = m.queue.pop_front() else { return };
+            (session, op)
+        };
+        let this = self.clone();
+        match op {
+            QueuedOp::Read { offset, len, cb, attempts } => {
+                session.read(sim, offset, len, move |sim, r| match r {
+                    Ok(data) => {
+                        cb(sim, Ok(data));
+                        this.pump(sim);
+                    }
+                    Err(e) => this.io_failed(
+                        sim,
+                        QueuedOp::Read { offset, len, cb, attempts: attempts + 1 },
+                        e.to_string(),
+                    ),
+                });
+            }
+            QueuedOp::Write { offset, data, cb, attempts } => {
+                let data2 = data.clone();
+                session.write(sim, offset, data, move |sim, r| match r {
+                    Ok(()) => {
+                        cb(sim, Ok(()));
+                        this.pump(sim);
+                    }
+                    Err(e) => this.io_failed(
+                        sim,
+                        QueuedOp::Write { offset, data: data2, cb, attempts: attempts + 1 },
+                        e.to_string(),
+                    ),
+                });
+            }
+        }
+    }
+
+    fn io_failed(&self, sim: &Sim, op: QueuedOp, why: String) {
+        const MAX_ATTEMPTS: u32 = 60;
+        let attempts = match &op {
+            QueuedOp::Read { attempts, .. } | QueuedOp::Write { attempts, .. } => *attempts,
+        };
+        if attempts >= MAX_ATTEMPTS {
+            match op {
+                QueuedOp::Read { cb, .. } => cb(sim, Err(BlockError::Unavailable(why))),
+                QueuedOp::Write { cb, .. } => cb(sim, Err(BlockError::Unavailable(why))),
+            }
+            return;
+        }
+        // Put the op at the front and (re)start the remount machinery.
+        {
+            let mut m = self.inner.borrow_mut();
+            m.queue.push_front(op);
+            m.session = None;
+        }
+        sim.trace(
+            TraceLevel::Warn,
+            "clientlib",
+            format!("{}: io failed ({why}); remounting", self.name()),
+        );
+        self.remount(sim, |_, _| {});
+    }
+
+    /// Looks the space up and re-establishes the session, then drains the
+    /// queue. `done` fires once with the outcome of this remount round.
+    fn remount(&self, sim: &Sim, done: impl FnOnce(&Sim, Result<(), ClientLibError>) + 'static) {
+        {
+            let mut m = self.inner.borrow_mut();
+            if m.remounting {
+                // Already working on it; piggyback silently.
+                drop(m);
+                done(sim, Ok(()));
+                return;
+            }
+            m.remounting = true;
+        }
+        let deadline = sim.now() + self.client.config.remount_deadline;
+        self.remount_attempt(sim, deadline, Box::new(done));
+    }
+
+    fn remount_attempt(
+        &self,
+        sim: &Sim,
+        deadline: ustore_sim::SimTime,
+        done: Box<dyn FnOnce(&Sim, Result<(), ClientLibError>)>,
+    ) {
+        if sim.now() >= deadline {
+            let failed: Vec<QueuedOp> = {
+                let mut m = self.inner.borrow_mut();
+                m.remounting = false;
+                m.queue.drain(..).collect()
+            };
+            for op in failed {
+                match op {
+                    QueuedOp::Read { cb, .. } => {
+                        cb(sim, Err(BlockError::Unavailable("remount deadline".into())))
+                    }
+                    QueuedOp::Write { cb, .. } => {
+                        cb(sim, Err(BlockError::Unavailable("remount deadline".into())))
+                    }
+                }
+            }
+            done(sim, Err(ClientLibError::MountFailed("deadline exceeded".into())));
+            return;
+        }
+        let name = self.name();
+        let this = self.clone();
+        self.client.lookup(sim, name, move |sim, r| {
+            let retry = move |this: Mounted, sim: &Sim, done: Box<dyn FnOnce(&Sim, Result<(), ClientLibError>)>| {
+                let backoff = this.client.config.remount_backoff;
+                let t2 = this.clone();
+                sim.schedule_in(backoff, move |sim| t2.remount_attempt(sim, deadline, done));
+            };
+            match r {
+                Err(ClientLibError::Master(MasterError::NoSuchSpace)) => {
+                    this.inner.borrow_mut().remounting = false;
+                    done(sim, Err(ClientLibError::Master(MasterError::NoSuchSpace)));
+                }
+                Err(_) => retry(this, sim, done),
+                Ok(info) => match info.host_addr {
+                    None => retry(this, sim, done), // failover in progress
+                    Some(host) => {
+                        let this2 = this.clone();
+                        IscsiSession::login(
+                            sim,
+                            &this.client.rpc,
+                            &host,
+                            &info.target,
+                            this.client.config.io_timeout,
+                            move |sim, sess| match sess {
+                                Err(_) => retry(this2, sim, done),
+                                Ok(session) => {
+                                    // Device settle (Figure 6 part 3).
+                                    let settle = this2.client.config.mount_settle;
+                                    let this3 = this2.clone();
+                                    sim.schedule_in(settle, move |sim| {
+                                        let callbacks = {
+                                            let mut m = this3.inner.borrow_mut();
+                                            m.size = session.capacity();
+                                            m.session = Some(session);
+                                            m.remounting = false;
+                                            m.remount_count += 1;
+                                            m.on_remount.clone()
+                                        };
+                                        for cb in callbacks {
+                                            cb(sim);
+                                        }
+                                        sim.trace(
+                                            TraceLevel::Info,
+                                            "clientlib",
+                                            format!("{} mounted", this3.name()),
+                                        );
+                                        done(sim, Ok(()));
+                                        this3.pump(sim);
+                                    });
+                                }
+                            },
+                        );
+                    }
+                },
+            }
+        });
+    }
+}
+
+impl BlockDevice for Mounted {
+    fn capacity(&self) -> u64 {
+        self.inner.borrow().size
+    }
+
+    fn read(&self, sim: &Sim, offset: u64, len: u64, cb: ReadCb) {
+        self.enqueue(sim, QueuedOp::Read { offset, len, cb, attempts: 0 });
+    }
+
+    fn write(&self, sim: &Sim, offset: u64, data: Vec<u8>, cb: WriteCb) {
+        self.enqueue(sim, QueuedOp::Write { offset, data, cb, attempts: 0 });
+    }
+}

@@ -1,0 +1,115 @@
+//! Identifiers and the global storage namespace.
+//!
+//! Allocated storage spaces are named `</DeployUnitID/DiskID/SpaceID>`
+//! (§IV-A), uniquely identifying each piece across the whole UStore
+//! deployment.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ustore_fabric::DiskId;
+
+/// A deploy unit (one enclosure of disks + fabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u32);
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unit{}", self.0)
+    }
+}
+
+/// The global name of one allocated storage space.
+///
+/// # Examples
+///
+/// ```
+/// use ustore::SpaceName;
+/// use ustore::UnitId;
+/// use ustore_fabric::DiskId;
+///
+/// let n = SpaceName::new(UnitId(0), DiskId(5), 2);
+/// assert_eq!(n.to_string(), "/0/5/2");
+/// assert_eq!("/0/5/2".parse::<SpaceName>().expect("parse"), n);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpaceName {
+    /// The deploy unit holding the disk.
+    pub unit: UnitId,
+    /// The disk inside the unit.
+    pub disk: DiskId,
+    /// The space index on the disk.
+    pub space: u32,
+}
+
+impl SpaceName {
+    /// Creates a space name.
+    pub fn new(unit: UnitId, disk: DiskId, space: u32) -> Self {
+        SpaceName { unit, disk, space }
+    }
+
+    /// The iSCSI target name this space is exposed under.
+    pub fn target_name(&self) -> String {
+        format!("ustore:{}.{}.{}", self.unit.0, self.disk.0, self.space)
+    }
+}
+
+impl fmt::Display for SpaceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/{}/{}", self.unit.0, self.disk.0, self.space)
+    }
+}
+
+/// Error parsing a [`SpaceName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpaceNameError;
+
+impl fmt::Display for ParseSpaceNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space names look like /<unit>/<disk>/<space>")
+    }
+}
+
+impl std::error::Error for ParseSpaceNameError {}
+
+impl FromStr for SpaceName {
+    type Err = ParseSpaceNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.strip_prefix('/').ok_or(ParseSpaceNameError)?.split('/').collect();
+        if parts.len() != 3 {
+            return Err(ParseSpaceNameError);
+        }
+        let unit = parts[0].parse().map_err(|_| ParseSpaceNameError)?;
+        let disk = parts[1].parse().map_err(|_| ParseSpaceNameError)?;
+        let space = parts[2].parse().map_err(|_| ParseSpaceNameError)?;
+        Ok(SpaceName::new(UnitId(unit), DiskId(disk), space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let n = SpaceName::new(UnitId(3), DiskId(14), 7);
+        assert_eq!(n.to_string(), "/3/14/7");
+        assert_eq!(n.to_string().parse::<SpaceName>(), Ok(n));
+        assert_eq!(n.target_name(), "ustore:3.14.7");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "3/14/7", "/3/14", "/3/14/7/1", "/a/b/c", "/3//7"] {
+            assert!(bad.parse::<SpaceName>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_by_unit_disk_space() {
+        let a = SpaceName::new(UnitId(0), DiskId(1), 5);
+        let b = SpaceName::new(UnitId(0), DiskId(2), 0);
+        assert!(a < b);
+    }
+}

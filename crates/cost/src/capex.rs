@@ -1,0 +1,222 @@
+//! Capital-expense models reproducing Table I.
+//!
+//! Each model composes a system's bill of materials for a target raw
+//! capacity (the paper uses 10 PB). UStore's fabric component counts are
+//! taken from the *actual* topology builder in `ustore-fabric`, so cost
+//! reacts to design choices (fan-in, switch placement, unit size).
+
+use ustore_fabric::Topology;
+
+use crate::catalog::{PriceCatalog, Usd};
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemCost {
+    /// System name.
+    pub name: &'static str,
+    /// Storage medium description.
+    pub media: &'static str,
+    /// Total capital expense, USD.
+    pub capex: Usd,
+    /// Capital expense without the storage medium ("AttEx"), USD; tape
+    /// libraries have no meaningful medium-free figure in the paper.
+    pub attex: Option<Usd>,
+}
+
+fn disks_for(catalog: &PriceCatalog, raw_pb: f64) -> f64 {
+    raw_pb * 1000.0 / catalog.disk_capacity_tb
+}
+
+/// Dell PowerVault MD3260i: 60 near-line SAS drives per enclosure.
+pub fn md3260i(catalog: &PriceCatalog, raw_pb: f64) -> SystemCost {
+    let enclosures = disks_for(catalog, raw_pb) / 60.0;
+    let attex = enclosures * catalog.md3260i_enclosure;
+    let media = disks_for(catalog, raw_pb) * catalog.nl_sas_3tb;
+    SystemCost {
+        name: "DELL PowerVault MD3260i",
+        media: "Near-line SAS",
+        capex: attex + media,
+        attex: Some(attex),
+    }
+}
+
+/// Sun StorageTek SL150 tape library with LTO6 media.
+pub fn sl150(catalog: &PriceCatalog, raw_pb: f64) -> SystemCost {
+    let tb = raw_pb * 1000.0;
+    let cartridges = tb / catalog.lto6_capacity_tb;
+    let modules = tb / catalog.sl150_module_tb;
+    let capex = cartridges * catalog.lto6_cartridge
+        + modules
+            * (catalog.sl150_base + catalog.sl150_drives_per_module as f64 * catalog.lto6_drive);
+    SystemCost {
+        name: "Sun StorageTek SL150",
+        media: "LTO6 Tape",
+        capex,
+        attex: None,
+    }
+}
+
+/// Pergamum (FAST'08): one ARM + GbE port per disk, 45 tomes per 4U
+/// enclosure, NVRAM removed for a fair comparison (§VI).
+pub fn pergamum(catalog: &PriceCatalog, raw_pb: f64) -> SystemCost {
+    let disks = disks_for(catalog, raw_pb);
+    let enclosures = disks / 45.0;
+    let attex = enclosures * (catalog.enclosure_45_disks + catalog.psu_per_enclosure)
+        + disks * (catalog.arm_board + catalog.gbe_port);
+    SystemCost {
+        name: "Pergamum",
+        media: "SATA HD",
+        capex: attex + disks * catalog.disk_3tb,
+        attex: Some(attex),
+    }
+}
+
+/// Backblaze Storage Pod: 45 disks behind one low-end motherboard.
+pub fn backblaze(catalog: &PriceCatalog, raw_pb: f64) -> SystemCost {
+    let disks = disks_for(catalog, raw_pb);
+    let pods = disks / 45.0;
+    let attex = pods
+        * (catalog.enclosure_45_disks
+            + catalog.psu_per_enclosure
+            + catalog.pod_compute
+            + catalog.pod_hba);
+    SystemCost {
+        name: "BACKBLAZE",
+        media: "SATA HD",
+        capex: attex + disks * catalog.disk_3tb,
+        attex: Some(attex),
+    }
+}
+
+/// The fabric bill of materials (retail = BOM × markup) for one deploy
+/// unit described by `topology`.
+pub fn fabric_retail(catalog: &PriceCatalog, topology: &Topology) -> Usd {
+    let c = topology.component_counts();
+    let bom = c.hubs as f64 * catalog.hub_bom
+        + c.switches as f64 * catalog.switch_bom
+        + c.disks as f64 * catalog.bridge_bom
+        + c.cables as f64 * catalog.cable_bom
+        + 2.0 * catalog.controller_bom;
+    bom * catalog.bom_markup
+}
+
+/// UStore: a 64-disk, 4-host deploy unit (upper-switched fabric, §VI).
+pub fn ustore(catalog: &PriceCatalog, raw_pb: f64) -> SystemCost {
+    let (topology, _) = Topology::upper_switched(4, 64, 4);
+    ustore_with_topology(catalog, raw_pb, &topology)
+}
+
+/// UStore cost with an explicit unit topology (for ablations).
+pub fn ustore_with_topology(
+    catalog: &PriceCatalog,
+    raw_pb: f64,
+    topology: &Topology,
+) -> SystemCost {
+    let counts = topology.component_counts();
+    let disks = disks_for(catalog, raw_pb);
+    let units = disks / counts.disks as f64;
+    let per_unit = catalog.enclosure_64_disks
+        + catalog.psu_per_enclosure
+        + fabric_retail(catalog, topology)
+        + counts.hosts as f64 * catalog.usb_host_adaptor;
+    let attex = units * per_unit;
+    SystemCost {
+        name: "UStore",
+        media: "SATA HD",
+        capex: attex + disks * catalog.disk_3tb,
+        attex: Some(attex),
+    }
+}
+
+/// The full Table I for a raw capacity in petabytes.
+pub fn table1(catalog: &PriceCatalog, raw_pb: f64) -> Vec<SystemCost> {
+    vec![
+        md3260i(catalog, raw_pb),
+        sl150(catalog, raw_pb),
+        pergamum(catalog, raw_pb),
+        backblaze(catalog, raw_pb),
+        ustore(catalog, raw_pb),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(x: Usd) -> f64 {
+        x / 1000.0
+    }
+
+    fn close(got: Usd, paper_k: f64, tol: f64, what: &str) {
+        let err = (k(got) - paper_k).abs() / paper_k;
+        assert!(
+            err < tol,
+            "{what}: model ${:.0}k vs paper ${paper_k}k ({:+.1}%)",
+            k(got),
+            100.0 * (k(got) - paper_k) / paper_k
+        );
+    }
+
+    #[test]
+    fn table1_rows_match_paper() {
+        let c = PriceCatalog::default();
+        let rows = table1(&c, 10.0);
+        // Paper Table I (thousands of dollars).
+        close(rows[0].capex, 3340.0, 0.10, "MD3260i CapEx");
+        close(rows[0].attex.unwrap(), 1525.0, 0.10, "MD3260i AttEx");
+        close(rows[1].capex, 1748.0, 0.10, "SL150 CapEx");
+        close(rows[2].capex, 756.0, 0.10, "Pergamum CapEx");
+        close(rows[2].attex.unwrap(), 415.0, 0.10, "Pergamum AttEx");
+        close(rows[3].capex, 598.0, 0.10, "Backblaze CapEx");
+        close(rows[3].attex.unwrap(), 257.0, 0.10, "Backblaze AttEx");
+        close(rows[4].capex, 456.0, 0.10, "UStore CapEx");
+        close(rows[4].attex.unwrap(), 115.0, 0.12, "UStore AttEx");
+    }
+
+    #[test]
+    fn ustore_beats_backblaze_by_paper_margins() {
+        let c = PriceCatalog::default();
+        let bb = backblaze(&c, 10.0);
+        let us = ustore(&c, 10.0);
+        // "UStore costs 24% lower than BACKBLAZE ... Excluding the disk
+        // cost, UStore is 55% cheaper."
+        let capex_saving = 1.0 - us.capex / bb.capex;
+        assert!((capex_saving - 0.24).abs() < 0.05, "capex saving {capex_saving:.2}");
+        let attex_saving = 1.0 - us.attex.unwrap() / bb.attex.unwrap();
+        assert!((attex_saving - 0.55).abs() < 0.08, "attex saving {attex_saving:.2}");
+    }
+
+    #[test]
+    fn ordering_is_stable_across_capacities() {
+        let c = PriceCatalog::default();
+        for pb in [1.0, 10.0, 100.0] {
+            let rows = table1(&c, pb);
+            let capex: Vec<f64> = rows.iter().map(|r| r.capex).collect();
+            assert!(capex[0] > capex[1], "MD3260i most expensive at {pb} PB");
+            assert!(capex[2] > capex[3], "Pergamum > Backblaze");
+            assert!(capex[3] > capex[4], "UStore cheapest");
+        }
+    }
+
+    #[test]
+    fn fabric_cost_is_cents_per_disk_scale() {
+        let c = PriceCatalog::default();
+        let (t, _) = Topology::upper_switched(4, 64, 4);
+        let per_disk = fabric_retail(&c, &t) / 64.0;
+        assert!(
+            per_disk < 12.0,
+            "amortized fabric cost per disk ${per_disk:.2} stays trivial"
+        );
+    }
+
+    #[test]
+    fn leaf_switched_fabric_costs_more() {
+        // The Figure 2 ablation: leaf-level switching needs more hubs and
+        // switches, hence more money — the paper's reason for the right
+        // design.
+        let c = PriceCatalog::default();
+        let (upper, _) = Topology::upper_switched(2, 16, 4);
+        let (leaf, _) = Topology::leaf_switched(16, 4);
+        assert!(fabric_retail(&c, &leaf) > fabric_retail(&c, &upper));
+    }
+}

@@ -1,0 +1,182 @@
+//! The price and power catalog behind the paper's cost comparison (§VI).
+//!
+//! Every constant is either quoted directly in the paper (3 TB SATA disk
+//! ≈ $100, <$1 fabric ICs, $4 GbE / $100 10 GbE ports, BOM×2 retail
+//! markup, Cubieboard3 for Pergamum's ARM) or back-derived from the
+//! paper's own Table I/V rows, which are themselves estimates assembled
+//! from vendor prices. The point of the model is the *structure* — which
+//! components each architecture needs — so the comparisons react
+//! correctly when a parameter moves.
+
+/// Dollars.
+pub type Usd = f64;
+
+/// Unit prices (2015 USD), per §VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceCatalog {
+    /// 3 TB SATA HDD ("cost about $100 each").
+    pub disk_3tb: Usd,
+    /// Disk capacity used in all comparisons, bytes.
+    pub disk_capacity_tb: f64,
+    /// USB 3.0 hub IC + board (BOM).
+    pub hub_bom: Usd,
+    /// USB 3.0 2:1 switch IC + board (BOM).
+    pub switch_bom: Usd,
+    /// SATA↔USB 3.0 bridge IC + board (BOM).
+    pub bridge_bom: Usd,
+    /// Cable/connector per fabric edge (BOM).
+    pub cable_bom: Usd,
+    /// Microcontroller board (Arduino-class) + relays, per unit (BOM).
+    pub controller_bom: Usd,
+    /// Retail price = BOM x this ("We multiply bill of materials (BOM)
+    /// cost by 2 to estimate the cost of the interconnect fabric").
+    pub bom_markup: f64,
+    /// 4U enclosure + backplane + wiring (Backblaze-derived).
+    pub enclosure_45_disks: Usd,
+    /// UStore's simplified 64-disk enclosure (no motherboard bay; the
+    /// paper argues the freed space packs more disks).
+    pub enclosure_64_disks: Usd,
+    /// Power supplies per 4U enclosure.
+    pub psu_per_enclosure: Usd,
+    /// Server-class motherboard + CPU + RAM + boot drives (Backblaze pod).
+    pub pod_compute: Usd,
+    /// SATA HBA cards for a Backblaze pod.
+    pub pod_hba: Usd,
+    /// Cubieboard3-class ARM single-board computer (Pergamum tome).
+    pub arm_board: Usd,
+    /// 1 GbE switch port ("1Gb/s port is $4").
+    pub gbe_port: Usd,
+    /// 10 GbE switch port ("10Gb/s port is $100").
+    pub ten_gbe_port: Usd,
+    /// USB 3.0 host adaptor (4 ports) for a UStore host.
+    pub usb_host_adaptor: Usd,
+    /// Dell PowerVault MD3260i enclosure, 60 NL-SAS bays, list price.
+    pub md3260i_enclosure: Usd,
+    /// Near-line SAS 3 TB drive (enterprise).
+    pub nl_sas_3tb: Usd,
+    /// StorageTek SL150 library module (base, without drives).
+    pub sl150_base: Usd,
+    /// Cartridge slots' capacity per SL150 module, TB.
+    pub sl150_module_tb: f64,
+    /// LTO6 drives per SL150 module.
+    pub sl150_drives_per_module: usize,
+    /// LTO6 tape drive.
+    pub lto6_drive: Usd,
+    /// LTO6 cartridge (2.5 TB).
+    pub lto6_cartridge: Usd,
+    /// LTO6 cartridge capacity in TB.
+    pub lto6_capacity_tb: f64,
+}
+
+impl Default for PriceCatalog {
+    fn default() -> Self {
+        PriceCatalog {
+            disk_3tb: 100.0,
+            disk_capacity_tb: 3.0,
+            hub_bom: 1.0,
+            switch_bom: 0.8,
+            bridge_bom: 0.9,
+            cable_bom: 0.8,
+            controller_bom: 25.0,
+            bom_markup: 2.0,
+            enclosure_45_disks: 1_900.0,
+            enclosure_64_disks: 1_100.0,
+            psu_per_enclosure: 270.0,
+            pod_compute: 920.0,
+            pod_hba: 380.0,
+            arm_board: 72.0,
+            gbe_port: 4.0,
+            ten_gbe_port: 100.0,
+            usb_host_adaptor: 40.0,
+            md3260i_enclosure: 27_450.0,
+            nl_sas_3tb: 545.0,
+            sl150_base: 65_000.0,
+            sl150_module_tb: 750.0,
+            sl150_drives_per_module: 3,
+            lto6_drive: 18_000.0,
+            lto6_cartridge: 40.0,
+            lto6_capacity_tb: 2.5,
+        }
+    }
+}
+
+/// Component powers (watts), per §VII-C and the catalog sheets it cites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerCatalog {
+    /// One disk reading/writing through a USB bridge (Table III).
+    pub disk_active_usb_w: f64,
+    /// One disk + bridge powered off at the relay.
+    pub disk_off_w: f64,
+    /// One bare disk reading/writing over SATA (Table III).
+    pub disk_active_sata_w: f64,
+    /// UStore interconnect fabric, 16 disks, active (measured §VII-C).
+    pub fabric_active_w: f64,
+    /// Fabric power reduction when disks are off ("consumes about 71%
+    /// less power").
+    pub fabric_off_fraction: f64,
+    /// One chassis fan ("1W each x6").
+    pub fan_w: f64,
+    /// Fans per 16-disk unit.
+    pub fans: usize,
+    /// USB 3.0 host adaptor ("2.5W each x4").
+    pub usb_adaptor_w: f64,
+    /// Adaptors per 16-disk unit.
+    pub usb_adaptors: usize,
+    /// Power-supply efficiency ("power factor 90plus").
+    pub psu_efficiency: f64,
+    /// Pergamum ARM busy / idle ("around 2.5W" / "around 0.8W").
+    pub arm_busy_w: f64,
+    /// ARM idle power.
+    pub arm_idle_w: f64,
+    /// Amortized Ethernet port, active / idle ("1.5W" / "0.5W").
+    pub eth_port_busy_w: f64,
+    /// Ethernet port at idle.
+    pub eth_port_idle_w: f64,
+    /// EMC DD860/ES30 (15 disks), disks spinning (quoted, Table V).
+    pub dd860_spinning_w: f64,
+    /// DD860/ES30, disks powered off (quoted, Table V).
+    pub dd860_off_w: f64,
+}
+
+impl Default for PowerCatalog {
+    fn default() -> Self {
+        PowerCatalog {
+            disk_active_usb_w: 7.56,
+            disk_off_w: 0.0,
+            disk_active_sata_w: 6.66,
+            fabric_active_w: 13.6,
+            fabric_off_fraction: 0.71,
+            fan_w: 1.0,
+            fans: 6,
+            usb_adaptor_w: 2.5,
+            usb_adaptors: 4,
+            psu_efficiency: 0.9,
+            arm_busy_w: 2.5,
+            arm_idle_w: 0.8,
+            eth_port_busy_w: 1.5,
+            eth_port_idle_w: 0.5,
+            dd860_spinning_w: 222.5,
+            dd860_off_w: 83.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_defaults_match_paper_quotes() {
+        let p = PriceCatalog::default();
+        assert_eq!(p.disk_3tb, 100.0);
+        assert_eq!(p.gbe_port, 4.0);
+        assert_eq!(p.ten_gbe_port, 100.0);
+        assert_eq!(p.bom_markup, 2.0);
+        assert!(p.hub_bom < 1.5 && p.switch_bom < 1.5 && p.bridge_bom < 1.5,
+                "fabric ICs cost less than a dollar-and-change each");
+        let w = PowerCatalog::default();
+        assert_eq!(w.disk_active_usb_w, 7.56);
+        assert_eq!(w.usb_adaptor_w, 2.5);
+        assert_eq!(w.psu_efficiency, 0.9);
+    }
+}

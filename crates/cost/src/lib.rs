@@ -1,0 +1,21 @@
+//! # ustore-cost — the paper's cost and power comparisons
+//!
+//! Models behind §VI (Table I: CapEx of five storage architectures at
+//! 10 PB) and §VII-C (Table V: power of 16-disk groups in two states).
+//! All parameters live in [`catalog`]; the UStore figures are computed
+//! from the actual fabric topology, so the comparison reacts to design
+//! choices.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capex;
+pub mod catalog;
+pub mod opex;
+
+pub use capex::{
+    backblaze, fabric_retail, md3260i, pergamum, sl150, table1, ustore, ustore_with_topology,
+    SystemCost,
+};
+pub use catalog::{PowerCatalog, PriceCatalog, Usd};
+pub use opex::{dd860, table5, PowerRow};
+pub use opex::{pergamum as pergamum_power, ustore as ustore_power};

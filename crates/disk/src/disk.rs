@@ -1,0 +1,724 @@
+//! The discrete-event disk component.
+//!
+//! [`Disk`] wraps the pure [`IoModel`] with everything a simulated system
+//! needs from a drive: an internal command queue, a power-state machine
+//! (with spin-up/spin-down timing), optional payload storage (so upper
+//! layers like the mini-DFS can verify data integrity end-to-end), fault
+//! injection, and per-disk statistics and energy accounting.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use ustore_sim::{Histogram, Sim, SimTime, Throughput, TraceLevel};
+
+use crate::model::IoModel;
+use crate::power::EnergyMeter;
+use crate::profile::{Direction, DiskProfile, PowerStateKind};
+
+/// Page size of the sparse payload store.
+const PAGE: u64 = 4096;
+
+/// Errors a disk command can complete with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// The disk's 12 V rail is cut (relay off); no electronics listening.
+    PoweredOff,
+    /// The disk hardware failed (injected fault).
+    Failed,
+    /// Command exceeds the disk capacity.
+    OutOfRange,
+    /// A latent sector error inside the command's range.
+    Medium {
+        /// Byte offset of the first unreadable page.
+        offset: u64,
+    },
+    /// The command was queued when the disk lost power.
+    Aborted,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::PoweredOff => write!(f, "disk is powered off"),
+            DiskError::Failed => write!(f, "disk hardware failed"),
+            DiskError::OutOfRange => write!(f, "command beyond disk capacity"),
+            DiskError::Medium { offset } => write!(f, "medium error at offset {offset}"),
+            DiskError::Aborted => write!(f, "command aborted by power loss"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Result of a completed read.
+pub type ReadResult = Result<Vec<u8>, DiskError>;
+/// Result of a completed write.
+pub type WriteResult = Result<(), DiskError>;
+
+type ReadCb = Box<dyn FnOnce(&Sim, ReadResult)>;
+type WriteCb = Box<dyn FnOnce(&Sim, WriteResult)>;
+
+enum Pending {
+    Read { offset: u64, len: u64, cb: ReadCb },
+    Write { offset: u64, data: Vec<u8>, cb: WriteCb },
+}
+
+impl Pending {
+    fn dir(&self) -> Direction {
+        match self {
+            Pending::Read { .. } => Direction::Read,
+            Pending::Write { .. } => Direction::Write,
+        }
+    }
+    fn offset(&self) -> u64 {
+        match self {
+            Pending::Read { offset, .. } | Pending::Write { offset, .. } => *offset,
+        }
+    }
+    fn len(&self) -> u64 {
+        match self {
+            Pending::Read { len, .. } => *len,
+            Pending::Write { data, .. } => data.len() as u64,
+        }
+    }
+    fn abort(self, sim: &Sim, err: DiskError) {
+        match self {
+            Pending::Read { cb, .. } => cb(sim, Err(err)),
+            Pending::Write { cb, .. } => cb(sim, Err(err)),
+        }
+    }
+}
+
+/// Per-disk operation statistics.
+#[derive(Debug, Default, Clone)]
+pub struct DiskStats {
+    /// Completed reads (ops and bytes).
+    pub reads: Throughput,
+    /// Completed writes (ops and bytes).
+    pub writes: Throughput,
+    /// Commands that completed with an error.
+    pub errors: u64,
+    /// End-to-end command latency (queue + service), nanoseconds.
+    pub latency: Histogram,
+}
+
+struct Inner {
+    name: String,
+    model: IoModel,
+    state: PowerStateKind,
+    meter: EnergyMeter,
+    queue: VecDeque<(Pending, SimTime)>,
+    busy: bool,
+    spinning_up: bool,
+    failed: bool,
+    bad_pages: HashSet<u64>,
+    data: Option<HashMap<u64, Box<[u8]>>>,
+    stats: DiskStats,
+    epoch: u64, // bumped on power-off to invalidate in-flight completions
+}
+
+impl Inner {
+    fn set_state(&mut self, now: SimTime, s: PowerStateKind) {
+        self.state = s;
+        self.meter.transition(now, s);
+    }
+}
+
+/// A simulated hard disk.
+///
+/// Cloning the handle shares the same underlying device.
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::Sim;
+/// use ustore_disk::{Disk, DiskProfile};
+///
+/// let sim = Sim::new(1);
+/// let disk = Disk::new(&sim, "d0", DiskProfile::usb_bridge(), true);
+/// disk.write(&sim, 0, vec![7u8; 4096], |_, r| assert!(r.is_ok()));
+/// let d = disk.clone();
+/// disk.read(&sim, 0, 4096, move |_, r| {
+///     assert_eq!(r.expect("read back")[0], 7);
+///     let _ = &d;
+/// });
+/// sim.run();
+/// ```
+#[derive(Clone)]
+pub struct Disk {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Disk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = self.inner.borrow();
+        f.debug_struct("Disk")
+            .field("name", &i.name)
+            .field("state", &i.state)
+            .field("queued", &i.queue.len())
+            .finish()
+    }
+}
+
+impl Disk {
+    /// Creates a spinning, idle disk.
+    ///
+    /// If `store_data` is true the disk retains written payloads (sparse,
+    /// 4 KiB pages) so reads return real data; otherwise reads return
+    /// zeroes, which the throughput experiments use to save memory.
+    pub fn new(sim: &Sim, name: impl Into<String>, profile: DiskProfile, store_data: bool) -> Self {
+        let p = profile.clone();
+        Disk {
+            inner: Rc::new(RefCell::new(Inner {
+                name: name.into(),
+                model: IoModel::new(profile),
+                state: PowerStateKind::Idle,
+                meter: EnergyMeter::new(sim.now(), PowerStateKind::Idle, move |s| p.power_w(s)),
+                queue: VecDeque::new(),
+                busy: false,
+                spinning_up: false,
+                failed: false,
+                bad_pages: HashSet::new(),
+                data: store_data.then(HashMap::new),
+                stats: DiskStats::default(),
+                epoch: 0,
+            })),
+        }
+    }
+
+    /// The disk's name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.borrow().model.profile().mech.capacity_bytes
+    }
+
+    /// Current power state.
+    pub fn power_state(&self) -> PowerStateKind {
+        self.inner.borrow().state
+    }
+
+    /// Snapshot of operation statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Total energy consumed, joules (synced to `sim.now()`).
+    pub fn energy_joules(&self, sim: &Sim) -> f64 {
+        let mut i = self.inner.borrow_mut();
+        i.meter.sync(sim.now());
+        i.meter.total_joules()
+    }
+
+    /// Instantaneous power draw, watts.
+    pub fn watts_now(&self) -> f64 {
+        self.inner.borrow().meter.watts_now()
+    }
+
+    /// Cumulative time spent in a power state (synced to `sim.now()`).
+    pub fn time_in_state(&self, sim: &Sim, state: PowerStateKind) -> std::time::Duration {
+        let mut i = self.inner.borrow_mut();
+        i.meter.sync(sim.now());
+        i.meter.time_in(state)
+    }
+
+    /// Submits a read of `len` bytes at `offset`; `cb` fires on completion.
+    pub fn read(
+        &self,
+        sim: &Sim,
+        offset: u64,
+        len: u64,
+        cb: impl FnOnce(&Sim, ReadResult) + 'static,
+    ) {
+        self.submit(sim, Pending::Read { offset, len, cb: Box::new(cb) });
+    }
+
+    /// Submits a write of `data` at `offset`; `cb` fires on completion.
+    pub fn write(
+        &self,
+        sim: &Sim,
+        offset: u64,
+        data: Vec<u8>,
+        cb: impl FnOnce(&Sim, WriteResult) + 'static,
+    ) {
+        self.submit(sim, Pending::Write { offset, data, cb: Box::new(cb) });
+    }
+
+    fn submit(&self, sim: &Sim, op: Pending) {
+        let reject = {
+            let i = self.inner.borrow();
+            if i.failed {
+                Some(DiskError::Failed)
+            } else if i.state == PowerStateKind::PoweredOff {
+                Some(DiskError::PoweredOff)
+            } else if op.len() == 0
+                || op.offset().saturating_add(op.len())
+                    > i.model.profile().mech.capacity_bytes
+            {
+                Some(DiskError::OutOfRange)
+            } else {
+                None
+            }
+        };
+        if let Some(err) = reject {
+            self.inner.borrow_mut().stats.errors += 1;
+            let this = self.clone();
+            sim.schedule_now(move |sim| {
+                let _ = &this;
+                op.abort(sim, err);
+            });
+            return;
+        }
+        self.inner.borrow_mut().queue.push_back((op, sim.now()));
+        self.pump(sim);
+    }
+
+    /// Starts the next queued command if the disk is ready.
+    fn pump(&self, sim: &Sim) {
+        let (service, epoch) = {
+            let mut i = self.inner.borrow_mut();
+            if i.busy || i.queue.is_empty() {
+                return;
+            }
+            match i.state {
+                PowerStateKind::PoweredOff => return,
+                PowerStateKind::SpinningUp => return, // will pump on ready
+                PowerStateKind::Standby => {
+                    // Auto spin-up on IO.
+                    if !i.spinning_up {
+                        i.spinning_up = true;
+                        let now = sim.now();
+                        i.set_state(now, PowerStateKind::SpinningUp);
+                        let spin = i.model.profile().mech.spin_up;
+                        let epoch = i.epoch;
+                        drop(i);
+                        let this = self.clone();
+                        sim.schedule_in(spin, move |sim| this.finish_spin_up(sim, epoch));
+                    }
+                    return;
+                }
+                PowerStateKind::Idle | PowerStateKind::Active => {}
+            }
+            i.busy = true;
+            let now = sim.now();
+            i.set_state(now, PowerStateKind::Active);
+            let (offset, len, dir) = {
+                let (op, _) = i.queue.front().expect("queue nonempty");
+                (op.offset(), op.len(), op.dir())
+            };
+            let svc = i.model.service(offset, len, dir).total();
+            (svc, i.epoch)
+        };
+        let this = self.clone();
+        sim.schedule_in(service, move |sim| this.complete(sim, epoch));
+    }
+
+    fn finish_spin_up(&self, sim: &Sim, epoch: u64) {
+        {
+            let mut i = self.inner.borrow_mut();
+            if i.epoch != epoch || i.state != PowerStateKind::SpinningUp {
+                return;
+            }
+            i.spinning_up = false;
+            let now = sim.now();
+            i.set_state(now, PowerStateKind::Idle);
+            i.model.reset_stream();
+        }
+        self.pump(sim);
+    }
+
+    fn complete(&self, sim: &Sim, epoch: u64) {
+        let (op, queued_at) = {
+            let mut i = self.inner.borrow_mut();
+            if i.epoch != epoch {
+                return; // disk power-cycled while command in flight
+            }
+            i.busy = false;
+            let entry = i.queue.pop_front().expect("in-flight command");
+            if i.queue.is_empty() {
+                let now = sim.now();
+                i.set_state(now, PowerStateKind::Idle);
+            }
+            entry
+        };
+        let now = sim.now();
+        {
+            let mut i = self.inner.borrow_mut();
+            i.stats
+                .latency
+                .record(now.duration_since(queued_at).as_nanos() as u64);
+        }
+        match op {
+            Pending::Read { offset, len, cb } => {
+                let res = self.do_read(offset, len);
+                {
+                    let mut i = self.inner.borrow_mut();
+                    match &res {
+                        Ok(_) => i.stats.reads.complete(len),
+                        Err(_) => i.stats.errors += 1,
+                    }
+                }
+                cb(sim, res);
+            }
+            Pending::Write { offset, data, cb } => {
+                let len = data.len() as u64;
+                self.do_write(offset, &data);
+                self.inner.borrow_mut().stats.writes.complete(len);
+                cb(sim, Ok(()));
+            }
+        }
+        self.pump(sim);
+    }
+
+    fn do_read(&self, offset: u64, len: u64) -> ReadResult {
+        let i = self.inner.borrow();
+        let first_page = offset / PAGE;
+        let last_page = (offset + len - 1) / PAGE;
+        for p in first_page..=last_page {
+            if i.bad_pages.contains(&p) {
+                return Err(DiskError::Medium { offset: p * PAGE });
+            }
+        }
+        let mut out = vec![0u8; len as usize];
+        if let Some(data) = &i.data {
+            for p in first_page..=last_page {
+                if let Some(page) = data.get(&p) {
+                    let page_start = p * PAGE;
+                    let s = offset.max(page_start);
+                    let e = (offset + len).min(page_start + PAGE);
+                    out[(s - offset) as usize..(e - offset) as usize]
+                        .copy_from_slice(&page[(s - page_start) as usize..(e - page_start) as usize]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn do_write(&self, offset: u64, data: &[u8]) {
+        let mut i = self.inner.borrow_mut();
+        // Writing a page repairs a latent sector error on it.
+        let first_page = offset / PAGE;
+        let last_page = (offset + data.len() as u64 - 1) / PAGE;
+        for p in first_page..=last_page {
+            // Only fully overwritten pages are repaired.
+            let page_start = p * PAGE;
+            if offset <= page_start && offset + data.len() as u64 >= page_start + PAGE {
+                i.bad_pages.remove(&p);
+            }
+        }
+        if let Some(store) = &mut i.data {
+            for p in first_page..=last_page {
+                let page_start = p * PAGE;
+                let page = store
+                    .entry(p)
+                    .or_insert_with(|| vec![0u8; PAGE as usize].into_boxed_slice());
+                let s = offset.max(page_start);
+                let e = (offset + data.len() as u64).min(page_start + PAGE);
+                page[(s - page_start) as usize..(e - page_start) as usize]
+                    .copy_from_slice(&data[(s - offset) as usize..(e - offset) as usize]);
+            }
+        }
+    }
+
+    /// Cuts the 12 V rail: aborts all queued commands and forgets stream
+    /// state. Payload data survives (it is on the platters).
+    pub fn power_off(&self, sim: &Sim) {
+        let aborted: Vec<Pending> = {
+            let mut i = self.inner.borrow_mut();
+            if i.state == PowerStateKind::PoweredOff {
+                return;
+            }
+            i.epoch += 1;
+            i.busy = false;
+            i.spinning_up = false;
+            let now = sim.now();
+            i.set_state(now, PowerStateKind::PoweredOff);
+            i.model.reset_stream();
+            i.queue.drain(..).map(|(op, _)| op).collect()
+        };
+        let n = aborted.len();
+        for op in aborted {
+            op.abort(sim, DiskError::Aborted);
+        }
+        if n > 0 {
+            sim.trace(
+                TraceLevel::Warn,
+                "disk",
+                format!("{}: power off aborted {n} commands", self.name()),
+            );
+        }
+    }
+
+    /// Restores power; the disk spins up and then serves queued IO.
+    pub fn power_on(&self, sim: &Sim) {
+        let (spin, epoch) = {
+            let mut i = self.inner.borrow_mut();
+            if i.state != PowerStateKind::PoweredOff {
+                return;
+            }
+            let now = sim.now();
+            i.set_state(now, PowerStateKind::SpinningUp);
+            i.spinning_up = true;
+            (i.model.profile().mech.spin_up, i.epoch)
+        };
+        let this = self.clone();
+        sim.schedule_in(spin, move |sim| this.finish_spin_up(sim, epoch));
+    }
+
+    /// Explicitly spins a standby disk back up (IO also does this
+    /// implicitly). No-op in other states.
+    pub fn spin_up(&self, sim: &Sim) {
+        let (spin, epoch) = {
+            let mut i = self.inner.borrow_mut();
+            if i.state != PowerStateKind::Standby || i.spinning_up {
+                return;
+            }
+            i.spinning_up = true;
+            let now = sim.now();
+            i.set_state(now, PowerStateKind::SpinningUp);
+            (i.model.profile().mech.spin_up, i.epoch)
+        };
+        let this = self.clone();
+        sim.schedule_in(spin, move |sim| this.finish_spin_up(sim, epoch));
+    }
+
+    /// Spins the platters down (electronics stay on). In-flight and queued
+    /// commands complete first; the state change applies only if idle.
+    pub fn spin_down(&self, sim: &Sim) {
+        let mut i = self.inner.borrow_mut();
+        if i.state == PowerStateKind::Idle && !i.busy && i.queue.is_empty() {
+            let now = sim.now();
+            i.set_state(now, PowerStateKind::Standby);
+            i.model.reset_stream();
+        }
+    }
+
+    /// Injects or clears a whole-disk hardware failure.
+    pub fn set_failed(&self, sim: &Sim, failed: bool) {
+        let aborted: Vec<Pending> = {
+            let mut i = self.inner.borrow_mut();
+            i.failed = failed;
+            if failed {
+                i.epoch += 1;
+                i.busy = false;
+                i.queue.drain(..).map(|(op, _)| op).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        for op in aborted {
+            op.abort(sim, DiskError::Failed);
+        }
+    }
+
+    /// Marks the 4 KiB page containing `offset` as unreadable (latent
+    /// sector error). A full overwrite of the page repairs it.
+    pub fn inject_bad_page(&self, offset: u64) {
+        self.inner.borrow_mut().bad_pages.insert(offset / PAGE);
+    }
+
+    /// Whether the disk is currently serving or queueing commands.
+    pub fn is_busy(&self) -> bool {
+        let i = self.inner.borrow();
+        i.busy || !i.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    fn setup() -> (Sim, Disk) {
+        let sim = Sim::new(7);
+        let disk = Disk::new(&sim, "d0", DiskProfile::usb_bridge(), true);
+        (sim, disk)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (sim, disk) = setup();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        disk.write(&sim, 12_345, payload, |_, r| r.expect("write"));
+        let ok = Rc::new(Cell::new(false));
+        let okc = ok.clone();
+        disk.read(&sim, 12_345, 10_000, move |_, r| {
+            assert_eq!(r.expect("read"), expect);
+            okc.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let (sim, disk) = setup();
+        disk.read(&sim, 1 << 30, 512, |_, r| {
+            assert_eq!(r.expect("read"), vec![0u8; 512]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (sim, disk) = setup();
+        let cap = disk.capacity();
+        disk.read(&sim, cap - 10, 100, |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::OutOfRange);
+        });
+        disk.write(&sim, 0, Vec::new(), |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::OutOfRange);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn sequential_reads_are_fast_random_slow() {
+        let (sim, disk) = setup();
+        let t0 = sim.now();
+        disk.read(&sim, 0, 4096, |_, _| {});
+        sim.run();
+        let first = sim.now() - t0;
+        let t1 = sim.now();
+        disk.read(&sim, 4096, 4096, |_, _| {});
+        sim.run();
+        let seq = sim.now() - t1;
+        assert!(seq < Duration::from_micros(300), "seq {seq:?}");
+        assert!(first > Duration::from_millis(1), "first (random) {first:?}");
+    }
+
+    #[test]
+    fn commands_queue_fifo() {
+        let (sim, disk) = setup();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for n in 0..3 {
+            let o = order.clone();
+            disk.read(&sim, n * 4096, 4096, move |_, _| o.borrow_mut().push(n));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn power_off_aborts_and_rejects() {
+        let (sim, disk) = setup();
+        let aborted = Rc::new(Cell::new(false));
+        let a = aborted.clone();
+        // Queue a slow random command then cut power before it completes.
+        disk.read(&sim, 1 << 33, 4096, move |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::Aborted);
+            a.set(true);
+        });
+        let d = disk.clone();
+        sim.schedule_in(Duration::from_micros(10), move |sim| d.power_off(sim));
+        let d2 = disk.clone();
+        sim.schedule_in(Duration::from_millis(1), move |sim| {
+            d2.read(sim, 0, 512, |_, r| {
+                assert_eq!(r.unwrap_err(), DiskError::PoweredOff);
+            });
+        });
+        sim.run();
+        assert!(aborted.get());
+        assert_eq!(disk.power_state(), PowerStateKind::PoweredOff);
+    }
+
+    #[test]
+    fn power_on_spins_up_then_serves() {
+        let (sim, disk) = setup();
+        disk.power_off(&sim);
+        disk.power_on(&sim);
+        assert_eq!(disk.power_state(), PowerStateKind::SpinningUp);
+        let done_at = Rc::new(Cell::new(SimTime::ZERO));
+        let d = done_at.clone();
+        disk.read(&sim, 0, 512, move |sim, r| {
+            r.expect("read after spin-up");
+            d.set(sim.now());
+        });
+        sim.run();
+        assert!(done_at.get() >= SimTime::ZERO + Duration::from_secs(7));
+        assert_eq!(disk.power_state(), PowerStateKind::Idle);
+    }
+
+    #[test]
+    fn standby_auto_spins_up_on_io() {
+        let (sim, disk) = setup();
+        disk.spin_down(&sim);
+        assert_eq!(disk.power_state(), PowerStateKind::Standby);
+        let done_at = Rc::new(Cell::new(SimTime::ZERO));
+        let d = done_at.clone();
+        disk.read(&sim, 0, 512, move |sim, r| {
+            r.expect("read");
+            d.set(sim.now());
+        });
+        sim.run();
+        assert!(done_at.get() >= SimTime::ZERO + Duration::from_secs(7));
+    }
+
+    #[test]
+    fn spin_down_ignored_while_busy() {
+        let (sim, disk) = setup();
+        disk.read(&sim, 1 << 33, 4096, |_, _| {});
+        disk.spin_down(&sim);
+        assert_eq!(disk.power_state(), PowerStateKind::Active);
+        sim.run();
+    }
+
+    #[test]
+    fn failed_disk_errors() {
+        let (sim, disk) = setup();
+        disk.set_failed(&sim, true);
+        disk.read(&sim, 0, 512, |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::Failed);
+        });
+        sim.run();
+        assert_eq!(disk.stats().errors, 1);
+    }
+
+    #[test]
+    fn bad_page_then_repair() {
+        let (sim, disk) = setup();
+        disk.inject_bad_page(8192);
+        let d = disk.clone();
+        disk.read(&sim, 8192, 4096, move |sim, r| {
+            assert!(matches!(r.unwrap_err(), DiskError::Medium { offset: 8192 }));
+            // Full overwrite repairs the page.
+            let d2 = d.clone();
+            d.write(sim, 8192, vec![1u8; 4096], move |sim, r| {
+                r.expect("write repairs");
+                d2.read(sim, 8192, 4096, |_, r| {
+                    assert_eq!(r.expect("repaired read")[0], 1);
+                });
+            });
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn energy_accounting_idle_vs_active() {
+        let (sim, disk) = setup();
+        sim.run_until(SimTime::from_secs(10));
+        let idle_j = disk.energy_joules(&sim);
+        // Table III USB-bridge idle: 5.76 W.
+        assert!((idle_j - 57.6).abs() < 0.5, "idle energy {idle_j}");
+        assert_eq!(disk.watts_now(), 5.76);
+    }
+
+    #[test]
+    fn stats_track_ops() {
+        let (sim, disk) = setup();
+        disk.write(&sim, 0, vec![0u8; 4096], |_, _| {});
+        disk.read(&sim, 0, 4096, |_, _| {});
+        sim.run();
+        let s = disk.stats();
+        assert_eq!(s.reads.ops(), 1);
+        assert_eq!(s.writes.ops(), 1);
+        assert_eq!(s.latency.count(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ustore-disk — calibrated hard-disk model
+//!
+//! A discrete-event model of the UStore prototype's drive (Toshiba
+//! DT01ACA300, 3 TB, 7200 rpm) and its two host attachments (direct SATA
+//! and a SATA↔USB 3.0 bridge). Performance constants are calibrated so the
+//! paper's single-disk measurements (Table II) are reproduced by the pure
+//! [`IoModel`]; power constants come from Table III.
+//!
+//! ## Example
+//!
+//! ```
+//! use ustore_sim::Sim;
+//! use ustore_disk::{Disk, DiskProfile};
+//!
+//! let sim = Sim::new(0);
+//! let disk = Disk::new(&sim, "d0", DiskProfile::sata(), true);
+//! disk.write(&sim, 0, b"archived".to_vec(), |_, r| r.expect("write"));
+//! sim.run();
+//! assert_eq!(disk.stats().writes.ops(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod model;
+pub mod power;
+pub mod profile;
+
+pub use disk::{Disk, DiskError, DiskStats, ReadResult, WriteResult};
+pub use model::{IoModel, ServiceBreakdown};
+pub use power::EnergyMeter;
+pub use profile::{
+    AttachProfile, Direction, DiskProfile, MechProfile, PowerStateKind, DT01ACA300, SATA,
+    USB_BRIDGE,
+};

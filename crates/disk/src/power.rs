@@ -1,0 +1,176 @@
+//! Per-device energy accounting.
+//!
+//! [`EnergyMeter`] integrates a device's power draw over virtual time as it
+//! moves between coarse power states. It is the measurement backend for the
+//! paper's power experiments (Tables III–V): the experiment harness reads
+//! average watts over a window exactly like the authors' wattmeter.
+
+use std::time::Duration;
+
+use ustore_sim::SimTime;
+
+use crate::profile::PowerStateKind;
+
+const STATES: [PowerStateKind; 5] = [
+    PowerStateKind::PoweredOff,
+    PowerStateKind::Standby,
+    PowerStateKind::Idle,
+    PowerStateKind::Active,
+    PowerStateKind::SpinningUp,
+];
+
+fn idx(s: PowerStateKind) -> usize {
+    STATES.iter().position(|&x| x == s).expect("known state")
+}
+
+/// Integrates energy across power-state transitions.
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::SimTime;
+/// use ustore_disk::{EnergyMeter, PowerStateKind};
+///
+/// let mut m = EnergyMeter::new(SimTime::ZERO, PowerStateKind::Idle, |s| match s {
+///     PowerStateKind::Idle => 5.0,
+///     PowerStateKind::Active => 7.0,
+///     _ => 0.0,
+/// });
+/// m.transition(SimTime::from_secs(10), PowerStateKind::Active);
+/// m.sync(SimTime::from_secs(20));
+/// assert!((m.total_joules() - (5.0 * 10.0 + 7.0 * 10.0)).abs() < 1e-9);
+/// assert!((m.average_watts(SimTime::ZERO, SimTime::from_secs(20)) - 6.0).abs() < 1e-9);
+/// ```
+pub struct EnergyMeter {
+    state: PowerStateKind,
+    since: SimTime,
+    joules: [f64; 5],
+    time_in: [Duration; 5],
+    power_of: Box<dyn Fn(PowerStateKind) -> f64>,
+}
+
+impl std::fmt::Debug for EnergyMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnergyMeter")
+            .field("state", &self.state)
+            .field("since", &self.since)
+            .field("total_joules", &self.total_joules())
+            .finish()
+    }
+}
+
+impl EnergyMeter {
+    /// Creates a meter in `initial` state at `now`, with `power_of` mapping
+    /// states to watts.
+    pub fn new(
+        now: SimTime,
+        initial: PowerStateKind,
+        power_of: impl Fn(PowerStateKind) -> f64 + 'static,
+    ) -> Self {
+        EnergyMeter {
+            state: initial,
+            since: now,
+            joules: [0.0; 5],
+            time_in: [Duration::ZERO; 5],
+            power_of: Box::new(power_of),
+        }
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> PowerStateKind {
+        self.state
+    }
+
+    /// Instantaneous power draw, watts.
+    pub fn watts_now(&self) -> f64 {
+        (self.power_of)(self.state)
+    }
+
+    /// Accumulates energy up to `now` without changing state.
+    pub fn sync(&mut self, now: SimTime) {
+        let dt = now.saturating_duration_since(self.since);
+        let i = idx(self.state);
+        self.joules[i] += (self.power_of)(self.state) * dt.as_secs_f64();
+        self.time_in[i] += dt;
+        self.since = now;
+    }
+
+    /// Moves to `state` at `now`, accumulating energy for the elapsed span.
+    pub fn transition(&mut self, now: SimTime, state: PowerStateKind) {
+        self.sync(now);
+        self.state = state;
+    }
+
+    /// Total energy consumed so far, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.joules.iter().sum()
+    }
+
+    /// Energy consumed in one state, joules.
+    pub fn joules_in(&self, state: PowerStateKind) -> f64 {
+        self.joules[idx(state)]
+    }
+
+    /// Time spent in one state.
+    pub fn time_in(&self, state: PowerStateKind) -> Duration {
+        self.time_in[idx(state)]
+    }
+
+    /// Average power over `[from, to]`, assuming the meter was synced at or
+    /// after `to` and `from` is the instant the meter started (or any
+    /// instant if only totals matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn average_watts(&self, from: SimTime, to: SimTime) -> f64 {
+        let w = to.duration_since(from);
+        assert!(w > Duration::ZERO, "average_watts: empty window");
+        self.total_joules() / w.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> EnergyMeter {
+        EnergyMeter::new(SimTime::ZERO, PowerStateKind::PoweredOff, |s| match s {
+            PowerStateKind::PoweredOff => 0.0,
+            PowerStateKind::Standby => 1.0,
+            PowerStateKind::Idle => 5.0,
+            PowerStateKind::Active => 7.0,
+            PowerStateKind::SpinningUp => 24.0,
+        })
+    }
+
+    #[test]
+    fn integrates_across_states() {
+        let mut m = meter();
+        m.transition(SimTime::from_secs(10), PowerStateKind::SpinningUp); // 10s off = 0 J
+        m.transition(SimTime::from_secs(17), PowerStateKind::Idle); // 7s spinup = 168 J
+        m.transition(SimTime::from_secs(27), PowerStateKind::Active); // 10s idle = 50 J
+        m.sync(SimTime::from_secs(37)); // 10s active = 70 J
+        assert!((m.total_joules() - 288.0).abs() < 1e-9);
+        assert!((m.joules_in(PowerStateKind::SpinningUp) - 168.0).abs() < 1e-9);
+        assert_eq!(m.time_in(PowerStateKind::Idle), Duration::from_secs(10));
+        assert_eq!(m.state(), PowerStateKind::Active);
+        assert_eq!(m.watts_now(), 7.0);
+    }
+
+    #[test]
+    fn sync_is_idempotent_at_same_instant() {
+        let mut m = meter();
+        m.transition(SimTime::from_secs(1), PowerStateKind::Idle);
+        m.sync(SimTime::from_secs(2));
+        let j = m.total_joules();
+        m.sync(SimTime::from_secs(2));
+        assert_eq!(m.total_joules(), j);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        meter().average_watts(SimTime::ZERO, SimTime::ZERO);
+    }
+}

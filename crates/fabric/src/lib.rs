@@ -1,0 +1,32 @@
+//! # ustore-fabric — the USB 3.0 fat-tree interconnect fabric
+//!
+//! The paper's primary hardware contribution (§III): a reconfigurable
+//! interconnect built from USB hubs and 2:1 switches that attaches every
+//! disk of a deploy unit to one of several hosts, with no single point of
+//! failure and per-disk cost measured in cents.
+//!
+//! - [`topology`]: the static wiring, validation, and the two Figure 2
+//!   designs ([`Topology::leaf_switched`], [`Topology::upper_switched`]).
+//! - [`routing`]: attachments, candidate paths, Algorithm 1
+//!   ([`FabricState::switches_to_turn`]) and failure analysis.
+//! - [`control`]: the control plane — dual XOR-combined microcontrollers
+//!   (§III-B), power relays, rolling spin-up, and command execution with
+//!   verification and rollback (§IV-C).
+//! - [`runtime`]: binds the fabric to simulated [`ustore_usb::UsbHost`]s
+//!   and [`ustore_disk::Disk`]s, performing the actual hot-plug moves and
+//!   serving fabric-attached IO.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod routing;
+pub mod runtime;
+pub mod topology;
+
+pub use control::{ControlError, ControlPlane, Microcontroller, RelayBank};
+pub use routing::{Component, FabricState, ScheduleError};
+pub use runtime::{FabricDisk, FabricError, FabricIoError, FabricRuntime, RuntimeConfig};
+pub use topology::{
+    ComponentCounts, DiskId, HostId, HubId, SwitchConfig, SwitchId, SwitchPos, Topology,
+    TopologyError, UpRef,
+};

@@ -1,0 +1,430 @@
+//! Message-level data-center network simulation.
+//!
+//! A flat L2/L3 fabric: every registered node has a NIC with a serialization
+//! rate, and every pair of nodes is connected with a base propagation
+//! latency plus jitter. Failure injection covers node crashes, link
+//! partitions and random message loss — enough to exercise the UStore
+//! stack's heartbeating, failover and retry behaviour.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use ustore_sim::{Sim, SimTime, TraceLevel};
+
+/// A network address (host name). Cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(Rc<str>);
+
+impl Addr {
+    /// Creates an address from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Addr(Rc::from(name.as_ref()))
+    }
+
+    /// The address as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Addr {
+    fn from(s: &str) -> Self {
+        Addr::new(s)
+    }
+}
+
+/// A delivered message.
+#[derive(Clone)]
+pub struct Envelope {
+    /// Sender address.
+    pub from: Addr,
+    /// Destination address.
+    pub to: Addr,
+    /// Wire size used for serialization-delay accounting.
+    pub bytes: u64,
+    /// The typed payload; receivers downcast to the expected type.
+    pub payload: Rc<dyn Any>,
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Envelope")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// Network-wide configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// One-way propagation latency between any two nodes.
+    pub base_latency: Duration,
+    /// Uniform extra latency in `[0, jitter]`.
+    pub jitter: Duration,
+    /// NIC serialization rate, bytes/s (default 10 GbE).
+    pub nic_rate: f64,
+    /// Probability an individual message is silently lost.
+    pub loss_probability: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            base_latency: Duration::from_micros(100),
+            jitter: Duration::from_micros(20),
+            nic_rate: 1.25e9,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+struct Node {
+    handler: Option<Rc<dyn Fn(&Sim, Envelope)>>,
+    nic_busy: SimTime,
+    up: bool,
+}
+
+struct Inner {
+    config: NetConfig,
+    nodes: HashMap<Addr, Node>,
+    blocked: HashSet<(Addr, Addr)>,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Handle to the shared network fabric.
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::Sim;
+/// use ustore_net::{Addr, NetConfig, Network};
+///
+/// let sim = Sim::new(1);
+/// let net = Network::new(NetConfig::default());
+/// let a = Addr::new("a");
+/// let b = Addr::new("b");
+/// net.register(&a);
+/// net.register(&b);
+/// net.bind(&b, |_, env| {
+///     let msg: &String = env.payload.downcast_ref().expect("typed payload");
+///     assert_eq!(msg, "hello");
+/// });
+/// net.send(&sim, &a, &b, 64, std::rc::Rc::new("hello".to_string()));
+/// sim.run();
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = self.inner.borrow();
+        f.debug_struct("Network")
+            .field("nodes", &i.nodes.len())
+            .field("sent", &i.sent)
+            .field("delivered", &i.delivered)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: NetConfig) -> Self {
+        Network {
+            inner: Rc::new(RefCell::new(Inner {
+                config,
+                nodes: HashMap::new(),
+                blocked: HashSet::new(),
+                sent: 0,
+                delivered: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Registers a node (idempotent). Nodes start up.
+    pub fn register(&self, addr: &Addr) {
+        self.inner.borrow_mut().nodes.entry(addr.clone()).or_insert(Node {
+            handler: None,
+            nic_busy: SimTime::ZERO,
+            up: true,
+        });
+    }
+
+    /// Installs the receive handler for `addr` (replacing any previous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never registered.
+    pub fn bind(&self, addr: &Addr, handler: impl Fn(&Sim, Envelope) + 'static) {
+        let mut i = self.inner.borrow_mut();
+        let node = i.nodes.get_mut(addr).expect("bind: node not registered");
+        node.handler = Some(Rc::new(handler));
+    }
+
+    /// Sends a message. Delivery is asynchronous; lost/blocked messages
+    /// vanish silently (like UDP — reliability belongs to the RPC layer).
+    pub fn send(&self, sim: &Sim, from: &Addr, to: &Addr, bytes: u64, payload: Rc<dyn Any>) {
+        let deliver_at = {
+            let mut i = self.inner.borrow_mut();
+            i.sent += 1;
+            let now = sim.now();
+            let up_from = i.nodes.get(from).is_some_and(|n| n.up);
+            let up_to = i.nodes.get(to).is_some_and(|n| n.up);
+            let blocked = i.blocked.contains(&(from.clone(), to.clone()));
+            if !up_from || !up_to || blocked {
+                i.dropped += 1;
+                None
+            } else if i.config.loss_probability > 0.0
+                && sim.with_rng(|r| r.chance(i.config.loss_probability))
+            {
+                i.dropped += 1;
+                None
+            } else {
+                let ser = Duration::from_secs_f64(bytes as f64 / i.config.nic_rate);
+                let jitter = if i.config.jitter > Duration::ZERO {
+                    let j = sim.with_rng(|r| r.f64());
+                    Duration::from_secs_f64(i.config.jitter.as_secs_f64() * j)
+                } else {
+                    Duration::ZERO
+                };
+                let sender = i.nodes.get_mut(from).expect("sender exists");
+                let start = now.max(sender.nic_busy);
+                sender.nic_busy = start + ser;
+                Some(start + ser + i.config.base_latency + jitter)
+            }
+        };
+        let Some(at) = deliver_at else { return };
+        let this = self.clone();
+        let env = Envelope {
+            from: from.clone(),
+            to: to.clone(),
+            bytes,
+            payload,
+        };
+        sim.schedule_at(at, move |sim| {
+            let handler = {
+                let mut i = this.inner.borrow_mut();
+                match i.nodes.get(&env.to) {
+                    Some(n) if n.up => {
+                        let h = n.handler.clone();
+                        if h.is_some() {
+                            i.delivered += 1;
+                        } else {
+                            i.dropped += 1;
+                        }
+                        h
+                    }
+                    _ => {
+                        i.dropped += 1;
+                        None
+                    }
+                }
+            };
+            if let Some(h) = handler {
+                h(sim, env);
+            }
+        });
+    }
+
+    /// Crashes a node: in-flight messages to it are dropped on arrival and
+    /// it can no longer send.
+    pub fn set_down(&self, sim: &Sim, addr: &Addr) {
+        if let Some(n) = self.inner.borrow_mut().nodes.get_mut(addr) {
+            n.up = false;
+        }
+        sim.trace(TraceLevel::Warn, "net", format!("{addr} is down"));
+    }
+
+    /// Restores a crashed node.
+    pub fn set_up(&self, sim: &Sim, addr: &Addr) {
+        if let Some(n) = self.inner.borrow_mut().nodes.get_mut(addr) {
+            n.up = true;
+        }
+        sim.trace(TraceLevel::Info, "net", format!("{addr} is up"));
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, addr: &Addr) -> bool {
+        self.inner.borrow().nodes.get(addr).is_some_and(|n| n.up)
+    }
+
+    /// Blocks the directed link `from -> to` (one direction of a partition).
+    pub fn block(&self, from: &Addr, to: &Addr) {
+        self.inner.borrow_mut().blocked.insert((from.clone(), to.clone()));
+    }
+
+    /// Blocks both directions between two nodes.
+    pub fn partition(&self, a: &Addr, b: &Addr) {
+        self.block(a, b);
+        self.block(b, a);
+    }
+
+    /// Removes all link blocks.
+    pub fn heal(&self) {
+        self.inner.borrow_mut().blocked.clear();
+    }
+
+    /// `(sent, delivered, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let i = self.inner.borrow();
+        (i.sent, i.delivered, i.dropped)
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> NetConfig {
+        self.inner.borrow().config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn setup() -> (Sim, Network, Addr, Addr) {
+        let sim = Sim::new(5);
+        let net = Network::new(NetConfig {
+            jitter: Duration::ZERO,
+            ..NetConfig::default()
+        });
+        let a = Addr::new("a");
+        let b = Addr::new("b");
+        net.register(&a);
+        net.register(&b);
+        (sim, net, a, b)
+    }
+
+    #[test]
+    fn delivers_typed_payload_with_latency() {
+        let (sim, net, a, b) = setup();
+        let at = Rc::new(Cell::new(SimTime::ZERO));
+        let at2 = at.clone();
+        net.bind(&b, move |sim, env| {
+            assert_eq!(*env.payload.downcast_ref::<u32>().expect("u32"), 42);
+            at2.set(sim.now());
+        });
+        net.send(&sim, &a, &b, 1000, Rc::new(42u32));
+        sim.run();
+        // 1000 B / 1.25 GB/s = 0.8 us serialization + 100 us latency.
+        assert_eq!(at.get(), SimTime::from_nanos(800 + 100_000));
+    }
+
+    #[test]
+    fn sender_nic_serializes() {
+        let (sim, net, a, b) = setup();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = times.clone();
+        net.bind(&b, move |sim, _| t.borrow_mut().push(sim.now()));
+        // Two 1.25 MB messages: 1 ms serialization each, shared NIC.
+        for _ in 0..2 {
+            net.send(&sim, &a, &b, 1_250_000, Rc::new(()));
+        }
+        sim.run();
+        let times = times.borrow();
+        assert_eq!(times[0], SimTime::from_micros(1100));
+        assert_eq!(times[1], SimTime::from_micros(2100));
+    }
+
+    #[test]
+    fn down_node_drops_messages() {
+        let (sim, net, a, b) = setup();
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        net.bind(&b, move |_, _| g.set(true));
+        net.set_down(&sim, &b);
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        sim.run();
+        assert!(!got.get());
+        net.set_up(&sim, &b);
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        sim.run();
+        assert!(got.get());
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages() {
+        let (sim, net, a, b) = setup();
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        net.bind(&b, move |_, _| g.set(true));
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        // Crash b while the message is in flight.
+        let net2 = net.clone();
+        let b2 = b.clone();
+        sim.schedule_in(Duration::from_micros(1), move |sim| net2.set_down(sim, &b2));
+        sim.run();
+        assert!(!got.get());
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let (sim, net, a, b) = setup();
+        let count = Rc::new(Cell::new(0));
+        let c = count.clone();
+        net.bind(&b, move |_, _| c.set(c.get() + 1));
+        net.partition(&a, &b);
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        sim.run();
+        assert_eq!(count.get(), 0);
+        net.heal();
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        sim.run();
+        assert_eq!(count.get(), 1);
+    }
+
+    #[test]
+    fn loss_probability_drops_some() {
+        let sim = Sim::new(9);
+        let net = Network::new(NetConfig {
+            loss_probability: 0.5,
+            jitter: Duration::ZERO,
+            ..NetConfig::default()
+        });
+        let a = Addr::new("a");
+        let b = Addr::new("b");
+        net.register(&a);
+        net.register(&b);
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        net.bind(&b, move |_, _| c.set(c.get() + 1));
+        for _ in 0..200 {
+            net.send(&sim, &a, &b, 10, Rc::new(()));
+        }
+        sim.run();
+        let got = count.get();
+        assert!(got > 60 && got < 140, "got {got} of 200 at 50% loss");
+    }
+
+    #[test]
+    fn unbound_node_counts_drop() {
+        let (sim, net, a, b) = setup();
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        sim.run();
+        let (sent, delivered, dropped) = net.stats();
+        assert_eq!((sent, delivered, dropped), (1, 0, 1));
+    }
+
+    #[test]
+    fn addr_semantics() {
+        let a = Addr::new("host-1");
+        assert_eq!(a.to_string(), "host-1");
+        assert_eq!(a, Addr::from("host-1"));
+        assert_eq!(a.as_str(), "host-1");
+    }
+}

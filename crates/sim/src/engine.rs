@@ -1,0 +1,464 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] is a cheaply cloneable handle to a single-threaded event queue.
+//! Components capture a `Sim` clone (or receive `&Sim` in their event
+//! callbacks) and schedule closures at future virtual instants. Events at
+//! the same instant fire in scheduling order, which — together with the
+//! seeded [`SimRng`] — makes every run bit-for-bit reproducible.
+
+use std::cell::RefCell;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceLevel};
+
+/// Identifier of a scheduled (cancellable) event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// Identifier of a periodic timer created by [`Sim::every`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+type Action = Box<dyn FnOnce(&Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Inner {
+    now: SimTime,
+    next_seq: u64,
+    next_event: u64,
+    next_timer: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    cancelled_events: HashSet<EventId>,
+    cancelled_timers: HashSet<TimerId>,
+    rng: SimRng,
+    trace: Trace,
+    processed: u64,
+}
+
+/// Handle to the simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use std::time::Duration;
+/// use ustore_sim::{Sim, SimTime};
+///
+/// let sim = Sim::new(42);
+/// let fired = Rc::new(Cell::new(false));
+/// let f = fired.clone();
+/// sim.schedule_in(Duration::from_millis(5), move |sim| {
+///     assert_eq!(sim.now(), SimTime::from_millis(5));
+///     f.set(true);
+/// });
+/// sim.run();
+/// assert!(fired.get());
+/// ```
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Sim")
+            .field("now", &inner.now)
+            .field("pending", &inner.queue.len())
+            .field("processed", &inner.processed)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulator whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(RefCell::new(Inner {
+                now: SimTime::ZERO,
+                next_seq: 0,
+                next_event: 0,
+                next_timer: 0,
+                queue: BinaryHeap::new(),
+                cancelled_events: HashSet::new(),
+                cancelled_timers: HashSet::new(),
+                rng: SimRng::seed_from(seed),
+                trace: Trace::new(),
+                processed: 0,
+            })),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.borrow().processed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn pending_events(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Schedules `action` to fire at absolute instant `at`.
+    ///
+    /// Events scheduled in the past (relative to [`Sim::now`]) fire
+    /// immediately on the next engine step, preserving scheduling order.
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce(&Sim) + 'static) -> EventId {
+        let mut inner = self.inner.borrow_mut();
+        let at = at.max(inner.now);
+        let id = EventId(inner.next_event);
+        inner.next_event += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            id,
+            action: Box::new(action),
+        }));
+        id
+    }
+
+    /// Schedules `action` to fire after `delay`.
+    pub fn schedule_in(&self, delay: Duration, action: impl FnOnce(&Sim) + 'static) -> EventId {
+        let at = self.now() + delay;
+        self.schedule_at(at, action)
+    }
+
+    /// Schedules `action` at the current instant, after already-queued
+    /// same-instant events.
+    pub fn schedule_now(&self, action: impl FnOnce(&Sim) + 'static) -> EventId {
+        let at = self.now();
+        self.schedule_at(at, action)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event had not yet
+    /// fired or been cancelled.
+    pub fn cancel(&self, id: EventId) -> bool {
+        self.inner.borrow_mut().cancelled_events.insert(id)
+    }
+
+    /// Creates a periodic timer: `action` fires every `interval`, first
+    /// after `first_in`, until [`Sim::cancel_timer`] is called.
+    pub fn every(
+        &self,
+        first_in: Duration,
+        interval: Duration,
+        action: impl FnMut(&Sim) + 'static,
+    ) -> TimerId {
+        assert!(interval > Duration::ZERO, "every: interval must be positive");
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = TimerId(inner.next_timer);
+            inner.next_timer += 1;
+            id
+        };
+        let action = Rc::new(RefCell::new(action));
+        fn arm(
+            sim: &Sim,
+            delay: Duration,
+            interval: Duration,
+            id: TimerId,
+            action: Rc<RefCell<dyn FnMut(&Sim)>>,
+        ) {
+            sim.schedule_in(delay, move |sim| {
+                if sim.inner.borrow().cancelled_timers.contains(&id) {
+                    return;
+                }
+                (action.borrow_mut())(sim);
+                // Re-check: the action itself may have cancelled the timer.
+                if !sim.inner.borrow().cancelled_timers.contains(&id) {
+                    arm(sim, interval, interval, id, action);
+                }
+            });
+        }
+        arm(self, first_in, interval, id, action);
+        id
+    }
+
+    /// Stops a periodic timer. Returns `true` on first cancellation.
+    pub fn cancel_timer(&self, id: TimerId) -> bool {
+        self.inner.borrow_mut().cancelled_timers.insert(id)
+    }
+
+    /// Runs a single pending event. Returns `false` when the queue is empty.
+    pub fn step(&self) -> bool {
+        loop {
+            let (action, _at) = {
+                let mut inner = self.inner.borrow_mut();
+                let Some(Reverse(ev)) = inner.queue.pop() else {
+                    return false;
+                };
+                if inner.cancelled_events.remove(&ev.id) {
+                    continue; // tombstone
+                }
+                inner.now = ev.at;
+                inner.processed += 1;
+                (ev.action, ev.at)
+            };
+            action(self);
+            return true;
+        }
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// Runs all events scheduled at or before `deadline`, then advances the
+    /// clock to `deadline` even if the queue still holds later events.
+    pub fn run_until(&self, deadline: SimTime) {
+        loop {
+            let next_at = {
+                let mut inner = self.inner.borrow_mut();
+                loop {
+                    match inner.queue.peek() {
+                        Some(Reverse(ev)) if inner.cancelled_events.contains(&ev.id) => {
+                            let Reverse(ev) = inner.queue.pop().expect("peeked event");
+                            inner.cancelled_events.remove(&ev.id);
+                        }
+                        Some(Reverse(ev)) => break Some(ev.at),
+                        None => break None,
+                    }
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.now = inner.now.max(deadline);
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&self, d: Duration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Applies `f` to the simulation's RNG.
+    ///
+    /// Taking a closure (rather than returning a guard) prevents accidental
+    /// re-entrant borrows while the RNG is held.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SimRng) -> R) -> R {
+        f(&mut self.inner.borrow_mut().rng)
+    }
+
+    /// Derives an independent RNG stream for a component.
+    pub fn fork_rng(&self, label: &str) -> SimRng {
+        self.with_rng(|r| r.fork(label))
+    }
+
+    /// Records a trace event at the current virtual time.
+    pub fn trace(&self, level: TraceLevel, component: &str, message: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.now;
+        inner.trace.record(now, level, component, message.into());
+    }
+
+    /// Applies `f` to the trace recorder (to configure or inspect it).
+    pub fn with_trace<R>(&self, f: impl FnOnce(&mut Trace) -> R) -> R {
+        f(&mut self.inner.borrow_mut().trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+
+    fn log_handle() -> (Rc<StdRefCell<Vec<u32>>>, impl Fn(u32) -> Box<dyn Fn(&Sim)>) {
+        let log = Rc::new(StdRefCell::new(Vec::new()));
+        let l = log.clone();
+        let push = move |v: u32| -> Box<dyn Fn(&Sim)> {
+            let l = l.clone();
+            Box::new(move |_s: &Sim| l.borrow_mut().push(v))
+        };
+        (log, push)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let sim = Sim::new(0);
+        let (log, push) = log_handle();
+        let p2 = push(2);
+        let p1 = push(1);
+        let p3 = push(3);
+        sim.schedule_at(SimTime::from_millis(20), move |s| p2(s));
+        sim.schedule_at(SimTime::from_millis(10), move |s| p1(s));
+        sim.schedule_at(SimTime::from_millis(30), move |s| p3(s));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn same_instant_fifo() {
+        let sim = Sim::new(0);
+        let (log, push) = log_handle();
+        for i in 0..5 {
+            let p = push(i);
+            sim.schedule_at(SimTime::from_millis(1), move |s| p(s));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let sim = Sim::new(0);
+        let (log, push) = log_handle();
+        let p = push(7);
+        let id = sim.schedule_in(Duration::from_millis(1), move |s| p(s));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "second cancel reports false");
+        sim.run();
+        assert!(log.borrow().is_empty());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let sim = Sim::new(0);
+        let (log, push) = log_handle();
+        let p1 = push(1);
+        let p2 = push(2);
+        sim.schedule_in(Duration::from_millis(1), move |s| {
+            p1(s);
+            let p2 = p2;
+            s.schedule_in(Duration::from_millis(1), move |s| p2(s));
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let sim = Sim::new(0);
+        let (log, push) = log_handle();
+        let p1 = push(1);
+        let p2 = push(2);
+        sim.schedule_at(SimTime::from_millis(5), move |s| p1(s));
+        sim.schedule_at(SimTime::from_millis(50), move |s| p2(s));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(*log.borrow(), vec![1]);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn periodic_timer_fires_until_cancelled() {
+        let sim = Sim::new(0);
+        let count = Rc::new(StdRefCell::new(0u32));
+        let c = count.clone();
+        let id = sim.every(Duration::from_millis(10), Duration::from_millis(10), move |_| {
+            *c.borrow_mut() += 1;
+        });
+        sim.run_until(SimTime::from_millis(35));
+        assert_eq!(*count.borrow(), 3);
+        sim.cancel_timer(id);
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(*count.borrow(), 3);
+    }
+
+    #[test]
+    fn timer_can_cancel_itself() {
+        let sim = Sim::new(0);
+        let count = Rc::new(StdRefCell::new(0u32));
+        let c = count.clone();
+        let cell: Rc<StdRefCell<Option<TimerId>>> = Rc::new(StdRefCell::new(None));
+        let cell2 = cell.clone();
+        let id = sim.every(Duration::from_millis(1), Duration::from_millis(1), move |s| {
+            *c.borrow_mut() += 1;
+            if *c.borrow() == 2 {
+                s.cancel_timer(cell2.borrow().expect("timer id set"));
+            }
+        });
+        *cell.borrow_mut() = Some(id);
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(*count.borrow(), 2);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let sim = Sim::new(0);
+        sim.run_until(SimTime::from_millis(10));
+        let (log, push) = log_handle();
+        let p = push(1);
+        sim.schedule_at(SimTime::from_millis(1), move |s| p(s));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1]);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn deterministic_rng_across_clones() {
+        let sim = Sim::new(77);
+        let a = sim.clone().with_rng(|r| r.next_u64());
+        let sim2 = Sim::new(77);
+        let b = sim2.with_rng(|r| r.next_u64());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn processed_counter() {
+        let sim = Sim::new(0);
+        for i in 0..4u64 {
+            sim.schedule_at(SimTime::from_nanos(i), |_| {});
+        }
+        sim.run();
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let sim = Sim::new(0);
+        let (log, push) = log_handle();
+        let p = push(1);
+        let id = sim.schedule_at(SimTime::from_millis(1), move |s| p(s));
+        sim.cancel(id);
+        sim.run_until(SimTime::from_millis(5));
+        assert!(log.borrow().is_empty());
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ustore-sim — deterministic discrete-event simulation kernel
+//!
+//! Foundation of the UStore reproduction: a single-threaded, seeded,
+//! bit-for-bit reproducible discrete-event simulator. Every hardware model
+//! (USB buses, disks, the network) and every software component (Master,
+//! EndPoint, Controller, ClientLib) runs as closures scheduled on a shared
+//! [`Sim`] handle.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use ustore_sim::{Sim, SimTime};
+//!
+//! let sim = Sim::new(0xC01D_DA7A);
+//! sim.schedule_in(Duration::from_secs(1), |sim| {
+//!     println!("one virtual second elapsed at {}", sim.now());
+//! });
+//! sim.run();
+//! assert_eq!(sim.now(), SimTime::from_secs(1));
+//! ```
+//!
+//! ## Modules
+//!
+//! - [`time`]: virtual instants ([`SimTime`]).
+//! - [`engine`]: the event queue and [`Sim`] handle.
+//! - [`rng`]: seeded, forkable randomness ([`SimRng`], [`Zipf`]).
+//! - [`metrics`]: counters, histograms, throughput accounting.
+//! - [`trace`]: structured in-memory tracing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{EventId, Sim, TimerId};
+pub use metrics::{Counter, Histogram, Throughput, ThroughputRate};
+pub use rng::{SimRng, Zipf};
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent, TraceLevel};

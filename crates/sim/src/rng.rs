@@ -1,0 +1,349 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator owns its randomness so that every run is exactly
+//! reproducible from a single seed, independent of external crate versions.
+//! The core generator is xoshiro256++ seeded through SplitMix64, the
+//! combination recommended by the xoshiro authors. [`SimRng::fork`] derives
+//! statistically independent streams from string labels so that unrelated
+//! components do not perturb each other's random sequences when code is
+//! added or reordered.
+
+use std::fmt;
+
+/// SplitMix64 step, used for seeding and label hashing.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, forkable pseudo-random number generator (xoshiro256++).
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are independent of the parent's subsequent draws.
+/// let mut child = a.fork("disk-0");
+/// let _ = child.next_u64();
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimRng").field("state", &self.s).finish()
+    }
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child stream named by `label`.
+    ///
+    /// The child depends only on the parent's *current* state and the label,
+    /// so forking the same label twice in a row yields identical children.
+    pub fn fork(&mut self, label: &str) -> SimRng {
+        let mut h = self.next_u64();
+        for b in label.as_bytes() {
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(u64::from(*b));
+        }
+        SimRng::seed_from(h)
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "u64_below: n must be positive");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = u128::from(x) * u128::from(n);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        lo + self.u64_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.u64_below(n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for inter-arrival times of background events (e.g. failures).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller (single value; the pair's twin is
+    /// discarded to keep the generator stateless).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.usize_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses an element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.usize_below(xs.len())])
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `0..n` with exponent `theta`.
+///
+/// Used by the workload crate to model skewed cold-data access (a small
+/// fraction of objects receives most of the rare reads). Sampling is by
+/// binary search over the precomputed CDF, O(log n) per draw.
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::{SimRng, Zipf};
+///
+/// let mut rng = SimRng::seed_from(7);
+/// let z = Zipf::new(1000, 0.99);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with skew `theta` (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(theta >= 0.0 && theta.is_finite(), "Zipf: invalid theta");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_labelled() {
+        let mut parent = SimRng::seed_from(9);
+        let mut snapshot = parent.clone();
+        let mut a = parent.fork("a");
+        let mut b = snapshot.fork("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn u64_below_is_in_range_and_covers() {
+        let mut rng = SimRng::seed_from(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.u64_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_unit_interval_mean() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean} far from 3.0");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(19);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = SimRng::seed_from(23);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[42u8]), Some(&42));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = SimRng::seed_from(29);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(31);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max as f64 / (*min as f64) < 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn u64_below_zero_panics() {
+        SimRng::seed_from(0).u64_below(0);
+    }
+}

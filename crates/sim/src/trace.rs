@@ -1,0 +1,211 @@
+//! Lightweight structured tracing for simulation runs.
+//!
+//! Components record `(time, level, component, message)` tuples through
+//! [`crate::Sim::trace`]. Tests and the experiment harness query the buffer
+//! to assert on causality ("the Controller locked the fabric before turning
+//! switches") without coupling to stdout.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// High-volume detail (per-IO, per-message).
+    Debug,
+    /// Component lifecycle and notable actions.
+    Info,
+    /// Recoverable anomalies (retries, failovers).
+    Warn,
+    /// Failures that required intervention.
+    Error,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual instant at which the event was recorded.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Component name (e.g. `"master"`, `"endpoint-2"`).
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.component, self.message
+        )
+    }
+}
+
+/// A bounded in-memory trace recorder.
+///
+/// Recording below the configured minimum level is dropped; when the buffer
+/// exceeds its capacity the oldest half is discarded (the total count keeps
+/// counting).
+#[derive(Debug)]
+pub struct Trace {
+    min_level: TraceLevel,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    total: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// Creates a recorder keeping Info+ events, capacity 64 Ki events.
+    pub fn new() -> Self {
+        Trace {
+            min_level: TraceLevel::Info,
+            capacity: 65_536,
+            events: Vec::new(),
+            dropped: 0,
+            total: 0,
+        }
+    }
+
+    /// Sets the minimum recorded level.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Sets the buffer capacity (events beyond it evict the oldest half).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(2);
+    }
+
+    /// Records one event (called by the engine).
+    pub fn record(&mut self, at: SimTime, level: TraceLevel, component: &str, message: String) {
+        if level < self.min_level {
+            return;
+        }
+        self.total += 1;
+        if self.events.len() >= self.capacity {
+            let half = self.events.len() / 2;
+            self.dropped += half as u64;
+            self.events.drain(..half);
+        }
+        self.events.push(TraceEvent {
+            at,
+            level,
+            component: component.to_owned(),
+            message,
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events from `component`, oldest first.
+    pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// First retained event whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// Clears the retained buffer (counters keep counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: &mut Trace, ms: u64, level: TraceLevel, comp: &str, msg: &str) {
+        trace.record(SimTime::from_millis(ms), level, comp, msg.to_owned());
+    }
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Trace::new();
+        ev(&mut t, 1, TraceLevel::Info, "master", "started");
+        ev(&mut t, 2, TraceLevel::Warn, "endpoint-0", "heartbeat missed");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.for_component("master").count(), 1);
+        assert!(t.find("heartbeat").is_some());
+        assert!(t.find("nope").is_none());
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Trace::new();
+        ev(&mut t, 1, TraceLevel::Debug, "x", "dropped");
+        assert_eq!(t.events().len(), 0);
+        t.set_min_level(TraceLevel::Debug);
+        ev(&mut t, 2, TraceLevel::Debug, "x", "kept");
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_half() {
+        let mut t = Trace::new();
+        t.set_capacity(4);
+        for i in 0..5 {
+            ev(&mut t, i, TraceLevel::Info, "x", &format!("m{i}"));
+        }
+        assert_eq!(t.events().len(), 3); // 4 -> drain 2 -> push 1 = 3
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.total_recorded(), 5);
+        assert_eq!(t.events()[0].message, "m2");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(5),
+            level: TraceLevel::Error,
+            component: "ctl".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "[5.000ms ERROR ctl] boom");
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+        assert!(TraceLevel::Warn < TraceLevel::Error);
+    }
+}

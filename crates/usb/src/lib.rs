@@ -1,0 +1,39 @@
+//! # ustore-usb — USB 3.0 bus and device-tree model
+//!
+//! Models what the UStore hardware substitutes for physical USB 3.0: root
+//! controllers ([`UsbHost`]) with enumeration timing, hot-plug events, the
+//! spec's tier/device limits (including the Intel "<15 devices" quirk the
+//! paper hit in §V-B), shared per-direction payload links with duplex
+//! derating, and the hub power model of Table IV ([`UsbProfile`]).
+//!
+//! The interconnect *fabric* (hubs + 2:1 switches, Figure 2) lives in
+//! `ustore-fabric`; this crate only models each host's view of its tree.
+//!
+//! ## Example
+//!
+//! ```
+//! use ustore_sim::Sim;
+//! use ustore_usb::{DeviceDesc, DeviceId, DeviceKind, UsbHost, UsbProfile};
+//!
+//! let sim = Sim::new(0);
+//! let host = UsbHost::new("host-0", UsbProfile::prototype());
+//! host.attach(&sim, DeviceDesc {
+//!     id: DeviceId(1),
+//!     kind: DeviceKind::Storage,
+//!     parent: None,
+//! });
+//! sim.run();
+//! assert_eq!(host.snapshot().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod profile;
+
+pub use host::{
+    BusDir, DeviceDesc, DeviceId, DeviceKind, DeviceState, EnumError, UsbError, UsbEvent, UsbHost,
+    UsbTreeNode,
+};
+pub use profile::UsbProfile;

@@ -1,0 +1,148 @@
+//! USB 3.0 timing, bandwidth and power constants.
+//!
+//! Calibrated against the paper's component measurements: the ≈300 MB/s
+//! effective per-direction payload rate and the ≈43 k commands/s root
+//! saturation visible in Figure 5, the ≈540 MB/s duplex sum of §VII-A, the
+//! enumeration latencies behind Figure 6's part-1 curve, and the hub power
+//! numbers of Table IV.
+
+use std::time::Duration;
+
+/// Parameters of one root controller (xHCI) port and its USB 3.0 tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsbProfile {
+    /// Effective payload rate per direction when only that direction is
+    /// active, bytes/s. (5 Gb/s raw, 8b/10b encoded, protocol overhead.)
+    pub link_rate: f64,
+    /// Per-direction rate multiplier while both directions stream
+    /// (§VII-A: reads + writes sum to ≈540 MB/s, not 600).
+    pub duplex_factor: f64,
+    /// Fixed root-controller occupancy per command (DMA setup, interrupt).
+    /// This is what caps small-transfer IOPS at ≈43 k/s per root port.
+    pub per_command_overhead: Duration,
+    /// Transfers are split into URBs of at most this many bytes.
+    pub urb_bytes: u64,
+    /// Per-URB protocol overhead beyond the first URB of a command.
+    pub per_urb_overhead: Duration,
+    /// Time for a host to notice a device left the bus.
+    pub disconnect_detect: Duration,
+    /// Per-device enumeration work that is serialized on the bus
+    /// (reset + address assignment). Figure 6 part 1 grows by this slope.
+    pub enum_serial: Duration,
+    /// Per-device enumeration work that overlaps across devices
+    /// (descriptor reads, driver probe).
+    pub enum_parallel: Duration,
+    /// Maximum devices (hubs + functions) one root port enumerates.
+    /// The spec allows 127; the paper's Intel xHCI recognized fewer than
+    /// 15 (§V-B), which is the prototype default.
+    pub max_devices: usize,
+    /// Maximum hub tiers below the root port (USB 3.0 spec: 5).
+    pub max_hub_tiers: u8,
+    /// Hub base power with no downstream devices, watts (Table IV).
+    pub hub_power_base: f64,
+    /// Extra hub power for the first connected device, watts (Table IV).
+    pub hub_power_first: f64,
+    /// Extra hub power per additional connected device, watts (Table IV).
+    pub hub_power_per_extra: f64,
+    /// Power of one 2:1 USB switch, watts (§VII-C: ≈0.06 W).
+    pub switch_power: f64,
+    /// Power of one USB 3.0 host adaptor, watts (§VII-C estimate: 2.5 W).
+    pub host_adaptor_power: f64,
+}
+
+impl UsbProfile {
+    /// The paper's prototype configuration (Intel xHCI, commodity hubs).
+    pub fn prototype() -> Self {
+        UsbProfile {
+            link_rate: 300.0e6,
+            duplex_factor: 0.9,
+            per_command_overhead: Duration::from_micros(10),
+            urb_bytes: 256 * 1024,
+            per_urb_overhead: Duration::from_micros(10),
+            disconnect_detect: Duration::from_millis(400),
+            enum_serial: Duration::from_millis(300),
+            enum_parallel: Duration::from_millis(1100),
+            max_devices: 15,
+            max_hub_tiers: 5,
+            hub_power_base: 0.21,
+            hub_power_first: 0.85,
+            hub_power_per_extra: 0.20,
+            switch_power: 0.06,
+            host_adaptor_power: 2.5,
+        }
+    }
+
+    /// A spec-conformant controller without the Intel device-count quirk.
+    pub fn spec_conformant() -> Self {
+        UsbProfile {
+            max_devices: 127,
+            ..Self::prototype()
+        }
+    }
+
+    /// Root-link occupancy of one command of `bytes` payload.
+    pub fn command_occupancy(&self, bytes: u64) -> Duration {
+        let urbs = bytes.div_ceil(self.urb_bytes).max(1);
+        self.per_command_overhead
+            + self.per_urb_overhead * (urbs - 1) as u32
+            + Duration::from_secs_f64(bytes as f64 / self.link_rate)
+    }
+
+    /// Hub power draw with `active_ports` devices connected (Table IV).
+    pub fn hub_power(&self, active_ports: usize) -> f64 {
+        if active_ports == 0 {
+            self.hub_power_base
+        } else {
+            self.hub_power_base
+                + self.hub_power_first
+                + self.hub_power_per_extra * (active_ports - 1) as f64
+        }
+    }
+}
+
+impl Default for UsbProfile {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_command_occupancy_caps_iops() {
+        let p = UsbProfile::prototype();
+        let occ = p.command_occupancy(4096);
+        // 10 us overhead + 13.65 us transfer -> ~42 k commands/s.
+        let iops = 1.0 / occ.as_secs_f64();
+        assert!((iops - 42_000.0).abs() < 2500.0, "iops {iops}");
+    }
+
+    #[test]
+    fn large_command_occupancy_is_rate_bound() {
+        let p = UsbProfile::prototype();
+        let occ = p.command_occupancy(4 * 1024 * 1024).as_secs_f64();
+        let rate = 4.0 * 1024.0 * 1024.0 / occ;
+        assert!(rate < p.link_rate && rate > p.link_rate * 0.97);
+    }
+
+    #[test]
+    fn table4_hub_power() {
+        let p = UsbProfile::prototype();
+        let expected = [0.21, 1.06, 1.26, 1.46, 1.66]; // paper: .21/1.06/1.23/1.47/1.67
+        for (n, e) in expected.iter().enumerate() {
+            assert!(
+                (p.hub_power(n) - e).abs() < 0.05,
+                "hub power with {n} disks: {} vs {e}",
+                p.hub_power(n)
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_of_zero_bytes_is_at_least_overhead() {
+        let p = UsbProfile::prototype();
+        assert!(p.command_occupancy(0) >= p.per_command_overhead);
+    }
+}

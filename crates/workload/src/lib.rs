@@ -1,0 +1,25 @@
+//! # ustore-workload — workload generation and upper-layer services
+//!
+//! Everything the paper's evaluation drives UStore with:
+//!
+//! - [`iometer`]: Iometer-style closed-loop workers (§VII-A parameter
+//!   space: transfer size × read mix × access pattern).
+//! - [`dfs`]: a miniature replicated DFS (the §VII-B Hadoop experiment's
+//!   stand-in) with pipelined writes and replica-failover reads.
+//! - [`backup`]: an archival snapshot service with integrity checking.
+//! - [`traces`]: synthetic cold-data access traces (Zipf popularity,
+//!   diurnal Poisson arrivals).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backup;
+pub mod dfs;
+pub mod iometer;
+pub mod traces;
+
+pub use backup::{checksum, BackupError, BackupService, SnapshotMeta};
+pub use dfs::{DataNode, DfsClient, DfsClientStats, DfsConfig, DfsError, NameNode};
+pub use iometer::{
+    blockdev_issuer, disk_issuer, fabric_issuer, AccessSpec, IoIssuer, WorkloadStats, Worker,
+};
+pub use traces::{generate, TraceConfig, TraceOp};

@@ -1,0 +1,7 @@
+//! Umbrella crate for the UStore reproduction workspace.
+//!
+//! Hosts the workspace-level integration tests (`tests/`) and runnable
+//! examples (`examples/`). See the member crates for the actual library:
+//! [`ustore`] (core system), `ustore-sim`, `ustore-usb`, `ustore-disk`,
+//! `ustore-net`, `ustore-consensus`, `ustore-fabric`, `ustore-workload`,
+//! `ustore-cost`, `ustore-bench`.

@@ -1,0 +1,243 @@
+//! Whole-deployment integration tests spanning every crate: hardware
+//! simulation, consensus, fabric, the UStore software stack and client
+//! workloads in one simulator.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use ustore::{Mounted, SpaceInfo, SystemConfig, UStoreSystem, UnitId};
+use ustore_fabric::HostId;
+use ustore_net::BlockDevice;
+use ustore_sim::Sim;
+
+fn run_for(s: &UStoreSystem, secs: u64) {
+    s.sim.run_until(s.sim.now() + Duration::from_secs(secs));
+}
+
+fn allocate(s: &UStoreSystem, client: &ustore::UStoreClient, service: &str, size: u64) -> SpaceInfo {
+    let out = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    client.allocate(&s.sim, service, size, move |_, r| {
+        *o.borrow_mut() = Some(r.expect("allocate"));
+    });
+    run_for(s, 8);
+    let v = out.borrow_mut().take().expect("allocated");
+    v
+}
+
+fn mount(s: &UStoreSystem, client: &ustore::UStoreClient, info: &SpaceInfo) -> Mounted {
+    let out = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    client.mount(&s.sim, info.name, move |_, r| {
+        *o.borrow_mut() = Some(r.expect("mount"));
+    });
+    run_for(s, 12);
+    let v = out.borrow_mut().take().expect("mounted");
+    v
+}
+
+#[test]
+fn multiple_clients_spread_across_disks_and_hosts() {
+    let s = UStoreSystem::prototype(9001);
+    s.settle();
+    let mut disks = std::collections::BTreeSet::new();
+    let mut hosts = std::collections::BTreeSet::new();
+    for i in 0..6 {
+        let c = s.client(&format!("tenant-{i}"));
+        let info = allocate(&s, &c, &format!("svc-{i}"), 1 << 30);
+        disks.insert(info.name.disk);
+        hosts.insert(info.host_addr.expect("host known"));
+    }
+    // The balance rule spreads distinct services over many disks, and
+    // those disks span several hosts.
+    assert!(disks.len() >= 4, "spread over {} disks", disks.len());
+    assert!(hosts.len() >= 2, "spread over {} hosts", hosts.len());
+}
+
+#[test]
+fn sequential_failures_of_two_hosts_are_survivable() {
+    let s = UStoreSystem::prototype(9002);
+    s.settle();
+    let client = s.client("app");
+    let info = allocate(&s, &client, "svc", 1 << 30);
+    let m = mount(&s, &client, &info);
+    m.write(&s.sim, 0, b"durable".to_vec(), Box::new(|_, r| r.expect("write")));
+    run_for(&s, 2);
+    // Kill the serving host; wait for recovery; then kill the next one.
+    for round in 0..2 {
+        let victim = s.runtime.attached_host(info.name.disk).expect("attached");
+        s.kill_host(victim);
+        let ok = Rc::new(Cell::new(false));
+        let o = ok.clone();
+        m.read(&s.sim, 0, 7, Box::new(move |_, r| {
+            assert_eq!(r.expect("read"), b"durable".to_vec());
+            o.set(true);
+        }));
+        run_for(&s, 30);
+        assert!(ok.get(), "round {round}: recovered");
+    }
+    // Two hosts dead, data still reachable on the remaining two.
+    assert!(m.remount_count() >= 3);
+}
+
+#[test]
+fn host_repair_rejoins_the_pool() {
+    let s = UStoreSystem::prototype(9003);
+    s.settle();
+    let master = s.active_master().expect("active").clone();
+    s.kill_host(HostId(3));
+    run_for(&s, 15);
+    assert!(!master.host_alive(UnitId(0), HostId(3)));
+    s.restore_host(HostId(3));
+    run_for(&s, 15);
+    assert!(master.host_alive(UnitId(0), HostId(3)), "heartbeats resumed");
+}
+
+#[test]
+fn simultaneous_host_and_master_failure() {
+    let s = UStoreSystem::prototype(9004);
+    s.settle();
+    let client = s.client("app");
+    let info = allocate(&s, &client, "svc", 1 << 30);
+    let m = mount(&s, &client, &info);
+    m.write(&s.sim, 0, b"both".to_vec(), Box::new(|_, r| r.expect("write")));
+    run_for(&s, 2);
+    // Kill the active master AND the serving host at the same instant.
+    let active_idx = s.masters.iter().position(|x| x.is_active()).expect("active");
+    let victim = s.runtime.attached_host(info.name.disk).expect("attached");
+    s.kill_master(active_idx);
+    s.kill_host(victim);
+    let ok = Rc::new(Cell::new(false));
+    let o = ok.clone();
+    m.read(&s.sim, 0, 4, Box::new(move |_, r| {
+        assert_eq!(r.expect("read"), b"both".to_vec());
+        o.set(true);
+    }));
+    // Standby master must first win the election, rebuild SysStat from
+    // heartbeats, detect the dead host and orchestrate the move.
+    run_for(&s, 50);
+    assert!(ok.get(), "recovered from double failure");
+    assert!(s.masters[1 - active_idx].is_active());
+}
+
+#[test]
+fn data_integrity_across_many_spaces() {
+    let s = UStoreSystem::prototype(9005);
+    s.settle();
+    let client = s.client("verify");
+    let mut mounts = Vec::new();
+    for i in 0..4 {
+        let info = allocate(&s, &client, &format!("it-{i}"), 64 << 20);
+        mounts.push((i as u8, mount(&s, &client, &info)));
+    }
+    let pending = Rc::new(Cell::new(0u32));
+    for (tag, m) in &mounts {
+        let payload: Vec<u8> = (0..65536u32).map(|j| (j as u8) ^ tag).collect();
+        let expect = payload.clone();
+        let m2 = m.clone();
+        let p = pending.clone();
+        p.set(p.get() + 1);
+        let off = u64::from(*tag) * 1_000_000;
+        m.write(&s.sim, off, payload, Box::new(move |sim, r| {
+            r.expect("write");
+            let p2 = p.clone();
+            m2.read(sim, off, 65536, Box::new(move |_, r| {
+                assert_eq!(r.expect("read"), expect);
+                p2.set(p2.get() - 1);
+            }));
+        }));
+    }
+    run_for(&s, 30);
+    assert_eq!(pending.get(), 0, "all verifications completed");
+}
+
+#[test]
+fn bigger_unit_with_more_hosts_boots() {
+    // A 32-disk, 8-host unit exercises the generalized builders.
+    let cfg = SystemConfig {
+        hosts: 8,
+        disks: 32,
+        ..SystemConfig::default()
+    };
+    let s = UStoreSystem::build(Sim::new(9006), cfg);
+    s.settle();
+    run_for(&s, 10);
+    assert_eq!(s.ready_disks().len(), 32);
+    assert!(s.active_master().is_some());
+    let client = s.client("big");
+    let info = allocate(&s, &client, "svc", 1 << 30);
+    let m = mount(&s, &client, &info);
+    assert_eq!(m.capacity(), 1 << 30);
+}
+
+#[test]
+fn deterministic_replay_same_seed_same_outcome() {
+    let run = |seed: u64| -> (u64, String) {
+        let s = UStoreSystem::prototype(seed);
+        s.settle();
+        let client = s.client("det");
+        let info = allocate(&s, &client, "svc", 1 << 30);
+        (s.sim.events_processed(), info.name.to_string())
+    };
+    let a = run(777);
+    let b = run(777);
+    assert_eq!(a, b, "same seed, same world");
+    let c = run(778);
+    assert_ne!(a.0, c.0, "different seed perturbs event count");
+}
+
+#[test]
+fn multi_unit_deployment_allocates_and_fails_over_per_unit() {
+    // §IV: "A typical UStore deployment is composed of one Master and a
+    // number of deploy units."
+    let cfg = SystemConfig {
+        units: 2,
+        ..SystemConfig::default()
+    };
+    let s = UStoreSystem::build(Sim::new(9007), cfg);
+    s.settle();
+    assert_eq!(s.runtimes.len(), 2);
+    assert_eq!(s.endpoints.len(), 8);
+    assert_eq!(s.controllers.len(), 4);
+    let client = s.client("tenant");
+    // 32 disks available; the balance rule fills unit 0's 16 disks with
+    // one service each before spilling into unit 1.
+    let mut units_seen = std::collections::BTreeSet::new();
+    let mut infos = Vec::new();
+    for i in 0..18 {
+        let info = allocate(&s, &client, &format!("svc-{i}"), 1 << 30);
+        units_seen.insert(info.name.unit);
+        infos.push(info);
+    }
+    assert_eq!(units_seen.len(), 2, "allocations span both units");
+    // Mount a space from unit 1 and kill its serving host: failover is
+    // handled by unit 1's controllers without touching unit 0.
+    let info = infos
+        .iter()
+        .find(|i| i.name.unit == UnitId(1))
+        .expect("unit 1 allocation");
+    let m = mount(&s, &client, info);
+    m.write(&s.sim, 0, b"u1".to_vec(), Box::new(|_, r| r.expect("write")));
+    run_for(&s, 2);
+    let rt1 = &s.runtimes[1];
+    let victim = rt1.attached_host(info.name.disk).expect("attached");
+    let unit0_map_before = s.runtimes[0].with_state(|st| st.attachment_map());
+    s.kill_unit_host(UnitId(1), victim);
+    let ok = Rc::new(Cell::new(false));
+    let o = ok.clone();
+    m.read(&s.sim, 0, 2, Box::new(move |_, r| {
+        assert_eq!(r.expect("read after unit-1 failover"), b"u1".to_vec());
+        o.set(true);
+    }));
+    run_for(&s, 30);
+    assert!(ok.get(), "unit 1 recovered");
+    // Unit 0 was untouched by unit 1's failover.
+    let unit0_map_after = s.runtimes[0].with_state(|st| st.attachment_map());
+    assert_eq!(unit0_map_before, unit0_map_after);
+    assert_ne!(
+        s.runtimes[1].attached_host(info.name.disk),
+        Some(victim),
+        "disk left the dead host"
+    );
+}
