@@ -51,8 +51,16 @@ pub fn topology_ablation() -> Report {
             .collect();
         st.displaced_by(&turns).len() as f64
     };
-    rows.push(Row::measured_only("leaf: disks moved per re-home", granularity(&leaf_state), "disks"));
-    rows.push(Row::measured_only("upper: disks moved per re-home", granularity(&upper_state), "disks"));
+    rows.push(Row::measured_only(
+        "leaf: disks moved per re-home",
+        granularity(&leaf_state),
+        "disks",
+    ));
+    rows.push(Row::measured_only(
+        "upper: disks moved per re-home",
+        granularity(&upper_state),
+        "disks",
+    ));
     Report::new("Ablation: switch placement (Fig. 2 left vs right)", rows)
 }
 
@@ -61,10 +69,12 @@ pub fn topology_ablation() -> Report {
 pub fn heartbeat_sweep(seed: u64) -> Report {
     let mut rows = Vec::new();
     for timeout_ms in [500u64, 1000, 2000, 4000] {
-        let mut cfg = SystemConfig::default();
-        cfg.master = MasterConfig {
-            heartbeat_timeout: Duration::from_millis(timeout_ms),
-            ..MasterConfig::default()
+        let cfg = SystemConfig {
+            master: MasterConfig {
+                heartbeat_timeout: Duration::from_millis(timeout_ms),
+                ..MasterConfig::default()
+            },
+            ..SystemConfig::default()
         };
         let s = ustore::UStoreSystem::build(Sim::new(seed.wrapping_add(timeout_ms)), cfg);
         s.settle();
@@ -92,10 +102,15 @@ pub fn heartbeat_sweep(seed: u64) -> Report {
         s.kill_host(victim);
         let done = Rc::new(Cell::new(SimTime::ZERO));
         let d = done.clone();
-        mounted.read(&s.sim, 0, 1, Box::new(move |sim, r| {
-            r.expect("recovered read");
-            d.set(sim.now());
-        }));
+        mounted.read(
+            &s.sim,
+            0,
+            1,
+            Box::new(move |sim, r| {
+                r.expect("recovered read");
+                d.set(sim.now());
+            }),
+        );
         s.sim.run_until(s.sim.now() + Duration::from_secs(40));
         let total = done.get().saturating_duration_since(t0);
         rows.push(Row::measured_only(
@@ -121,8 +136,9 @@ pub fn allocation_ablation(seed: u64) -> Report {
             alloc.register_disk(UnitId(0), DiskId(d), 3_000_000_000_000);
         }
         let mut rng = SimRng::seed_from(seed);
-        let attachments: BTreeMap<(UnitId, DiskId), HostId> =
-            (0..16u32).map(|d| ((UnitId(0), DiskId(d)), HostId(d / 4))).collect();
+        let attachments: BTreeMap<(UnitId, DiskId), HostId> = (0..16u32)
+            .map(|d| ((UnitId(0), DiskId(d)), HostId(d / 4)))
+            .collect();
         for svc in 0..SERVICES {
             for _ in 0..SPACES_PER_SERVICE {
                 if policy_paper {
@@ -186,8 +202,15 @@ mod tests {
                 .measured
         };
         assert!(get("upper: fabric retail") < get("leaf: fabric retail"));
-        assert_eq!(get("leaf: disks moved per re-home"), 1.0, "leaf moves one disk");
-        assert!(get("upper: disks moved per re-home") >= 4.0, "upper moves a group");
+        assert_eq!(
+            get("leaf: disks moved per re-home"),
+            1.0,
+            "leaf moves one disk"
+        );
+        assert!(
+            get("upper: disks moved per re-home") >= 4.0,
+            "upper moves a group"
+        );
     }
 
     #[test]
@@ -200,7 +223,11 @@ mod tests {
             "4000 ms timeout ({last:.1}s) should be clearly slower than 500 ms ({first:.1}s)"
         );
         // And the difference is roughly the timeout delta (3.5 s).
-        assert!((last - first - 3.5).abs() < 1.5, "delta {:.1}", last - first);
+        assert!(
+            (last - first - 3.5).abs() < 1.5,
+            "delta {:.1}",
+            last - first
+        );
     }
 
     #[test]
@@ -208,7 +235,10 @@ mod tests {
         let rep = allocation_ablation(802);
         let paper = rep.rows[0].measured;
         let random = rep.rows[1].measured;
-        assert!(paper <= 2.0, "affinity packs a service on few disks: {paper}");
+        assert!(
+            paper <= 2.0,
+            "affinity packs a service on few disks: {paper}"
+        );
         assert!(random > paper, "random placement spreads more: {random}");
     }
 }

@@ -7,9 +7,12 @@
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
 //! failover hdfs rolling ablation all` (default: `all`). Output shows
 //! paper value vs measured value with the relative error; `--json` emits
-//! the same data machine-readably.
+//! the same data machine-readably, plus (when the failover experiment
+//! runs) a `telemetry` object carrying the metrics snapshot and the
+//! failover span tree of one run.
 
 use ustore_bench::{ablation, failover, fig5, fig6, hdfs, power, table2, Report};
+use ustore_sim::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,14 +44,15 @@ fn main() {
     }
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = [
-            "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6",
-            "failover", "hdfs", "rolling", "ablation",
+            "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
+            "hdfs", "rolling", "ablation",
         ]
         .iter()
         .map(|s| (*s).to_owned())
         .collect();
     }
     let mut reports: Vec<Report> = Vec::new();
+    let mut telemetry: Option<Json> = None;
     for pick in &picks {
         match pick.as_str() {
             "table1" => reports.push(power::table1()),
@@ -59,7 +63,11 @@ fn main() {
             "fig5" => reports.extend(fig5::fig5(seed)),
             "duplex" => reports.push(fig5::duplex(seed)),
             "fig6" => reports.push(fig6::fig6(seed, repeats)),
-            "failover" => reports.push(failover::failover_report(seed)),
+            "failover" => {
+                let (rep, tele) = failover::failover_report_traced(seed);
+                reports.push(rep);
+                telemetry = Some(tele);
+            }
             "hdfs" => reports.push(hdfs::hdfs_report(seed)),
             "rolling" => reports.push(power::rolling_spin_up_ablation(seed)),
             "ablation" => {
@@ -71,14 +79,25 @@ fn main() {
         }
     }
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&reports).expect("reports serialize")
-        );
+        let mut doc = Json::obj([
+            ("seed", Json::u64(seed)),
+            ("reports", Json::arr(reports.iter().map(Report::to_json))),
+        ]);
+        if let Some(tele) = telemetry {
+            doc.insert("telemetry", tele);
+        }
+        println!("{}", doc.pretty());
     } else {
         println!("UStore reproduction — paper vs simulation (seed {seed})\n");
         for rep in &reports {
             println!("{rep}");
+        }
+        if let Some(tele) = &telemetry {
+            let spans = tele
+                .get("spans")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            println!("telemetry: {spans} spans captured (rerun with --json for the full export)");
         }
     }
 }

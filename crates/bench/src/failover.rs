@@ -6,6 +6,12 @@
 //! completes again, decomposed into detection (heartbeat timeout),
 //! reconfiguration (Algorithm 1 + switch actuation + re-enumeration), and
 //! restore (target re-export + remount).
+//!
+//! The decomposition is read off the `failover` span tree the system
+//! emits (root opened at the kill, `failover.detection` /
+//! `failover.reconfiguration` / `failover.remount` children closed as
+//! each phase hands off), not by pattern-matching trace strings; the
+//! telemetry export carries the same tree machine-readably.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -14,7 +20,7 @@ use std::time::Duration;
 use ustore::{Mounted, SpaceInfo, UStoreSystem};
 use ustore_fabric::HostId;
 use ustore_net::BlockDevice;
-use ustore_sim::{SimTime, TraceLevel};
+use ustore_sim::{Json, SimTime, TraceLevel};
 
 use crate::report::{Report, Row};
 
@@ -34,12 +40,27 @@ pub struct FailoverTiming {
     pub victim: HostId,
 }
 
+/// One failover run: the measured breakdown plus the machine-readable
+/// telemetry (metrics snapshot + span tree) of the system that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverRun {
+    /// The phase breakdown.
+    pub timing: FailoverTiming,
+    /// `{"experiment", "seed", "victim", "total_s", "metrics", "spans"}`.
+    pub telemetry: Json,
+}
+
 /// Runs one full failover and measures the breakdown.
 ///
 /// `victim_index` selects which of the four hosts to kill (the paper's
 /// claim is "arbitrary single host failure", including the hosts carrying
 /// the active microcontroller and the primary Controller).
 pub fn run_failover(seed: u64, victim_index: u32) -> FailoverTiming {
+    run_failover_traced(seed, victim_index).timing
+}
+
+/// Like [`run_failover`], also returning the run's telemetry.
+pub fn run_failover_traced(seed: u64, victim_index: u32) -> FailoverRun {
     let s = UStoreSystem::prototype(seed);
     s.sim.with_trace(|t| t.set_min_level(TraceLevel::Info));
     s.settle();
@@ -61,7 +82,12 @@ pub fn run_failover(seed: u64, victim_index: u32) -> FailoverTiming {
     });
     s.sim.run_until(s.sim.now() + Duration::from_secs(10));
     let mounted = mounted.borrow().clone().expect("mounted");
-    mounted.write(&s.sim, 0, b"payload".to_vec(), Box::new(|_, r| r.expect("write")));
+    mounted.write(
+        &s.sim,
+        0,
+        b"payload".to_vec(),
+        Box::new(|_, r| r.expect("write")),
+    );
     s.sim.run_until(s.sim.now() + Duration::from_secs(2));
 
     // Kill the host serving the space — unless the caller asked for a
@@ -78,55 +104,106 @@ pub fn run_failover(seed: u64, victim_index: u32) -> FailoverTiming {
 
     // The client's next read defines "recovered" when its space was on
     // the victim; otherwise recovery is just the fabric-side completion.
+    // The read's completion also closes the `failover.remount` phase and
+    // the root span, so the span tree's child durations sum exactly to
+    // the end-to-end recovery time.
     let read_done = Rc::new(Cell::new(SimTime::ZERO));
     if serving {
         let r2 = read_done.clone();
-        mounted.read(&s.sim, 0, 7, Box::new(move |sim, r| {
-            r.expect("read after failover");
-            r2.set(sim.now());
-        }));
+        mounted.read(
+            &s.sim,
+            0,
+            7,
+            Box::new(move |sim, r| {
+                r.expect("read after failover");
+                r2.set(sim.now());
+                if let Some(remount) = sim.find_open_span("failover.remount") {
+                    sim.span_end(remount);
+                }
+                if let Some(root) = sim.find_open_span("failover") {
+                    sim.span_end(root);
+                }
+            }),
+        );
     }
     s.sim.run_until(s.sim.now() + Duration::from_secs(30));
 
-    // Extract the phase boundaries from the trace.
-    let (declared, reconfigured) = s.sim.with_trace(|t| {
-        let declared = t
-            .events()
-            .iter()
-            .find(|e| e.at >= t0 && e.message.contains("missed heartbeats"))
-            .map(|e| e.at);
-        let reconfigured = t
-            .events()
-            .iter()
-            .find(|e| e.at >= t0 && e.message.contains("failover of") && e.message.contains("complete"))
-            .map(|e| e.at);
-        (declared, reconfigured)
+    // Extract the phase boundaries from the failover span tree.
+    let (detection, reconfiguration, remount) = s.sim.with_spans(|t| {
+        let root = t
+            .by_name("failover")
+            .filter(|sp| sp.start >= t0)
+            .last()
+            .expect("failover root span")
+            .id;
+        let child = |n: &str| t.children(root).find(|c| c.name == n).cloned();
+        (
+            child("failover.detection"),
+            child("failover.reconfiguration"),
+            child("failover.remount"),
+        )
     });
-    let declared = declared.expect("master detected the failure");
-    let reconfigured = reconfigured.expect("fabric reconfigured");
+    let declared = detection
+        .expect("detection span")
+        .end
+        .expect("master detected the failure");
+    let reconfigured = reconfiguration
+        .expect("reconfiguration span")
+        .end
+        .expect("fabric reconfigured");
     let end = if serving {
         let t = read_done.get();
         assert!(t > SimTime::ZERO, "client read completed");
+        let r = remount.expect("remount span");
+        assert_eq!(r.end, Some(t), "remount phase closes at the client's read");
         t
     } else {
         reconfigured
     };
-    FailoverTiming {
-        detection: declared.saturating_duration_since(t0),
-        reconfiguration: reconfigured.saturating_duration_since(declared),
-        restore: end.saturating_duration_since(reconfigured),
-        total: end.saturating_duration_since(t0),
-        victim,
+
+    // Snapshot the telemetry: per-disk power-state residency gauges plus
+    // the full span log.
+    s.runtime.publish_residency(&s.sim);
+    let telemetry = Json::obj([
+        ("experiment", Json::str("failover")),
+        ("seed", Json::u64(seed)),
+        ("victim", Json::str(victim.to_string())),
+        (
+            "total_s",
+            Json::f64(end.saturating_duration_since(t0).as_secs_f64()),
+        ),
+        ("metrics", s.sim.metrics_snapshot().to_json()),
+        ("spans", s.sim.with_spans(|t| t.to_json())),
+    ]);
+    FailoverRun {
+        timing: FailoverTiming {
+            detection: declared.saturating_duration_since(t0),
+            reconfiguration: reconfigured.saturating_duration_since(declared),
+            restore: end.saturating_duration_since(reconfigured),
+            total: end.saturating_duration_since(t0),
+            victim,
+        },
+        telemetry,
     }
 }
 
 /// Regenerates the failover headline (averaged over all four victims).
 pub fn failover_report(seed: u64) -> Report {
+    failover_report_traced(seed).0
+}
+
+/// Like [`failover_report`], also returning the first run's telemetry.
+pub fn failover_report_traced(seed: u64) -> (Report, Json) {
     let mut rows = Vec::new();
     let mut totals = Duration::ZERO;
     let mut count = 0u32;
+    let mut telemetry = None;
     for v in 0..4u32 {
-        let t = run_failover(seed.wrapping_add(u64::from(v)), u32::MAX);
+        let run = run_failover_traced(seed.wrapping_add(u64::from(v)), u32::MAX);
+        let t = run.timing.clone();
+        if telemetry.is_none() {
+            telemetry = Some(run.telemetry);
+        }
         rows.push(Row::measured_only(
             format!("detection (victim run {v})"),
             t.detection.as_secs_f64(),
@@ -157,7 +234,10 @@ pub fn failover_report(seed: u64) -> Report {
         (totals / count).as_secs_f64(),
         "s",
     ));
-    Report::new("§I / §VII host-failure recovery", rows)
+    (
+        Report::new("§I / §VII host-failure recovery", rows),
+        telemetry.expect("at least one run"),
+    )
 }
 
 #[cfg(test)]
@@ -174,6 +254,66 @@ mod tests {
         );
         assert!(t.detection < Duration::from_secs(2));
         assert!(t.reconfiguration < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn telemetry_span_tree_sums_to_total_and_has_residency_gauges() {
+        let run = run_failover_traced(403, u32::MAX);
+        let tele = &run.telemetry;
+
+        // The failover is a parented span tree whose phase durations sum
+        // to the end-to-end recovery time.
+        let spans = tele
+            .get("spans")
+            .and_then(Json::as_arr)
+            .expect("spans array");
+        let root = spans
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some("failover"))
+            .expect("failover root span");
+        let root_id = root.get("id").and_then(Json::as_f64).expect("root id");
+        let dur = |s: &Json| {
+            s.get("end_ns").and_then(Json::as_f64).expect("closed span")
+                - s.get("start_ns").and_then(Json::as_f64).expect("start")
+        };
+        let phases: Vec<&Json> = spans
+            .iter()
+            .filter(|s| s.get("parent").and_then(Json::as_f64) == Some(root_id))
+            .collect();
+        let names: Vec<&str> = phases
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "failover.detection",
+                "failover.reconfiguration",
+                "failover.remount"
+            ],
+            "phase children in order"
+        );
+        let phase_sum: f64 = phases.iter().map(|s| dur(s)).sum();
+        let root_dur = dur(root);
+        assert!(
+            (phase_sum - root_dur).abs() < 1e-6,
+            "phases {phase_sum} ns vs root {root_dur} ns"
+        );
+        assert!(
+            (root_dur / 1e9 - run.timing.total.as_secs_f64()).abs() < 1e-6,
+            "root span is the reported end-to-end time"
+        );
+
+        // Per-disk power-state residency gauges are present.
+        let gauges = tele
+            .get("metrics")
+            .and_then(|m| m.get("gauges"))
+            .expect("gauges object");
+        assert!(
+            gauges.get("disk0/power.residency.idle_s").is_some()
+                || gauges.get("disk0/power.residency.active_s").is_some(),
+            "disk0 residency gauge exported"
+        );
     }
 
     #[test]

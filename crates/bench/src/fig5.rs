@@ -44,8 +44,9 @@ pub fn disks_on_one_host(sim: &Sim, n: usize) -> (FabricRuntime, Vec<DiskId>) {
     sim.run_until(sim.now() + Duration::from_secs(10));
     let groups_needed = n.div_ceil(4);
     for g in 1..groups_needed {
-        let pairs: Vec<(DiskId, HostId)> =
-            (0..4).map(|i| (DiskId((g * 4 + i) as u32), HostId(0))).collect();
+        let pairs: Vec<(DiskId, HostId)> = (0..4)
+            .map(|i| (DiskId((g * 4 + i) as u32), HostId(0)))
+            .collect();
         rt.execute(sim, pairs, |_, r| r.expect("steer group to host 0"));
         sim.run_until(sim.now() + Duration::from_secs(10));
     }
@@ -58,7 +59,13 @@ pub fn disks_on_one_host(sim: &Sim, n: usize) -> (FabricRuntime, Vec<DiskId>) {
 }
 
 /// Runs `spec` with one worker per disk and returns merged stats.
-pub fn aggregate(sim: &Sim, rt: &FabricRuntime, disks: &[DiskId], spec: &AccessSpec, window: Duration) -> WorkloadStats {
+pub fn aggregate(
+    sim: &Sim,
+    rt: &FabricRuntime,
+    disks: &[DiskId],
+    spec: &AccessSpec,
+    window: Duration,
+) -> WorkloadStats {
     let workers: Vec<Worker> = disks
         .iter()
         .map(|d| {
@@ -94,7 +101,11 @@ pub fn series(spec: &AccessSpec, seed: u64) -> Vec<(usize, f64)> {
                 Duration::from_secs(3)
             };
             let stats = aggregate(&sim, &rt, &disks, spec, window);
-            let v = if spec.request_bytes >= 1 << 20 { stats.mbps() } else { stats.iops() };
+            let v = if spec.request_bytes >= 1 << 20 {
+                stats.mbps()
+            } else {
+                stats.iops()
+            };
             (n, v)
         })
         .collect()
@@ -103,15 +114,19 @@ pub fn series(spec: &AccessSpec, seed: u64) -> Vec<(usize, f64)> {
 /// Regenerates Figure 5 (four representative workload series).
 pub fn fig5(seed: u64) -> Vec<Report> {
     let workloads = [
-        AccessSpec::new(4096, 100, false), // 4K-S-R
-        AccessSpec::new(4096, 0, false),   // 4K-S-W
+        AccessSpec::new(4096, 100, false),    // 4K-S-R
+        AccessSpec::new(4096, 0, false),      // 4K-S-W
         AccessSpec::new(4 << 20, 100, false), // 4M-S-R
         AccessSpec::new(4 << 20, 100, true),  // 4M-R-R
     ];
     workloads
         .iter()
         .map(|spec| {
-            let unit: &'static str = if spec.request_bytes >= 1 << 20 { "MB/s" } else { "IO/s" };
+            let unit: &'static str = if spec.request_bytes >= 1 << 20 {
+                "MB/s"
+            } else {
+                "IO/s"
+            };
             let rows = series(spec, seed)
                 .into_iter()
                 .map(|(n, v)| Row::measured_only(format!("{spec} x{n} disks"), v, unit))
@@ -176,9 +191,17 @@ mod tests {
         let spec = AccessSpec::new(4 << 20, 100, false);
         let s = series(&spec, 201);
         let by_n: std::collections::BTreeMap<usize, f64> = s.into_iter().collect();
-        assert!((by_n[&1] - 185.0).abs() < 10.0, "single disk {:.0}", by_n[&1]);
+        assert!(
+            (by_n[&1] - 185.0).abs() < 10.0,
+            "single disk {:.0}",
+            by_n[&1]
+        );
         assert!(by_n[&2] > 280.0, "two disks fill the root: {:.0}", by_n[&2]);
-        assert!(by_n[&12] < 320.0, "root bandwidth caps at ~300: {:.0}", by_n[&12]);
+        assert!(
+            by_n[&12] < 320.0,
+            "root bandwidth caps at ~300: {:.0}",
+            by_n[&12]
+        );
     }
 
     #[test]
@@ -191,7 +214,11 @@ mod tests {
         // ...saturated by 8: adding 4 more disks buys little.
         let growth = by_n[&12] / by_n[&8];
         assert!(growth < 1.15, "8->12 grows {growth:.2}x (saturated)");
-        assert!(by_n[&8] > 35_000.0, "root sustains ~43k IO/s: {:.0}", by_n[&8]);
+        assert!(
+            by_n[&8] > 35_000.0,
+            "root sustains ~43k IO/s: {:.0}",
+            by_n[&8]
+        );
     }
 
     #[test]

@@ -157,7 +157,11 @@ pub fn hdfs_report(seed: u64) -> Report {
                 "s",
             ),
             Row::measured_only("block write errors", o.write_errors as f64, "ops"),
-            Row::measured_only("read returned correct data", if o.read_ok { 1.0 } else { 0.0 }, "bool"),
+            Row::measured_only(
+                "read returned correct data",
+                if o.read_ok { 1.0 } else { 0.0 },
+                "bool",
+            ),
             Row::measured_only("reader replica failovers", o.read_failovers as f64, "ops"),
         ],
     )
@@ -173,8 +177,7 @@ mod tests {
         assert!(o.write_completed, "write resumed and finished");
         assert!(o.write_errors > 0, "client saw transient errors");
         assert!(
-            o.error_window > Duration::from_millis(500)
-                && o.error_window < Duration::from_secs(20),
+            o.error_window > Duration::from_millis(500) && o.error_window < Duration::from_secs(20),
             "'several seconds' of errors, got {:?}",
             o.error_window
         );

@@ -2,8 +2,9 @@
 //!
 //! One module per paper artefact; each produces [`Report`]s comparing the
 //! paper's values against measurements from the simulated system. The
-//! `repro` binary prints them; the Criterion benches time them; the
-//! integration tests assert the shape claims.
+//! `repro` binary prints them (and, with `--json`, the machine-readable
+//! telemetry export); the benches time them; the integration tests assert
+//! the shape claims.
 //!
 //! | Module | Paper artefact |
 //! |---|---|

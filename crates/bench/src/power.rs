@@ -39,7 +39,12 @@ fn disk_watts(profile: DiskProfile, mode: &str, seed: u64) -> f64 {
         other => panic!("unknown mode {other}"),
     }
     sim.run_until(sim.now() + window);
-    disk.energy_joules(&sim) / window.as_secs_f64()
+    // Read the measurement off the published metrics rather than the
+    // model's accessor — the bench consumes the same telemetry any other
+    // client of the registry sees.
+    disk.publish_residency(&sim);
+    let m = sim.metrics_snapshot();
+    m.gauge("d", "power.energy_j").expect("energy gauge") / window.as_secs_f64()
 }
 
 /// Regenerates Table III (one disk's power, SATA vs USB bridge).
@@ -48,15 +53,23 @@ pub fn table3(seed: u64) -> Report {
         ("SATA spin down", DiskProfile::sata(), "spin_down", 0.05),
         ("SATA idle", DiskProfile::sata(), "idle", 4.71),
         ("SATA read/write", DiskProfile::sata(), "rw", 6.66),
-        ("USB bridge spin down", DiskProfile::usb_bridge(), "spin_down", 1.56),
+        (
+            "USB bridge spin down",
+            DiskProfile::usb_bridge(),
+            "spin_down",
+            1.56,
+        ),
         ("USB bridge idle", DiskProfile::usb_bridge(), "idle", 5.76),
-        ("USB bridge read/write", DiskProfile::usb_bridge(), "rw", 7.56),
+        (
+            "USB bridge read/write",
+            DiskProfile::usb_bridge(),
+            "rw",
+            7.56,
+        ),
     ];
     let rows = paper
         .into_iter()
-        .map(|(label, profile, mode, p)| {
-            Row::new(label, p, disk_watts(profile, mode, seed), "W")
-        })
+        .map(|(label, profile, mode, p)| Row::new(label, p, disk_watts(profile, mode, seed), "W"))
         .collect();
     Report::new("Table III (one disk's power)", rows)
 }
@@ -86,7 +99,12 @@ pub fn table5() -> Report {
             };
             vec![
                 Row::new(format!("{} spinning", r.name), paper.0, r.spinning_w, "W"),
-                Row::new(format!("{} powered off", r.name), paper.1, r.powered_off_w, "W"),
+                Row::new(
+                    format!("{} powered off", r.name),
+                    paper.1,
+                    r.powered_off_w,
+                    "W",
+                ),
             ]
         })
         .collect();
@@ -101,9 +119,19 @@ pub fn table1() -> Report {
         .into_iter()
         .zip(paper_capex.iter().zip(paper_attex.iter()))
         .flat_map(|(r, (pc, pa))| {
-            let mut v = vec![Row::new(format!("{} CapEx", r.name), *pc, r.capex / 1000.0, "$k")];
+            let mut v = vec![Row::new(
+                format!("{} CapEx", r.name),
+                *pc,
+                r.capex / 1000.0,
+                "$k",
+            )];
             if let (Some(pa), Some(attex)) = (pa, r.attex) {
-                v.push(Row::new(format!("{} AttEx", r.name), *pa, attex / 1000.0, "$k"));
+                v.push(Row::new(
+                    format!("{} AttEx", r.name),
+                    *pa,
+                    attex / 1000.0,
+                    "$k",
+                ));
             }
             v
         })
@@ -123,9 +151,13 @@ pub fn rolling_spin_up_ablation(seed: u64) -> Report {
         let peak = Rc::new(Cell::new(0.0f64));
         let p = peak.clone();
         let rt2 = rt.clone();
-        sim.every(Duration::from_millis(50), Duration::from_millis(50), move |_| {
-            p.set(p.get().max(rt2.unit_power_w()));
-        });
+        sim.every(
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+            move |_| {
+                p.set(p.get().max(rt2.unit_power_w()));
+            },
+        );
         let t0 = sim.now();
         rt.rolling_spin_up(&sim, Duration::from_millis(stagger_ms));
         sim.run_until(sim.now() + Duration::from_secs(80));
@@ -136,6 +168,20 @@ pub fn rolling_spin_up_ablation(seed: u64) -> Report {
             format!("peak W @ stagger {stagger_ms} ms"),
             peak.get(),
             "W",
+        ));
+        // Power-state residency from the metrics registry: total
+        // spinning-up seconds across the unit (grows with the stagger).
+        rt.publish_residency(&sim);
+        let snap = sim.metrics_snapshot();
+        let spin_s: f64 = rt
+            .disk_ids()
+            .iter()
+            .filter_map(|d| snap.gauge(&d.to_string(), "power.residency.spinning_up_s"))
+            .sum();
+        rows.push(Row::measured_only(
+            format!("spin-up disk-seconds @ stagger {stagger_ms} ms"),
+            spin_s,
+            "s",
         ));
     }
     Report::new("Ablation: rolling spin-up peak power", rows)
@@ -174,8 +220,14 @@ mod tests {
     #[test]
     fn rolling_spin_up_cuts_peak_power() {
         let rep = rolling_spin_up_ablation(602);
-        let all_at_once = rep.rows[0].measured;
-        let staggered = rep.rows.last().expect("rows").measured;
+        let peaks: Vec<f64> = rep
+            .rows
+            .iter()
+            .filter(|r| r.label.starts_with("peak W"))
+            .map(|r| r.measured)
+            .collect();
+        let all_at_once = peaks[0];
+        let staggered = *peaks.last().expect("rows");
         assert!(
             staggered < all_at_once * 0.45,
             "staggered {staggered:.0} W vs simultaneous {all_at_once:.0} W"

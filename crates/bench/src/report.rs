@@ -2,10 +2,10 @@
 
 use std::fmt;
 
-use serde::Serialize;
+use ustore_sim::Json;
 
 /// One measured quantity compared against the paper.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// What is being measured (e.g. `"SATA 4K-S-R"`).
     pub label: String,
@@ -20,17 +20,37 @@ pub struct Row {
 impl Row {
     /// Creates a row with a paper reference value.
     pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Row {
-        Row { label: label.into(), paper: Some(paper), measured, unit }
+        Row {
+            label: label.into(),
+            paper: Some(paper),
+            measured,
+            unit,
+        }
     }
 
     /// Creates a row without a paper value (figure-only data).
     pub fn measured_only(label: impl Into<String>, measured: f64, unit: &'static str) -> Row {
-        Row { label: label.into(), paper: None, measured, unit }
+        Row {
+            label: label.into(),
+            paper: None,
+            measured,
+            unit,
+        }
     }
 
     /// Relative error vs the paper, if a paper value exists.
     pub fn error_pct(&self) -> Option<f64> {
         self.paper.map(|p| 100.0 * (self.measured - p) / p)
+    }
+
+    /// Stable JSON export: `{"label", "paper", "measured", "unit"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label.clone())),
+            ("paper", self.paper.map_or(Json::Null, Json::f64)),
+            ("measured", Json::f64(self.measured)),
+            ("unit", Json::str(self.unit)),
+        ])
     }
 }
 
@@ -57,7 +77,7 @@ impl fmt::Display for Row {
 }
 
 /// A titled group of rows (one table or figure).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Table/figure identifier (e.g. `"Table II"`).
     pub title: String,
@@ -68,7 +88,10 @@ pub struct Report {
 impl Report {
     /// Creates a report.
     pub fn new(title: impl Into<String>, rows: Vec<Row>) -> Report {
-        Report { title: title.into(), rows }
+        Report {
+            title: title.into(),
+            rows,
+        }
     }
 
     /// Largest absolute relative error across rows with paper values.
@@ -78,6 +101,14 @@ impl Report {
             .filter_map(Row::error_pct)
             .map(f64::abs)
             .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Stable JSON export: `{"title", "rows": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::str(self.title.clone())),
+            ("rows", Json::arr(self.rows.iter().map(Row::to_json))),
+        ])
     }
 }
 
@@ -117,5 +148,20 @@ mod tests {
         );
         assert_eq!(rep.worst_error_pct(), Some(10.0));
         assert!(rep.to_string().starts_with("== T =="));
+    }
+
+    #[test]
+    fn json_export_schema_is_stable() {
+        let rep = Report::new(
+            "T",
+            vec![
+                Row::new("a", 100.0, 90.0, "W"),
+                Row::measured_only("c", 1.5, "s"),
+            ],
+        );
+        assert_eq!(
+            rep.to_json().to_string(),
+            r#"{"title":"T","rows":[{"label":"a","paper":100,"measured":90,"unit":"W"},{"label":"c","paper":null,"measured":1.5,"unit":"s"}]}"#
+        );
     }
 }

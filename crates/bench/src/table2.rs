@@ -34,7 +34,12 @@ pub const PAPER_HS: [f64; 12] = [
 /// The 12 access specs of Table II, in row order.
 pub fn specs() -> Vec<AccessSpec> {
     let mut v = Vec::new();
-    for (bytes, random) in [(4096u64, false), (4096, true), (4 << 20, false), (4 << 20, true)] {
+    for (bytes, random) in [
+        (4096u64, false),
+        (4096, true),
+        (4 << 20, false),
+        (4 << 20, true),
+    ] {
         for pct in [100u8, 50, 0] {
             v.push(AccessSpec::new(bytes, pct, random));
         }
@@ -104,7 +109,11 @@ pub fn table2(seed: u64) -> Vec<Report> {
             .zip(paper.iter())
             .map(|(spec, paper)| {
                 let measured = run_disk_cell(profile.clone(), spec, seed);
-                let unit = if spec.request_bytes >= 1 << 20 { "MB/s" } else { "IO/s" };
+                let unit = if spec.request_bytes >= 1 << 20 {
+                    "MB/s"
+                } else {
+                    "IO/s"
+                };
                 Row::new(format!("{config} {spec}"), *paper, measured, unit)
             })
             .collect();
@@ -115,7 +124,11 @@ pub fn table2(seed: u64) -> Vec<Report> {
         .zip(PAPER_HS.iter())
         .map(|(spec, paper)| {
             let measured = run_fabric_cell(spec, seed);
-            let unit = if spec.request_bytes >= 1 << 20 { "MB/s" } else { "IO/s" };
+            let unit = if spec.request_bytes >= 1 << 20 {
+                "MB/s"
+            } else {
+                "IO/s"
+            };
             Row::new(format!("H&S {spec}"), *paper, measured, unit)
         })
         .collect();
@@ -133,7 +146,11 @@ mod tests {
         // tests; here we verify the full per-IO pipeline agrees).
         let s = run_disk_cell(DiskProfile::sata(), &AccessSpec::new(4096, 100, false), 1);
         assert!((s - 13378.0).abs() / 13378.0 < 0.05, "{s}");
-        let u = run_disk_cell(DiskProfile::usb_bridge(), &AccessSpec::new(4 << 20, 100, false), 1);
+        let u = run_disk_cell(
+            DiskProfile::usb_bridge(),
+            &AccessSpec::new(4 << 20, 100, false),
+            1,
+        );
         assert!((u - 185.8).abs() / 185.8 < 0.05, "{u}");
     }
 

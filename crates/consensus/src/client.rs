@@ -253,7 +253,11 @@ impl CoordClient {
                     c.pinging = true;
                 }
                 this.arm_ping(sim);
-                sim.trace(TraceLevel::Info, "coord-client", format!("session {id} open"));
+                sim.trace(
+                    TraceLevel::Info,
+                    "coord-client",
+                    format!("session {id} open"),
+                );
                 cb(sim, Ok(id));
             }
             Err(e) => cb(sim, Err(e)),
@@ -310,7 +314,12 @@ impl CoordClient {
         };
         self.write(
             sim,
-            Command::Create { session, path: path.into(), data, mode },
+            Command::Create {
+                session,
+                path: path.into(),
+                data,
+                mode,
+            },
             move |sim, r| {
                 cb(
                     sim,
@@ -331,9 +340,16 @@ impl CoordClient {
         version: Option<u64>,
         cb: impl FnOnce(&Sim, Result<(), ClientError>) + 'static,
     ) {
-        self.write(sim, Command::Delete { path: path.into(), version }, move |sim, r| {
-            cb(sim, r.map(|_| ()));
-        });
+        self.write(
+            sim,
+            Command::Delete {
+                path: path.into(),
+                version,
+            },
+            move |sim, r| {
+                cb(sim, r.map(|_| ()));
+            },
+        );
     }
 
     /// Replaces a znode's data; `cb` receives the new version.
@@ -347,7 +363,11 @@ impl CoordClient {
     ) {
         self.write(
             sim,
-            Command::SetData { path: path.into(), data, version },
+            Command::SetData {
+                path: path.into(),
+                data,
+                version,
+            },
             move |sim, r| {
                 cb(
                     sim,
@@ -375,7 +395,10 @@ impl CoordClient {
             let id = c.next_watch;
             c.next_watch += 1;
             c.watches.insert(id, cb);
-            WatchReg { watch_id: id, children: children_watch }
+            WatchReg {
+                watch_id: id,
+                children: children_watch,
+            }
         });
         self.request(sim, ClientReq::Read { op, watch: reg }, move |sim, resp| {
             let r = match resp {
@@ -414,15 +437,21 @@ impl CoordClient {
         watch: Option<Box<dyn FnOnce(&Sim, WatchEvent)>>,
         cb: impl FnOnce(&Sim, Result<bool, ClientError>) + 'static,
     ) {
-        self.read(sim, ReadOp::Exists(path.into()), watch, false, move |sim, r| {
-            cb(
-                sim,
-                r.map(|rr| match rr {
-                    ReadResult::Exists(b) => b,
-                    other => unreachable!("exists returned {other:?}"),
-                }),
-            );
-        });
+        self.read(
+            sim,
+            ReadOp::Exists(path.into()),
+            watch,
+            false,
+            move |sim, r| {
+                cb(
+                    sim,
+                    r.map(|rr| match rr {
+                        ReadResult::Exists(b) => b,
+                        other => unreachable!("exists returned {other:?}"),
+                    }),
+                );
+            },
+        );
     }
 
     /// Sorted child names, optionally leaving a one-shot children watch.
@@ -433,15 +462,21 @@ impl CoordClient {
         watch: Option<Box<dyn FnOnce(&Sim, WatchEvent)>>,
         cb: impl FnOnce(&Sim, Result<Vec<String>, ClientError>) + 'static,
     ) {
-        self.read(sim, ReadOp::Children(path.into()), watch, true, move |sim, r| {
-            cb(
-                sim,
-                r.map(|rr| match rr {
-                    ReadResult::Children(c) => c,
-                    other => unreachable!("children returned {other:?}"),
-                }),
-            );
-        });
+        self.read(
+            sim,
+            ReadOp::Children(path.into()),
+            watch,
+            true,
+            move |sim, r| {
+                cb(
+                    sim,
+                    r.map(|rr| match rr {
+                        ReadResult::Children(c) => c,
+                        other => unreachable!("children returned {other:?}"),
+                    }),
+                );
+            },
+        );
     }
 }
 
@@ -551,41 +586,45 @@ impl Election {
     }
 
     fn evaluate(self: &Rc<Self>, sim: &Sim) {
-        let Some(me) = self.me.borrow().clone() else { return };
+        let Some(me) = self.me.borrow().clone() else {
+            return;
+        };
         let this = self.clone();
-        self.client.children_watch(sim, self.base.clone(), None, move |sim, r| {
-            let Ok(mut kids) = r else { return };
-            kids.sort();
-            let my_name = me.rsplit('/').next().expect("path has name").to_owned();
-            let Some(my_idx) = kids.iter().position(|k| *k == my_name) else {
-                // Our node is gone (session expired): we lost.
-                (this.on_change)(sim, false);
-                return;
-            };
-            if my_idx == 0 {
-                sim.trace(
-                    TraceLevel::Info,
-                    "election",
-                    format!("{} leads {}", my_name, this.base),
-                );
-                (this.on_change)(sim, true);
-            } else {
-                // Watch the predecessor's deletion, then re-evaluate.
-                let pred = format!("{}/{}", this.base, kids[my_idx - 1]);
-                let this2 = this.clone();
-                let watch: Box<dyn FnOnce(&Sim, WatchEvent)> = Box::new(move |sim, _ev| {
-                    this2.evaluate(sim);
-                });
-                let this3 = this.clone();
-                this.client.exists_watch(sim, pred, Some(watch), move |sim, r| {
-                    // If the predecessor vanished between listing and watch
-                    // registration, re-evaluate immediately.
-                    if let Ok(false) = r {
-                        this3.evaluate(sim);
-                    }
-                });
-            }
-        });
+        self.client
+            .children_watch(sim, self.base.clone(), None, move |sim, r| {
+                let Ok(mut kids) = r else { return };
+                kids.sort();
+                let my_name = me.rsplit('/').next().expect("path has name").to_owned();
+                let Some(my_idx) = kids.iter().position(|k| *k == my_name) else {
+                    // Our node is gone (session expired): we lost.
+                    (this.on_change)(sim, false);
+                    return;
+                };
+                if my_idx == 0 {
+                    sim.trace(
+                        TraceLevel::Info,
+                        "election",
+                        format!("{} leads {}", my_name, this.base),
+                    );
+                    (this.on_change)(sim, true);
+                } else {
+                    // Watch the predecessor's deletion, then re-evaluate.
+                    let pred = format!("{}/{}", this.base, kids[my_idx - 1]);
+                    let this2 = this.clone();
+                    let watch: Box<dyn FnOnce(&Sim, WatchEvent)> = Box::new(move |sim, _ev| {
+                        this2.evaluate(sim);
+                    });
+                    let this3 = this.clone();
+                    this.client
+                        .exists_watch(sim, pred, Some(watch), move |sim, r| {
+                            // If the predecessor vanished between listing and watch
+                            // registration, re-evaluate immediately.
+                            if let Ok(false) = r {
+                                this3.evaluate(sim);
+                            }
+                        });
+                }
+            });
     }
 }
 
@@ -708,7 +747,12 @@ mod tests {
         f.sim.run_until(SimTime::from_secs(2));
         let client = connected_client(&f, "client-a");
         // Kill the current leader.
-        let leader = f.servers.iter().find(|s| s.is_leader()).expect("leader").clone();
+        let leader = f
+            .servers
+            .iter()
+            .find(|s| s.is_leader())
+            .expect("leader")
+            .clone();
         leader.pause();
         f.net.set_down(&f.sim, &leader.addr());
         // Issue a write immediately; the client should retry to the new
@@ -735,13 +779,25 @@ mod tests {
         f.sim.run_until(SimTime::from_secs(2));
         let a = connected_client(&f, "client-a");
         let b = connected_client(&f, "client-b");
-        a.create(&f.sim, "/live", Vec::new(), CreateMode::Persistent, |_, r| {
-            r.expect("base");
-        });
+        a.create(
+            &f.sim,
+            "/live",
+            Vec::new(),
+            CreateMode::Persistent,
+            |_, r| {
+                r.expect("base");
+            },
+        );
         f.sim.run_until(f.sim.now() + Duration::from_secs(2));
-        a.create(&f.sim, "/live/host-a", Vec::new(), CreateMode::Ephemeral, |_, r| {
-            r.expect("ephemeral");
-        });
+        a.create(
+            &f.sim,
+            "/live/host-a",
+            Vec::new(),
+            CreateMode::Ephemeral,
+            |_, r| {
+                r.expect("ephemeral");
+            },
+        );
         f.sim.run_until(f.sim.now() + Duration::from_secs(2));
         // Watch from b, then crash a.
         let fired = Rc::new(Cell::new(false));

@@ -22,7 +22,9 @@ pub mod paxos;
 pub mod rsm;
 pub mod store;
 
-pub use client::{CoordClient, ClientConfig, ClientError, Election};
-pub use paxos::{Acceptor, AcceptReply, Ballot, PrepareReply, Proposer};
+pub use client::{ClientConfig, ClientError, CoordClient, Election};
+pub use paxos::{AcceptReply, Acceptor, Ballot, PrepareReply, Proposer};
 pub use rsm::{CoordConfig, CoordServer, ReadOp, ReadResult, WatchNotification, WatchReg};
-pub use store::{Applied, Command, CreateMode, SessionId, Stat, StoreError, WatchEvent, ZnodeStore};
+pub use store::{
+    Applied, Command, CreateMode, SessionId, Stat, StoreError, WatchEvent, ZnodeStore,
+};

@@ -33,7 +33,10 @@ impl Ballot {
 
     /// The next round for `node`, strictly greater than `self`.
     pub fn next_for(self, node: u32) -> Ballot {
-        Ballot { round: self.round + 1, node }
+        Ballot {
+            round: self.round + 1,
+            node,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ pub enum AcceptReply {
 impl<V: Clone> Acceptor<V> {
     /// Creates a fresh acceptor.
     pub fn new() -> Self {
-        Acceptor { promised: None, accepted: None }
+        Acceptor {
+            promised: None,
+            accepted: None,
+        }
     }
 
     /// Handles phase 1a.
@@ -95,7 +101,10 @@ impl<V: Clone> Acceptor<V> {
             Some(p) if p > ballot => PrepareReply::Rejected { promised: p },
             _ => {
                 self.promised = Some(ballot);
-                PrepareReply::Promised { ballot, accepted: self.accepted.clone() }
+                PrepareReply::Promised {
+                    ballot,
+                    accepted: self.accepted.clone(),
+                }
             }
         }
     }
@@ -219,14 +228,22 @@ mod tests {
     #[test]
     fn acceptor_promises_monotonically() {
         let mut a: Acceptor<u32> = Acceptor::new();
-        assert!(matches!(a.on_prepare(Ballot::new(2, 0)), PrepareReply::Promised { .. }));
+        assert!(matches!(
+            a.on_prepare(Ballot::new(2, 0)),
+            PrepareReply::Promised { .. }
+        ));
         // Lower ballot rejected.
         assert_eq!(
             a.on_prepare(Ballot::new(1, 0)),
-            PrepareReply::Rejected { promised: Ballot::new(2, 0) }
+            PrepareReply::Rejected {
+                promised: Ballot::new(2, 0)
+            }
         );
         // Equal or higher fine.
-        assert!(matches!(a.on_prepare(Ballot::new(2, 0)), PrepareReply::Promised { .. }));
+        assert!(matches!(
+            a.on_prepare(Ballot::new(2, 0)),
+            PrepareReply::Promised { .. }
+        ));
     }
 
     #[test]
@@ -235,7 +252,9 @@ mod tests {
         a.on_prepare(Ballot::new(1, 0));
         assert_eq!(
             a.on_accept(Ballot::new(1, 0), "v1"),
-            AcceptReply::Accepted { ballot: Ballot::new(1, 0) }
+            AcceptReply::Accepted {
+                ballot: Ballot::new(1, 0)
+            }
         );
         match a.on_prepare(Ballot::new(2, 1)) {
             PrepareReply::Promised { accepted, .. } => {
@@ -251,7 +270,9 @@ mod tests {
         a.on_prepare(Ballot::new(5, 0));
         assert_eq!(
             a.on_accept(Ballot::new(3, 0), "old"),
-            AcceptReply::Rejected { promised: Ballot::new(5, 0) }
+            AcceptReply::Rejected {
+                promised: Ballot::new(5, 0)
+            }
         );
         assert!(a.accepted().is_none());
     }
@@ -260,7 +281,10 @@ mod tests {
     fn accept_without_prepare_is_allowed() {
         // Multi-Paxos leaders skip phase 1 for new slots.
         let mut a: Acceptor<&str> = Acceptor::new();
-        assert!(matches!(a.on_accept(Ballot::new(1, 0), "v"), AcceptReply::Accepted { .. }));
+        assert!(matches!(
+            a.on_accept(Ballot::new(1, 0), "v"),
+            AcceptReply::Accepted { .. }
+        ));
     }
 
     #[test]
@@ -311,10 +335,15 @@ mod tests {
             let mut acceptors: Vec<Acceptor<&str>> = vec![Acceptor::new(); 3];
             let mut chosen: Vec<&str> = Vec::new();
             // Proposer A at ballot (1,0) value "a", proposer B at (2,1) "b".
-            for (pi, (ballot, value)) in
-                [(Ballot::new(1, 0), "a"), (Ballot::new(2, 1), "b")].iter().enumerate()
+            for (pi, (ballot, value)) in [(Ballot::new(1, 0), "a"), (Ballot::new(2, 1), "b")]
+                .iter()
+                .enumerate()
             {
-                let order = if schedule & (1 << pi) == 0 { [0usize, 1, 2] } else { [2, 1, 0] };
+                let order = if schedule & (1 << pi) == 0 {
+                    [0usize, 1, 2]
+                } else {
+                    [2, 1, 0]
+                };
                 let mut prop = Proposer::new(*ballot, 2);
                 let mut phase2 = false;
                 for &ai in &order {

@@ -23,7 +23,7 @@ use std::time::Duration;
 use ustore_net::{Addr, Network, Responder, RpcNode};
 use ustore_sim::{Sim, SimTime, TraceLevel};
 
-use crate::paxos::{Acceptor, AcceptReply, Ballot, PrepareReply, Proposer};
+use crate::paxos::{AcceptReply, Acceptor, Ballot, PrepareReply, Proposer};
 use crate::store::{Applied, Command, SessionId, StoreError, WatchEvent, ZnodeStore};
 
 /// Cluster timing parameters.
@@ -137,13 +137,8 @@ pub enum ReadResult {
 #[derive(Clone)]
 pub(crate) enum ClientReq {
     Write(Command),
-    Read {
-        op: ReadOp,
-        watch: Option<WatchReg>,
-    },
-    Ping {
-        session: SessionId,
-    },
+    Read { op: ReadOp, watch: Option<WatchReg> },
+    Ping { session: SessionId },
 }
 
 #[derive(Clone)]
@@ -322,7 +317,12 @@ impl CoordServer {
     pub fn applied_log(&self) -> Vec<Command> {
         let s = self.inner.borrow();
         (0..s.applied)
-            .map(|i| s.chosen.get(&i).expect("applied entries are chosen").clone())
+            .map(|i| {
+                s.chosen
+                    .get(&i)
+                    .expect("applied entries are chosen")
+                    .clone()
+            })
             .collect()
     }
 
@@ -421,9 +421,12 @@ impl CoordServer {
             let mut s = self.inner.borrow_mut();
             let ballot = s.ballot.next_for(s.id);
             s.ballot = ballot;
-            s.role = Role::Candidate { promises: Vec::new() };
+            s.role = Role::Candidate {
+                promises: Vec::new(),
+            };
             (ballot, s.applied, s.peers.clone(), s.id)
         };
+        sim.count(&format!("coord-{me}"), "consensus.elections", 1);
         sim.trace(
             TraceLevel::Info,
             "coord",
@@ -531,6 +534,11 @@ impl CoordServer {
             s.peer_have.clear();
             todo
         };
+        sim.count(
+            &format!("coord-{}", self.id()),
+            "consensus.leader_changes",
+            1,
+        );
         sim.trace(
             TraceLevel::Info,
             "coord",
@@ -615,6 +623,7 @@ impl CoordServer {
             let mut s = self.inner.borrow_mut();
             if !matches!(s.role, Role::Leader) {
                 drop(s);
+                sim.count(&format!("coord-{}", self.id()), "consensus.redirects", 1);
                 if let Some(r) = responder {
                     let hint = self.leader_hint();
                     r.reply(sim, Rc::new(ClientResp::Redirect(hint)), 16);
@@ -625,6 +634,7 @@ impl CoordServer {
             s.next_slot += 1;
             (s.ballot, slot)
         };
+        sim.count(&format!("coord-{}", self.id()), "consensus.proposals", 1);
         if let Some(r) = responder {
             self.inner.borrow_mut().pending.insert(slot, r);
         }
@@ -750,7 +760,10 @@ impl CoordServer {
                     for e in entries {
                         to_send.push((
                             e.client,
-                            WatchNotification { watch_id: e.watch_id, event: ev.clone() },
+                            WatchNotification {
+                                watch_id: e.watch_id,
+                                event: ev.clone(),
+                            },
                         ));
                     }
                 }
@@ -758,8 +771,15 @@ impl CoordServer {
         }
         let timeout = self.inner.borrow().config.rpc_timeout;
         for (client, notif) in to_send {
-            self.rpc
-                .call::<()>(sim, &client, "coord.event", Rc::new(notif), 64, timeout, |_, _| {});
+            self.rpc.call::<()>(
+                sim,
+                &client,
+                "coord.event",
+                Rc::new(notif),
+                64,
+                timeout,
+                |_, _| {},
+            );
         }
     }
 
@@ -819,7 +839,10 @@ impl CoordServer {
         let mut accepted = Vec::new();
         for (slot, acc) in s.acceptors.range_mut(req.from_slot..) {
             match acc.on_prepare(req.ballot) {
-                PrepareReply::Promised { accepted: Some((b, v)), .. } => {
+                PrepareReply::Promised {
+                    accepted: Some((b, v)),
+                    ..
+                } => {
                     accepted.push((*slot, b, v));
                 }
                 PrepareReply::Promised { .. } => {}
@@ -847,11 +870,16 @@ impl CoordServer {
         }
         let me = s.id;
         if req.ballot < s.ballot {
-            return Some(AcceptResp { from: me, ok: false });
+            return Some(AcceptResp {
+                from: me,
+                ok: false,
+            });
         }
         s.ballot = req.ballot;
         if req.ballot.node != me {
-            s.role = Role::Follower { leader: Some(req.ballot.node) };
+            s.role = Role::Follower {
+                leader: Some(req.ballot.node),
+            };
             s.timer_gen += 1;
             drop(s);
             self.arm_election_timer(sim);
@@ -880,7 +908,9 @@ impl CoordServer {
             }
             s.ballot = req.ballot;
             if req.leader != s.id {
-                s.role = Role::Follower { leader: Some(req.leader) };
+                s.role = Role::Follower {
+                    leader: Some(req.leader),
+                };
                 s.timer_gen += 1;
             }
             for (slot, cmd) in &req.entries {
@@ -890,7 +920,9 @@ impl CoordServer {
         self.arm_election_timer(sim);
         self.apply_ready(sim);
         let s = self.inner.borrow();
-        Some(LearnResp { have_upto: s.commit_upto() })
+        Some(LearnResp {
+            have_upto: s.commit_upto(),
+        })
     }
 
     fn handle_client(&self, sim: &Sim, req: ClientReq, responder: Responder) {
@@ -911,13 +943,19 @@ impl CoordServer {
                 // Any client activity refreshes its session.
                 if let Command::Create { session, .. } = &cmd {
                     let now = sim.now();
-                    self.inner.borrow_mut().session_last_heard.insert(*session, now);
+                    self.inner
+                        .borrow_mut()
+                        .session_last_heard
+                        .insert(*session, now);
                 }
                 self.propose_internal(sim, cmd, Some(responder));
             }
             ClientReq::Ping { session } => {
                 let now = sim.now();
-                self.inner.borrow_mut().session_last_heard.insert(session, now);
+                self.inner
+                    .borrow_mut()
+                    .session_last_heard
+                    .insert(session, now);
                 responder.reply(sim, Rc::new(ClientResp::Pong), 8);
             }
             ClientReq::Read { op, watch } => {
@@ -925,19 +963,22 @@ impl CoordServer {
                 let result = {
                     let mut s = self.inner.borrow_mut();
                     let result = match &op {
-                        ReadOp::Get(p) => ReadResult::Data(
-                            s.store.get(p).map(|(d, stat)| (d, stat.version)),
-                        ),
+                        ReadOp::Get(p) => {
+                            ReadResult::Data(s.store.get(p).map(|(d, stat)| (d, stat.version)))
+                        }
                         ReadOp::Exists(p) => ReadResult::Exists(s.store.exists(p)),
-                        ReadOp::Children(p) => ReadResult::Children(
-                            s.store.children(p).map(str::to_owned).collect(),
-                        ),
+                        ReadOp::Children(p) => {
+                            ReadResult::Children(s.store.children(p).map(str::to_owned).collect())
+                        }
                     };
                     if let Some(w) = watch {
                         let path = match &op {
                             ReadOp::Get(p) | ReadOp::Exists(p) | ReadOp::Children(p) => p.clone(),
                         };
-                        let entry = WatchEntry { watch_id: w.watch_id, client: peer };
+                        let entry = WatchEntry {
+                            watch_id: w.watch_id,
+                            client: peer,
+                        };
                         if w.children {
                             s.child_watches.entry(path).or_default().push(entry);
                         } else {
@@ -1042,7 +1083,10 @@ mod tests {
         let longest = logs.iter().map(Vec::len).max().expect("logs");
         assert!(longest >= 11);
         for log in &logs {
-            assert_eq!(&logs[0][..log.len().min(logs[0].len())], &log[..log.len().min(logs[0].len())]);
+            assert_eq!(
+                &logs[0][..log.len().min(logs[0].len())],
+                &log[..log.len().min(logs[0].len())]
+            );
         }
     }
 
@@ -1068,14 +1112,15 @@ mod tests {
         old.pause();
         net.set_down(&sim, &old.addr());
         sim.run_until(SimTime::from_secs(6));
-        let survivors: Vec<&CoordServer> =
-            servers.iter().filter(|s| s.id() != old.id()).collect();
-        let new_leaders: Vec<&&CoordServer> =
-            survivors.iter().filter(|s| s.is_leader()).collect();
+        let survivors: Vec<&CoordServer> = servers.iter().filter(|s| s.id() != old.id()).collect();
+        let new_leaders: Vec<&&CoordServer> = survivors.iter().filter(|s| s.is_leader()).collect();
         assert_eq!(new_leaders.len(), 1, "new leader among survivors");
         let nl = new_leaders[0];
         assert_ne!(nl.id(), old.id());
-        assert!(nl.with_store(|st| st.get("/durable").is_some()), "log preserved");
+        assert!(
+            nl.with_store(|st| st.get("/durable").is_some()),
+            "log preserved"
+        );
     }
 
     #[test]
@@ -1109,7 +1154,11 @@ mod tests {
         let (_net, servers) = cluster(&sim, 5);
         sim.run_until(SimTime::from_secs(2));
         let l = leader(&servers).expect("leader").clone();
-        let bystander = servers.iter().find(|s| !s.is_leader()).expect("follower").clone();
+        let bystander = servers
+            .iter()
+            .find(|s| !s.is_leader())
+            .expect("follower")
+            .clone();
         bystander.pause();
         propose_ok(&sim, &l, Command::CreateSession { id: 3 });
         propose_ok(

@@ -31,7 +31,10 @@ pub enum CreateMode {
 impl CreateMode {
     /// Whether this mode ties the node to a session.
     pub fn is_ephemeral(self) -> bool {
-        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+        matches!(
+            self,
+            CreateMode::Ephemeral | CreateMode::EphemeralSequential
+        )
     }
 
     /// Whether this mode appends a sequence number.
@@ -236,13 +239,18 @@ impl ZnodeStore {
                 }
                 (Ok(Applied::SessionExpired(removed)), events)
             }
-            Command::Create { session, path, data, mode } => {
-                self.create(*session, path, data.clone(), *mode)
-            }
+            Command::Create {
+                session,
+                path,
+                data,
+                mode,
+            } => self.create(*session, path, data.clone(), *mode),
             Command::Delete { path, version } => self.delete(path, *version),
-            Command::SetData { path, data, version } => {
-                self.set_data(path, data.clone(), *version)
-            }
+            Command::SetData {
+                path,
+                data,
+                version,
+            } => self.set_data(path, data.clone(), *version),
         }
     }
 
@@ -431,7 +439,9 @@ mod tests {
 
     fn store_with_session() -> ZnodeStore {
         let mut s = ZnodeStore::new();
-        s.apply(&Command::CreateSession { id: 1 }).0.expect("session");
+        s.apply(&Command::CreateSession { id: 1 })
+            .0
+            .expect("session");
         s
     }
 
@@ -462,7 +472,10 @@ mod tests {
         });
         assert_eq!(r, Ok(Applied::DataSet(1)));
         assert_eq!(evs, vec![WatchEvent::DataChanged("/a".into())]);
-        let (r, _) = s.apply(&Command::Delete { path: "/a".into(), version: None });
+        let (r, _) = s.apply(&Command::Delete {
+            path: "/a".into(),
+            version: None,
+        });
         assert_eq!(r, Ok(Applied::Deleted));
         assert!(s.get("/a").is_none());
     }
@@ -470,10 +483,16 @@ mod tests {
     #[test]
     fn parent_must_exist_and_duplicates_rejected() {
         let mut s = store_with_session();
-        assert_eq!(create(&mut s, "/a/b", CreateMode::Persistent), Err(StoreError::NoNode));
+        assert_eq!(
+            create(&mut s, "/a/b", CreateMode::Persistent),
+            Err(StoreError::NoNode)
+        );
         create(&mut s, "/a", CreateMode::Persistent).expect("create /a");
         create(&mut s, "/a/b", CreateMode::Persistent).expect("create /a/b");
-        assert_eq!(create(&mut s, "/a", CreateMode::Persistent), Err(StoreError::NodeExists));
+        assert_eq!(
+            create(&mut s, "/a", CreateMode::Persistent),
+            Err(StoreError::NodeExists)
+        );
     }
 
     #[test]
@@ -482,7 +501,11 @@ mod tests {
         create(&mut s, "/a", CreateMode::Persistent).expect("a");
         create(&mut s, "/a/b", CreateMode::Persistent).expect("b");
         assert_eq!(
-            s.apply(&Command::Delete { path: "/a".into(), version: None }).0,
+            s.apply(&Command::Delete {
+                path: "/a".into(),
+                version: None
+            })
+            .0,
             Err(StoreError::NotEmpty)
         );
     }
@@ -492,19 +515,35 @@ mod tests {
         let mut s = store_with_session();
         create(&mut s, "/a", CreateMode::Persistent).expect("a");
         assert_eq!(
-            s.apply(&Command::SetData { path: "/a".into(), data: vec![], version: Some(3) }).0,
+            s.apply(&Command::SetData {
+                path: "/a".into(),
+                data: vec![],
+                version: Some(3)
+            })
+            .0,
             Err(StoreError::BadVersion)
         );
-        s.apply(&Command::SetData { path: "/a".into(), data: vec![], version: Some(0) })
-            .0
-            .expect("v0 matches");
+        s.apply(&Command::SetData {
+            path: "/a".into(),
+            data: vec![],
+            version: Some(0),
+        })
+        .0
+        .expect("v0 matches");
         assert_eq!(
-            s.apply(&Command::Delete { path: "/a".into(), version: Some(0) }).0,
+            s.apply(&Command::Delete {
+                path: "/a".into(),
+                version: Some(0)
+            })
+            .0,
             Err(StoreError::BadVersion)
         );
-        s.apply(&Command::Delete { path: "/a".into(), version: Some(1) })
-            .0
-            .expect("v1 matches");
+        s.apply(&Command::Delete {
+            path: "/a".into(),
+            version: Some(1),
+        })
+        .0
+        .expect("v1 matches");
     }
 
     #[test]
@@ -534,7 +573,12 @@ mod tests {
     fn explicit_delete_of_ephemeral_detaches_from_session() {
         let mut s = store_with_session();
         create(&mut s, "/e", CreateMode::Ephemeral).expect("e");
-        s.apply(&Command::Delete { path: "/e".into(), version: None }).0.expect("del");
+        s.apply(&Command::Delete {
+            path: "/e".into(),
+            version: None,
+        })
+        .0
+        .expect("del");
         let (r, _) = s.apply(&Command::ExpireSession { id: 1 });
         assert_eq!(r, Ok(Applied::SessionExpired(vec![]))); // nothing left to remove
     }
@@ -614,7 +658,7 @@ mod tests {
 
     #[test]
     fn determinism_identical_command_streams() {
-        let cmds = vec![
+        let cmds = [
             Command::CreateSession { id: 1 },
             Command::Create {
                 session: 1,
@@ -628,7 +672,11 @@ mod tests {
                 data: vec![],
                 mode: CreateMode::EphemeralSequential,
             },
-            Command::SetData { path: "/x".into(), data: b"2".to_vec(), version: None },
+            Command::SetData {
+                path: "/x".into(),
+                data: b"2".to_vec(),
+                version: None,
+            },
             Command::ExpireSession { id: 1 },
         ];
         let mut a = ZnodeStore::new();

@@ -64,8 +64,7 @@ impl DiskSpace {
     /// First-fit gap of at least `size` bytes, if any.
     fn find_gap(&self, size: u64) -> Option<u64> {
         let mut cursor = 0u64;
-        let mut spans: Vec<(u64, u64)> =
-            self.extents.values().map(|e| (e.offset, e.len)).collect();
+        let mut spans: Vec<(u64, u64)> = self.extents.values().map(|e| (e.offset, e.len)).collect();
         spans.sort_unstable();
         for (off, len) in spans {
             if off.saturating_sub(cursor) >= size {
@@ -132,7 +131,9 @@ impl Allocator {
         }
         let mut candidates: Vec<((UnitId, DiskId), i64, u64, u64)> = Vec::new();
         for (key, ds) in &self.disks {
-            let Some(gap) = ds.find_gap(size) else { continue };
+            let Some(gap) = ds.find_gap(size) else {
+                continue;
+            };
             let mut score = 0i64;
             if ds.serves(service) {
                 score += 2;
@@ -148,22 +149,30 @@ impl Allocator {
         // (least free) to keep a service's data on few spindles; otherwise
         // prefer the emptiest for balance.
         candidates.sort_by(|a, b| {
-            b.1.cmp(&a.1).then_with(|| {
-                if a.1 >= 2 {
-                    a.2.cmp(&b.2) // pack
-                } else {
-                    b.2.cmp(&a.2) // balance
-                }
-            })
-            .then_with(|| a.0.cmp(&b.0))
+            b.1.cmp(&a.1)
+                .then_with(|| {
+                    if a.1 >= 2 {
+                        a.2.cmp(&b.2) // pack
+                    } else {
+                        b.2.cmp(&a.2) // balance
+                    }
+                })
+                .then_with(|| a.0.cmp(&b.0))
         });
         let ((unit, disk), _, _, offset) = *candidates.first().ok_or(AllocError::NoSpace)?;
         let ds = self.disks.get_mut(&(unit, disk)).expect("candidate exists");
         let space = ds.next_space;
         ds.next_space += 1;
-        let extent = Extent { offset, len: size, service: service.to_owned() };
+        let extent = Extent {
+            offset,
+            len: size,
+            service: service.to_owned(),
+        };
         ds.extents.insert(space, extent.clone());
-        Ok(Allocation { name: SpaceName::new(unit, disk, space), extent })
+        Ok(Allocation {
+            name: SpaceName::new(unit, disk, space),
+            extent,
+        })
     }
 
     /// Restores an allocation read back from persistent metadata.
@@ -171,7 +180,11 @@ impl Allocator {
         let ds = self
             .disks
             .entry((name.unit, name.disk))
-            .or_insert(DiskSpace { capacity: u64::MAX, next_space: 0, extents: BTreeMap::new() });
+            .or_insert(DiskSpace {
+                capacity: u64::MAX,
+                next_space: 0,
+                extents: BTreeMap::new(),
+            });
         ds.next_space = ds.next_space.max(name.space + 1);
         ds.extents.insert(name.space, extent);
     }
@@ -186,12 +199,18 @@ impl Allocator {
             .disks
             .get_mut(&(name.unit, name.disk))
             .ok_or(AllocError::NoSuchSpace)?;
-        ds.extents.remove(&name.space).map(|_| ()).ok_or(AllocError::NoSuchSpace)
+        ds.extents
+            .remove(&name.space)
+            .map(|_| ())
+            .ok_or(AllocError::NoSuchSpace)
     }
 
     /// Looks up an allocation.
     pub fn lookup(&self, name: SpaceName) -> Option<&Extent> {
-        self.disks.get(&(name.unit, name.disk))?.extents.get(&name.space)
+        self.disks
+            .get(&(name.unit, name.disk))?
+            .extents
+            .get(&name.space)
     }
 
     /// All spaces allocated on one disk.
@@ -299,7 +318,8 @@ mod tests {
         // 3 GB free but max contiguous gap is 2 GB (tail) — the paper's
         // spaces are contiguous extents.
         assert!(a.allocate("s", GB * 5 / 2, &no_attach(), None).is_err());
-        a.allocate("s", 2 * GB, &no_attach(), None).expect("tail gap fits");
+        a.allocate("s", 2 * GB, &no_attach(), None)
+            .expect("tail gap fits");
     }
 
     #[test]
@@ -310,11 +330,13 @@ mod tests {
             AllocError::ZeroSize
         );
         assert_eq!(
-            a.release(SpaceName::new(UnitId(0), DiskId(0), 9)).unwrap_err(),
+            a.release(SpaceName::new(UnitId(0), DiskId(0), 9))
+                .unwrap_err(),
             AllocError::NoSuchSpace
         );
         assert_eq!(
-            a.release(SpaceName::new(UnitId(5), DiskId(0), 0)).unwrap_err(),
+            a.release(SpaceName::new(UnitId(5), DiskId(0), 0))
+                .unwrap_err(),
             AllocError::NoSuchSpace
         );
     }

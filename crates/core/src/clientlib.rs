@@ -17,10 +17,8 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use ustore_fabric::DiskId;
-use ustore_net::{
-    Addr, BlockDevice, BlockError, IscsiSession, Network, ReadCb, RpcNode, WriteCb,
-};
-use ustore_sim::{Sim, TraceLevel};
+use ustore_net::{Addr, BlockDevice, BlockError, IscsiSession, Network, ReadCb, RpcNode, WriteCb};
+use ustore_sim::{Sim, SpanId, TraceLevel};
 
 use crate::ids::SpaceName;
 use crate::messages::{
@@ -95,7 +93,9 @@ pub struct UStoreClient {
 
 impl fmt::Debug for UStoreClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("UStoreClient").field("addr", self.rpc.addr()).finish()
+        f.debug_struct("UStoreClient")
+            .field("addr", self.rpc.addr())
+            .finish()
     }
 }
 
@@ -153,17 +153,15 @@ impl UStoreClient {
             body,
             128,
             self.config.master_timeout,
-            move |sim, r| {
-                match r {
-                    Ok(resp) => cb(sim, Ok((*resp).clone())),
-                    Err(_) => {
-                        *this.hint.borrow_mut() += 1;
-                        let backoff = this.config.master_backoff;
-                        let this2 = this.clone();
-                        sim.schedule_in(backoff, move |sim| {
-                            this2.master_call_attempt(sim, method, body2, attempts - 1, cb);
-                        });
-                    }
+            move |sim, r| match r {
+                Ok(resp) => cb(sim, Ok((*resp).clone())),
+                Err(_) => {
+                    *this.hint.borrow_mut() += 1;
+                    let backoff = this.config.master_backoff;
+                    let this2 = this.clone();
+                    sim.schedule_in(backoff, move |sim| {
+                        this2.master_call_attempt(sim, method, body2, attempts - 1, cb);
+                    });
                 }
             },
         );
@@ -311,8 +309,18 @@ impl UStoreClient {
 }
 
 enum QueuedOp {
-    Read { offset: u64, len: u64, cb: ReadCb, attempts: u32 },
-    Write { offset: u64, data: Vec<u8>, cb: WriteCb, attempts: u32 },
+    Read {
+        offset: u64,
+        len: u64,
+        cb: ReadCb,
+        attempts: u32,
+    },
+    Write {
+        offset: u64,
+        data: Vec<u8>,
+        cb: WriteCb,
+        attempts: u32,
+    },
 }
 
 struct Mount {
@@ -371,12 +379,19 @@ impl Mounted {
             let Some(session) = m.session.clone() else {
                 return; // remount in progress will re-pump
             };
-            let Some(op) = m.queue.pop_front() else { return };
+            let Some(op) = m.queue.pop_front() else {
+                return;
+            };
             (session, op)
         };
         let this = self.clone();
         match op {
-            QueuedOp::Read { offset, len, cb, attempts } => {
+            QueuedOp::Read {
+                offset,
+                len,
+                cb,
+                attempts,
+            } => {
                 session.read(sim, offset, len, move |sim, r| match r {
                     Ok(data) => {
                         cb(sim, Ok(data));
@@ -384,12 +399,22 @@ impl Mounted {
                     }
                     Err(e) => this.io_failed(
                         sim,
-                        QueuedOp::Read { offset, len, cb, attempts: attempts + 1 },
+                        QueuedOp::Read {
+                            offset,
+                            len,
+                            cb,
+                            attempts: attempts + 1,
+                        },
                         e.to_string(),
                     ),
                 });
             }
-            QueuedOp::Write { offset, data, cb, attempts } => {
+            QueuedOp::Write {
+                offset,
+                data,
+                cb,
+                attempts,
+            } => {
                 let data2 = data.clone();
                 session.write(sim, offset, data, move |sim, r| match r {
                     Ok(()) => {
@@ -398,7 +423,12 @@ impl Mounted {
                     }
                     Err(e) => this.io_failed(
                         sim,
-                        QueuedOp::Write { offset, data: data2, cb, attempts: attempts + 1 },
+                        QueuedOp::Write {
+                            offset,
+                            data: data2,
+                            cb,
+                            attempts: attempts + 1,
+                        },
                         e.to_string(),
                     ),
                 });
@@ -424,6 +454,7 @@ impl Mounted {
             m.queue.push_front(op);
             m.session = None;
         }
+        sim.count(&self.client.rpc.addr().to_string(), "client.io_retries", 1);
         sim.trace(
             TraceLevel::Warn,
             "clientlib",
@@ -445,14 +476,23 @@ impl Mounted {
             }
             m.remounting = true;
         }
+        sim.count(&self.client.rpc.addr().to_string(), "client.remounts", 1);
+        // A remount triggered by a failover joins that failover's remount
+        // phase; the initial mount (or a standalone recovery) is a root.
+        let span = match sim.find_open_span("failover.remount") {
+            Some(p) => sim.span_child(p, "clientlib", "client.remount"),
+            None => sim.span_start("clientlib", "client.remount"),
+        };
+        sim.span_attr(span, "space", self.name().to_string());
         let deadline = sim.now() + self.client.config.remount_deadline;
-        self.remount_attempt(sim, deadline, Box::new(done));
+        self.remount_attempt(sim, deadline, span, Box::new(done));
     }
 
     fn remount_attempt(
         &self,
         sim: &Sim,
         deadline: ustore_sim::SimTime,
+        span: SpanId,
         done: Box<dyn FnOnce(&Sim, Result<(), ClientLibError>)>,
     ) {
         if sim.now() >= deadline {
@@ -471,20 +511,37 @@ impl Mounted {
                     }
                 }
             }
-            done(sim, Err(ClientLibError::MountFailed("deadline exceeded".into())));
+            sim.span_attr(span, "error", "deadline");
+            sim.span_end(span);
+            done(
+                sim,
+                Err(ClientLibError::MountFailed("deadline exceeded".into())),
+            );
             return;
         }
         let name = self.name();
         let this = self.clone();
         self.client.lookup(sim, name, move |sim, r| {
-            let retry = move |this: Mounted, sim: &Sim, done: Box<dyn FnOnce(&Sim, Result<(), ClientLibError>)>| {
-                let backoff = this.client.config.remount_backoff;
-                let t2 = this.clone();
-                sim.schedule_in(backoff, move |sim| t2.remount_attempt(sim, deadline, done));
-            };
+            let retry =
+                move |this: Mounted,
+                      sim: &Sim,
+                      done: Box<dyn FnOnce(&Sim, Result<(), ClientLibError>)>| {
+                    sim.count(
+                        &this.client.rpc.addr().to_string(),
+                        "client.remount_retries",
+                        1,
+                    );
+                    let backoff = this.client.config.remount_backoff;
+                    let t2 = this.clone();
+                    sim.schedule_in(backoff, move |sim| {
+                        t2.remount_attempt(sim, deadline, span, done)
+                    });
+                };
             match r {
                 Err(ClientLibError::Master(MasterError::NoSuchSpace)) => {
                     this.inner.borrow_mut().remounting = false;
+                    sim.span_attr(span, "error", "no_such_space");
+                    sim.span_end(span);
                     done(sim, Err(ClientLibError::Master(MasterError::NoSuchSpace)));
                 }
                 Err(_) => retry(this, sim, done),
@@ -516,6 +573,7 @@ impl Mounted {
                                         for cb in callbacks {
                                             cb(sim);
                                         }
+                                        sim.span_end(span);
                                         sim.trace(
                                             TraceLevel::Info,
                                             "clientlib",
@@ -540,10 +598,26 @@ impl BlockDevice for Mounted {
     }
 
     fn read(&self, sim: &Sim, offset: u64, len: u64, cb: ReadCb) {
-        self.enqueue(sim, QueuedOp::Read { offset, len, cb, attempts: 0 });
+        self.enqueue(
+            sim,
+            QueuedOp::Read {
+                offset,
+                len,
+                cb,
+                attempts: 0,
+            },
+        );
     }
 
     fn write(&self, sim: &Sim, offset: u64, data: Vec<u8>, cb: WriteCb) {
-        self.enqueue(sim, QueuedOp::Write { offset, data, cb, attempts: 0 });
+        self.enqueue(
+            sim,
+            QueuedOp::Write {
+                offset,
+                data,
+                cb,
+                attempts: 0,
+            },
+        );
     }
 }

@@ -160,7 +160,9 @@ mod tests {
             &sim,
             &Addr::new("host-0"),
             "ctl.execute",
-            Rc::new(ExecuteReq { pairs: vec![(DiskId(0), HostId(1))] }),
+            Rc::new(ExecuteReq {
+                pairs: vec![(DiskId(0), HostId(1))],
+            }),
             128,
             Duration::from_secs(5),
             move |_, resp| {

@@ -20,9 +20,7 @@ use ustore_sim::{Sim, SimTime, TraceLevel};
 use ustore_usb::{DeviceKind, DeviceState, UsbEvent};
 
 use crate::ids::{SpaceName, UnitId};
-use crate::messages::{
-    DiskPowerReq, EndpointAck, ExposeReq, Heartbeat, HeartbeatAck, UnexposeReq,
-};
+use crate::messages::{DiskPowerReq, EndpointAck, ExposeReq, Heartbeat, HeartbeatAck, UnexposeReq};
 
 /// EndPoint tunables.
 #[derive(Debug, Clone)]
@@ -131,7 +129,9 @@ impl Endpoint {
         ep.install_handlers();
         // USB monitor: watch the local tree (the paper's `lsusb -t` watcher).
         let e2 = ep.clone();
-        runtime.usb_host(host).subscribe(move |sim, ev| e2.on_usb_event(sim, ev));
+        runtime
+            .usb_host(host)
+            .subscribe(move |sim, ev| e2.on_usb_event(sim, ev));
         ep.arm_heartbeat(sim);
         ep.arm_idle_checker(sim);
         ep
@@ -201,12 +201,24 @@ impl Endpoint {
     fn expose(&self, sim: &Sim, name: SpaceName, offset: u64, len: u64) {
         let already = {
             let mut ep = self.inner.borrow_mut();
-            let prev = ep.exposures.insert(name, Exposure { offset, len, exported: false });
+            let prev = ep.exposures.insert(
+                name,
+                Exposure {
+                    offset,
+                    len,
+                    exported: false,
+                },
+            );
             prev.is_some_and(|p| p.exported)
         };
         if already {
             // Re-expose (idempotent): mark exported again.
-            self.inner.borrow_mut().exposures.get_mut(&name).expect("present").exported = true;
+            self.inner
+                .borrow_mut()
+                .exposures
+                .get_mut(&name)
+                .expect("present")
+                .exported = true;
             return;
         }
         if self.runtime.disk_ready(name.disk)
@@ -224,20 +236,35 @@ impl Endpoint {
     /// Exports after the configured delay (partition scan, tgt reload).
     fn schedule_export(&self, sim: &Sim, name: SpaceName) {
         let delay = self.inner.borrow().config.export_delay;
+        // Exports after a failover are part of the remount phase (Fig. 6
+        // part 2); parent under it when one is open.
+        let span = match sim.find_open_span("failover.remount") {
+            Some(p) => sim.span_child(p, "endpoint", "endpoint.export"),
+            None => sim.span_start("endpoint", "endpoint.export"),
+        };
+        sim.span_attr(span, "space", name.to_string());
         let this = self.clone();
         sim.schedule_in(delay, move |sim| {
             let (offset, len, host) = {
                 let ep = this.inner.borrow();
                 if ep.paused {
+                    sim.span_attr(span, "error", "paused");
+                    sim.span_end(span);
                     return;
                 }
-                let Some(x) = ep.exposures.get(&name) else { return };
+                let Some(x) = ep.exposures.get(&name) else {
+                    sim.span_attr(span, "error", "withdrawn");
+                    sim.span_end(span);
+                    return;
+                };
                 (x.offset, x.len, ep.host)
             };
             // The disk may have moved away while we waited.
             if this.runtime.attached_host(name.disk) != Some(host)
                 || !this.runtime.disk_ready(name.disk)
             {
+                sim.span_attr(span, "error", "moved");
+                sim.span_end(span);
                 return;
             }
             let activity = this.activity_cell(sim, name.disk);
@@ -258,6 +285,8 @@ impl Endpoint {
             if let Some(x) = this.inner.borrow_mut().exposures.get_mut(&name) {
                 x.exported = true;
             }
+            sim.count(&this.addr().to_string(), "endpoint.exports", 1);
+            sim.span_end(span);
             sim.trace(
                 TraceLevel::Info,
                 "endpoint",
@@ -355,6 +384,7 @@ impl Endpoint {
             let target = ep.masters[ep.master_hint].clone();
             (hb, target, ep.config.rpc_timeout)
         };
+        sim.count(&self.addr().to_string(), "endpoint.heartbeats_sent", 1);
         let this = self.clone();
         self.rpc.call::<HeartbeatAck>(
             sim,
@@ -445,7 +475,11 @@ impl Endpoint {
             if self.runtime.attached_host(d) == Some(host) {
                 let disk = self.runtime.disk(d);
                 if disk.power_state() == PowerStateKind::Idle {
-                    sim.trace(TraceLevel::Info, "endpoint", format!("spinning down idle {d}"));
+                    sim.trace(
+                        TraceLevel::Info,
+                        "endpoint",
+                        format!("spinning down idle {d}"),
+                    );
                     disk.spin_down(sim);
                 }
             }

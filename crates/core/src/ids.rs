@@ -76,7 +76,11 @@ impl FromStr for SpaceName {
     type Err = ParseSpaceNameError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let parts: Vec<&str> = s.strip_prefix('/').ok_or(ParseSpaceNameError)?.split('/').collect();
+        let parts: Vec<&str> = s
+            .strip_prefix('/')
+            .ok_or(ParseSpaceNameError)?
+            .split('/')
+            .collect();
         if parts.len() != 3 {
             return Err(ParseSpaceNameError);
         }

@@ -26,12 +26,12 @@ use ustore_sim::{Sim, SimTime, TraceLevel};
 
 use crate::alloc::{Allocator, Extent};
 use crate::ids::{SpaceName, UnitId};
+use crate::messages::ExposeReq;
 use crate::messages::{
     AllocateReq, AllocateResp, DiskPowerReq, EndpointAck, ExecuteReq, ExecuteResp, Heartbeat,
     HeartbeatAck, LookupReq, LookupResp, MasterError, PlanReq, PlanResp, ReleaseReq, ReleaseResp,
     SpaceInfo, UnexposeReq,
 };
-use crate::messages::ExposeReq;
 
 /// Static configuration of one deploy unit (part of SysConf).
 #[derive(Debug, Clone)]
@@ -169,15 +169,24 @@ impl Master {
         let m2 = master.clone();
         coord.connect(sim, move |sim, r| {
             if r.is_err() {
-                sim.trace(TraceLevel::Error, "master", "cannot reach coordination service");
+                sim.trace(
+                    TraceLevel::Error,
+                    "master",
+                    "cannot reach coordination service",
+                );
                 return;
             }
             let m3 = m2.clone();
-            let election = Election::join(sim, &m2.coord, "/ustore/master-election", move |sim, leads| {
-                if leads {
-                    m3.activate(sim);
-                }
-            });
+            let election = Election::join(
+                sim,
+                &m2.coord,
+                "/ustore/master-election",
+                move |sim, leads| {
+                    if leads {
+                        m3.activate(sim);
+                    }
+                },
+            );
             *m2.election.borrow_mut() = Some(election);
         });
         master.arm_sweeper(sim);
@@ -208,7 +217,12 @@ impl Master {
 
     /// SysStat view: whether a host is believed alive.
     pub fn host_alive(&self, unit: UnitId, h: HostId) -> bool {
-        self.inner.borrow().host_alive.get(&(unit, h)).copied().unwrap_or(false)
+        self.inner
+            .borrow()
+            .host_alive
+            .get(&(unit, h))
+            .copied()
+            .unwrap_or(false)
     }
 
     // ---- Activation --------------------------------------------------------
@@ -229,48 +243,64 @@ impl Master {
     fn ensure_meta_paths(&self, sim: &Sim, then: impl FnOnce(&Sim) + 'static) {
         let coord = self.coord.clone();
         let coord2 = coord.clone();
-        coord.create(sim, "/ustore", Vec::new(), CreateMode::Persistent, move |sim, _| {
-            coord2.create(sim, "/ustore/alloc", Vec::new(), CreateMode::Persistent, move |sim, _| {
-                then(sim);
-            });
-        });
+        coord.create(
+            sim,
+            "/ustore",
+            Vec::new(),
+            CreateMode::Persistent,
+            move |sim, _| {
+                coord2.create(
+                    sim,
+                    "/ustore/alloc",
+                    Vec::new(),
+                    CreateMode::Persistent,
+                    move |sim, _| {
+                        then(sim);
+                    },
+                );
+            },
+        );
     }
 
     fn load_allocations(&self, sim: &Sim) {
         // Read /ustore/alloc/<space-name-with-escaped-slashes>.
         let this = self.clone();
-        self.coord.children_watch(sim, "/ustore/alloc", None, move |sim, r| {
-            let Ok(kids) = r else {
-                sim.trace(TraceLevel::Error, "master", "cannot list allocations");
-                return;
-            };
-            let total = kids.len();
-            if total == 0 {
-                this.finish_activation(sim);
-                return;
-            }
-            let remaining = Rc::new(RefCell::new(total));
-            for kid in kids {
-                let Some(name) = decode_space(&kid) else { continue };
-                let this2 = this.clone();
-                let remaining = remaining.clone();
-                this.coord.get(sim, format!("/ustore/alloc/{kid}"), move |sim, r| {
-                    if let Ok(Some((data, _))) = r {
-                        if let Some(extent) = decode_extent(&data) {
-                            this2.inner.borrow_mut().alloc.restore(name, extent);
-                        }
-                    }
-                    let done = {
-                        let mut rem = remaining.borrow_mut();
-                        *rem -= 1;
-                        *rem == 0
+        self.coord
+            .children_watch(sim, "/ustore/alloc", None, move |sim, r| {
+                let Ok(kids) = r else {
+                    sim.trace(TraceLevel::Error, "master", "cannot list allocations");
+                    return;
+                };
+                let total = kids.len();
+                if total == 0 {
+                    this.finish_activation(sim);
+                    return;
+                }
+                let remaining = Rc::new(RefCell::new(total));
+                for kid in kids {
+                    let Some(name) = decode_space(&kid) else {
+                        continue;
                     };
-                    if done {
-                        this2.finish_activation(sim);
-                    }
-                });
-            }
-        });
+                    let this2 = this.clone();
+                    let remaining = remaining.clone();
+                    this.coord
+                        .get(sim, format!("/ustore/alloc/{kid}"), move |sim, r| {
+                            if let Ok(Some((data, _))) = r {
+                                if let Some(extent) = decode_extent(&data) {
+                                    this2.inner.borrow_mut().alloc.restore(name, extent);
+                                }
+                            }
+                            let done = {
+                                let mut rem = remaining.borrow_mut();
+                                *rem -= 1;
+                                *rem == 0
+                            };
+                            if done {
+                                this2.finish_activation(sim);
+                            }
+                        });
+                }
+            });
     }
 
     fn finish_activation(&self, sim: &Sim) {
@@ -279,23 +309,29 @@ impl Master {
             m.active = true;
             m.activated_at = Some(sim.now());
         }
-        sim.trace(TraceLevel::Info, "master", format!("{} active", self.rpc.addr()));
+        sim.trace(
+            TraceLevel::Info,
+            "master",
+            format!("{} active", self.rpc.addr()),
+        );
     }
 
     // ---- RPC handlers ---------------------------------------------------------
 
     fn install_handlers(&self) {
         let m = self.clone();
-        self.rpc.serve("master.heartbeat", move |sim, req, responder| {
-            let hb: &Heartbeat = req.downcast_ref().expect("Heartbeat");
-            let ack = m.on_heartbeat(sim, hb);
-            responder.reply(sim, Rc::new(ack), 16);
-        });
+        self.rpc
+            .serve("master.heartbeat", move |sim, req, responder| {
+                let hb: &Heartbeat = req.downcast_ref().expect("Heartbeat");
+                let ack = m.on_heartbeat(sim, hb);
+                responder.reply(sim, Rc::new(ack), 16);
+            });
         let m = self.clone();
-        self.rpc.serve("master.allocate", move |sim, req, responder| {
-            let req: &AllocateReq = req.downcast_ref().expect("AllocateReq");
-            m.on_allocate(sim, req.clone(), responder);
-        });
+        self.rpc
+            .serve("master.allocate", move |sim, req, responder| {
+                let req: &AllocateReq = req.downcast_ref().expect("AllocateReq");
+                m.on_allocate(sim, req.clone(), responder);
+            });
         let m = self.clone();
         self.rpc.serve("master.lookup", move |sim, req, responder| {
             let req: &LookupReq = req.downcast_ref().expect("LookupReq");
@@ -303,15 +339,17 @@ impl Master {
             responder.reply(sim, Rc::new(resp), 128);
         });
         let m = self.clone();
-        self.rpc.serve("master.release", move |sim, req, responder| {
-            let req: &ReleaseReq = req.downcast_ref().expect("ReleaseReq");
-            m.on_release(sim, req.name, responder);
-        });
+        self.rpc
+            .serve("master.release", move |sim, req, responder| {
+                let req: &ReleaseReq = req.downcast_ref().expect("ReleaseReq");
+                m.on_release(sim, req.name, responder);
+            });
         let m = self.clone();
-        self.rpc.serve("master.disk_power", move |sim, req, responder| {
-            let req: &DiskPowerReq = req.downcast_ref().expect("DiskPowerReq");
-            m.on_disk_power(sim, req.clone(), responder);
-        });
+        self.rpc
+            .serve("master.disk_power", move |sim, req, responder| {
+                let req: &DiskPowerReq = req.downcast_ref().expect("DiskPowerReq");
+                m.on_disk_power(sim, req.clone(), responder);
+            });
     }
 
     fn on_heartbeat(&self, sim: &Sim, hb: &Heartbeat) -> HeartbeatAck {
@@ -344,17 +382,29 @@ impl Master {
                     if m.exposures_pushed.insert((name, hb.host)) {
                         pushes.push((
                             hb.addr.clone(),
-                            ExposeReq { name, offset: extent.offset, len: extent.len },
+                            ExposeReq {
+                                name,
+                                offset: extent.offset,
+                                len: extent.len,
+                            },
                         ));
                     }
                 }
             }
             pushes
         };
+        sim.count(&self.rpc.addr().to_string(), "master.heartbeats", 1);
         let timeout = self.inner.borrow().config.rpc_timeout;
         for (addr, req) in pushes {
-            self.rpc
-                .call::<EndpointAck>(sim, &addr, "ep.expose", Rc::new(req), 64, timeout, |_, _| {});
+            self.rpc.call::<EndpointAck>(
+                sim,
+                &addr,
+                "ep.expose",
+                Rc::new(req),
+                64,
+                timeout,
+                |_, _| {},
+            );
         }
         HeartbeatAck::Ok
     }
@@ -363,7 +413,11 @@ impl Master {
         let allocation = {
             let mut m = self.inner.borrow_mut();
             if !m.active {
-                responder.reply(sim, Rc::new(Err(MasterError::NotActive) as AllocateResp), 16);
+                responder.reply(
+                    sim,
+                    Rc::new(Err(MasterError::NotActive) as AllocateResp),
+                    16,
+                );
                 return;
             }
             // Locality: map the client's hinted address to a host.
@@ -375,7 +429,10 @@ impl Master {
             });
             let attachments: BTreeMap<(UnitId, DiskId), HostId> =
                 m.disk_host.iter().map(|(k, v)| (*k, *v)).collect();
-            match m.alloc.allocate(&req.service, req.size, &attachments, preferred) {
+            match m
+                .alloc
+                .allocate(&req.service, req.size, &attachments, preferred)
+            {
                 Ok(a) => a,
                 Err(e) => {
                     drop(m);
@@ -392,36 +449,44 @@ impl Master {
         let name = allocation.name;
         let extent = allocation.extent.clone();
         self.inner.borrow_mut().pending_persist.insert(name);
-        self.coord.create(sim, znode, data, CreateMode::Persistent, move |sim, r| {
-            this.inner.borrow_mut().pending_persist.remove(&name);
-            if r.is_err() {
-                // Roll the allocation back; metadata must win.
-                let _ = this.inner.borrow_mut().alloc.release(name);
-                responder.reply(
-                    sim,
-                    Rc::new(Err(MasterError::MetadataUnavailable) as AllocateResp),
-                    16,
-                );
-                return;
-            }
-            let info = this.space_info(name, &extent);
-            // Proactively expose on the current host.
-            if let Some(addr) = info.host_addr.clone() {
-                let timeout = this.inner.borrow().config.rpc_timeout;
-                let host = this.inner_disk_host(name);
-                this.inner.borrow_mut().exposures_pushed.insert((name, host));
-                this.rpc.call::<EndpointAck>(
-                    sim,
-                    &addr,
-                    "ep.expose",
-                    Rc::new(ExposeReq { name, offset: extent.offset, len: extent.len }),
-                    64,
-                    timeout,
-                    |_, _| {},
-                );
-            }
-            responder.reply(sim, Rc::new(Ok(info) as AllocateResp), 128);
-        });
+        self.coord
+            .create(sim, znode, data, CreateMode::Persistent, move |sim, r| {
+                this.inner.borrow_mut().pending_persist.remove(&name);
+                if r.is_err() {
+                    // Roll the allocation back; metadata must win.
+                    let _ = this.inner.borrow_mut().alloc.release(name);
+                    responder.reply(
+                        sim,
+                        Rc::new(Err(MasterError::MetadataUnavailable) as AllocateResp),
+                        16,
+                    );
+                    return;
+                }
+                let info = this.space_info(name, &extent);
+                // Proactively expose on the current host.
+                if let Some(addr) = info.host_addr.clone() {
+                    let timeout = this.inner.borrow().config.rpc_timeout;
+                    let host = this.inner_disk_host(name);
+                    this.inner
+                        .borrow_mut()
+                        .exposures_pushed
+                        .insert((name, host));
+                    this.rpc.call::<EndpointAck>(
+                        sim,
+                        &addr,
+                        "ep.expose",
+                        Rc::new(ExposeReq {
+                            name,
+                            offset: extent.offset,
+                            len: extent.len,
+                        }),
+                        64,
+                        timeout,
+                        |_, _| {},
+                    );
+                }
+                responder.reply(sim, Rc::new(Ok(info) as AllocateResp), 128);
+            });
     }
 
     fn inner_disk_host(&self, name: SpaceName) -> HostId {
@@ -438,7 +503,12 @@ impl Master {
         let host_addr = m
             .disk_host
             .get(&(name.unit, name.disk))
-            .filter(|h| m.host_alive.get(&(name.unit, **h)).copied().unwrap_or(false))
+            .filter(|h| {
+                m.host_alive
+                    .get(&(name.unit, **h))
+                    .copied()
+                    .unwrap_or(false)
+            })
             .and_then(|h| m.host_addr.get(&(name.unit, *h)).cloned());
         SpaceInfo {
             name,
@@ -453,7 +523,11 @@ impl Master {
         if !m.active {
             return Err(MasterError::NotActive);
         }
-        let extent = m.alloc.lookup(name).cloned().ok_or(MasterError::NoSuchSpace)?;
+        let extent = m
+            .alloc
+            .lookup(name)
+            .cloned()
+            .ok_or(MasterError::NoSuchSpace)?;
         drop(m);
         Ok(self.space_info(name, &extent))
     }
@@ -466,14 +540,23 @@ impl Master {
                 return;
             }
             if m.alloc.release(name).is_err() {
-                responder.reply(sim, Rc::new(Err(MasterError::NoSuchSpace) as ReleaseResp), 16);
+                responder.reply(
+                    sim,
+                    Rc::new(Err(MasterError::NoSuchSpace) as ReleaseResp),
+                    16,
+                );
                 return;
             }
             m.exposures_pushed.retain(|(n, _)| *n != name);
         }
         // Withdraw the target and delete the metadata.
         let host = self.inner_disk_host(name);
-        let addr = self.inner.borrow().host_addr.get(&(name.unit, host)).cloned();
+        let addr = self
+            .inner
+            .borrow()
+            .host_addr
+            .get(&(name.unit, host))
+            .cloned();
         let timeout = self.inner.borrow().config.rpc_timeout;
         if let Some(addr) = addr {
             self.rpc.call::<EndpointAck>(
@@ -554,7 +637,9 @@ impl Master {
             }
             let timeout = m.config.heartbeat_timeout;
             let now = sim.now();
-            let Some(activated_at) = m.activated_at else { return };
+            let Some(activated_at) = m.activated_at else {
+                return;
+            };
             // Sweep every configured host, not just those we have heard
             // from: a host that died before this master activated never
             // sends a heartbeat at all.
@@ -585,6 +670,31 @@ impl Master {
                 "master",
                 format!("{unit} {host} missed heartbeats; starting failover"),
             );
+            sim.count(&self.rpc.addr().to_string(), "master.failovers", 1);
+            // Join the failover span opened at failure injection, or root a
+            // fresh one (failures can arise without the harness's help).
+            let victim = format!("{unit}/{host}");
+            let root = sim
+                .with_spans(|t| t.find_open_by("failover", "victim", &victim))
+                .unwrap_or_else(|| {
+                    let id = sim.span_start("master", "failover");
+                    sim.span_attr(id, "victim", victim.clone());
+                    id
+                });
+            // Detection ends the moment the host is declared dead.
+            match sim.with_spans(|t| {
+                t.children(root)
+                    .filter(|s| s.name == "failover.detection" && s.is_open())
+                    .map(|s| s.id)
+                    .next()
+            }) {
+                Some(det) => sim.span_end(det),
+                None => {
+                    let det = sim.span_child(root, "master", "failover.detection");
+                    sim.span_end(det);
+                }
+            }
+            sim.span_child(root, "master", "failover.reconfiguration");
             self.failover(sim, unit, host);
         }
         self.sweep_missing_disks(sim);
@@ -601,7 +711,9 @@ impl Master {
             if !m.active {
                 return;
             }
-            let Some(activated_at) = m.activated_at else { return };
+            let Some(activated_at) = m.activated_at else {
+                return;
+            };
             let timeout = m.config.disk_timeout;
             let retry = m.config.disk_retry;
             let mut out = Vec::new();
@@ -658,10 +770,15 @@ impl Master {
                 sim,
                 controllers.clone(),
                 "ctl.plan",
-                Rc::new(PlanReq { disks: vec![d], targets }),
+                Rc::new(PlanReq {
+                    disks: vec![d],
+                    targets,
+                }),
                 rpc_timeout,
                 move |sim, plan| {
-                    let Some((responsive, plan)) = plan else { return };
+                    let Some((responsive, plan)) = plan else {
+                        return;
+                    };
                     match plan {
                         Err(why) => {
                             // No alternative path: the paper "reports the
@@ -737,7 +854,10 @@ impl Master {
             (disks, targets, conf.controllers.clone())
         };
         if disks.is_empty() || targets.is_empty() {
-            self.inner.borrow_mut().failover_in_progress.remove(&(unit, dead));
+            self.inner
+                .borrow_mut()
+                .failover_in_progress
+                .remove(&(unit, dead));
             return;
         }
         let this = self.clone();
@@ -750,7 +870,11 @@ impl Master {
             move |sim, plan| {
                 let Some((responsive, Ok(pairs))) = plan else {
                     sim.trace(TraceLevel::Error, "master", "failover planning failed");
-                    this.inner.borrow_mut().failover_in_progress.remove(&(unit, dead));
+                    this.inner
+                        .borrow_mut()
+                        .failover_in_progress
+                        .remove(&(unit, dead));
+                    close_failover_spans(sim, unit, dead, Some("planning_failed"));
                     return;
                 };
                 // Prefer the controller that just answered; keep the rest
@@ -779,6 +903,35 @@ impl Master {
                                 m.exposures_pushed
                                     .retain(|(n, _)| !pairs2.iter().any(|(d, _)| *d == n.disk));
                             }
+                        }
+                        if ok {
+                            // Reconfiguration done; the remount phase runs
+                            // until clients read again (the harness or the
+                            // experiment closes it).
+                            let victim = format!("{unit}/{dead}");
+                            if let Some(root) =
+                                sim.with_spans(|t| t.find_open_by("failover", "victim", &victim))
+                            {
+                                if let Some(rec) = sim.with_spans(|t| {
+                                    t.children(root)
+                                        .filter(|s| {
+                                            s.name == "failover.reconfiguration" && s.is_open()
+                                        })
+                                        .map(|s| s.id)
+                                        .next()
+                                }) {
+                                    sim.span_end(rec);
+                                }
+                                sim.span_child(root, "master", "failover.remount");
+                            }
+                            sim.count(
+                                &this2.rpc.addr().to_string(),
+                                "master.failovers_completed",
+                                1,
+                            );
+                        } else {
+                            close_failover_spans(sim, unit, dead, Some("execute_failed"));
+                            sim.count(&this2.rpc.addr().to_string(), "master.failovers_failed", 1);
                         }
                         sim.trace(
                             TraceLevel::Info,
@@ -814,8 +967,14 @@ impl Master {
         let rest: Vec<Addr> = controllers[1..].to_vec();
         let body2 = body.clone();
         let primary2 = primary.clone();
-        self.rpc.call::<R>(sim, &primary, method, body, 256, timeout, move |sim, r| {
-            match r {
+        self.rpc.call::<R>(
+            sim,
+            &primary,
+            method,
+            body,
+            256,
+            timeout,
+            move |sim, r| match r {
                 Ok(resp) => cb(sim, Some((primary2, (*resp).clone()))),
                 Err(_) if !rest.is_empty() => {
                     sim.trace(
@@ -826,9 +985,32 @@ impl Master {
                     this.controller_call::<R>(sim, rest, method, body2, timeout, cb);
                 }
                 Err(_) => cb(sim, None),
-            }
-        });
+            },
+        );
     }
+}
+
+/// Closes the failover span tree for `unit`/`dead` after an unsuccessful
+/// outcome: any open phase child is ended, the root gets an `error`
+/// attribute and is ended too.
+fn close_failover_spans(sim: &Sim, unit: UnitId, dead: HostId, error: Option<&str>) {
+    let victim = format!("{unit}/{dead}");
+    let Some(root) = sim.with_spans(|t| t.find_open_by("failover", "victim", &victim)) else {
+        return;
+    };
+    let open_children: Vec<ustore_sim::SpanId> = sim.with_spans(|t| {
+        t.children(root)
+            .filter(|s| s.is_open())
+            .map(|s| s.id)
+            .collect()
+    });
+    for c in open_children {
+        sim.span_end(c);
+    }
+    if let Some(e) = error {
+        sim.span_attr(root, "error", e);
+    }
+    sim.span_end(root);
 }
 
 /// Encodes a space name as a single znode name (slashes become dots).
@@ -841,7 +1023,9 @@ fn decode_space(s: &str) -> Option<SpaceName> {
     let unit = it.next()?.parse().ok()?;
     let disk = it.next()?.parse().ok()?;
     let space = it.next()?.parse().ok()?;
-    it.next().is_none().then(|| SpaceName::new(UnitId(unit), DiskId(disk), space))
+    it.next()
+        .is_none()
+        .then(|| SpaceName::new(UnitId(unit), DiskId(disk), space))
 }
 
 fn encode_extent(e: &Extent) -> Vec<u8> {
@@ -854,7 +1038,11 @@ fn decode_extent(data: &[u8]) -> Option<Extent> {
     let offset = it.next()?.parse().ok()?;
     let len = it.next()?.parse().ok()?;
     let service = it.next()?.to_owned();
-    Some(Extent { offset, len, service })
+    Some(Extent {
+        offset,
+        len,
+        service,
+    })
 }
 
 #[cfg(test)]
@@ -872,7 +1060,11 @@ mod tests {
 
     #[test]
     fn extent_encoding_roundtrip() {
-        let e = Extent { offset: 5, len: 10, service: "svc,with,commas".into() };
+        let e = Extent {
+            offset: 5,
+            len: 10,
+            service: "svc,with,commas".into(),
+        };
         let enc = encode_extent(&e);
         assert_eq!(decode_extent(&enc), Some(e));
         assert_eq!(decode_extent(b"bogus"), None);

@@ -143,8 +143,7 @@ impl UStoreSystem {
             let unit = UnitId(u);
             let (topology, switch_config) =
                 Topology::upper_switched(config.hosts, config.disks, config.fanin);
-            let runtime =
-                FabricRuntime::new(&sim, topology, switch_config, config.runtime.clone());
+            let runtime = FabricRuntime::new(&sim, topology, switch_config, config.runtime.clone());
             unit_confs.push(UnitConf {
                 unit,
                 hosts: runtime
@@ -228,7 +227,12 @@ impl UStoreSystem {
     /// Creates a connected storage client at `name`.
     pub fn client(&self, name: &str) -> UStoreClient {
         let masters: Vec<Addr> = (0..self.config.masters).map(master_addr).collect();
-        UStoreClient::new(&self.net, Addr::new(name), masters, self.config.clientlib.clone())
+        UStoreClient::new(
+            &self.net,
+            Addr::new(name),
+            masters,
+            self.config.clientlib.clone(),
+        )
     }
 
     /// The currently active master, if any.
@@ -248,6 +252,12 @@ impl UStoreSystem {
     pub fn kill_unit_host(&self, unit: UnitId, h: HostId) {
         self.sim
             .trace(TraceLevel::Warn, "system", format!("killing {unit} {h}"));
+        // Open the failover span tree at the instant of failure. The
+        // detection child stays open until the Master's sweeper declares
+        // the host dead, so its duration is the paper's detection time.
+        let root = self.sim.span_start("system", "failover");
+        self.sim.span_attr(root, "victim", format!("{unit}/{h}"));
+        self.sim.span_child(root, "master", "failover.detection");
         self.net.set_down(&self.sim, &unit_host_addr(unit, h));
         self.runtimes[unit.0 as usize].host_failed(&self.sim, h);
         if let Some(ep) = self
@@ -282,8 +292,10 @@ impl UStoreSystem {
     /// Kills a master process (service socket, coordination session).
     pub fn kill_master(&self, i: usize) {
         self.net.set_down(&self.sim, &master_addr(i as u32));
-        self.net
-            .set_down(&self.sim, &Addr::new(format!("{}-zk", master_addr(i as u32))));
+        self.net.set_down(
+            &self.sim,
+            &Addr::new(format!("{}-zk", master_addr(i as u32))),
+        );
         self.masters[i].pause();
     }
 
@@ -311,7 +323,12 @@ mod tests {
         s.sim.run_until(s.sim.now() + Duration::from_secs(secs));
     }
 
-    fn allocate_blocking(s: &UStoreSystem, client: &UStoreClient, service: &str, size: u64) -> SpaceInfo {
+    fn allocate_blocking(
+        s: &UStoreSystem,
+        client: &UStoreClient,
+        service: &str,
+        size: u64,
+    ) -> SpaceInfo {
         let out = Rc::new(RefCell::new(None));
         let o = out.clone();
         client.allocate(&s.sim, service, size, move |_, r| {
@@ -332,7 +349,6 @@ mod tests {
         let m = out.borrow_mut().take().expect("mount completed");
         m
     }
-
 
     #[test]
     fn bring_up_elects_master_and_sees_all_disks() {
@@ -361,13 +377,23 @@ mod tests {
         let ok = Rc::new(Cell::new(false));
         let o = ok.clone();
         let m2 = mounted.clone();
-        mounted.write(&s.sim, 4096, b"frozen bits".to_vec(), Box::new(move |sim, r| {
-            r.expect("write");
-            m2.read(sim, 4096, 11, Box::new(move |_, r| {
-                assert_eq!(r.expect("read"), b"frozen bits".to_vec());
-                o.set(true);
-            }));
-        }));
+        mounted.write(
+            &s.sim,
+            4096,
+            b"frozen bits".to_vec(),
+            Box::new(move |sim, r| {
+                r.expect("write");
+                m2.read(
+                    sim,
+                    4096,
+                    11,
+                    Box::new(move |_, r| {
+                        assert_eq!(r.expect("read"), b"frozen bits".to_vec());
+                        o.set(true);
+                    }),
+                );
+            }),
+        );
         run_for(&s, 10);
         assert!(ok.get());
     }
@@ -407,7 +433,12 @@ mod tests {
         let info = allocate_blocking(&s, &client, "svc", 1 << 30);
         let mounted = mount_blocking(&s, &client, &info);
         // Write something before the failure.
-        mounted.write(&s.sim, 0, b"before".to_vec(), Box::new(|_, r| r.expect("write")));
+        mounted.write(
+            &s.sim,
+            0,
+            b"before".to_vec(),
+            Box::new(|_, r| r.expect("write")),
+        );
         run_for(&s, 2);
         // Kill the host currently serving the space.
         let victim = s
@@ -419,10 +450,15 @@ mod tests {
         // Issue a read immediately: it must eventually succeed via remount.
         let recovered_at = Rc::new(Cell::new(SimTime::ZERO));
         let r2 = recovered_at.clone();
-        mounted.read(&s.sim, 0, 6, Box::new(move |sim, r| {
-            assert_eq!(r.expect("read after failover"), b"before".to_vec());
-            r2.set(sim.now());
-        }));
+        mounted.read(
+            &s.sim,
+            0,
+            6,
+            Box::new(move |sim, r| {
+                assert_eq!(r.expect("read after failover"), b"before".to_vec());
+                r2.set(sim.now());
+            }),
+        );
         run_for(&s, 40);
         let dt = recovered_at.get().saturating_duration_since(t0);
         assert!(recovered_at.get() > SimTime::ZERO, "read completed");
@@ -433,7 +469,10 @@ mod tests {
         // The disk moved to a live host.
         let new_host = s.runtime.attached_host(info.name.disk).expect("reattached");
         assert_ne!(new_host, victim);
-        assert!(mounted.remount_count() >= 2, "initial mount + failover remount");
+        assert!(
+            mounted.remount_count() >= 2,
+            "initial mount + failover remount"
+        );
     }
 
     #[test]
@@ -477,7 +516,12 @@ mod tests {
         let mounted = mount_blocking(&s, &client, &info);
         // The disk may have spun down during the slow mount; this write
         // wakes it and resets the idle clock.
-        mounted.write(&s.sim, 0, vec![1u8; 4096], Box::new(|_, r| r.expect("write")));
+        mounted.write(
+            &s.sim,
+            0,
+            vec![1u8; 4096],
+            Box::new(|_, r| r.expect("write")),
+        );
         run_for(&s, 12);
         let disk = s.runtime.disk(info.name.disk);
         assert_eq!(disk.power_state(), ustore_disk::PowerStateKind::Idle);
@@ -493,11 +537,16 @@ mod tests {
         let o = done_at.clone();
         let d2 = disk.clone();
         let t0 = s.sim.now();
-        mounted.read(&s.sim, 0, 16, Box::new(move |sim, r| {
-            r.expect("read after wake");
-            assert_eq!(d2.power_state(), ustore_disk::PowerStateKind::Idle);
-            o.set(sim.now());
-        }));
+        mounted.read(
+            &s.sim,
+            0,
+            16,
+            Box::new(move |sim, r| {
+                r.expect("read after wake");
+                assert_eq!(d2.power_state(), ustore_disk::PowerStateKind::Idle);
+                o.set(sim.now());
+            }),
+        );
         run_for(&s, 30);
         assert!(done_at.get() > SimTime::ZERO, "read completed");
         assert!(

@@ -181,9 +181,15 @@ mod tests {
         // "UStore costs 24% lower than BACKBLAZE ... Excluding the disk
         // cost, UStore is 55% cheaper."
         let capex_saving = 1.0 - us.capex / bb.capex;
-        assert!((capex_saving - 0.24).abs() < 0.05, "capex saving {capex_saving:.2}");
+        assert!(
+            (capex_saving - 0.24).abs() < 0.05,
+            "capex saving {capex_saving:.2}"
+        );
         let attex_saving = 1.0 - us.attex.unwrap() / bb.attex.unwrap();
-        assert!((attex_saving - 0.55).abs() < 0.08, "attex saving {attex_saving:.2}");
+        assert!(
+            (attex_saving - 0.55).abs() < 0.08,
+            "attex saving {attex_saving:.2}"
+        );
     }
 
     #[test]

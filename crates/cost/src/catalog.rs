@@ -172,8 +172,10 @@ mod tests {
         assert_eq!(p.gbe_port, 4.0);
         assert_eq!(p.ten_gbe_port, 100.0);
         assert_eq!(p.bom_markup, 2.0);
-        assert!(p.hub_bom < 1.5 && p.switch_bom < 1.5 && p.bridge_bom < 1.5,
-                "fabric ICs cost less than a dollar-and-change each");
+        assert!(
+            p.hub_bom < 1.5 && p.switch_bom < 1.5 && p.bridge_bom < 1.5,
+            "fabric ICs cost less than a dollar-and-change each"
+        );
         let w = PowerCatalog::default();
         assert_eq!(w.disk_active_usb_w, 7.56);
         assert_eq!(w.usb_adaptor_w, 2.5);

@@ -29,18 +29,25 @@ pub fn ustore(p: &PowerCatalog) -> PowerRow {
     // Disks and bridges off; the interconnect drops by the measured 71%.
     let off = (DISKS * p.disk_off_w + shared + p.fabric_active_w * (1.0 - p.fabric_off_fraction))
         / p.psu_efficiency;
-    PowerRow { name: "UStore", spinning_w: spinning, powered_off_w: off }
+    PowerRow {
+        name: "UStore",
+        spinning_w: spinning,
+        powered_off_w: off,
+    }
 }
 
 /// Pergamum with 16 tomes (ARM + Ethernet per disk; same enclosure, fans
 /// and PSUs as UStore for fairness, §VII-C).
 pub fn pergamum(p: &PowerCatalog) -> PowerRow {
     let fans = p.fans as f64 * p.fan_w;
-    let spinning =
-        (DISKS * (p.disk_active_sata_w + p.arm_busy_w + p.eth_port_busy_w) + fans)
-            / p.psu_efficiency;
+    let spinning = (DISKS * (p.disk_active_sata_w + p.arm_busy_w + p.eth_port_busy_w) + fans)
+        / p.psu_efficiency;
     let off = (DISKS * (p.arm_idle_w + p.eth_port_idle_w) + fans) / p.psu_efficiency;
-    PowerRow { name: "Pergamum", spinning_w: spinning, powered_off_w: off }
+    PowerRow {
+        name: "Pergamum",
+        spinning_w: spinning,
+        powered_off_w: off,
+    }
 }
 
 /// EMC DD860/ES30 (15 disks) — quoted measurements.

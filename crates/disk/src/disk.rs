@@ -61,8 +61,16 @@ type ReadCb = Box<dyn FnOnce(&Sim, ReadResult)>;
 type WriteCb = Box<dyn FnOnce(&Sim, WriteResult)>;
 
 enum Pending {
-    Read { offset: u64, len: u64, cb: ReadCb },
-    Write { offset: u64, data: Vec<u8>, cb: WriteCb },
+    Read {
+        offset: u64,
+        len: u64,
+        cb: ReadCb,
+    },
+    Write {
+        offset: u64,
+        data: Vec<u8>,
+        cb: WriteCb,
+    },
 }
 
 impl Pending {
@@ -227,6 +235,26 @@ impl Disk {
         i.meter.time_in(state)
     }
 
+    /// Publishes this disk's per-power-state residency (seconds), total
+    /// energy (joules) and instantaneous draw (watts) as gauges in the
+    /// simulation's metrics registry, labelled with the disk's name.
+    pub fn publish_residency(&self, sim: &Sim) {
+        const STATES: [(PowerStateKind, &str); 5] = [
+            (PowerStateKind::PoweredOff, "power.residency.powered_off_s"),
+            (PowerStateKind::Standby, "power.residency.standby_s"),
+            (PowerStateKind::Idle, "power.residency.idle_s"),
+            (PowerStateKind::Active, "power.residency.active_s"),
+            (PowerStateKind::SpinningUp, "power.residency.spinning_up_s"),
+        ];
+        let mut i = self.inner.borrow_mut();
+        i.meter.sync(sim.now());
+        for (state, gauge) in STATES {
+            sim.gauge_set(&i.name, gauge, i.meter.time_in(state).as_secs_f64());
+        }
+        sim.gauge_set(&i.name, "power.energy_j", i.meter.total_joules());
+        sim.gauge_set(&i.name, "power.watts", i.meter.watts_now());
+    }
+
     /// Submits a read of `len` bytes at `offset`; `cb` fires on completion.
     pub fn read(
         &self,
@@ -235,7 +263,14 @@ impl Disk {
         len: u64,
         cb: impl FnOnce(&Sim, ReadResult) + 'static,
     ) {
-        self.submit(sim, Pending::Read { offset, len, cb: Box::new(cb) });
+        self.submit(
+            sim,
+            Pending::Read {
+                offset,
+                len,
+                cb: Box::new(cb),
+            },
+        );
     }
 
     /// Submits a write of `data` at `offset`; `cb` fires on completion.
@@ -246,7 +281,14 @@ impl Disk {
         data: Vec<u8>,
         cb: impl FnOnce(&Sim, WriteResult) + 'static,
     ) {
-        self.submit(sim, Pending::Write { offset, data, cb: Box::new(cb) });
+        self.submit(
+            sim,
+            Pending::Write {
+                offset,
+                data,
+                cb: Box::new(cb),
+            },
+        );
     }
 
     fn submit(&self, sim: &Sim, op: Pending) {
@@ -257,8 +299,7 @@ impl Disk {
             } else if i.state == PowerStateKind::PoweredOff {
                 Some(DiskError::PoweredOff)
             } else if op.len() == 0
-                || op.offset().saturating_add(op.len())
-                    > i.model.profile().mech.capacity_bytes
+                || op.offset().saturating_add(op.len()) > i.model.profile().mech.capacity_bytes
             {
                 Some(DiskError::OutOfRange)
             } else {
@@ -311,8 +352,19 @@ impl Disk {
                 let (op, _) = i.queue.front().expect("queue nonempty");
                 (op.offset(), op.len(), op.dir())
             };
-            let svc = i.model.service(offset, len, dir).total();
-            (svc, i.epoch)
+            let svc = i.model.service(offset, len, dir);
+            let seek = !svc.positioning.is_zero();
+            let name = i.name.clone();
+            sim.count(
+                &name,
+                if seek {
+                    "disk.seeks"
+                } else {
+                    "disk.cache_hits"
+                },
+                1,
+            );
+            (svc.total(), i.epoch)
         };
         let this = self.clone();
         sim.schedule_in(service, move |sim| this.complete(sim, epoch));
@@ -328,6 +380,7 @@ impl Disk {
             let now = sim.now();
             i.set_state(now, PowerStateKind::Idle);
             i.model.reset_stream();
+            sim.count(&i.name, "disk.spin_ups", 1);
         }
         self.pump(sim);
     }
@@ -347,20 +400,28 @@ impl Disk {
             entry
         };
         let now = sim.now();
-        {
+        let name = {
             let mut i = self.inner.borrow_mut();
-            i.stats
-                .latency
-                .record(now.duration_since(queued_at).as_nanos() as u64);
-        }
+            let lat = now.duration_since(queued_at).as_nanos() as u64;
+            i.stats.latency.record(lat);
+            sim.observe(&i.name, "disk.latency_ns", lat);
+            i.name.clone()
+        };
         match op {
             Pending::Read { offset, len, cb } => {
                 let res = self.do_read(offset, len);
                 {
                     let mut i = self.inner.borrow_mut();
                     match &res {
-                        Ok(_) => i.stats.reads.complete(len),
-                        Err(_) => i.stats.errors += 1,
+                        Ok(_) => {
+                            i.stats.reads.complete(len);
+                            sim.count(&name, "disk.reads", 1);
+                            sim.count(&name, "disk.read_bytes", len);
+                        }
+                        Err(_) => {
+                            i.stats.errors += 1;
+                            sim.count(&name, "disk.errors", 1);
+                        }
                     }
                 }
                 cb(sim, res);
@@ -369,6 +430,8 @@ impl Disk {
                 let len = data.len() as u64;
                 self.do_write(offset, &data);
                 self.inner.borrow_mut().stats.writes.complete(len);
+                sim.count(&name, "disk.writes", 1);
+                sim.count(&name, "disk.write_bytes", len);
                 cb(sim, Ok(()));
             }
         }
@@ -391,8 +454,9 @@ impl Disk {
                     let page_start = p * PAGE;
                     let s = offset.max(page_start);
                     let e = (offset + len).min(page_start + PAGE);
-                    out[(s - offset) as usize..(e - offset) as usize]
-                        .copy_from_slice(&page[(s - page_start) as usize..(e - page_start) as usize]);
+                    out[(s - offset) as usize..(e - offset) as usize].copy_from_slice(
+                        &page[(s - page_start) as usize..(e - page_start) as usize],
+                    );
                 }
             }
         }
@@ -708,6 +772,37 @@ mod tests {
         // Table III USB-bridge idle: 5.76 W.
         assert!((idle_j - 57.6).abs() < 0.5, "idle energy {idle_j}");
         assert_eq!(disk.watts_now(), 5.76);
+    }
+
+    #[test]
+    fn metrics_and_residency_gauges() {
+        let (sim, disk) = setup();
+        disk.write(&sim, 0, vec![0u8; 4096], |_, _| {});
+        disk.read(&sim, 0, 4096, |_, _| {});
+        sim.run_until(SimTime::from_secs(5));
+        disk.publish_residency(&sim);
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.counter("d0", "disk.writes"), 1);
+        assert_eq!(m.counter("d0", "disk.reads"), 1);
+        assert_eq!(m.counter("d0", "disk.write_bytes"), 4096);
+        assert!(
+            m.histogram("d0", "disk.latency_ns")
+                .expect("latency")
+                .count()
+                >= 2
+        );
+        assert!(m.counter("d0", "disk.seeks") + m.counter("d0", "disk.cache_hits") >= 2);
+        let idle = m.gauge("d0", "power.residency.idle_s").expect("idle gauge");
+        let active = m
+            .gauge("d0", "power.residency.active_s")
+            .expect("active gauge");
+        assert!(idle > 0.0, "idle residency {idle}");
+        assert!(active > 0.0, "active residency {active}");
+        assert!(
+            (idle + active - 5.0).abs() < 0.01,
+            "residencies sum to the run window"
+        );
+        assert!(m.gauge("d0", "power.energy_j").expect("energy") > 0.0);
     }
 
     #[test]

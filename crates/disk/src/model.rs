@@ -146,7 +146,11 @@ impl IoModel {
             if dir == Direction::Write {
                 pos += self.profile.mech.write_settle;
             }
-            let turn = if dir_changed { a.rand_turnaround } else { Duration::ZERO };
+            let turn = if dir_changed {
+                a.rand_turnaround
+            } else {
+                Duration::ZERO
+            };
             (pos, turn)
         };
 
@@ -195,7 +199,9 @@ mod tests {
         let mut x = 0x9E37_79B9u64;
         for i in 0..n {
             let off = if random {
-                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
                 (x % (REGION / len)) * len
             } else {
                 let o = seq_off;
@@ -381,10 +387,21 @@ mod tests {
         let mut x = 12345u64;
         for _ in 0..500 {
             x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-            t_short += short.service((x % (REGION / KIB4)) * KIB4, KIB4, Read).total();
-            t_full += full.service((x % (cap / KIB4 / 2)) * KIB4 * 2 / 2 * 2 % (cap - KIB4), KIB4, Read).total();
+            t_short += short
+                .service((x % (REGION / KIB4)) * KIB4, KIB4, Read)
+                .total();
+            t_full += full
+                .service(
+                    (x % (cap / KIB4 / 2)) * KIB4 * 2 / 2 * 2 % (cap - KIB4),
+                    KIB4,
+                    Read,
+                )
+                .total();
         }
-        assert!(t_full > t_short * 3 / 2, "full {t_full:?} short {t_short:?}");
+        assert!(
+            t_full > t_short * 3 / 2,
+            "full {t_full:?} short {t_short:?}"
+        );
     }
 
     #[test]

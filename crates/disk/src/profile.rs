@@ -230,7 +230,10 @@ mod tests {
 
     #[test]
     fn powered_off_draws_nothing() {
-        assert_eq!(DiskProfile::usb_bridge().power_w(PowerStateKind::PoweredOff), 0.0);
+        assert_eq!(
+            DiskProfile::usb_bridge().power_w(PowerStateKind::PoweredOff),
+            0.0
+        );
     }
 
     #[test]

@@ -233,7 +233,8 @@ mod tests {
         assert_eq!(cp.signal(SwitchId(0)), SwitchPos::A);
         cp.turn_switch(SwitchId(0), SwitchPos::B).expect("turn");
         assert_eq!(cp.signal(SwitchId(0)), SwitchPos::B);
-        cp.turn_switch(SwitchId(0), SwitchPos::A).expect("turn back");
+        cp.turn_switch(SwitchId(0), SwitchPos::A)
+            .expect("turn back");
         assert_eq!(cp.signal(SwitchId(0)), SwitchPos::A);
     }
 
@@ -265,9 +266,11 @@ mod tests {
         assert_eq!(cp.signal(SwitchId(1)), SwitchPos::B);
         assert_eq!(cp.signal(SwitchId(2)), SwitchPos::B);
         // The backup can turn any switch to any position via XOR.
-        cp.turn_switch(SwitchId(1), SwitchPos::A).expect("xor override");
+        cp.turn_switch(SwitchId(1), SwitchPos::A)
+            .expect("xor override");
         assert_eq!(cp.signal(SwitchId(1)), SwitchPos::A);
-        cp.turn_switch(SwitchId(3), SwitchPos::B).expect("fresh turn");
+        cp.turn_switch(SwitchId(3), SwitchPos::B)
+            .expect("fresh turn");
         assert_eq!(cp.signal(SwitchId(3)), SwitchPos::B);
     }
 

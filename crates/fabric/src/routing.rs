@@ -59,7 +59,12 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::NoPath(d, h) => write!(f, "no fabric path from {d} to {h}"),
-            ScheduleError::Conflict { switch, requester, victim, victim_host } => write!(
+            ScheduleError::Conflict {
+                switch,
+                requester,
+                victim,
+                victim_host,
+            } => write!(
                 f,
                 "turning {switch} for {requester} would disconnect {victim} from {victim_host}"
             ),
@@ -96,7 +101,11 @@ impl FabricState {
         for s in topology.switches() {
             assert!(config.contains_key(&s), "config missing {s}");
         }
-        FabricState { topology, config, failed: BTreeSet::new() }
+        FabricState {
+            topology,
+            config,
+            failed: BTreeSet::new(),
+        }
     }
 
     /// The static topology.
@@ -276,8 +285,7 @@ impl FabricState {
     ///
     /// Returns `None` when no path exists or a component on it failed.
     pub fn path_switches(&self, d: DiskId, host: HostId) -> Option<Vec<(SwitchId, SwitchPos)>> {
-        if self.failed.contains(&Component::Disk(d))
-            || self.failed.contains(&Component::Host(host))
+        if self.failed.contains(&Component::Disk(d)) || self.failed.contains(&Component::Host(host))
         {
             return None;
         }
@@ -353,8 +361,12 @@ impl FabricState {
                     None => break,
                 },
                 UpRef::Switch(s) => {
-                    let Some((a, b)) = self.topology.switch_upstreams(s) else { break };
-                    let Some(pos) = self.config.get(&s).copied() else { break };
+                    let Some((a, b)) = self.topology.switch_upstreams(s) else {
+                        break;
+                    };
+                    let Some(pos) = self.config.get(&s).copied() else {
+                        break;
+                    };
                     out.push((s, pos));
                     match pos {
                         SwitchPos::A => a,
@@ -491,7 +503,9 @@ impl FabricState {
             order.sort_by_key(|h| (loads[h], u32::MAX - h.0));
             let mut placed = false;
             'target: for t in order {
-                let Some(path) = self.path_switches(*d, t) else { continue };
+                let Some(path) = self.path_switches(*d, t) else {
+                    continue;
+                };
                 let turned: Vec<SwitchId> = path
                     .iter()
                     .filter(|(s, p)| self.config.get(s) != Some(p))
@@ -605,15 +619,18 @@ mod tests {
         // with its groupmates... unless they are named too.
         let err = f.switches_to_turn(&[(DiskId(0), HostId(1))]).unwrap_err();
         match err {
-            ScheduleError::Conflict { victim, victim_host, .. } => {
+            ScheduleError::Conflict {
+                victim,
+                victim_host,
+                ..
+            } => {
                 assert!(victim.0 < 4, "victim is a groupmate");
                 assert_eq!(victim_host, HostId(0));
             }
             other => panic!("expected conflict, got {other:?}"),
         }
         // Naming the whole group succeeds.
-        let pairs: Vec<(DiskId, HostId)> =
-            (0..4).map(|d| (DiskId(d), HostId(1))).collect();
+        let pairs: Vec<(DiskId, HostId)> = (0..4).map(|d| (DiskId(d), HostId(1))).collect();
         let turns = f.switches_to_turn(&pairs).expect("no conflict");
         assert!(!turns.is_empty());
         let mut f2 = f.clone();
@@ -674,8 +691,7 @@ mod tests {
         assert_eq!(f.attached_host(DiskId(0)), None);
         assert_eq!(f.orphaned_disks().len(), 4);
         // Algorithm 1 can move the orphaned group to a live host.
-        let pairs: Vec<(DiskId, HostId)> =
-            (0..4).map(|d| (DiskId(d), HostId(2))).collect();
+        let pairs: Vec<(DiskId, HostId)> = (0..4).map(|d| (DiskId(d), HostId(2))).collect();
         let turns = f.switches_to_turn(&pairs).expect("reroute");
         f.apply_turns(&turns);
         assert_eq!(f.orphaned_disks(), Vec::<DiskId>::new());
@@ -698,7 +714,11 @@ mod tests {
         let mut f = prototype();
         f.fail(Component::Disk(DiskId(7)));
         assert_eq!(f.attached_host(DiskId(7)), None);
-        assert_eq!(f.attached_host(DiskId(6)), Some(HostId(1)), "neighbour fine");
+        assert_eq!(
+            f.attached_host(DiskId(6)),
+            Some(HostId(1)),
+            "neighbour fine"
+        );
         f.repair(Component::Disk(DiskId(7)));
         assert_eq!(f.attached_host(DiskId(7)), Some(HostId(1)));
     }
@@ -716,7 +736,6 @@ mod tests {
         assert_eq!(displaced, vec![DiskId(0), DiskId(1), DiskId(2), DiskId(3)]);
     }
 
-
     #[test]
     fn plan_evacuation_balances_groups() {
         let mut f = prototype();
@@ -726,7 +745,10 @@ mod tests {
         let plan = f.plan_evacuation(&dead_disks, &live).expect("plan");
         assert_eq!(plan.len(), 4, "whole group planned");
         let target = plan[0].1;
-        assert!(plan.iter().all(|(_, h)| *h == target), "group moves together");
+        assert!(
+            plan.iter().all(|(_, h)| *h == target),
+            "group moves together"
+        );
         assert_ne!(target, HostId(0));
         // The plan is executable.
         let turns = f.switches_to_turn(&plan).expect("valid plan");
@@ -769,7 +791,11 @@ mod tests {
         for _ in 0..50 {
             for s in &switches {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let pos = if x & 1 == 0 { SwitchPos::A } else { SwitchPos::B };
+                let pos = if x & 1 == 0 {
+                    SwitchPos::A
+                } else {
+                    SwitchPos::B
+                };
                 f.set_switch(*s, pos);
             }
             for g in 0..4u32 {

@@ -19,7 +19,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use ustore_disk::{Disk, DiskError, DiskProfile};
-use ustore_sim::{Sim, SimTime, TraceLevel};
+use ustore_sim::{Sim, SimTime, SpanId, TraceLevel};
 use ustore_usb::{BusDir, DeviceDesc, DeviceId, DeviceKind, DeviceState, UsbHost, UsbProfile};
 
 use crate::control::{ControlError, ControlPlane, RelayBank};
@@ -50,7 +50,11 @@ impl fmt::Display for FabricError {
             FabricError::Schedule(e) => write!(f, "schedule: {e}"),
             FabricError::Control(e) => write!(f, "control plane: {e}"),
             FabricError::VerifyTimeout { missing } => {
-                write!(f, "verification timed out; rolled back ({} disks)", missing.len())
+                write!(
+                    f,
+                    "verification timed out; rolled back ({} disks)",
+                    missing.len()
+                )
             }
         }
     }
@@ -149,7 +153,12 @@ impl fmt::Debug for FabricRuntime {
 impl FabricRuntime {
     /// Brings up a deploy unit: creates host controllers and disks, applies
     /// the initial switch configuration and enumerates everything.
-    pub fn new(sim: &Sim, topology: Topology, switch_config: SwitchConfig, config: RuntimeConfig) -> Self {
+    pub fn new(
+        sim: &Sim,
+        topology: Topology,
+        switch_config: SwitchConfig,
+        config: RuntimeConfig,
+    ) -> Self {
         let switches: Vec<SwitchId> = topology.switches().collect();
         let disks_ids: Vec<DiskId> = topology.disks().collect();
         let hubs_ids: Vec<HubId> = topology.hubs().collect();
@@ -168,7 +177,12 @@ impl FabricRuntime {
             .map(|d| {
                 (
                     *d,
-                    Disk::new(sim, format!("{d}"), config.disk_profile.clone(), config.store_data),
+                    Disk::new(
+                        sim,
+                        format!("{d}"),
+                        config.disk_profile.clone(),
+                        config.store_data,
+                    ),
                 )
             })
             .collect();
@@ -225,7 +239,11 @@ impl FabricRuntime {
                 rows.push((
                     depth,
                     host,
-                    DeviceDesc { id: hub_dev(hub), kind: DeviceKind::Hub, parent },
+                    DeviceDesc {
+                        id: hub_dev(hub),
+                        kind: DeviceKind::Hub,
+                        parent,
+                    },
                 ));
             }
         }
@@ -243,7 +261,11 @@ impl FabricRuntime {
                 rows.push((
                     depth,
                     host,
-                    DeviceDesc { id: disk_dev(d), kind: DeviceKind::Storage, parent },
+                    DeviceDesc {
+                        id: disk_dev(d),
+                        kind: DeviceKind::Storage,
+                        parent,
+                    },
                 ));
             }
         }
@@ -292,7 +314,9 @@ impl FabricRuntime {
     /// Whether the disk's USB device is enumerated and usable.
     pub fn disk_ready(&self, d: DiskId) -> bool {
         let rt = self.inner.borrow();
-        let Some(host) = rt.state.attached_host(d) else { return false };
+        let Some(host) = rt.state.attached_host(d) else {
+            return false;
+        };
         matches!(
             rt.hosts[&host].device_state(disk_dev(d)),
             Some(DeviceState::Ready)
@@ -315,22 +339,37 @@ impl FabricRuntime {
         {
             let mut rt = self.inner.borrow_mut();
             if rt.locked {
+                sim.count("fabric", "fabric.busy_rejections", 1);
                 sim.schedule_now(move |sim| cb(sim, Err(FabricError::Busy)));
                 return;
             }
             rt.locked = true;
         }
+        sim.count("fabric", "fabric.commands", 1);
+        // If a failover's reconfiguration phase is in flight, our span tree
+        // hangs under it; otherwise this command is its own root.
+        let exec = match sim.find_open_span("failover.reconfiguration") {
+            Some(parent) => sim.span_child(parent, "fabric", "fabric.execute"),
+            None => sim.span_start("fabric", "fabric.execute"),
+        };
+        sim.span_attr(exec, "pairs", pairs.len().to_string());
+        let lock = sim.span_child(exec, "fabric", "fabric.lock");
+        sim.span_end(lock);
         // Step 2: Algorithm 1.
         let turns = match self.with_state(|s| s.switches_to_turn(&pairs)) {
             Ok(t) => t,
             Err(e) => {
                 self.inner.borrow_mut().locked = false;
+                sim.span_attr(exec, "error", "schedule");
+                sim.span_end(exec);
                 sim.schedule_now(move |sim| cb(sim, Err(FabricError::Schedule(e))));
                 return;
             }
         };
         if turns.is_empty() {
             self.inner.borrow_mut().locked = false;
+            sim.span_attr(exec, "switches", "0");
+            sim.span_end(exec);
             sim.schedule_now(move |sim| cb(sim, Ok(())));
             return;
         }
@@ -345,12 +384,17 @@ impl FabricRuntime {
                 if let Err(e) = rt.control.turn_switch(*s, *pos) {
                     rt.locked = false;
                     drop(rt);
+                    sim.span_attr(exec, "error", "control");
+                    sim.span_end(exec);
                     sim.schedule_now(move |sim| cb(sim, Err(FabricError::Control(e))));
                     return;
                 }
             }
             (rt.control.switch_latency() * turns.len() as u32, prev)
         };
+        sim.count("fabric", "fabric.switch_flips", turns.len() as u64);
+        let actuate = sim.span_child(exec, "fabric", "fabric.actuate");
+        sim.span_attr(actuate, "switches", turns.len().to_string());
         sim.trace(
             TraceLevel::Info,
             "fabric",
@@ -359,10 +403,12 @@ impl FabricRuntime {
         let this = self.clone();
         let moved_expect: Vec<DiskId> = self.with_state(|s| s.displaced_by(&turns));
         sim.schedule_in(actuation, move |sim| {
+            sim.span_end(actuate);
             this.apply_physical(sim, &turns);
             // Verify: all moved disks must re-enumerate before the deadline.
+            let verify = sim.span_child(exec, "fabric", "fabric.verify");
             let deadline = sim.now() + this.inner.borrow().config.verify_timeout;
-            this.verify_loop(sim, moved_expect, turns, prev, deadline, cb);
+            this.verify_loop(sim, moved_expect, turns, prev, deadline, (exec, verify), cb);
         });
     }
 
@@ -432,8 +478,10 @@ impl FabricRuntime {
         turns: Vec<(SwitchId, SwitchPos)>,
         prev: Vec<(SwitchId, SwitchPos)>,
         deadline: SimTime,
+        spans: (SpanId, SpanId),
         cb: impl FnOnce(&Sim, Result<(), FabricError>) + 'static,
     ) {
+        let (exec, verify) = spans;
         let missing: Vec<DiskId> = moved
             .iter()
             .copied()
@@ -444,6 +492,11 @@ impl FabricRuntime {
             .collect();
         if missing.is_empty() {
             self.inner.borrow_mut().locked = false;
+            sim.span_end(verify);
+            sim.span_end(exec);
+            if let Some(d) = sim.with_spans(|t| t.get(exec).and_then(|s| s.duration())) {
+                sim.observe_duration("fabric", "fabric.reconfig_latency_ns", d);
+            }
             sim.trace(TraceLevel::Info, "fabric", "reconfiguration verified");
             cb(sim, Ok(()));
             return;
@@ -453,7 +506,10 @@ impl FabricRuntime {
             sim.trace(
                 TraceLevel::Error,
                 "fabric",
-                format!("verification timed out; rolling back ({} missing)", missing.len()),
+                format!(
+                    "verification timed out; rolling back ({} missing)",
+                    missing.len()
+                ),
             );
             {
                 let mut rt = self.inner.borrow_mut();
@@ -463,16 +519,22 @@ impl FabricRuntime {
                     let _ = rt.control.turn_switch(*s, *pos);
                 }
             }
+            sim.count("fabric", "fabric.rollbacks", 1);
+            sim.count("fabric", "fabric.switch_flips", prev.len() as u64);
             self.apply_physical(sim, &prev);
             let _ = turns;
             self.inner.borrow_mut().locked = false;
+            sim.span_attr(verify, "outcome", "timeout");
+            sim.span_attr(exec, "error", "verify_timeout");
+            sim.span_end(verify);
+            sim.span_end(exec);
             cb(sim, Err(FabricError::VerifyTimeout { missing }));
             return;
         }
         let poll = self.inner.borrow().config.verify_poll;
         let this = self.clone();
         sim.schedule_in(poll, move |sim| {
-            this.verify_loop(sim, moved, turns, prev, deadline, cb);
+            this.verify_loop(sim, moved, turns, prev, deadline, spans, cb);
         });
     }
 
@@ -491,7 +553,12 @@ impl FabricRuntime {
         }
         if !rt.control.controllable() {
             rt.control.activate_backup();
-            sim.trace(TraceLevel::Warn, "fabric", "control plane failed over to backup");
+            sim.count("fabric", "fabric.control_failovers", 1);
+            sim.trace(
+                TraceLevel::Warn,
+                "fabric",
+                "control plane failed over to backup",
+            );
         }
         drop(rt);
         sim.trace(TraceLevel::Warn, "fabric", format!("{h} marked failed"));
@@ -581,7 +648,11 @@ impl FabricRuntime {
                 drop(rt);
                 h.attach(
                     sim,
-                    DeviceDesc { id: disk_dev(d), kind: DeviceKind::Storage, parent },
+                    DeviceDesc {
+                        id: disk_dev(d),
+                        kind: DeviceKind::Storage,
+                        parent,
+                    },
                 );
             }
         } else {
@@ -678,6 +749,15 @@ impl FabricRuntime {
         fabric + rt.disks.values().map(Disk::watts_now).sum::<f64>()
     }
 
+    /// Publishes every disk's power-state residency and energy gauges into
+    /// the metrics registry (one set per disk, under the disk's name).
+    pub fn publish_residency(&self, sim: &Sim) {
+        let disks: Vec<Disk> = self.inner.borrow().disks.values().cloned().collect();
+        for d in disks {
+            d.publish_residency(sim);
+        }
+    }
+
     // ---- IO ---------------------------------------------------------------------
 
     /// Reads from a fabric-attached disk: the drive's service and the USB
@@ -738,7 +818,10 @@ impl FabricRuntime {
 
     fn io_route(&self, d: DiskId) -> Result<(UsbHost, Disk), FabricIoError> {
         let rt = self.inner.borrow();
-        let host = rt.state.attached_host(d).ok_or(FabricIoError::NotAttached)?;
+        let host = rt
+            .state
+            .attached_host(d)
+            .ok_or(FabricIoError::NotAttached)?;
         let usb = rt.hosts[&host].clone();
         if !matches!(usb.device_state(disk_dev(d)), Some(DeviceState::Ready)) {
             return Err(FabricIoError::NotReady);
@@ -803,7 +886,9 @@ impl FabricDisk {
         cb: impl FnOnce(&Sim, Result<(), FabricIoError>) + 'static,
     ) {
         self.runtime
-            .write(sim, self.id, offset, data, move |sim, r| cb(sim, r.map(|_| ())));
+            .write(sim, self.id, offset, data, move |sim, r| {
+                cb(sim, r.map(|_| ()))
+            });
     }
 }
 
@@ -859,7 +944,10 @@ impl Join {
         if ready {
             let (cb, r) = {
                 let mut j = self.inner.borrow_mut();
-                (j.cb.take().expect("cb present"), j.result.take().expect("result present"))
+                (
+                    j.cb.take().expect("cb present"),
+                    j.result.take().expect("result present"),
+                )
             };
             cb(sim, r);
         }
@@ -887,7 +975,10 @@ mod tests {
         // Each host sees 2 hubs (host tree root + leaf) + 4 disks.
         for h in rt.host_ids() {
             let snap = rt.usb_host(h).snapshot();
-            let disks = snap.iter().filter(|n| n.kind == DeviceKind::Storage).count();
+            let disks = snap
+                .iter()
+                .filter(|n| n.kind == DeviceKind::Storage)
+                .count();
             assert_eq!(disks, 4, "host {h}");
         }
     }
@@ -935,14 +1026,62 @@ mod tests {
         // Part-1 switching time: debounce + 4 serialized enumerations +
         // driver probe, plus actuation and verify polling.
         let elapsed = done_at - t0;
-        assert!(elapsed > Duration::from_secs(2) && elapsed < Duration::from_secs(5),
-                "switch time {elapsed:?}");
+        assert!(
+            elapsed > Duration::from_secs(2) && elapsed < Duration::from_secs(5),
+            "switch time {elapsed:?}"
+        );
         // Host 1 now serves 8 disks.
         let snap = rt.usb_host(HostId(1)).snapshot();
-        assert_eq!(snap.iter().filter(|n| n.kind == DeviceKind::Storage).count(), 8);
+        assert_eq!(
+            snap.iter()
+                .filter(|n| n.kind == DeviceKind::Storage)
+                .count(),
+            8
+        );
         // Host 0 serves none.
         let snap0 = rt.usb_host(HostId(0)).snapshot();
-        assert_eq!(snap0.iter().filter(|n| n.kind == DeviceKind::Storage).count(), 0);
+        assert_eq!(
+            snap0
+                .iter()
+                .filter(|n| n.kind == DeviceKind::Storage)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn execute_emits_span_tree_and_metrics() {
+        let sim = Sim::new(41);
+        let rt = FabricRuntime::prototype(&sim);
+        settled(&sim, &rt);
+        let pairs: Vec<(DiskId, HostId)> = (0..4).map(|d| (DiskId(d), HostId(1))).collect();
+        rt.execute(&sim, pairs, |_, r| r.expect("reconfiguration"));
+        sim.run_until(sim.now() + Duration::from_secs(20));
+        sim.with_spans(|t| {
+            let exec = t.by_name("fabric.execute").next().expect("execute span").id;
+            let kids: Vec<&str> = t.children(exec).map(|s| s.name.as_str()).collect();
+            assert_eq!(kids, ["fabric.lock", "fabric.actuate", "fabric.verify"]);
+            // The §IV-C ordering, asserted causally: the fabric is locked
+            // before any switch turns, and turning precedes verification.
+            assert!(t.all_before("fabric.lock", "fabric.actuate"));
+            assert!(t.all_before("fabric.actuate", "fabric.verify"));
+            for s in t.spans() {
+                assert!(!s.is_open(), "span {} left open", s.name);
+            }
+        });
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.counter("fabric", "fabric.commands"), 1);
+        assert!(m.counter("fabric", "fabric.switch_flips") >= 1);
+        let h = m
+            .histogram("fabric", "fabric.reconfig_latency_ns")
+            .expect("latency histogram");
+        assert_eq!(h.count(), 1);
+        rt.publish_residency(&sim);
+        let m = sim.metrics_snapshot();
+        assert!(
+            m.gauge("disk0", "power.residency.idle_s").is_some(),
+            "residency gauges published"
+        );
     }
 
     #[test]
@@ -1043,11 +1182,17 @@ mod tests {
         settled(&sim, &rt);
         let all_on = rt.unit_power_w();
         // 16 idle disks at 5.76 W (Table III) plus fabric.
-        assert!(all_on > 16.0 * 5.76 && all_on < 16.0 * 5.76 + 20.0, "{all_on}");
+        assert!(
+            all_on > 16.0 * 5.76 && all_on < 16.0 * 5.76 + 20.0,
+            "{all_on}"
+        );
         rt.power_off_all_disks(&sim);
         sim.run_until(sim.now() + Duration::from_secs(1));
         let all_off = rt.unit_power_w();
-        assert!(all_off < 8.0, "disks off leaves only hubs+switches: {all_off}");
+        assert!(
+            all_off < 8.0,
+            "disks off leaves only hubs+switches: {all_off}"
+        );
         // Hubs can be cut too (§IV-F).
         for h in rt.with_state(|s| s.topology().hubs().collect::<Vec<_>>()) {
             rt.set_hub_power(&sim, h, false);
@@ -1067,9 +1212,13 @@ mod tests {
         let peak = Rc::new(Cell::new(0.0f64));
         let p = peak.clone();
         let rt2 = rt.clone();
-        sim.every(Duration::from_millis(100), Duration::from_millis(100), move |_| {
-            p.set(p.get().max(rt2.unit_power_w()));
-        });
+        sim.every(
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            move |_| {
+                p.set(p.get().max(rt2.unit_power_w()));
+            },
+        );
         rt.rolling_spin_up(&sim, Duration::from_secs(2));
         sim.run_until(sim.now() + Duration::from_secs(60));
         // With 2 s stagger and 7 s spin-up, at most 4 disks spin at once:

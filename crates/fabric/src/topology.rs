@@ -152,7 +152,10 @@ impl Topology {
     /// Panics if `fanin` is zero.
     pub fn new(fanin: usize) -> Self {
         assert!(fanin > 0, "fan-in must be positive");
-        Topology { fanin, ..Default::default() }
+        Topology {
+            fanin,
+            ..Default::default()
+        }
     }
 
     /// Hub fan-in factor.
@@ -384,7 +387,14 @@ impl Topology {
             t.add_switch(sw, UpRef::Hub(leaf0), UpRef::Hub(leaf1));
             t.add_disk(DiskId(d), UpRef::Switch(sw));
             // Spread disks across both hosts initially.
-            config.insert(sw, if d % 2 == 0 { SwitchPos::A } else { SwitchPos::B });
+            config.insert(
+                sw,
+                if d % 2 == 0 {
+                    SwitchPos::A
+                } else {
+                    SwitchPos::B
+                },
+            );
         }
         (t, config)
     }
@@ -426,7 +436,7 @@ impl Topology {
             // Binary switch tree: the leaf hub's uplink enters the root of
             // a selection tree whose leaves are this group's ports on each
             // host's aggregation tree.
-            let leaves: Vec<UpRef> = (0..hosts as usize).map(|h| host_ports[h][g]).collect();
+            let leaves: Vec<UpRef> = host_ports.iter().map(|ports| ports[g]).collect();
             let hub_up = Self::build_switch_tree(
                 &mut t,
                 &mut next_switch,
@@ -525,7 +535,11 @@ impl Topology {
         t.add_switch(sw, a, b);
         // Choose the position that routes toward host (group % hosts).
         let target = group % leaves.len();
-        let pos = if target < lo + half { SwitchPos::A } else { SwitchPos::B };
+        let pos = if target < lo + half {
+            SwitchPos::A
+        } else {
+            SwitchPos::B
+        };
         config.insert(sw, pos);
         sw_upref(sw)
     }
@@ -599,7 +613,10 @@ mod tests {
         for d in 0..3 {
             t.add_disk(DiskId(d), UpRef::Hub(HubId(0)));
         }
-        assert_eq!(t.validate(), Err(TopologyError::HubOverSubscribed(HubId(0))));
+        assert_eq!(
+            t.validate(),
+            Err(TopologyError::HubOverSubscribed(HubId(0)))
+        );
     }
 
     #[test]

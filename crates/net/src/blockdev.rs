@@ -216,12 +216,22 @@ mod tests {
     fn mem_device_out_of_range() {
         let sim = Sim::new(0);
         let dev = MemDevice::new(100, Duration::ZERO);
-        dev.read(&sim, 90, 20, Box::new(|_, r| {
-            assert_eq!(r.unwrap_err(), BlockError::OutOfRange);
-        }));
-        dev.write(&sim, 99, vec![0; 2], Box::new(|_, r| {
-            assert_eq!(r.unwrap_err(), BlockError::OutOfRange);
-        }));
+        dev.read(
+            &sim,
+            90,
+            20,
+            Box::new(|_, r| {
+                assert_eq!(r.unwrap_err(), BlockError::OutOfRange);
+            }),
+        );
+        dev.write(
+            &sim,
+            99,
+            vec![0; 2],
+            Box::new(|_, r| {
+                assert_eq!(r.unwrap_err(), BlockError::OutOfRange);
+            }),
+        );
         sim.run();
     }
 
@@ -234,12 +244,22 @@ mod tests {
         part.write(&sim, 0, vec![7u8; 10], Box::new(|_, r| r.expect("write")));
         sim.run();
         // Visible at offset 100 of the base device.
-        base.read(&sim, 100, 10, Box::new(|_, r| {
-            assert_eq!(r.expect("read"), vec![7u8; 10]);
-        }));
-        part.read(&sim, 45, 10, Box::new(|_, r| {
-            assert_eq!(r.unwrap_err(), BlockError::OutOfRange);
-        }));
+        base.read(
+            &sim,
+            100,
+            10,
+            Box::new(|_, r| {
+                assert_eq!(r.expect("read"), vec![7u8; 10]);
+            }),
+        );
+        part.read(
+            &sim,
+            45,
+            10,
+            Box::new(|_, r| {
+                assert_eq!(r.unwrap_err(), BlockError::OutOfRange);
+            }),
+        );
         sim.run();
     }
 

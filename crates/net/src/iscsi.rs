@@ -90,28 +90,41 @@ impl IscsiServer {
             Rc::new(RefCell::new(HashMap::new()));
 
         let t = targets.clone();
+        let comp = rpc.addr().to_string();
         rpc.serve("iscsi.login", move |sim, req, responder| {
             let req: &LoginReq = req.downcast_ref().expect("LoginReq");
+            sim.count(&comp, "iscsi.logins", 1);
             let resp: LoginResp = match t.borrow().get(&req.target) {
                 Some(dev) => Ok(dev.capacity()),
-                None => Err(IscsiError::NoSuchTarget),
+                None => {
+                    sim.count(&comp, "iscsi.login_failures", 1);
+                    Err(IscsiError::NoSuchTarget)
+                }
             };
             responder.reply(sim, Rc::new(resp), 64);
         });
 
         let t = targets.clone();
+        let comp = rpc.addr().to_string();
         rpc.serve("iscsi.read", move |sim, req, responder| {
             let req: &ReadReq = req.downcast_ref().expect("ReadReq");
+            sim.count(&comp, "iscsi.reads", 1);
             let dev = t.borrow().get(&req.target).cloned();
             match dev {
-                None => responder.reply(sim, Rc::new(Err(IscsiError::NoSuchTarget) as ReadResp), 16),
+                None => {
+                    responder.reply(sim, Rc::new(Err(IscsiError::NoSuchTarget) as ReadResp), 16)
+                }
                 Some(dev) => {
+                    let comp = comp.clone();
                     dev.read(
                         sim,
                         req.offset,
                         req.len,
                         Box::new(move |sim, res| {
                             let bytes = res.as_ref().map_or(16, |d| d.len() as u64 + 16);
+                            if let Ok(d) = &res {
+                                sim.count(&comp, "iscsi.read_bytes", d.len() as u64);
+                            }
                             let resp: ReadResp = res.map_err(IscsiError::Block);
                             responder.reply(sim, Rc::new(resp), bytes);
                         }),
@@ -121,19 +134,26 @@ impl IscsiServer {
         });
 
         let t = targets.clone();
+        let comp = rpc.addr().to_string();
         rpc.serve("iscsi.write", move |sim, req, responder| {
             let req: &WriteReq = req.downcast_ref().expect("WriteReq");
+            sim.count(&comp, "iscsi.writes", 1);
             let dev = t.borrow().get(&req.target).cloned();
             match dev {
                 None => {
                     responder.reply(sim, Rc::new(Err(IscsiError::NoSuchTarget) as WriteResp), 16)
                 }
                 Some(dev) => {
+                    let len = req.data.len() as u64;
+                    let comp = comp.clone();
                     dev.write(
                         sim,
                         req.offset,
                         req.data.clone(),
                         Box::new(move |sim, res| {
+                            if res.is_ok() {
+                                sim.count(&comp, "iscsi.write_bytes", len);
+                            }
                             let resp: WriteResp = res.map_err(IscsiError::Block);
                             responder.reply(sim, Rc::new(resp), 16);
                         }),
@@ -208,7 +228,9 @@ impl IscsiSession {
             sim,
             server,
             "iscsi.login",
-            Rc::new(LoginReq { target: target.to_owned() }),
+            Rc::new(LoginReq {
+                target: target.to_owned(),
+            }),
             64,
             timeout,
             move |sim, resp| {
@@ -257,7 +279,11 @@ impl IscsiSession {
             sim,
             &self.server,
             "iscsi.read",
-            Rc::new(ReadReq { target: self.target.clone(), offset, len }),
+            Rc::new(ReadReq {
+                target: self.target.clone(),
+                offset,
+                len,
+            }),
             32,
             self.timeout,
             move |sim, resp| {
@@ -283,7 +309,11 @@ impl IscsiSession {
             sim,
             &self.server,
             "iscsi.write",
-            Rc::new(WriteReq { target: self.target.clone(), offset, data }),
+            Rc::new(WriteReq {
+                target: self.target.clone(),
+                offset,
+                data,
+            }),
             bytes,
             self.timeout,
             move |sim, resp| {
@@ -344,7 +374,10 @@ mod tests {
     #[test]
     fn login_read_write_roundtrip() {
         let (sim, _net, server, client) = setup();
-        server.expose("unit0/disk3/space1", Rc::new(MemDevice::new(1 << 20, Duration::ZERO)));
+        server.expose(
+            "unit0/disk3/space1",
+            Rc::new(MemDevice::new(1 << 20, Duration::ZERO)),
+        );
         let done = Rc::new(Cell::new(false));
         let d = done.clone();
         IscsiSession::login(
@@ -472,7 +505,10 @@ mod tests {
         let (_sim, _net, server, _client) = setup();
         server.expose("b", Rc::new(MemDevice::new(1, Duration::ZERO)));
         server.expose("a", Rc::new(MemDevice::new(1, Duration::ZERO)));
-        assert_eq!(server.target_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            server.target_names(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]
@@ -488,12 +524,22 @@ mod tests {
             move |sim, sess| {
                 let dev: Rc<dyn BlockDevice> = Rc::new(sess.expect("login"));
                 let dev2 = dev.clone();
-                dev.write(sim, 0, vec![5u8; 8], Box::new(move |sim, r| {
-                    r.expect("write");
-                    dev2.read(sim, 0, 8, Box::new(|_, r| {
-                        assert_eq!(r.expect("read"), vec![5u8; 8]);
-                    }));
-                }));
+                dev.write(
+                    sim,
+                    0,
+                    vec![5u8; 8],
+                    Box::new(move |sim, r| {
+                        r.expect("write");
+                        dev2.read(
+                            sim,
+                            0,
+                            8,
+                            Box::new(|_, r| {
+                                assert_eq!(r.expect("read"), vec![5u8; 8]);
+                            }),
+                        );
+                    }),
+                );
             },
         );
         sim.run();

@@ -159,11 +159,15 @@ impl Network {
 
     /// Registers a node (idempotent). Nodes start up.
     pub fn register(&self, addr: &Addr) {
-        self.inner.borrow_mut().nodes.entry(addr.clone()).or_insert(Node {
-            handler: None,
-            nic_busy: SimTime::ZERO,
-            up: true,
-        });
+        self.inner
+            .borrow_mut()
+            .nodes
+            .entry(addr.clone())
+            .or_insert(Node {
+                handler: None,
+                nic_busy: SimTime::ZERO,
+                up: true,
+            });
     }
 
     /// Installs the receive handler for `addr` (replacing any previous).
@@ -187,11 +191,13 @@ impl Network {
             let up_from = i.nodes.get(from).is_some_and(|n| n.up);
             let up_to = i.nodes.get(to).is_some_and(|n| n.up);
             let blocked = i.blocked.contains(&(from.clone(), to.clone()));
-            if !up_from || !up_to || blocked {
-                i.dropped += 1;
-                None
-            } else if i.config.loss_probability > 0.0
-                && sim.with_rng(|r| r.chance(i.config.loss_probability))
+            // Down/blocked links drop unconditionally; live links draw the
+            // loss dice (short-circuit keeps the RNG stream identical).
+            if !up_from
+                || !up_to
+                || blocked
+                || (i.config.loss_probability > 0.0
+                    && sim.with_rng(|r| r.chance(i.config.loss_probability)))
             {
                 i.dropped += 1;
                 None
@@ -266,7 +272,10 @@ impl Network {
 
     /// Blocks the directed link `from -> to` (one direction of a partition).
     pub fn block(&self, from: &Addr, to: &Addr) {
-        self.inner.borrow_mut().blocked.insert((from.clone(), to.clone()));
+        self.inner
+            .borrow_mut()
+            .blocked
+            .insert((from.clone(), to.clone()));
     }
 
     /// Blocks both directions between two nodes.

@@ -13,7 +13,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore_sim::{EventId, Sim};
+use ustore_sim::{EventId, Sim, SimTime};
 
 use crate::network::{Addr, Envelope, Network};
 
@@ -57,6 +57,7 @@ type ResponseCb = Box<dyn FnOnce(&Sim, Result<Rc<dyn Any>, RpcError>)>;
 struct Pending {
     cb: ResponseCb,
     timeout_event: EventId,
+    started: SimTime,
 }
 
 type Handler = Rc<dyn Fn(&Sim, Rc<dyn Any>, Responder)>;
@@ -134,13 +135,20 @@ impl Responder {
 
     /// Sends the response payload (with `bytes` wire size).
     pub fn reply(self, sim: &Sim, body: Rc<dyn Any>, bytes: u64) {
-        let msg = RpcMsg::Response { id: self.id, body: Ok(body) };
-        self.net.send(sim, &self.from, &self.to, bytes + 48, Rc::new(msg));
+        let msg = RpcMsg::Response {
+            id: self.id,
+            body: Ok(body),
+        };
+        self.net
+            .send(sim, &self.from, &self.to, bytes + 48, Rc::new(msg));
     }
 
     /// Sends an error response.
     pub fn reply_err(self, sim: &Sim, err: RpcError) {
-        let msg = RpcMsg::Response { id: self.id, body: Err(err) };
+        let msg = RpcMsg::Response {
+            id: self.id,
+            body: Err(err),
+        };
         self.net.send(sim, &self.from, &self.to, 48, Rc::new(msg));
     }
 }
@@ -202,19 +210,26 @@ impl RpcNode {
             let typed = res.and_then(|body| body.downcast::<Resp>().map_err(|_| RpcError::BadType));
             cb(sim, typed);
         });
+        sim.count(&self.addr.to_string(), "rpc.calls", 1);
         let inner = self.inner.clone();
+        let addr = self.addr.clone();
         let timeout_event = sim.schedule_in(timeout, move |sim| {
             // Drop the borrow before invoking the callback: it may issue a
             // retry through this same endpoint.
             let pending = inner.borrow_mut().pending.remove(&id);
             if let Some(p) = pending {
+                sim.count(&addr.to_string(), "rpc.timeouts", 1);
                 (p.cb)(sim, Err(RpcError::Timeout));
             }
         });
-        self.inner
-            .borrow_mut()
-            .pending
-            .insert(id, Pending { cb: typed_cb, timeout_event });
+        self.inner.borrow_mut().pending.insert(
+            id,
+            Pending {
+                cb: typed_cb,
+                timeout_event,
+                started: sim.now(),
+            },
+        );
         let msg = RpcMsg::Request {
             id,
             method: method.to_owned(),
@@ -245,6 +260,12 @@ impl RpcNode {
                 let pending = self.inner.borrow_mut().pending.remove(id);
                 if let Some(p) = pending {
                     sim.cancel(p.timeout_event);
+                    let comp = self.addr.to_string();
+                    sim.count(&comp, "rpc.round_trips", 1);
+                    sim.observe_duration(&comp, "rpc.rtt_ns", sim.now().duration_since(p.started));
+                    if body.is_err() {
+                        sim.count(&comp, "rpc.errors", 1);
+                    }
                     (p.cb)(sim, body.clone());
                 }
             }
@@ -373,6 +394,43 @@ mod tests {
         }
         sim.run();
         assert_eq!(sum.get(), 2 * (1 + 2 + 3 + 4 + 5));
+    }
+
+    #[test]
+    fn rpc_metrics_count_round_trips_and_timeouts() {
+        let (sim, net, server, client) = setup();
+        server.serve("echo", |sim, _req, r| r.reply(sim, Rc::new(()), 1));
+        client.call::<()>(
+            &sim,
+            &Addr::new("server"),
+            "echo",
+            Rc::new(()),
+            4,
+            Duration::from_secs(1),
+            |_, resp| {
+                resp.expect("echo");
+            },
+        );
+        sim.run();
+        net.set_down(&sim, &Addr::new("server"));
+        client.call::<()>(
+            &sim,
+            &Addr::new("server"),
+            "echo",
+            Rc::new(()),
+            4,
+            Duration::from_millis(100),
+            |_, resp| {
+                resp.unwrap_err();
+            },
+        );
+        sim.run();
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.counter("client", "rpc.calls"), 2);
+        assert_eq!(m.counter("client", "rpc.round_trips"), 1);
+        assert_eq!(m.counter("client", "rpc.timeouts"), 1);
+        let h = m.histogram("client", "rpc.rtt_ns").expect("rtt histogram");
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
+use crate::obs::MetricsRegistry;
 use crate::rng::SimRng;
+use crate::span::{SpanId, SpanTracer};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceLevel};
 
@@ -61,7 +63,10 @@ struct Inner {
     cancelled_timers: HashSet<TimerId>,
     rng: SimRng,
     trace: Trace,
+    metrics: MetricsRegistry,
+    spans: SpanTracer,
     processed: u64,
+    queue_depth_max: usize,
 }
 
 /// Handle to the simulation engine.
@@ -114,7 +119,10 @@ impl Sim {
                 cancelled_timers: HashSet::new(),
                 rng: SimRng::seed_from(seed),
                 trace: Trace::new(),
+                metrics: MetricsRegistry::new(),
+                spans: SpanTracer::new(),
                 processed: 0,
+                queue_depth_max: 0,
             })),
         }
     }
@@ -151,6 +159,7 @@ impl Sim {
             id,
             action: Box::new(action),
         }));
+        inner.queue_depth_max = inner.queue_depth_max.max(inner.queue.len());
         id
     }
 
@@ -181,7 +190,10 @@ impl Sim {
         interval: Duration,
         action: impl FnMut(&Sim) + 'static,
     ) -> TimerId {
-        assert!(interval > Duration::ZERO, "every: interval must be positive");
+        assert!(
+            interval > Duration::ZERO,
+            "every: interval must be positive"
+        );
         let id = {
             let mut inner = self.inner.borrow_mut();
             let id = TimerId(inner.next_timer);
@@ -299,6 +311,120 @@ impl Sim {
     pub fn with_trace<R>(&self, f: impl FnOnce(&mut Trace) -> R) -> R {
         f(&mut self.inner.borrow_mut().trace)
     }
+
+    // ---- Metrics ----------------------------------------------------------
+
+    /// Adds `n` to the counter `component/name`.
+    pub fn count(&self, component: &str, name: &str, n: u64) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .counter_add(component, name, n);
+    }
+
+    /// Sets the gauge `component/name` to `v`.
+    pub fn gauge_set(&self, component: &str, name: &str, v: f64) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .gauge_set(component, name, v);
+    }
+
+    /// Adds `v` (may be negative) to the gauge `component/name`.
+    pub fn gauge_add(&self, component: &str, name: &str, v: f64) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .gauge_add(component, name, v);
+    }
+
+    /// Records a histogram sample under `component/name`.
+    pub fn observe(&self, component: &str, name: &str, v: u64) {
+        self.inner.borrow_mut().metrics.observe(component, name, v);
+    }
+
+    /// Records a [`Duration`] histogram sample under `component/name`.
+    pub fn observe_duration(&self, component: &str, name: &str, d: Duration) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .observe_duration(component, name, d);
+    }
+
+    /// Applies `f` to the metrics registry (to query or mutate it).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.inner.borrow_mut().metrics)
+    }
+
+    /// A point-in-time copy of the metrics registry, with the engine's own
+    /// gauges (`sim/queue_depth`, `sim/queue_depth_max`,
+    /// `sim/events_executed`) refreshed first. Per-component event counts
+    /// come from the components' own counters.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut inner = self.inner.borrow_mut();
+        let depth = inner.queue.len() as f64;
+        let depth_max = inner.queue_depth_max as f64;
+        let processed = inner.processed as f64;
+        inner.metrics.gauge_set("sim", "queue_depth", depth);
+        inner.metrics.gauge_set("sim", "queue_depth_max", depth_max);
+        inner.metrics.gauge_set("sim", "events_executed", processed);
+        inner.metrics.snapshot()
+    }
+
+    // ---- Spans ------------------------------------------------------------
+
+    /// Starts a root span at the current instant; mirrored into the trace
+    /// buffer at `Debug` level.
+    pub fn span_start(&self, component: &str, name: &str) -> SpanId {
+        self.span_open(component, name, None)
+    }
+
+    /// Starts a span nested under `parent` at the current instant.
+    pub fn span_child(&self, parent: SpanId, component: &str, name: &str) -> SpanId {
+        self.span_open(component, name, Some(parent))
+    }
+
+    fn span_open(&self, component: &str, name: &str, parent: Option<SpanId>) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.now;
+        let id = inner.spans.start(now, component, name, parent);
+        inner.trace.record(
+            now,
+            TraceLevel::Debug,
+            component,
+            format!("span start {name}"),
+        );
+        id
+    }
+
+    /// Ends a span at the current instant (idempotent).
+    pub fn span_end(&self, id: SpanId) {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.now;
+        inner.spans.end(now, id);
+        if let Some(span) = inner.spans.get(id) {
+            let (component, line) = (span.component.clone(), format!("span end {}", span.name));
+            inner.trace.record(now, TraceLevel::Debug, &component, line);
+        }
+    }
+
+    /// Attaches (or overrides) a `key=value` attribute on a span.
+    pub fn span_attr(&self, id: SpanId, key: &str, value: impl Into<String>) {
+        self.inner
+            .borrow_mut()
+            .spans
+            .set_attr(id, key, value.into());
+    }
+
+    /// The most recently started still-open span named `name`, if any.
+    pub fn find_open_span(&self, name: &str) -> Option<SpanId> {
+        self.inner.borrow().spans.find_open(name)
+    }
+
+    /// Applies `f` to the span tracer (to query or export it).
+    pub fn with_spans<R>(&self, f: impl FnOnce(&mut SpanTracer) -> R) -> R {
+        f(&mut self.inner.borrow_mut().spans)
+    }
 }
 
 #[cfg(test)]
@@ -391,9 +517,13 @@ mod tests {
         let sim = Sim::new(0);
         let count = Rc::new(StdRefCell::new(0u32));
         let c = count.clone();
-        let id = sim.every(Duration::from_millis(10), Duration::from_millis(10), move |_| {
-            *c.borrow_mut() += 1;
-        });
+        let id = sim.every(
+            Duration::from_millis(10),
+            Duration::from_millis(10),
+            move |_| {
+                *c.borrow_mut() += 1;
+            },
+        );
         sim.run_until(SimTime::from_millis(35));
         assert_eq!(*count.borrow(), 3);
         sim.cancel_timer(id);
@@ -408,12 +538,16 @@ mod tests {
         let c = count.clone();
         let cell: Rc<StdRefCell<Option<TimerId>>> = Rc::new(StdRefCell::new(None));
         let cell2 = cell.clone();
-        let id = sim.every(Duration::from_millis(1), Duration::from_millis(1), move |s| {
-            *c.borrow_mut() += 1;
-            if *c.borrow() == 2 {
-                s.cancel_timer(cell2.borrow().expect("timer id set"));
-            }
-        });
+        let id = sim.every(
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            move |s| {
+                *c.borrow_mut() += 1;
+                if *c.borrow() == 2 {
+                    s.cancel_timer(cell2.borrow().expect("timer id set"));
+                }
+            },
+        );
         *cell.borrow_mut() = Some(id);
         sim.run_until(SimTime::from_millis(20));
         assert_eq!(*count.borrow(), 2);

@@ -1,0 +1,313 @@
+//! A minimal, dependency-free JSON document model.
+//!
+//! The observability layer ([`crate::obs`], [`crate::span`]) and the bench
+//! harness need a *stable* machine-readable export format. This module
+//! provides just enough JSON: a value tree with insertion-ordered objects
+//! (so exports are byte-stable run over run), compact and pretty writers,
+//! and spec-compliant string escaping. It is intentionally write-only —
+//! nothing in the simulator parses JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use ustore_sim::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::str("failover")),
+//!     ("total_ms", Json::f64(612.5)),
+//!     ("children", Json::arr([Json::u64(3)])),
+//! ]);
+//! assert_eq!(
+//!     doc.to_string(),
+//!     r#"{"name":"failover","total_ms":612.5,"children":[3]}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (printed exactly, no float rounding).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number (`NaN`/`Inf` serialize as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an unsigned integer value.
+    pub fn u64(v: u64) -> Json {
+        Json::U64(v)
+    }
+
+    /// Builds a signed integer value.
+    pub fn i64(v: i64) -> Json {
+        Json::I64(v)
+    }
+
+    /// Builds a float value.
+    pub fn f64(v: f64) -> Json {
+        Json::F64(v)
+    }
+
+    /// Builds an array from an iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Appends a key/value pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn insert(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("Json::insert on a non-object"),
+        }
+    }
+
+    /// Appends a value to an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn push(&mut self, value: Json) {
+        match self {
+            Json::Arr(items) => items.push(value),
+            _ => panic!("Json::push on a non-array"),
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements if the value is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline-free
+    /// body (callers add their own newline).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(v) => write!(f, "{v}"),
+            Json::I64(v) => write!(f, "{v}"),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => {
+                let mut out = String::new();
+                write_escaped(&mut out, s);
+                f.write_str(&out)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::new();
+                    write_escaped(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(
+            Json::u64(18_446_744_073_709_551_615).to_string(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::i64(-5).to_string(), "-5");
+        assert_eq!(Json::f64(2.5).to_string(), "2.5");
+        assert_eq!(Json::f64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::f64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+        assert_eq!(Json::str("héllo").to_string(), "\"héllo\"");
+    }
+
+    #[test]
+    fn nested_compact() {
+        let doc = Json::obj([
+            ("a", Json::arr([Json::u64(1), Json::Null])),
+            ("b", Json::obj([("c", Json::Bool(false))])),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"a":[1,null],"b":{"c":false}}"#);
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut doc = Json::obj([("z", Json::u64(1))]);
+        doc.insert("a", Json::u64(2));
+        assert_eq!(doc.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::obj([("x", Json::f64(1.5)), ("s", Json::str("hi"))]);
+        assert_eq!(doc.get("x").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(doc.get("missing"), None);
+        assert!(Json::arr([Json::u64(1)]).as_arr().is_some());
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let doc = Json::obj([
+            ("rows", Json::arr([Json::obj([("v", Json::u64(3))])])),
+            ("empty", Json::arr([])),
+        ]);
+        let p = doc.pretty();
+        assert!(p.contains("\"rows\": ["));
+        assert!(p.contains("\"empty\": []"));
+        assert!(p.starts_with('{') && p.ends_with('}'));
+    }
+}

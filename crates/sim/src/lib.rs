@@ -26,19 +26,29 @@
 //! - [`engine`]: the event queue and [`Sim`] handle.
 //! - [`rng`]: seeded, forkable randomness ([`SimRng`], [`Zipf`]).
 //! - [`metrics`]: counters, histograms, throughput accounting.
+//! - [`obs`]: the unified [`MetricsRegistry`] every component reports into.
+//! - [`span`]: causal span tracing ([`SpanTracer`]) for decomposition and
+//!   causality queries.
 //! - [`trace`]: structured in-memory tracing.
+//! - [`json`]: dependency-free stable JSON export ([`Json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod trace;
 
 pub use engine::{EventId, Sim, TimerId};
+pub use json::Json;
 pub use metrics::{Counter, Histogram, Throughput, ThroughputRate};
+pub use obs::MetricsRegistry;
 pub use rng::{SimRng, Zipf};
+pub use span::{Span, SpanId, SpanTracer};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent, TraceLevel};

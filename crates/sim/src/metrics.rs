@@ -101,6 +101,30 @@ impl Histogram {
         (SUB_BUCKETS + mantissa) << (octave - 6)
     }
 
+    /// Inclusive upper bound of a bucket (saturating at `u64::MAX`).
+    fn bucket_high(idx: u64) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx;
+        }
+        let octave = idx / SUB_BUCKETS + 5;
+        let mantissa = idx % SUB_BUCKETS;
+        let high = u128::from(SUB_BUCKETS + mantissa + 1) << (octave - 6);
+        (high - 1).min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Midpoint of a bucket's value range (the least-biased point
+    /// estimate for any sample that landed in it).
+    fn bucket_mid(idx: u64) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx; // width-1 buckets are exact
+        }
+        let octave = idx / SUB_BUCKETS + 5;
+        let mantissa = idx % SUB_BUCKETS;
+        let low = u128::from(SUB_BUCKETS + mantissa) << (octave - 6);
+        let high = u128::from(SUB_BUCKETS + mantissa + 1) << (octave - 6);
+        ((low + high) / 2).min(u128::from(u64::MAX)) as u64
+    }
+
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
         self.count += 1;
@@ -141,6 +165,10 @@ impl Histogram {
 
     /// Approximate `q`-quantile (`0.0..=1.0`), if any samples exist.
     ///
+    /// Returns the midpoint of the bucket holding the target rank (the
+    /// low edge would bias estimates low by up to one bucket width),
+    /// clamped to the exact observed `[min, max]`.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -154,10 +182,42 @@ impl Histogram {
         for &(idx, c) in &self.buckets {
             seen += c;
             if seen >= target {
-                return Some(Self::bucket_low(idx).clamp(self.min, self.max));
+                return Some(Self::bucket_mid(idx).clamp(self.min, self.max));
             }
         }
         Some(self.max)
+    }
+
+    /// The histogram of samples recorded since `base` (an earlier snapshot
+    /// of this histogram): bucket counts, sample count and sum subtract.
+    ///
+    /// Exact window min/max are not recoverable from bucketed data, so the
+    /// result bounds them by the surviving buckets' ranges intersected with
+    /// this histogram's lifetime min/max.
+    pub fn diff(&self, base: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for &(idx, c) in &self.buckets {
+            let before = base
+                .buckets
+                .binary_search_by_key(&idx, |&(i, _)| i)
+                .ok()
+                .map_or(0, |p| base.buckets[p].1);
+            if c > before {
+                out.buckets.push((idx, c - before));
+            }
+        }
+        out.count = self.count.saturating_sub(base.count);
+        out.sum = self.sum.saturating_sub(base.sum);
+        if out.count > 0 {
+            let first = out.buckets.first().map_or(0, |&(i, _)| Self::bucket_low(i));
+            let last = out
+                .buckets
+                .last()
+                .map_or(self.max, |&(i, _)| Self::bucket_high(i));
+            out.min = first.max(self.min);
+            out.max = last.min(self.max);
+        }
+        out
     }
 
     /// Merges another histogram into this one.
@@ -240,7 +300,10 @@ impl Throughput {
     ///
     /// Panics if `window` is zero.
     pub fn over(&self, window: Duration) -> ThroughputRate {
-        assert!(window > Duration::ZERO, "throughput window must be positive");
+        assert!(
+            window > Duration::ZERO,
+            "throughput window must be positive"
+        );
         let secs = window.as_secs_f64();
         ThroughputRate {
             ops_per_sec: self.ops as f64 / secs,
@@ -257,7 +320,11 @@ impl Throughput {
 
 impl fmt::Display for ThroughputRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1} IO/s, {:.1} MB/s", self.ops_per_sec, self.mb_per_sec)
+        write!(
+            f,
+            "{:.1} IO/s, {:.1} MB/s",
+            self.ops_per_sec, self.mb_per_sec
+        )
     }
 }
 
@@ -302,10 +369,54 @@ mod tests {
         for v in 1..=10_000u64 {
             h.record(v * 1000); // 1k..10M ns
         }
+        // Bucket midpoints bound the relative error by half a bucket
+        // width (1/128 per octave ≈ 0.8%), versus a full width for the
+        // old low-edge estimate.
         let p50 = h.quantile(0.5).unwrap() as f64;
-        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.05, "p50 {p50}");
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.01, "p50 {p50}");
         let p99 = h.quantile(0.99).unwrap() as f64;
-        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.05, "p99 {p99}");
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.01, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_quantile_uses_bucket_midpoint() {
+        // One sample deep in a wide bucket: the quantile is the bucket
+        // midpoint clamped to the observed max.
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        assert_eq!(
+            h.quantile(0.5),
+            Some(1_000_000),
+            "clamped to the only sample"
+        );
+        // Two distinct samples sharing nothing: clamping keeps estimates
+        // inside [min, max] while midpoints reduce in-bucket bias.
+        let mut h2 = Histogram::new();
+        h2.record(1000);
+        h2.record(2000);
+        let p50 = h2.quantile(0.5).unwrap();
+        let idx = Histogram::bucket_index(1000);
+        assert_eq!(p50, Histogram::bucket_mid(idx).clamp(1000, 2000));
+    }
+
+    #[test]
+    fn histogram_diff_window() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let base = h.clone();
+        h.record(300);
+        h.record(400_000);
+        let d = h.diff(&base);
+        assert_eq!(d.count(), 2);
+        let mean = d.mean().unwrap();
+        assert!((mean - 200_150.0).abs() < 1.0, "window mean {mean}");
+        assert!(d.min().unwrap() <= 300);
+        assert!(d.max().unwrap() >= 300);
+        // Diffing against itself yields an empty histogram.
+        let z = h.diff(&h);
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.quantile(0.5), None);
     }
 
     #[test]

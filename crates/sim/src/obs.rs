@@ -1,0 +1,379 @@
+//! Unified metrics registry: named counters, gauges and histograms.
+//!
+//! Every measurement in the stack flows through one [`MetricsRegistry`]
+//! owned by the simulator (see [`crate::Sim::count`] and friends), keyed by
+//! a `(component, name)` pair:
+//!
+//! - **component** identifies the emitting instance (`"master-0"`,
+//!   `"u0-d3"`, `"fabric"`, `"sim"`), so per-disk or per-host series stay
+//!   separate and can be aggregated later;
+//! - **name** is a hierarchical dotted metric id (`"disk.reads"`,
+//!   `"power.residency.idle_s"`, `"rpc.round_trips"`).
+//!
+//! The registry supports [`snapshot`](MetricsRegistry::snapshot) /
+//! [`diff`](MetricsRegistry::diff) (measure just a window of a run) and
+//! [`merge`](MetricsRegistry::merge) (aggregate repeated runs), and exports
+//! to a byte-stable JSON document or a sorted text listing. Keys are kept
+//! in sorted order so exports never depend on insertion order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+
+/// A registry of named counters, gauges and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter_add("disk-0", "disk.reads", 3);
+/// m.gauge_set("disk-0", "power.watts", 5.1);
+/// m.observe("disk-0", "disk.latency_ns", 12_000_000);
+/// assert_eq!(m.counter("disk-0", "disk.reads"), 3);
+///
+/// let base = m.snapshot();
+/// m.counter_add("disk-0", "disk.reads", 2);
+/// assert_eq!(m.diff(&base).counter("disk-0", "disk.reads"), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), f64>,
+    histograms: BTreeMap<(String, String), Histogram>,
+}
+
+fn key(component: &str, name: &str) -> (String, String) {
+    (component.to_owned(), name.to_owned())
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `n` to the counter `component/name` (creating it at zero).
+    pub fn counter_add(&mut self, component: &str, name: &str, n: u64) {
+        *self.counters.entry(key(component, name)).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (zero when never touched).
+    pub fn counter(&self, component: &str, name: &str) -> u64 {
+        self.counters
+            .get(&key(component, name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `name` counters across all components.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, n), _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Sets the gauge `component/name` to `v`.
+    pub fn gauge_set(&mut self, component: &str, name: &str, v: f64) {
+        self.gauges.insert(key(component, name), v);
+    }
+
+    /// Adds `v` (may be negative) to the gauge, creating it at zero.
+    pub fn gauge_add(&mut self, component: &str, name: &str, v: f64) {
+        *self.gauges.entry(key(component, name)).or_insert(0.0) += v;
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, component: &str, name: &str) -> Option<f64> {
+        self.gauges.get(&key(component, name)).copied()
+    }
+
+    /// Records a histogram sample (typically nanoseconds).
+    pub fn observe(&mut self, component: &str, name: &str, v: u64) {
+        self.histograms
+            .entry(key(component, name))
+            .or_default()
+            .record(v);
+    }
+
+    /// Records a [`Duration`] histogram sample in nanoseconds.
+    pub fn observe_duration(&mut self, component: &str, name: &str, d: Duration) {
+        self.histograms
+            .entry(key(component, name))
+            .or_default()
+            .record_duration(d);
+    }
+
+    /// The histogram `component/name`, if any samples were recorded.
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&Histogram> {
+        self.histograms.get(&key(component, name))
+    }
+
+    /// Iterates `(component, name, value)` over all counters, sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counters
+            .iter()
+            .map(|((c, n), v)| (c.as_str(), n.as_str(), *v))
+    }
+
+    /// Iterates `(component, name, value)` over all gauges, sorted.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.gauges
+            .iter()
+            .map(|((c, n), v)| (c.as_str(), n.as_str(), *v))
+    }
+
+    /// Iterates `(component, name, histogram)` sorted by key.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &str, &Histogram)> {
+        self.histograms
+            .iter()
+            .map(|((c, n), h)| (c.as_str(), n.as_str(), h))
+    }
+
+    /// A point-in-time copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// The change since `base` (an earlier snapshot of the same registry).
+    ///
+    /// Counters and histograms subtract (entries that did not change are
+    /// omitted); gauges report their *current* value minus the base value
+    /// when both exist, else the current value.
+    pub fn diff(&self, base: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for ((c, n), v) in &self.counters {
+            let before = base
+                .counters
+                .get(&(c.clone(), n.clone()))
+                .copied()
+                .unwrap_or(0);
+            if *v > before {
+                out.counters.insert((c.clone(), n.clone()), v - before);
+            }
+        }
+        for ((c, n), v) in &self.gauges {
+            let before = base
+                .gauges
+                .get(&(c.clone(), n.clone()))
+                .copied()
+                .unwrap_or(0.0);
+            let d = v - before;
+            if d != 0.0 {
+                out.gauges.insert((c.clone(), n.clone()), d);
+            }
+        }
+        for ((c, n), h) in &self.histograms {
+            match base.histograms.get(&(c.clone(), n.clone())) {
+                Some(bh) => {
+                    let d = h.diff(bh);
+                    if d.count() > 0 {
+                        out.histograms.insert((c.clone(), n.clone()), d);
+                    }
+                }
+                None => {
+                    if h.count() > 0 {
+                        out.histograms.insert((c.clone(), n.clone()), h.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges another registry into this one: counters and histogram
+    /// samples add; gauges add numerically (so per-run residency or energy
+    /// gauges aggregate across merged runs).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for ((c, n), v) in &other.counters {
+            *self.counters.entry((c.clone(), n.clone())).or_insert(0) += v;
+        }
+        for ((c, n), v) in &other.gauges {
+            *self.gauges.entry((c.clone(), n.clone())).or_insert(0.0) += v;
+        }
+        for ((c, n), h) in &other.histograms {
+            self.histograms
+                .entry((c.clone(), n.clone()))
+                .or_default()
+                .merge(h);
+        }
+    }
+
+    /// Clears all series.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Stable JSON export.
+    ///
+    /// Schema (all keys sorted `component/name`):
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   { "disk-0/disk.reads": 3 },
+    ///   "gauges":     { "disk-0/power.watts": 5.1 },
+    ///   "histograms": { "disk-0/disk.latency_ns":
+    ///       { "count": 1, "min": 0, "max": 0, "mean": 0.0,
+    ///         "p50": 0, "p90": 0, "p99": 0 } }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let counters = Json::obj(
+            self.counters()
+                .map(|(c, n, v)| (format!("{c}/{n}"), Json::u64(v))),
+        );
+        let gauges = Json::obj(
+            self.gauges()
+                .map(|(c, n, v)| (format!("{c}/{n}"), Json::f64(v))),
+        );
+        let histograms = Json::obj(self.histograms().map(|(c, n, h)| {
+            (
+                format!("{c}/{n}"),
+                Json::obj([
+                    ("count", Json::u64(h.count())),
+                    ("min", Json::u64(h.min().unwrap_or(0))),
+                    ("max", Json::u64(h.max().unwrap_or(0))),
+                    ("mean", Json::f64(h.mean().unwrap_or(0.0))),
+                    ("p50", Json::u64(h.quantile(0.5).unwrap_or(0))),
+                    ("p90", Json::u64(h.quantile(0.9).unwrap_or(0))),
+                    ("p99", Json::u64(h.quantile(0.99).unwrap_or(0))),
+                ]),
+            )
+        }));
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    /// Sorted text listing, one series per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, n, v) in self.counters() {
+            writeln!(f, "counter   {c}/{n} = {v}")?;
+        }
+        for (c, n, v) in self.gauges() {
+            writeln!(f, "gauge     {c}/{n} = {v:.3}")?;
+        }
+        for (c, n, h) in self.histograms() {
+            writeln!(
+                f,
+                "histogram {c}/{n} count={} mean={:.0} p50={} p99={}",
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.counter_add("a", "x", 2);
+        m.counter_add("a", "x", 3);
+        m.counter_add("b", "x", 10);
+        assert_eq!(m.counter("a", "x"), 5);
+        assert_eq!(m.counter("a", "missing"), 0);
+        assert_eq!(m.counter_total("x"), 15);
+        m.gauge_set("a", "g", 1.0);
+        m.gauge_add("a", "g", 0.5);
+        m.gauge_add("a", "h", -2.0);
+        assert_eq!(m.gauge("a", "g"), Some(1.5));
+        assert_eq!(m.gauge("a", "h"), Some(-2.0));
+        assert_eq!(m.gauge("a", "missing"), None);
+    }
+
+    #[test]
+    fn snapshot_diff_window() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", "ops", 10);
+        m.gauge_set("c", "level", 3.0);
+        m.observe("c", "lat", 100);
+        let base = m.snapshot();
+        m.counter_add("c", "ops", 7);
+        m.counter_add("c", "new", 1);
+        m.gauge_set("c", "level", 5.0);
+        m.observe("c", "lat", 200);
+        m.observe("c", "lat", 300);
+        let d = m.diff(&base);
+        assert_eq!(d.counter("c", "ops"), 7);
+        assert_eq!(d.counter("c", "new"), 1);
+        assert_eq!(d.gauge("c", "level"), Some(2.0));
+        let h = d.histogram("c", "lat").expect("window samples");
+        assert_eq!(h.count(), 2);
+        // Unchanged series are omitted from the diff entirely.
+        let d2 = m.diff(&m.snapshot());
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn merge_aggregates_runs() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", "ops", 1);
+        a.gauge_set("c", "energy_j", 2.0);
+        a.observe("c", "lat", 50);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", "ops", 2);
+        b.gauge_set("c", "energy_j", 3.5);
+        b.observe("c", "lat", 70);
+        a.merge(&b);
+        assert_eq!(a.counter("c", "ops"), 3);
+        assert_eq!(a.gauge("c", "energy_j"), Some(5.5));
+        assert_eq!(a.histogram("c", "lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_export_is_stable_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        // Insert out of order; export must sort.
+        m.counter_add("z", "late", 1);
+        m.counter_add("a", "early", 2);
+        m.gauge_set("g", "v", 0.25);
+        m.observe("h", "lat", 42);
+        let j1 = m.to_json().to_string();
+        let j2 = m.snapshot().to_json().to_string();
+        assert_eq!(j1, j2, "export must be deterministic");
+        let a = j1.find("a/early").expect("a/early present");
+        let z = j1.find("z/late").expect("z/late present");
+        assert!(a < z, "keys sorted");
+        assert!(j1.contains(r#""counters":{"#));
+        assert!(j1.contains(r#""gauges":{"#));
+        assert!(j1.contains(r#""histograms":{"#));
+        assert!(j1.contains(r#""p99":42"#));
+    }
+
+    #[test]
+    fn text_export_lists_every_series() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", "ops", 3);
+        m.gauge_set("c", "w", 1.5);
+        m.observe("c", "lat", 9);
+        let text = m.to_string();
+        assert!(text.contains("counter   c/ops = 3"));
+        assert!(text.contains("gauge     c/w = 1.500"));
+        assert!(text.contains("histogram c/lat count=1"));
+    }
+}

@@ -60,8 +60,8 @@ impl fmt::Display for TraceEvent {
 /// A bounded in-memory trace recorder.
 ///
 /// Recording below the configured minimum level is dropped; when the buffer
-/// exceeds its capacity the oldest half is discarded (the total count keeps
-/// counting).
+/// exceeds its capacity half of it is discarded — sub-`Warn` noise first,
+/// oldest first — while the total count keeps counting.
 #[derive(Debug)]
 pub struct Trace {
     min_level: TraceLevel,
@@ -106,9 +106,7 @@ impl Trace {
         }
         self.total += 1;
         if self.events.len() >= self.capacity {
-            let half = self.events.len() / 2;
-            self.dropped += half as u64;
-            self.events.drain(..half);
+            self.evict_half();
         }
         self.events.push(TraceEvent {
             at,
@@ -116,6 +114,44 @@ impl Trace {
             component: component.to_owned(),
             message,
         });
+    }
+
+    /// Evicts half of the retained events, preferring to drop sub-`Warn`
+    /// noise (oldest first) so `Warn`/`Error` events survive as long as
+    /// the buffer can afford to keep them. Relative order is preserved.
+    fn evict_half(&mut self) {
+        let len = self.events.len();
+        let half = len / 2;
+        let mut evict = vec![false; len];
+        let mut n = 0;
+        for (i, e) in self.events.iter().enumerate() {
+            if n == half {
+                break;
+            }
+            if e.level < TraceLevel::Warn {
+                evict[i] = true;
+                n += 1;
+            }
+        }
+        // Not enough noise: fall back to evicting the oldest survivors.
+        if n < half {
+            for flag in evict.iter_mut() {
+                if n == half {
+                    break;
+                }
+                if !*flag {
+                    *flag = true;
+                    n += 1;
+                }
+            }
+        }
+        let mut i = 0;
+        self.events.retain(|_| {
+            let keep = !evict[i];
+            i += 1;
+            keep
+        });
+        self.dropped += half as u64;
     }
 
     /// All retained events, oldest first.
@@ -136,6 +172,11 @@ impl Trace {
     /// Retained events from `component`, oldest first.
     pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
         self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// Retained events at `level` or above, oldest first.
+    pub fn events_at_least(&self, level: TraceLevel) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.level >= level)
     }
 
     /// First retained event whose message contains `needle`.
@@ -161,7 +202,13 @@ mod tests {
     fn records_and_queries() {
         let mut t = Trace::new();
         ev(&mut t, 1, TraceLevel::Info, "master", "started");
-        ev(&mut t, 2, TraceLevel::Warn, "endpoint-0", "heartbeat missed");
+        ev(
+            &mut t,
+            2,
+            TraceLevel::Warn,
+            "endpoint-0",
+            "heartbeat missed",
+        );
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.for_component("master").count(), 1);
         assert!(t.find("heartbeat").is_some());
@@ -189,6 +236,55 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         assert_eq!(t.total_recorded(), 5);
         assert_eq!(t.events()[0].message, "m2");
+    }
+
+    #[test]
+    fn eviction_prefers_keeping_warnings() {
+        let mut t = Trace::new();
+        t.set_capacity(8);
+        // Two early warnings buried under Info noise.
+        ev(&mut t, 0, TraceLevel::Warn, "m", "w0");
+        ev(&mut t, 1, TraceLevel::Error, "m", "e1");
+        for i in 2..8 {
+            ev(&mut t, i, TraceLevel::Info, "m", &format!("i{i}"));
+        }
+        // Next record triggers eviction of 4; all 4 come from the Info
+        // noise, so both severe events survive.
+        ev(&mut t, 8, TraceLevel::Info, "m", "i8");
+        assert_eq!(t.dropped(), 4);
+        let msgs: Vec<_> = t.events().iter().map(|e| e.message.as_str()).collect();
+        assert!(msgs.contains(&"w0"), "warning retained: {msgs:?}");
+        assert!(msgs.contains(&"e1"), "error retained: {msgs:?}");
+        assert_eq!(t.events_at_least(TraceLevel::Warn).count(), 2);
+    }
+
+    #[test]
+    fn eviction_falls_back_to_oldest_when_all_severe() {
+        let mut t = Trace::new();
+        t.set_capacity(4);
+        for i in 0..5 {
+            ev(&mut t, i, TraceLevel::Error, "m", &format!("e{i}"));
+        }
+        // All events are severe, so the oldest half still goes.
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[0].message, "e2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn events_at_least_filters_by_level() {
+        let mut t = Trace::new();
+        t.set_min_level(TraceLevel::Debug);
+        ev(&mut t, 0, TraceLevel::Debug, "a", "d");
+        ev(&mut t, 1, TraceLevel::Info, "a", "i");
+        ev(&mut t, 2, TraceLevel::Warn, "a", "w");
+        ev(&mut t, 3, TraceLevel::Error, "a", "e");
+        assert_eq!(t.events_at_least(TraceLevel::Debug).count(), 4);
+        assert_eq!(t.events_at_least(TraceLevel::Warn).count(), 2);
+        assert_eq!(
+            t.events_at_least(TraceLevel::Error).next().unwrap().message,
+            "e"
+        );
     }
 
     #[test]

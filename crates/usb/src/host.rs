@@ -278,6 +278,7 @@ impl UsbHost {
                         }
                     };
                     if became_ready {
+                        sim.count(&this.name(), "usb.enumerations", 1);
                         sim.trace(
                             TraceLevel::Debug,
                             "usb",
@@ -295,7 +296,10 @@ impl UsbHost {
                     let mut i = self.inner.borrow_mut();
                     let epoch = i.next_epoch;
                     i.next_epoch += 1;
-                    let tier = desc.parent.and_then(|p| i.nodes.get(&p)).map_or(1, |n| n.tier + 1);
+                    let tier = desc
+                        .parent
+                        .and_then(|p| i.nodes.get(&p))
+                        .map_or(1, |n| n.tier + 1);
                     i.nodes.insert(
                         desc.id,
                         Node {
@@ -392,8 +396,11 @@ impl UsbHost {
     /// ```
     pub fn format_tree(&self) -> String {
         let snap = self.snapshot();
-        let mut out = format!("/:  root hub ({})
-", self.name());
+        let mut out = format!(
+            "/:  root hub ({})
+",
+            self.name()
+        );
         fn emit(out: &mut String, snap: &[UsbTreeNode], parent: Option<DeviceId>, depth: usize) {
             for n in snap.iter().filter(|n| n.parent == parent) {
                 let kind = match n.kind {
@@ -406,8 +413,11 @@ impl UsbHost {
                     DeviceState::Failed(e) => format!("FAILED: {e}"),
                 };
                 out.push_str(&"    ".repeat(depth));
-                out.push_str(&format!("|__ {} [{kind}] {state}
-", n.id));
+                out.push_str(&format!(
+                    "|__ {} [{kind}] {state}
+",
+                    n.id
+                ));
                 emit(out, snap, Some(n.id), depth + 1);
             }
         }
@@ -463,6 +473,18 @@ impl UsbHost {
                     let start = now.max(*busy);
                     let done = start + occ;
                     *busy = done;
+                    // Link utilization telemetry: summing busy_ns over a
+                    // window gives the per-direction duty cycle.
+                    sim.count(&i.name, "usb.transfers", 1);
+                    sim.count(&i.name, "usb.bytes", bytes);
+                    sim.count(
+                        &i.name,
+                        match dir {
+                            BusDir::In => "usb.link_in_busy_ns",
+                            BusDir::Out => "usb.link_out_busy_ns",
+                        },
+                        occ.as_nanos().min(u128::from(u64::MAX)) as u64,
+                    );
                     Ok(done)
                 }
             }
@@ -661,7 +683,9 @@ mod tests {
         h.transfer(&sim, DeviceId(1), BusDir::In, 4096, |_, r| {
             assert_eq!(r.unwrap_err(), UsbError::NotStorage);
         });
-        h.transfer(&sim, DeviceId(2), BusDir::In, 4096, |_, r| r.expect("ready now"));
+        h.transfer(&sim, DeviceId(2), BusDir::In, 4096, |_, r| {
+            r.expect("ready now")
+        });
         sim.run();
     }
 
@@ -675,16 +699,26 @@ mod tests {
         let done = Rc::new(RefCell::new(Vec::new()));
         for d in [1u32, 2] {
             let dn = done.clone();
-            h.transfer(&sim, DeviceId(d), BusDir::In, 4 * 1024 * 1024, move |sim, r| {
-                r.expect("transfer");
-                dn.borrow_mut().push(sim.now());
-            });
+            h.transfer(
+                &sim,
+                DeviceId(d),
+                BusDir::In,
+                4 * 1024 * 1024,
+                move |sim, r| {
+                    r.expect("transfer");
+                    dn.borrow_mut().push(sim.now());
+                },
+            );
         }
         sim.run();
         let done = done.borrow();
         let occ = UsbProfile::prototype().command_occupancy(4 * 1024 * 1024);
         assert_eq!(done[0], t0 + occ);
-        assert_eq!(done[1], t0 + occ + occ, "second transfer queued behind first");
+        assert_eq!(
+            done[1],
+            t0 + occ + occ,
+            "second transfer queued behind first"
+        );
     }
 
     #[test]
@@ -697,9 +731,13 @@ mod tests {
         let done_in = Rc::new(Cell::new(SimTime::ZERO));
         let done_out = Rc::new(Cell::new(SimTime::ZERO));
         let di = done_in.clone();
-        h.transfer(&sim, DeviceId(1), BusDir::In, 4 << 20, move |sim, _| di.set(sim.now()));
+        h.transfer(&sim, DeviceId(1), BusDir::In, 4 << 20, move |sim, _| {
+            di.set(sim.now())
+        });
         let do_ = done_out.clone();
-        h.transfer(&sim, DeviceId(2), BusDir::Out, 4 << 20, move |sim, _| do_.set(sim.now()));
+        h.transfer(&sim, DeviceId(2), BusDir::Out, 4 << 20, move |sim, _| {
+            do_.set(sim.now())
+        });
         sim.run();
         let occ = UsbProfile::prototype().command_occupancy(4 << 20);
         // IN started first with the OUT side idle: full rate.
@@ -725,7 +763,10 @@ mod tests {
         assert!(tree.starts_with("/:  root hub (h0)"), "{tree}");
         assert!(tree.contains("|__ usb5 [hub] ready"));
         assert!(tree.contains("    |__ usb3 [storage] ready"), "{tree}");
-        assert!(tree.contains("FAILED"), "over-limit devices visible: {tree}");
+        assert!(
+            tree.contains("FAILED"),
+            "over-limit devices visible: {tree}"
+        );
     }
 
     #[test]

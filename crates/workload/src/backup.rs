@@ -66,7 +66,10 @@ impl fmt::Display for BackupError {
             BackupError::OutOfSpace => write!(f, "archive device is full"),
             BackupError::NoSuchSnapshot => write!(f, "no such snapshot"),
             BackupError::CorruptSnapshot { expected, actual } => {
-                write!(f, "corrupt snapshot: expected {expected:016x}, got {actual:016x}")
+                write!(
+                    f,
+                    "corrupt snapshot: expected {expected:016x}, got {actual:016x}"
+                )
             }
         }
     }
@@ -145,20 +148,27 @@ impl BackupService {
         let sum = checksum(&data);
         let len = data.len() as u64;
         let this = self.clone();
-        self.write_chunks(sim, offset, data, 0, chunk, Box::new(move |sim, r| match r {
-            Err(e) => cb(sim, Err(e)),
-            Ok(()) => {
-                let meta = SnapshotMeta {
-                    label,
-                    offset,
-                    len,
-                    checksum: sum,
-                    written_at: sim.now(),
-                };
-                this.inner.borrow_mut().catalog.push(meta.clone());
-                cb(sim, Ok(meta));
-            }
-        }));
+        self.write_chunks(
+            sim,
+            offset,
+            data,
+            0,
+            chunk,
+            Box::new(move |sim, r| match r {
+                Err(e) => cb(sim, Err(e)),
+                Ok(()) => {
+                    let meta = SnapshotMeta {
+                        label,
+                        offset,
+                        len,
+                        checksum: sum,
+                        written_at: sim.now(),
+                    };
+                    this.inner.borrow_mut().catalog.push(meta.clone());
+                    cb(sim, Ok(meta));
+                }
+            }),
+        );
     }
 
     fn write_chunks(
@@ -223,7 +233,13 @@ impl BackupService {
         if acc.len() as u64 >= meta.len {
             let actual = checksum(&acc);
             if actual != meta.checksum {
-                cb(sim, Err(BackupError::CorruptSnapshot { expected: meta.checksum, actual }));
+                cb(
+                    sim,
+                    Err(BackupError::CorruptSnapshot {
+                        expected: meta.checksum,
+                        actual,
+                    }),
+                );
             } else {
                 cb(sim, Ok(acc));
             }
@@ -263,7 +279,9 @@ mod tests {
     }
 
     fn payload(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -336,13 +354,21 @@ mod tests {
         svc.backup(&sim, "s", payload(1 << 20, 3), move |sim, r| {
             let meta = r.expect("backup");
             // Flip a byte behind the service's back.
-            dev.write(sim, meta.offset + 100, vec![0xFF], Box::new(move |sim, r| {
-                r.expect("tamper");
-                svc2.restore(sim, "s", move |_, r| {
-                    assert!(matches!(r.unwrap_err(), BackupError::CorruptSnapshot { .. }));
-                    g.set(true);
-                });
-            }));
+            dev.write(
+                sim,
+                meta.offset + 100,
+                vec![0xFF],
+                Box::new(move |sim, r| {
+                    r.expect("tamper");
+                    svc2.restore(sim, "s", move |_, r| {
+                        assert!(matches!(
+                            r.unwrap_err(),
+                            BackupError::CorruptSnapshot { .. }
+                        ));
+                        g.set(true);
+                    });
+                }),
+            );
         });
         sim.run();
         assert!(got.get());

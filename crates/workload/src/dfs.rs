@@ -151,7 +151,9 @@ pub struct NameNode {
 
 impl fmt::Debug for NameNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NameNode").field("addr", self.rpc.addr()).finish()
+        f.debug_struct("NameNode")
+            .field("addr", self.rpc.addr())
+            .finish()
     }
 }
 
@@ -211,7 +213,11 @@ impl NameNode {
                 .files
                 .entry(req.file.clone())
                 .or_default()
-                .push(BlockMeta { id: req.id, len: req.len, replicas: req.replicas.clone() });
+                .push(BlockMeta {
+                    id: req.id,
+                    len: req.len,
+                    replicas: req.replicas.clone(),
+                });
             responder.reply(sim, Rc::new(()), 8);
         });
         let n = nn.clone();
@@ -261,7 +267,9 @@ pub struct DataNode {
 
 impl fmt::Debug for DataNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DataNode").field("addr", self.rpc.addr()).finish()
+        f.debug_struct("DataNode")
+            .field("addr", self.rpc.addr())
+            .finish()
     }
 }
 
@@ -278,7 +286,10 @@ impl DataNode {
         let dn = DataNode {
             rpc,
             backing,
-            inner: Rc::new(RefCell::new(DnState { blocks: HashMap::new(), next_offset: 0 })),
+            inner: Rc::new(RefCell::new(DnState {
+                blocks: HashMap::new(),
+                next_offset: 0,
+            })),
             config: config.clone(),
         };
         let d = dn.clone();
@@ -291,9 +302,11 @@ impl DataNode {
             let req: &ReadBlockReq = req.downcast_ref().expect("ReadBlockReq");
             let slot = d.inner.borrow().blocks.get(&req.id).copied();
             match slot {
-                None => {
-                    responder.reply(sim, Rc::new(Err("no such block".to_owned()) as ReadBlockResp), 16)
-                }
+                None => responder.reply(
+                    sim,
+                    Rc::new(Err("no such block".to_owned()) as ReadBlockResp),
+                    16,
+                ),
                 Some((offset, len)) => {
                     d.backing.read(
                         sim,
@@ -354,19 +367,22 @@ impl DataNode {
         // Pipeline: local write and downstream forwarding run in parallel;
         // ack only after both succeed (HDFS-style).
         let pending = Rc::new(RefCell::new((2u8, Ok::<(), String>(()), Some(responder))));
-        let finish = |sim: &Sim, pending: &Rc<RefCell<(u8, Result<(), String>, Option<ustore_net::Responder>)>>, res: Result<(), String>| {
-            let mut p = pending.borrow_mut();
-            p.0 -= 1;
-            if res.is_err() && p.1.is_ok() {
-                p.1 = res;
-            }
-            if p.0 == 0 {
-                let responder = p.2.take().expect("responder present");
-                let out = p.1.clone();
-                drop(p);
-                responder.reply(sim, Rc::new(out as WriteBlockResp), 16);
-            }
-        };
+        let finish =
+            |sim: &Sim,
+             pending: &Rc<RefCell<(u8, Result<(), String>, Option<ustore_net::Responder>)>>,
+             res: Result<(), String>| {
+                let mut p = pending.borrow_mut();
+                p.0 -= 1;
+                if res.is_err() && p.1.is_ok() {
+                    p.1 = res;
+                }
+                if p.0 == 0 {
+                    let responder = p.2.take().expect("responder present");
+                    let out = p.1.clone();
+                    drop(p);
+                    responder.reply(sim, Rc::new(out as WriteBlockResp), 16);
+                }
+            };
         let p1 = pending.clone();
         self.backing.write(
             sim,
@@ -443,7 +459,9 @@ pub struct DfsClient {
 
 impl fmt::Debug for DfsClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DfsClient").field("addr", self.rpc.addr()).finish()
+        f.debug_struct("DfsClient")
+            .field("addr", self.rpc.addr())
+            .finish()
     }
 }
 
@@ -492,12 +510,16 @@ impl DfsClient {
             return;
         }
         let this = self.clone();
-        self.write_one_block(sim, file.clone(), blocks[idx].clone(), 0, Box::new(move |sim, r| {
-            match r {
+        self.write_one_block(
+            sim,
+            file.clone(),
+            blocks[idx].clone(),
+            0,
+            Box::new(move |sim, r| match r {
                 Err(e) => cb(sim, Err(e)),
                 Ok(()) => this.put_blocks(sim, file, blocks, idx + 1, cb),
-            }
-        }));
+            }),
+        );
     }
 
     fn write_one_block(
@@ -509,18 +531,30 @@ impl DfsClient {
         cb: Box<dyn FnOnce(&Sim, Result<(), DfsError>)>,
     ) {
         if attempt >= self.config.max_attempts {
-            cb(sim, Err(DfsError::WriteFailed("retry budget exhausted".into())));
+            cb(
+                sim,
+                Err(DfsError::WriteFailed("retry budget exhausted".into())),
+            );
             return;
         }
         let this = self.clone();
-        let retry = move |this: DfsClient, sim: &Sim, why: String, file: String, data: Vec<u8>, cb: Box<dyn FnOnce(&Sim, Result<(), DfsError>)>| {
+        let retry = move |this: DfsClient,
+                          sim: &Sim,
+                          why: String,
+                          file: String,
+                          data: Vec<u8>,
+                          cb: Box<dyn FnOnce(&Sim, Result<(), DfsError>)>| {
             {
                 let mut s = this.stats.borrow_mut();
                 s.errors += 1;
                 let now = sim.now();
                 s.error_times.push(now);
             }
-            sim.trace(TraceLevel::Warn, "dfs-client", format!("block write error: {why}; retrying"));
+            sim.trace(
+                TraceLevel::Warn,
+                "dfs-client",
+                format!("block write error: {why}; retrying"),
+            );
             let backoff = this.config.retry_backoff;
             let t2 = this.clone();
             sim.schedule_in(backoff, move |sim| {
@@ -651,13 +685,18 @@ impl DfsClient {
         }
         let this = self.clone();
         let meta = blocks[idx].clone();
-        self.read_one_block(sim, meta, 0, Box::new(move |sim, r| match r {
-            Err(e) => cb(sim, Err(e)),
-            Ok(mut data) => {
-                acc.append(&mut data);
-                this.read_blocks(sim, blocks, idx + 1, acc, cb);
-            }
-        }));
+        self.read_one_block(
+            sim,
+            meta,
+            0,
+            Box::new(move |sim, r| match r {
+                Err(e) => cb(sim, Err(e)),
+                Ok(mut data) => {
+                    acc.append(&mut data);
+                    this.read_blocks(sim, blocks, idx + 1, acc, cb);
+                }
+            }),
+        );
     }
 
     fn read_one_block(
@@ -681,15 +720,11 @@ impl DfsClient {
             32,
             self.config.rpc_timeout * 2,
             move |sim, r| {
-                match r {
-                    Ok(resp) => match &*resp {
-                        Ok(data) => {
-                            cb(sim, Ok(data.clone()));
-                            return;
-                        }
-                        Err(_) => {}
-                    },
-                    Err(_) => {}
+                if let Ok(resp) = r {
+                    if let Ok(data) = &*resp {
+                        cb(sim, Ok(data.clone()));
+                        return;
+                    }
                 }
                 // Fail over to the next replica (reads are uninterrupted
                 // from the application's perspective).
@@ -737,7 +772,13 @@ mod tests {
             .collect();
         let client = DfsClient::new(RpcNode::new(&net, Addr::new("dfs-client")), nn_addr, config);
         sim.run_until(sim.now() + Duration::from_secs(1));
-        Fixture { sim, net, nn, dns, client }
+        Fixture {
+            sim,
+            net,
+            nn,
+            dns,
+            client,
+        }
     }
 
     fn payload(n: usize) -> Vec<u8> {
@@ -753,13 +794,14 @@ mod tests {
         let ok = Rc::new(Cell::new(false));
         let o = ok.clone();
         let client = f.client.clone();
-        f.client.put(&f.sim, "/logs/2015-01.tar", data, move |sim, r| {
-            r.expect("put");
-            client.get(sim, "/logs/2015-01.tar", move |_, r| {
-                assert_eq!(r.expect("get"), expect);
-                o.set(true);
+        f.client
+            .put(&f.sim, "/logs/2015-01.tar", data, move |sim, r| {
+                r.expect("put");
+                client.get(sim, "/logs/2015-01.tar", move |_, r| {
+                    assert_eq!(r.expect("get"), expect);
+                    o.set(true);
+                });
             });
-        });
         f.sim.run_until(f.sim.now() + Duration::from_secs(60));
         assert!(ok.get());
         assert_eq!(f.nn.files(), vec!["/logs/2015-01.tar".to_string()]);

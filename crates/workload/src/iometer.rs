@@ -223,7 +223,10 @@ impl Worker {
 
 /// Builds an issuer over a fabric-attached disk (used by the Table II /
 /// Figure 5 experiments, which measure below the network layer).
-pub fn fabric_issuer(runtime: ustore_fabric::FabricRuntime, disk: ustore_fabric::DiskId) -> IoIssuer {
+pub fn fabric_issuer(
+    runtime: ustore_fabric::FabricRuntime,
+    disk: ustore_fabric::DiskId,
+) -> IoIssuer {
     Rc::new(move |sim, dir, offset, len, done| match dir {
         Direction::Read => {
             runtime.read(sim, disk, offset, len, move |sim, r| done(sim, r.is_ok()));
@@ -241,11 +244,9 @@ pub fn fabric_issuer(runtime: ustore_fabric::FabricRuntime, disk: ustore_fabric:
 pub fn disk_issuer(disk: ustore_disk::Disk) -> IoIssuer {
     Rc::new(move |sim, dir, offset, len, done| match dir {
         Direction::Read => disk.read(sim, offset, len, move |sim, r| done(sim, r.is_ok())),
-        Direction::Write => {
-            disk.write(sim, offset, vec![0u8; len as usize], move |sim, r| {
-                done(sim, r.is_ok())
-            })
-        }
+        Direction::Write => disk.write(sim, offset, vec![0u8; len as usize], move |sim, r| {
+            done(sim, r.is_ok())
+        }),
     })
 }
 
@@ -253,7 +254,12 @@ pub fn disk_issuer(disk: ustore_disk::Disk) -> IoIssuer {
 /// workloads over mounted UStore spaces).
 pub fn blockdev_issuer(dev: Rc<dyn ustore_net::BlockDevice>) -> IoIssuer {
     Rc::new(move |sim, dir, offset, len, done| match dir {
-        Direction::Read => dev.read(sim, offset, len, Box::new(move |sim, r| done(sim, r.is_ok()))),
+        Direction::Read => dev.read(
+            sim,
+            offset,
+            len,
+            Box::new(move |sim, r| done(sim, r.is_ok())),
+        ),
         Direction::Write => dev.write(
             sim,
             offset,
@@ -294,7 +300,11 @@ mod tests {
 
     #[test]
     fn usb_4m_rand_write_matches_table2() {
-        let s = run_spec(AccessSpec::new(4 << 20, 0, true), DiskProfile::usb_bridge(), 20);
+        let s = run_spec(
+            AccessSpec::new(4 << 20, 0, true),
+            DiskProfile::usb_bridge(),
+            20,
+        );
         let mbps = s.mbps();
         assert!((mbps - 79.3).abs() / 79.3 < 0.08, "mbps {mbps}");
     }

@@ -20,6 +20,6 @@ pub mod traces;
 pub use backup::{checksum, BackupError, BackupService, SnapshotMeta};
 pub use dfs::{DataNode, DfsClient, DfsClientStats, DfsConfig, DfsError, NameNode};
 pub use iometer::{
-    blockdev_issuer, disk_issuer, fabric_issuer, AccessSpec, IoIssuer, WorkloadStats, Worker,
+    blockdev_issuer, disk_issuer, fabric_issuer, AccessSpec, IoIssuer, Worker, WorkloadStats,
 };
 pub use traces::{generate, TraceConfig, TraceOp};

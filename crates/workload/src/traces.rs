@@ -66,8 +66,8 @@ pub fn generate(config: &TraceConfig, duration: Duration, rng: &mut SimRng) -> V
             break;
         }
         let day_phase = (t / 86_400.0) * std::f64::consts::TAU;
-        let intensity = config.trough_ratio
-            + (1.0 - config.trough_ratio) * 0.5 * (1.0 - day_phase.cos());
+        let intensity =
+            config.trough_ratio + (1.0 - config.trough_ratio) * 0.5 * (1.0 - day_phase.cos());
         if !rng.chance(intensity) {
             continue;
         }
@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn popularity_is_skewed() {
-        let cfg = TraceConfig { objects: 1000, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            objects: 1000,
+            ..TraceConfig::default()
+        };
         let ops = generate(&cfg, Duration::from_secs(7 * 86_400), &mut rng());
         let hot = ops.iter().filter(|o| o.object < 100).count();
         assert!(
@@ -124,10 +127,16 @@ mod tests {
 
     #[test]
     fn diurnal_variation_visible() {
-        let cfg = TraceConfig { trough_ratio: 0.1, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            trough_ratio: 0.1,
+            ..TraceConfig::default()
+        };
         let ops = generate(&cfg, Duration::from_secs(86_400), &mut rng());
         // Intensity is lowest around t=0 (cos phase) and highest at noon.
-        let early = ops.iter().filter(|o| o.at < SimTime::from_secs(3 * 3600)).count();
+        let early = ops
+            .iter()
+            .filter(|o| o.at < SimTime::from_secs(3 * 3600))
+            .count();
         let midday = ops
             .iter()
             .filter(|o| {

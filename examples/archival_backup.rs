@@ -91,13 +91,20 @@ fn main() {
     let o = ok.clone();
     service.restore(&sim, "nightly-2", move |_, r| {
         let data = r.expect("restore (checksummed)");
-        println!("restored nightly-2: {} MB, checksum verified", data.len() >> 20);
+        println!(
+            "restored nightly-2: {} MB, checksum verified",
+            data.len() >> 20
+        );
         o.set(true);
     });
     run_for(&system, 60);
     assert!(ok.get());
     println!(
         "catalog: {:?}",
-        service.catalog().iter().map(|m| m.label.clone()).collect::<Vec<_>>()
+        service
+            .catalog()
+            .iter()
+            .map(|m| m.label.clone())
+            .collect::<Vec<_>>()
     );
 }

@@ -39,14 +39,18 @@ fn main() {
         client.allocate(&sim, format!("shard-{i}"), 1 << 30, move |_, r| {
             *i2.borrow_mut() = Some(r.expect("allocate"));
         });
-        system.sim.run_until(system.sim.now() + Duration::from_secs(5));
+        system
+            .sim
+            .run_until(system.sim.now() + Duration::from_secs(5));
         let info = info.borrow().clone().expect("allocated");
         let mounted: Rc<RefCell<Option<Mounted>>> = Rc::new(RefCell::new(None));
         let m2 = mounted.clone();
         client.mount(&sim, info.name, move |_, r| {
             *m2.borrow_mut() = Some(r.expect("mount"));
         });
-        system.sim.run_until(system.sim.now() + Duration::from_secs(10));
+        system
+            .sim
+            .run_until(system.sim.now() + Duration::from_secs(10));
         let m = mounted.borrow().clone().expect("mounted");
         shards.push(m);
     }
@@ -84,24 +88,39 @@ fn main() {
         let at = op.at;
         let fast2 = fast.clone();
         let slow2 = slow.clone();
-        sim.schedule_at(base + at.duration_since(ustore_sim::SimTime::ZERO), move |sim| {
-            let issued = sim.now();
-            let f = fast2.clone();
-            let s = slow2.clone();
-            if op_read(read) {
-                shard.read(sim, offset, 65536, Box::new(move |sim, r| {
-                    r.expect("read");
-                    classify(sim.now().saturating_duration_since(issued), &f, &s);
-                }));
-            } else {
-                shard.write(sim, offset, vec![1u8; 65536], Box::new(move |sim, r| {
-                    r.expect("write");
-                    classify(sim.now().saturating_duration_since(issued), &f, &s);
-                }));
-            }
-        });
+        sim.schedule_at(
+            base + at.duration_since(ustore_sim::SimTime::ZERO),
+            move |sim| {
+                let issued = sim.now();
+                let f = fast2.clone();
+                let s = slow2.clone();
+                if op_read(read) {
+                    shard.read(
+                        sim,
+                        offset,
+                        65536,
+                        Box::new(move |sim, r| {
+                            r.expect("read");
+                            classify(sim.now().saturating_duration_since(issued), &f, &s);
+                        }),
+                    );
+                } else {
+                    shard.write(
+                        sim,
+                        offset,
+                        vec![1u8; 65536],
+                        Box::new(move |sim, r| {
+                            r.expect("write");
+                            classify(sim.now().saturating_duration_since(issued), &f, &s);
+                        }),
+                    );
+                }
+            },
+        );
     }
-    system.sim.run_until(base + Duration::from_secs(2 * 3600 + 120));
+    system
+        .sim
+        .run_until(base + Duration::from_secs(2 * 3600 + 120));
 
     let end_energy: f64 = system
         .runtime

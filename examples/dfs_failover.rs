@@ -16,12 +16,18 @@ fn main() {
     println!("running the DFS-over-UStore failover scenario (virtual minutes)...");
     let outcome = run_dfs_experiment(2015);
     println!();
-    println!("write completed despite the switch : {}", outcome.write_completed);
+    println!(
+        "write completed despite the switch : {}",
+        outcome.write_completed
+    );
     println!(
         "client-visible error window         : {:.1} s  (paper: \"several seconds\")",
         outcome.error_window.as_secs_f64()
     );
-    println!("block-level write errors (retried)  : {}", outcome.write_errors);
+    println!(
+        "block-level write errors (retried)  : {}",
+        outcome.write_errors
+    );
     println!("read returned byte-exact data       : {}", outcome.read_ok);
     println!(
         "reader replica failovers             : {} (reads uninterrupted)",

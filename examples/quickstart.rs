@@ -21,7 +21,9 @@ fn main() {
     system.settle();
     println!(
         "  active master: {}",
-        system.active_master().map_or("none".into(), |m| m.addr().to_string())
+        system
+            .active_master()
+            .map_or("none".into(), |m| m.addr().to_string())
     );
     println!("  disks online: {}", system.ready_disks().len());
     println!("  unit power: {:.1} W", system.runtime.unit_power_w());
@@ -35,7 +37,9 @@ fn main() {
     client.allocate(&sim, "backup", 1 << 30, move |_, r| {
         *i2.borrow_mut() = Some(r.expect("allocation"));
     });
-    system.sim.run_until(system.sim.now() + Duration::from_secs(5));
+    system
+        .sim
+        .run_until(system.sim.now() + Duration::from_secs(5));
     let info = info.borrow().clone().expect("allocated");
     println!(
         "allocated {} ({} bytes) served by {}",
@@ -51,7 +55,9 @@ fn main() {
     client.mount(&sim, info.name, move |_, r| {
         *m2.borrow_mut() = Some(r.expect("mount"));
     });
-    system.sim.run_until(system.sim.now() + Duration::from_secs(10));
+    system
+        .sim
+        .run_until(system.sim.now() + Duration::from_secs(10));
     let mounted = mounted.borrow().clone().expect("mounted");
     println!("mounted {} ({} bytes)", mounted.name(), mounted.capacity());
 
@@ -62,16 +68,27 @@ fn main() {
         b"cold and archival bits".to_vec(),
         Box::new(move |sim, r| {
             r.expect("write");
-            m3.read(sim, 0, 22, Box::new(|sim, r| {
-                let data = r.expect("read");
-                println!(
-                    "read back {:?} at t={}",
-                    String::from_utf8_lossy(&data),
-                    sim.now()
-                );
-            }));
+            m3.read(
+                sim,
+                0,
+                22,
+                Box::new(|sim, r| {
+                    let data = r.expect("read");
+                    println!(
+                        "read back {:?} at t={}",
+                        String::from_utf8_lossy(&data),
+                        sim.now()
+                    );
+                }),
+            );
         }),
     );
-    system.sim.run_until(system.sim.now() + Duration::from_secs(5));
-    println!("done: virtual time {}, {} events", system.sim.now(), system.sim.events_processed());
+    system
+        .sim
+        .run_until(system.sim.now() + Duration::from_secs(5));
+    println!(
+        "done: virtual time {}, {} events",
+        system.sim.now(),
+        system.sim.events_processed()
+    );
 }

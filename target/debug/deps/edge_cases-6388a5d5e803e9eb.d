@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-6388a5d5e803e9eb.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-6388a5d5e803e9eb: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-7ba2a7f62250e009.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-7ba2a7f62250e009: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-f3cb53b24f30f8b0.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-f3cb53b24f30f8b0.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-89f5f562f37f98b4.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-89f5f562f37f98b4: tests/full_system.rs
+
+tests/full_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_system-ba00ed2b6603bd86.d: tests/full_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_system-ba00ed2b6603bd86.rmeta: tests/full_system.rs Cargo.toml
+
+tests/full_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper-1bf244678bab449f.d: crates/bench/benches/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper-1bf244678bab449f.rmeta: crates/bench/benches/paper.rs Cargo.toml
+
+crates/bench/benches/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

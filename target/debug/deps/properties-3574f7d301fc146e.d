@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3574f7d301fc146e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3574f7d301fc146e: tests/properties.rs
+
+tests/properties.rs:

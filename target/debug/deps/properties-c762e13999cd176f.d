@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c762e13999cd176f.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c762e13999cd176f.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

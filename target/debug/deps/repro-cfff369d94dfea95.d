@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cfff369d94dfea95.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cfff369d94dfea95: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d43e3d4230e60f1c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d43e3d4230e60f1c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ustore-3ae28af757ffc384.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/ustore-3ae28af757ffc384: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/clientlib.rs:
+crates/core/src/controller.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/ids.rs:
+crates/core/src/master.rs:
+crates/core/src/messages.rs:
+crates/core/src/system.rs:

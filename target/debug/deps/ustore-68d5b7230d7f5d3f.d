@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ustore-68d5b7230d7f5d3f.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libustore-68d5b7230d7f5d3f.rlib: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libustore-68d5b7230d7f5d3f.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/clientlib.rs:
+crates/core/src/controller.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/ids.rs:
+crates/core/src/master.rs:
+crates/core/src/messages.rs:
+crates/core/src/system.rs:

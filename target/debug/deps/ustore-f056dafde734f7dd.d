@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ustore-f056dafde734f7dd.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore-f056dafde734f7dd.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/clientlib.rs:
+crates/core/src/controller.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/ids.rs:
+crates/core/src/master.rs:
+crates/core/src/messages.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

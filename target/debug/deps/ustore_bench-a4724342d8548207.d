@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ustore_bench-a4724342d8548207.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libustore_bench-a4724342d8548207.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libustore_bench-a4724342d8548207.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/failover.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/hdfs.rs:
+crates/bench/src/power.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ustore_bench-a9ae4bbd5eff1100.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_bench-a9ae4bbd5eff1100.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/failover.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/hdfs.rs:
+crates/bench/src/power.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ustore_consensus-244ca1a147985e62.d: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_consensus-244ca1a147985e62.rmeta: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs Cargo.toml
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/client.rs:
+crates/consensus/src/paxos.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ustore_consensus-7543a8849061843c.d: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+/root/repo/target/debug/deps/libustore_consensus-7543a8849061843c.rlib: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+/root/repo/target/debug/deps/libustore_consensus-7543a8849061843c.rmeta: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/client.rs:
+crates/consensus/src/paxos.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_consensus-aa9f223fb1e6bf1c.d: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+/root/repo/target/debug/deps/ustore_consensus-aa9f223fb1e6bf1c: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/client.rs:
+crates/consensus/src/paxos.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ustore_cost-2dc18090d99716e2.d: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+/root/repo/target/debug/deps/ustore_cost-2dc18090d99716e2: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+crates/cost/src/lib.rs:
+crates/cost/src/capex.rs:
+crates/cost/src/catalog.rs:
+crates/cost/src/opex.rs:

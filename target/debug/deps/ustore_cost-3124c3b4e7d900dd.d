@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ustore_cost-3124c3b4e7d900dd.d: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_cost-3124c3b4e7d900dd.rmeta: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs Cargo.toml
+
+crates/cost/src/lib.rs:
+crates/cost/src/capex.rs:
+crates/cost/src/catalog.rs:
+crates/cost/src/opex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ustore_cost-d0b5117e5b79aaa7.d: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_cost-d0b5117e5b79aaa7.rmeta: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs Cargo.toml
+
+crates/cost/src/lib.rs:
+crates/cost/src/capex.rs:
+crates/cost/src/catalog.rs:
+crates/cost/src/opex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

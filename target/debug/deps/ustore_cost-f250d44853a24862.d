@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ustore_cost-f250d44853a24862.d: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+/root/repo/target/debug/deps/libustore_cost-f250d44853a24862.rlib: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+/root/repo/target/debug/deps/libustore_cost-f250d44853a24862.rmeta: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+crates/cost/src/lib.rs:
+crates/cost/src/capex.rs:
+crates/cost/src/catalog.rs:
+crates/cost/src/opex.rs:

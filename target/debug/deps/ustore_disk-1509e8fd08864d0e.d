@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_disk-1509e8fd08864d0e.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+/root/repo/target/debug/deps/ustore_disk-1509e8fd08864d0e: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/power.rs:
+crates/disk/src/profile.rs:

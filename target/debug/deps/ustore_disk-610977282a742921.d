@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ustore_disk-610977282a742921.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+/root/repo/target/debug/deps/libustore_disk-610977282a742921.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+/root/repo/target/debug/deps/libustore_disk-610977282a742921.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/power.rs:
+crates/disk/src/profile.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ustore_fabric-01fcb7213b8c3c0b.d: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_fabric-01fcb7213b8c3c0b.rmeta: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/control.rs:
+crates/fabric/src/routing.rs:
+crates/fabric/src/runtime.rs:
+crates/fabric/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

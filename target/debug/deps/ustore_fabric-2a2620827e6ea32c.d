@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_fabric-2a2620827e6ea32c.d: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+/root/repo/target/debug/deps/ustore_fabric-2a2620827e6ea32c: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/control.rs:
+crates/fabric/src/routing.rs:
+crates/fabric/src/runtime.rs:
+crates/fabric/src/topology.rs:

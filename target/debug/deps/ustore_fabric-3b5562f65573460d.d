@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ustore_fabric-3b5562f65573460d.d: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+/root/repo/target/debug/deps/libustore_fabric-3b5562f65573460d.rlib: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+/root/repo/target/debug/deps/libustore_fabric-3b5562f65573460d.rmeta: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/control.rs:
+crates/fabric/src/routing.rs:
+crates/fabric/src/runtime.rs:
+crates/fabric/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ustore_net-54cdad15b6983b76.d: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_net-54cdad15b6983b76.rmeta: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/blockdev.rs:
+crates/net/src/iscsi.rs:
+crates/net/src/network.rs:
+crates/net/src/rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ustore_net-c8f2f9877d5d0af3.d: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+/root/repo/target/debug/deps/libustore_net-c8f2f9877d5d0af3.rlib: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+/root/repo/target/debug/deps/libustore_net-c8f2f9877d5d0af3.rmeta: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+crates/net/src/lib.rs:
+crates/net/src/blockdev.rs:
+crates/net/src/iscsi.rs:
+crates/net/src/network.rs:
+crates/net/src/rpc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_net-fca8ecd794b13843.d: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+/root/repo/target/debug/deps/ustore_net-fca8ecd794b13843: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+crates/net/src/lib.rs:
+crates/net/src/blockdev.rs:
+crates/net/src/iscsi.rs:
+crates/net/src/network.rs:
+crates/net/src/rpc.rs:

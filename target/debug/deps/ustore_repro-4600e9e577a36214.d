@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ustore_repro-4600e9e577a36214.d: src/lib.rs
+
+/root/repo/target/debug/deps/ustore_repro-4600e9e577a36214: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ustore_repro-77340dde2ff41916.d: src/lib.rs
+
+/root/repo/target/debug/deps/libustore_repro-77340dde2ff41916.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libustore_repro-77340dde2ff41916.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_repro-d2baa6214b18564b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_repro-d2baa6214b18564b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

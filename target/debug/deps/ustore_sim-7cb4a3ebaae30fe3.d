@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ustore_sim-7cb4a3ebaae30fe3.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/obs.rs crates/sim/src/rng.rs crates/sim/src/span.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/ustore_sim-7cb4a3ebaae30fe3: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/obs.rs crates/sim/src/rng.rs crates/sim/src/span.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/json.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/obs.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/span.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_usb-81128834fbe63122.d: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+/root/repo/target/debug/deps/libustore_usb-81128834fbe63122.rlib: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+/root/repo/target/debug/deps/libustore_usb-81128834fbe63122.rmeta: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+crates/usb/src/lib.rs:
+crates/usb/src/host.rs:
+crates/usb/src/profile.rs:

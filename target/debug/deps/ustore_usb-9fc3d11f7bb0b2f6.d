@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ustore_usb-9fc3d11f7bb0b2f6.d: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+/root/repo/target/debug/deps/ustore_usb-9fc3d11f7bb0b2f6: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+crates/usb/src/lib.rs:
+crates/usb/src/host.rs:
+crates/usb/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ustore_usb-fa2b62f8f0f2ce9a.d: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_usb-fa2b62f8f0f2ce9a.rmeta: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs Cargo.toml
+
+crates/usb/src/lib.rs:
+crates/usb/src/host.rs:
+crates/usb/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ustore_workload-166eb093d872edb5.d: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+/root/repo/target/debug/deps/ustore_workload-166eb093d872edb5: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/backup.rs:
+crates/workload/src/dfs.rs:
+crates/workload/src/iometer.rs:
+crates/workload/src/traces.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ustore_workload-3073996f878a85ef.d: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libustore_workload-3073996f878a85ef.rmeta: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/backup.rs:
+crates/workload/src/dfs.rs:
+crates/workload/src/iometer.rs:
+crates/workload/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

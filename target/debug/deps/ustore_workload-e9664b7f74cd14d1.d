@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ustore_workload-e9664b7f74cd14d1.d: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+/root/repo/target/debug/deps/libustore_workload-e9664b7f74cd14d1.rlib: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+/root/repo/target/debug/deps/libustore_workload-e9664b7f74cd14d1.rmeta: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/backup.rs:
+crates/workload/src/dfs.rs:
+crates/workload/src/iometer.rs:
+crates/workload/src/traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archival_backup-488d902aacdf6721.d: examples/archival_backup.rs
+
+/root/repo/target/debug/examples/archival_backup-488d902aacdf6721: examples/archival_backup.rs
+
+examples/archival_backup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/archival_backup-f3d4f02cba07170d.d: examples/archival_backup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarchival_backup-f3d4f02cba07170d.rmeta: examples/archival_backup.rs Cargo.toml
+
+examples/archival_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

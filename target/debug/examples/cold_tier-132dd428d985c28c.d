@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cold_tier-132dd428d985c28c.d: examples/cold_tier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcold_tier-132dd428d985c28c.rmeta: examples/cold_tier.rs Cargo.toml
+
+examples/cold_tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cold_tier-18c2a71773d11244.d: examples/cold_tier.rs
+
+/root/repo/target/debug/examples/cold_tier-18c2a71773d11244: examples/cold_tier.rs
+
+examples/cold_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dfs_failover-a51bc99689c42857.d: examples/dfs_failover.rs
+
+/root/repo/target/debug/examples/dfs_failover-a51bc99689c42857: examples/dfs_failover.rs
+
+examples/dfs_failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dfs_failover-b9cca49ca692cfef.d: examples/dfs_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdfs_failover-b9cca49ca692cfef.rmeta: examples/dfs_failover.rs Cargo.toml
+
+examples/dfs_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2227c0625b83b30d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2227c0625b83b30d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-7efaf26fb559b04e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-7efaf26fb559b04e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::type_complexity__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::too_many_arguments__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

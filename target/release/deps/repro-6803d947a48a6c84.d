@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-6803d947a48a6c84.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-6803d947a48a6c84: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ustore-b4bc98010765f12a.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libustore-b4bc98010765f12a.rlib: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libustore-b4bc98010765f12a.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/clientlib.rs crates/core/src/controller.rs crates/core/src/endpoint.rs crates/core/src/ids.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/clientlib.rs:
+crates/core/src/controller.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/ids.rs:
+crates/core/src/master.rs:
+crates/core/src/messages.rs:
+crates/core/src/system.rs:

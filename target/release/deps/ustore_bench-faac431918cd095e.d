@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ustore_bench-faac431918cd095e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/libustore_bench-faac431918cd095e.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/libustore_bench-faac431918cd095e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/failover.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/hdfs.rs crates/bench/src/power.rs crates/bench/src/report.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/failover.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/hdfs.rs:
+crates/bench/src/power.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ustore_consensus-6bd4d83f30a4a490.d: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+/root/repo/target/release/deps/libustore_consensus-6bd4d83f30a4a490.rlib: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+/root/repo/target/release/deps/libustore_consensus-6bd4d83f30a4a490.rmeta: crates/consensus/src/lib.rs crates/consensus/src/client.rs crates/consensus/src/paxos.rs crates/consensus/src/rsm.rs crates/consensus/src/store.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/client.rs:
+crates/consensus/src/paxos.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/store.rs:

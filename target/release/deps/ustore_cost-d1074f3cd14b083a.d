@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ustore_cost-d1074f3cd14b083a.d: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+/root/repo/target/release/deps/libustore_cost-d1074f3cd14b083a.rlib: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+/root/repo/target/release/deps/libustore_cost-d1074f3cd14b083a.rmeta: crates/cost/src/lib.rs crates/cost/src/capex.rs crates/cost/src/catalog.rs crates/cost/src/opex.rs
+
+crates/cost/src/lib.rs:
+crates/cost/src/capex.rs:
+crates/cost/src/catalog.rs:
+crates/cost/src/opex.rs:

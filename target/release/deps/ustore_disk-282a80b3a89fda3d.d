@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ustore_disk-282a80b3a89fda3d.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+/root/repo/target/release/deps/libustore_disk-282a80b3a89fda3d.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+/root/repo/target/release/deps/libustore_disk-282a80b3a89fda3d.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/power.rs crates/disk/src/profile.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/power.rs:
+crates/disk/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ustore_fabric-ec16bb41251621d6.d: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+/root/repo/target/release/deps/libustore_fabric-ec16bb41251621d6.rlib: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+/root/repo/target/release/deps/libustore_fabric-ec16bb41251621d6.rmeta: crates/fabric/src/lib.rs crates/fabric/src/control.rs crates/fabric/src/routing.rs crates/fabric/src/runtime.rs crates/fabric/src/topology.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/control.rs:
+crates/fabric/src/routing.rs:
+crates/fabric/src/runtime.rs:
+crates/fabric/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ustore_net-b6df575505cf914a.d: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+/root/repo/target/release/deps/libustore_net-b6df575505cf914a.rlib: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+/root/repo/target/release/deps/libustore_net-b6df575505cf914a.rmeta: crates/net/src/lib.rs crates/net/src/blockdev.rs crates/net/src/iscsi.rs crates/net/src/network.rs crates/net/src/rpc.rs
+
+crates/net/src/lib.rs:
+crates/net/src/blockdev.rs:
+crates/net/src/iscsi.rs:
+crates/net/src/network.rs:
+crates/net/src/rpc.rs:

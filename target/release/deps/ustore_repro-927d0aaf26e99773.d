@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ustore_repro-927d0aaf26e99773.d: src/lib.rs
+
+/root/repo/target/release/deps/libustore_repro-927d0aaf26e99773.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libustore_repro-927d0aaf26e99773.rmeta: src/lib.rs
+
+src/lib.rs:

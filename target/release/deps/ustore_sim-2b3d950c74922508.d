@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ustore_sim-2b3d950c74922508.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/obs.rs crates/sim/src/rng.rs crates/sim/src/span.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libustore_sim-2b3d950c74922508.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/obs.rs crates/sim/src/rng.rs crates/sim/src/span.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libustore_sim-2b3d950c74922508.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/obs.rs crates/sim/src/rng.rs crates/sim/src/span.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/json.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/obs.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/span.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ustore_usb-e58f67c518203218.d: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+/root/repo/target/release/deps/libustore_usb-e58f67c518203218.rlib: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+/root/repo/target/release/deps/libustore_usb-e58f67c518203218.rmeta: crates/usb/src/lib.rs crates/usb/src/host.rs crates/usb/src/profile.rs
+
+crates/usb/src/lib.rs:
+crates/usb/src/host.rs:
+crates/usb/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ustore_workload-649d4ba47b0ad369.d: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+/root/repo/target/release/deps/libustore_workload-649d4ba47b0ad369.rlib: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+/root/repo/target/release/deps/libustore_workload-649d4ba47b0ad369.rmeta: crates/workload/src/lib.rs crates/workload/src/backup.rs crates/workload/src/dfs.rs crates/workload/src/iometer.rs crates/workload/src/traces.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/backup.rs:
+crates/workload/src/dfs.rs:
+crates/workload/src/iometer.rs:
+crates/workload/src/traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c33a658cc8b52f4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c33a658cc8b52f4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -55,19 +55,36 @@ fn churning_disk_gets_its_idle_threshold_doubled() {
     // Access every ~35 s: with a 15 s threshold the disk spins down and
     // back up each period, which the EndPoint counts as churn.
     for _ in 0..4 {
-        m.read(&s.sim, 0, 512, Box::new(|_, r| { r.expect("read"); }));
+        m.read(
+            &s.sim,
+            0,
+            512,
+            Box::new(|_, r| {
+                r.expect("read");
+            }),
+        );
         run_for(&s, 35);
     }
     let spin_ups_before = disk.time_in_state(&s.sim, PowerStateKind::SpinningUp);
     // After the threshold doubles past the access period, churn stops.
     for _ in 0..4 {
-        m.read(&s.sim, 0, 512, Box::new(|_, r| { r.expect("read"); }));
+        m.read(
+            &s.sim,
+            0,
+            512,
+            Box::new(|_, r| {
+                r.expect("read");
+            }),
+        );
         run_for(&s, 35);
     }
     let spin_ups_after = disk.time_in_state(&s.sim, PowerStateKind::SpinningUp);
     let early = spin_ups_before.as_secs_f64();
     let late = (spin_ups_after - spin_ups_before).as_secs_f64();
-    assert!(early >= 14.0, "early period churned (>=2 spin-ups): {early}");
+    assert!(
+        early >= 14.0,
+        "early period churned (>=2 spin-ups): {early}"
+    );
     assert!(
         late < early / 2.0,
         "back-off cut churn: early {early:.0}s vs late {late:.0}s of spin-up"
@@ -89,10 +106,15 @@ fn remount_deadline_fails_queued_io_when_no_host_survives() {
     }
     let got = Rc::new(Cell::new(false));
     let g = got.clone();
-    m.read(&s.sim, 0, 16, Box::new(move |_, r| {
-        assert!(r.is_err(), "IO fails once the remount deadline passes");
-        g.set(true);
-    }));
+    m.read(
+        &s.sim,
+        0,
+        16,
+        Box::new(move |_, r| {
+            assert!(r.is_err(), "IO fails once the remount deadline passes");
+            g.set(true);
+        }),
+    );
     run_for(&s, 60);
     assert!(got.get(), "queued IO was failed, not leaked");
 }
@@ -152,6 +174,12 @@ fn release_frees_space_for_reuse_end_to_end() {
         .iter()
         .flat_map(|e| e.exported_targets())
         .collect();
-    assert!(!targets.contains(&a.name.target_name()), "old target withdrawn");
-    assert!(targets.contains(&b.name.target_name()), "new target exported");
+    assert!(
+        !targets.contains(&a.name.target_name()),
+        "old target withdrawn"
+    );
+    assert!(
+        targets.contains(&b.name.target_name()),
+        "new target exported"
+    );
 }

@@ -15,7 +15,12 @@ fn run_for(s: &UStoreSystem, secs: u64) {
     s.sim.run_until(s.sim.now() + Duration::from_secs(secs));
 }
 
-fn allocate(s: &UStoreSystem, client: &ustore::UStoreClient, service: &str, size: u64) -> SpaceInfo {
+fn allocate(
+    s: &UStoreSystem,
+    client: &ustore::UStoreClient,
+    service: &str,
+    size: u64,
+) -> SpaceInfo {
     let out = Rc::new(RefCell::new(None));
     let o = out.clone();
     client.allocate(&s.sim, service, size, move |_, r| {
@@ -62,7 +67,12 @@ fn sequential_failures_of_two_hosts_are_survivable() {
     let client = s.client("app");
     let info = allocate(&s, &client, "svc", 1 << 30);
     let m = mount(&s, &client, &info);
-    m.write(&s.sim, 0, b"durable".to_vec(), Box::new(|_, r| r.expect("write")));
+    m.write(
+        &s.sim,
+        0,
+        b"durable".to_vec(),
+        Box::new(|_, r| r.expect("write")),
+    );
     run_for(&s, 2);
     // Kill the serving host; wait for recovery; then kill the next one.
     for round in 0..2 {
@@ -70,10 +80,15 @@ fn sequential_failures_of_two_hosts_are_survivable() {
         s.kill_host(victim);
         let ok = Rc::new(Cell::new(false));
         let o = ok.clone();
-        m.read(&s.sim, 0, 7, Box::new(move |_, r| {
-            assert_eq!(r.expect("read"), b"durable".to_vec());
-            o.set(true);
-        }));
+        m.read(
+            &s.sim,
+            0,
+            7,
+            Box::new(move |_, r| {
+                assert_eq!(r.expect("read"), b"durable".to_vec());
+                o.set(true);
+            }),
+        );
         run_for(&s, 30);
         assert!(ok.get(), "round {round}: recovered");
     }
@@ -91,7 +106,10 @@ fn host_repair_rejoins_the_pool() {
     assert!(!master.host_alive(UnitId(0), HostId(3)));
     s.restore_host(HostId(3));
     run_for(&s, 15);
-    assert!(master.host_alive(UnitId(0), HostId(3)), "heartbeats resumed");
+    assert!(
+        master.host_alive(UnitId(0), HostId(3)),
+        "heartbeats resumed"
+    );
 }
 
 #[test]
@@ -101,19 +119,33 @@ fn simultaneous_host_and_master_failure() {
     let client = s.client("app");
     let info = allocate(&s, &client, "svc", 1 << 30);
     let m = mount(&s, &client, &info);
-    m.write(&s.sim, 0, b"both".to_vec(), Box::new(|_, r| r.expect("write")));
+    m.write(
+        &s.sim,
+        0,
+        b"both".to_vec(),
+        Box::new(|_, r| r.expect("write")),
+    );
     run_for(&s, 2);
     // Kill the active master AND the serving host at the same instant.
-    let active_idx = s.masters.iter().position(|x| x.is_active()).expect("active");
+    let active_idx = s
+        .masters
+        .iter()
+        .position(|x| x.is_active())
+        .expect("active");
     let victim = s.runtime.attached_host(info.name.disk).expect("attached");
     s.kill_master(active_idx);
     s.kill_host(victim);
     let ok = Rc::new(Cell::new(false));
     let o = ok.clone();
-    m.read(&s.sim, 0, 4, Box::new(move |_, r| {
-        assert_eq!(r.expect("read"), b"both".to_vec());
-        o.set(true);
-    }));
+    m.read(
+        &s.sim,
+        0,
+        4,
+        Box::new(move |_, r| {
+            assert_eq!(r.expect("read"), b"both".to_vec());
+            o.set(true);
+        }),
+    );
     // Standby master must first win the election, rebuild SysStat from
     // heartbeats, detect the dead host and orchestrate the move.
     run_for(&s, 50);
@@ -139,14 +171,24 @@ fn data_integrity_across_many_spaces() {
         let p = pending.clone();
         p.set(p.get() + 1);
         let off = u64::from(*tag) * 1_000_000;
-        m.write(&s.sim, off, payload, Box::new(move |sim, r| {
-            r.expect("write");
-            let p2 = p.clone();
-            m2.read(sim, off, 65536, Box::new(move |_, r| {
-                assert_eq!(r.expect("read"), expect);
-                p2.set(p2.get() - 1);
-            }));
-        }));
+        m.write(
+            &s.sim,
+            off,
+            payload,
+            Box::new(move |sim, r| {
+                r.expect("write");
+                let p2 = p.clone();
+                m2.read(
+                    sim,
+                    off,
+                    65536,
+                    Box::new(move |_, r| {
+                        assert_eq!(r.expect("read"), expect);
+                        p2.set(p2.get() - 1);
+                    }),
+                );
+            }),
+        );
     }
     run_for(&s, 30);
     assert_eq!(pending.get(), 0, "all verifications completed");
@@ -218,7 +260,12 @@ fn multi_unit_deployment_allocates_and_fails_over_per_unit() {
         .find(|i| i.name.unit == UnitId(1))
         .expect("unit 1 allocation");
     let m = mount(&s, &client, info);
-    m.write(&s.sim, 0, b"u1".to_vec(), Box::new(|_, r| r.expect("write")));
+    m.write(
+        &s.sim,
+        0,
+        b"u1".to_vec(),
+        Box::new(|_, r| r.expect("write")),
+    );
     run_for(&s, 2);
     let rt1 = &s.runtimes[1];
     let victim = rt1.attached_host(info.name.disk).expect("attached");
@@ -226,10 +273,15 @@ fn multi_unit_deployment_allocates_and_fails_over_per_unit() {
     s.kill_unit_host(UnitId(1), victim);
     let ok = Rc::new(Cell::new(false));
     let o = ok.clone();
-    m.read(&s.sim, 0, 2, Box::new(move |_, r| {
-        assert_eq!(r.expect("read after unit-1 failover"), b"u1".to_vec());
-        o.set(true);
-    }));
+    m.read(
+        &s.sim,
+        0,
+        2,
+        Box::new(move |_, r| {
+            assert_eq!(r.expect("read after unit-1 failover"), b"u1".to_vec());
+            o.set(true);
+        }),
+    );
     run_for(&s, 30);
     assert!(ok.get(), "unit 1 recovered");
     // Unit 0 was untouched by unit 1's failover.

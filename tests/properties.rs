@@ -1,4 +1,5 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants,
+//! driven by the deterministic [`SimRng`] (no external framework needed).
 //!
 //! - Any switch configuration partitions the fabric into non-overlapping
 //!   trees (the validity claim of §III-A).
@@ -6,38 +7,43 @@
 //! - The allocator never hands out overlapping extents.
 //! - Paxos acceptors never decide two different values.
 //! - The znode store is a deterministic state machine.
+//!
+//! Each property runs a fixed number of seeded cases; on failure the case
+//! seed is in the panic message so the exact input can be replayed.
 
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 use ustore::{Allocator, UnitId};
-use ustore_consensus::{Acceptor, AcceptReply, Ballot, Command, PrepareReply, ZnodeStore};
+use ustore_consensus::{AcceptReply, Acceptor, Ballot, Command, PrepareReply, ZnodeStore};
 use ustore_fabric::{DiskId, FabricState, HostId, Topology};
-use ustore_sim::Histogram;
+use ustore_sim::{Histogram, SimRng};
 
-fn arbitrary_fabric() -> impl Strategy<Value = (FabricState, u32, u32)> {
+const CASES: u64 = 64;
+
+fn arbitrary_fabric(rng: &mut SimRng) -> (FabricState, u32, u32) {
     // hosts in {2,4}, disks 4..=32, fanin 2..=5
-    (prop_oneof![Just(2u32), Just(4u32)], 4u32..=32, 2usize..=5).prop_map(|(hosts, disks, fanin)| {
-        let (t, cfg) = Topology::upper_switched(hosts, disks, fanin);
-        (FabricState::new(t, cfg), hosts, disks)
-    })
+    let hosts = if rng.chance(0.5) { 2u32 } else { 4u32 };
+    let disks = rng.range_u64(4, 33) as u32;
+    let fanin = rng.range_u64(2, 6) as usize;
+    let (t, cfg) = Topology::upper_switched(hosts, disks, fanin);
+    (FabricState::new(t, cfg), hosts, disks)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random switch settings always leave each disk attached to at most
-    /// one host, and every attachment is consistent with a real path.
-    #[test]
-    fn any_switch_config_partitions_into_trees(
-        (mut fabric, hosts, disks) in arbitrary_fabric(),
-        flips in prop::collection::vec(any::<bool>(), 0..128),
-    ) {
+/// Random switch settings always leave each disk attached to at most
+/// one host, and every attachment is consistent with a real path.
+#[test]
+fn any_switch_config_partitions_into_trees() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xA11CE + case);
+        let (mut fabric, hosts, disks) = arbitrary_fabric(&mut rng);
         let switches: Vec<_> = fabric.topology().switches().collect();
-        for (i, flip) in flips.iter().enumerate() {
-            if switches.is_empty() { break; }
+        let flips = rng.usize_below(128);
+        for i in 0..flips {
+            if switches.is_empty() {
+                break;
+            }
             let s = switches[i % switches.len()];
-            if *flip {
+            if rng.chance(0.5) {
                 let cur = fabric.switch_pos(s).expect("switch exists");
                 fabric.set_switch(s, cur.flip());
             }
@@ -45,89 +51,90 @@ proptest! {
         for d in 0..disks {
             let host = fabric.attached_host(DiskId(d));
             if let Some(h) = host {
-                prop_assert!(h.0 < hosts, "attachment to a real host");
+                assert!(h.0 < hosts, "case {case}: attachment to a real host");
                 // Consistency: the required path for that host needs no
                 // switch turns under the current config.
                 let path = fabric.path_switches(DiskId(d), h).expect("path exists");
                 for (s, pos) in path {
-                    prop_assert_eq!(fabric.switch_pos(s), Some(pos));
+                    assert_eq!(fabric.switch_pos(s), Some(pos), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Algorithm 1 either errors or produces turns that move exactly the
-    /// requested disks (plus nothing attached elsewhere).
-    #[test]
-    fn switches_to_turn_never_steals_unrelated_disks(
-        (fabric, hosts, disks) in arbitrary_fabric(),
-        moved in 0u32..32,
-        target in 0u32..4,
-    ) {
+/// Algorithm 1 either errors or produces turns that move exactly the
+/// requested disks (plus nothing attached elsewhere).
+#[test]
+fn switches_to_turn_never_steals_unrelated_disks() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xB0B0 + case);
+        let (fabric, hosts, disks) = arbitrary_fabric(&mut rng);
+        let moved = rng.u64_below(32) as u32;
+        let target = rng.u64_below(4) as u32;
         let d = DiskId(moved % disks);
         let h = HostId(target % hosts);
         let before = fabric.attachment_map();
         if let Ok(turns) = fabric.switches_to_turn(&[(d, h)]) {
             let mut after = fabric.clone();
             after.apply_turns(&turns);
-            prop_assert_eq!(after.attached_host(d), Some(h));
+            assert_eq!(after.attached_host(d), Some(h), "case {case}");
             for (other, old_host) in &before {
                 if *other != d {
-                    prop_assert_eq!(
+                    assert_eq!(
                         after.attached_host(*other),
                         Some(*old_host),
-                        "unrelated disk moved"
+                        "case {case}: unrelated disk moved"
                     );
                 }
             }
         }
     }
+}
 
-    /// The allocator never double-books bytes on a disk.
-    #[test]
-    fn allocator_extents_never_overlap(
-        sizes in prop::collection::vec(1u64..=1000, 1..40),
-        releases in prop::collection::vec(any::<u16>(), 0..20),
-    ) {
+/// The allocator never double-books bytes on a disk.
+#[test]
+fn allocator_extents_never_overlap() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xA110C + case);
         let mut a = Allocator::new();
         for d in 0..3u32 {
             a.register_disk(UnitId(0), ustore_fabric::DiskId(d), 4096);
         }
         let mut live = Vec::new();
         let empty = BTreeMap::new();
-        for (i, size) in sizes.iter().enumerate() {
-            if let Ok(got) = a.allocate("svc", *size, &empty, None) {
+        let n = 1 + rng.usize_below(39);
+        for _ in 0..n {
+            let size = rng.range_u64(1, 1001);
+            if let Ok(got) = a.allocate("svc", size, &empty, None) {
                 live.push(got.name);
             }
-            if let Some(r) = releases.get(i) {
-                if !live.is_empty() {
-                    let idx = *r as usize % live.len();
-                    let victim = live.swap_remove(idx);
-                    a.release(victim).expect("release live");
-                }
+            if rng.chance(0.4) && !live.is_empty() {
+                let idx = rng.usize_below(live.len());
+                let victim = live.swap_remove(idx);
+                a.release(victim).expect("release live");
             }
         }
         // Check pairwise disjointness per disk.
         for d in 0..3u32 {
             let spaces = a.spaces_on(UnitId(0), ustore_fabric::DiskId(d));
             for (i, (_, x)) in spaces.iter().enumerate() {
-                prop_assert!(x.offset + x.len <= 4096);
+                assert!(x.offset + x.len <= 4096, "case {case}");
                 for (_, y) in spaces.iter().skip(i + 1) {
                     let disjoint = x.offset + x.len <= y.offset || y.offset + y.len <= x.offset;
-                    prop_assert!(disjoint, "overlap: {x:?} vs {y:?}");
+                    assert!(disjoint, "case {case}: overlap: {x:?} vs {y:?}");
                 }
             }
         }
     }
+}
 
-    /// Single-decree Paxos safety: with any interleaving of two proposers
-    /// over five acceptors, at most one value is chosen.
-    #[test]
-    fn paxos_never_decides_two_values(
-        order_a in prop::collection::vec(0usize..5, 5..10),
-        order_b in prop::collection::vec(0usize..5, 5..10),
-        interleave in prop::collection::vec(any::<bool>(), 10..20),
-    ) {
+/// Single-decree Paxos safety: with any interleaving of two proposers
+/// over five acceptors, at most one value is chosen.
+#[test]
+fn paxos_never_decides_two_values() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x9A05 + case);
         let mut acceptors: Vec<Acceptor<&'static str>> = vec![Acceptor::new(); 5];
         #[derive(Clone)]
         struct P {
@@ -140,21 +147,46 @@ proptest! {
             phase2: bool,
             chosen_value: Option<&'static str>,
         }
+        let order = |rng: &mut SimRng| -> Vec<usize> {
+            let n = 5 + rng.usize_below(5);
+            (0..n).map(|_| rng.usize_below(5)).collect()
+        };
+        let order_a = order(&mut rng);
+        let order_b = order(&mut rng);
         let mut ps = [
-            P { ballot: Ballot::new(1, 0), value: "A", order: order_a, step: 0,
-                promises: vec![], accepts: BTreeSet::new(), phase2: false, chosen_value: None },
-            P { ballot: Ballot::new(2, 1), value: "B", order: order_b, step: 0,
-                promises: vec![], accepts: BTreeSet::new(), phase2: false, chosen_value: None },
+            P {
+                ballot: Ballot::new(1, 0),
+                value: "A",
+                order: order_a,
+                step: 0,
+                promises: vec![],
+                accepts: BTreeSet::new(),
+                phase2: false,
+                chosen_value: None,
+            },
+            P {
+                ballot: Ballot::new(2, 1),
+                value: "B",
+                order: order_b,
+                step: 0,
+                promises: vec![],
+                accepts: BTreeSet::new(),
+                phase2: false,
+                chosen_value: None,
+            },
         ];
         let mut chosen: Vec<&str> = Vec::new();
-        for pick in interleave {
+        let steps = 10 + rng.usize_below(10);
+        for _ in 0..steps {
+            let pick = rng.chance(0.5);
             let p = &mut ps[usize::from(pick)];
-            if p.step >= p.order.len() { continue; }
+            if p.step >= p.order.len() {
+                continue;
+            }
             let ai = p.order[p.step];
             p.step += 1;
             if !p.phase2 {
-                if let PrepareReply::Promised { accepted, .. } =
-                    acceptors[ai].on_prepare(p.ballot)
+                if let PrepareReply::Promised { accepted, .. } = acceptors[ai].on_prepare(p.ballot)
                 {
                     if !p.promises.iter().any(|(n, _)| *n == ai as u32) {
                         p.promises.push((ai as u32, accepted));
@@ -180,18 +212,32 @@ proptest! {
             }
         }
         if chosen.len() == 2 {
-            prop_assert_eq!(chosen[0], chosen[1], "split decision");
+            assert_eq!(chosen[0], chosen[1], "case {case}: split decision");
         }
     }
+}
 
-    /// Replaying the same command stream always yields the same store.
-    #[test]
-    fn znode_store_is_deterministic(
-        ops in prop::collection::vec((0u8..5, 0u8..4, any::<bool>()), 1..60),
-    ) {
+/// Replaying the same command stream always yields the same store.
+#[test]
+fn znode_store_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x2E0DE + case);
+        let n = 1 + rng.usize_below(59);
+        let ops: Vec<(u8, u8, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.u64_below(5) as u8,
+                    rng.u64_below(4) as u8,
+                    rng.chance(0.5),
+                )
+            })
+            .collect();
         fn build(ops: &[(u8, u8, bool)]) -> (ZnodeStore, Vec<String>) {
             let mut store = ZnodeStore::new();
-            store.apply(&Command::CreateSession { id: 1 }).0.expect("session");
+            store
+                .apply(&Command::CreateSession { id: 1 })
+                .0
+                .expect("session");
             let mut results = Vec::new();
             for (op, node, eph) in ops {
                 let path = format!("/n{node}");
@@ -206,8 +252,15 @@ proptest! {
                             ustore_consensus::CreateMode::Persistent
                         },
                     },
-                    1 => Command::Delete { path, version: None },
-                    2 => Command::SetData { path, data: vec![*op], version: None },
+                    1 => Command::Delete {
+                        path,
+                        version: None,
+                    },
+                    2 => Command::SetData {
+                        path,
+                        data: vec![*op],
+                        version: None,
+                    },
                     3 => Command::ExpireSession { id: 1 },
                     _ => Command::CreateSession { id: 1 },
                 };
@@ -217,29 +270,39 @@ proptest! {
         }
         let (sa, ra) = build(&ops);
         let (sb, rb) = build(&ops);
-        prop_assert_eq!(ra, rb);
+        assert_eq!(ra, rb, "case {case}");
         let ka: Vec<&str> = sa.children("/").collect();
         let kb: Vec<&str> = sb.children("/").collect();
-        prop_assert_eq!(ka, kb);
+        assert_eq!(ka, kb, "case {case}");
     }
+}
 
-    /// Histogram quantiles are order-consistent and bounded by min/max.
-    #[test]
-    fn histogram_quantiles_are_sane(samples in prop::collection::vec(0u64..1_000_000_000, 1..300)) {
+/// Histogram quantiles are order-consistent and bounded by min/max.
+#[test]
+fn histogram_quantiles_are_sane() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x415706 + case);
+        let n = 1 + rng.usize_below(299);
         let mut h = Histogram::new();
-        for s in &samples {
-            h.record(*s);
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = rng.u64_below(1_000_000_000);
+            samples.push(s);
+            h.record(s);
         }
         let min = h.min().expect("nonempty");
         let max = h.max().expect("nonempty");
         let mut last = 0;
         for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let v = h.quantile(q).expect("nonempty");
-            prop_assert!(v >= min && v <= max, "q{q}: {v} outside [{min},{max}]");
-            prop_assert!(v >= last, "quantiles must be monotone");
+            assert!(
+                v >= min && v <= max,
+                "case {case}: q{q}: {v} outside [{min},{max}]"
+            );
+            assert!(v >= last, "case {case}: quantiles must be monotone");
             last = v;
         }
         let mean = h.mean().expect("nonempty");
-        prop_assert!(mean >= min as f64 && mean <= max as f64);
+        assert!(mean >= min as f64 && mean <= max as f64, "case {case}");
     }
 }
