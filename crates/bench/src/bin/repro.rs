@@ -1,17 +1,31 @@
 //! Regenerates every table and figure of the UStore paper.
 //!
 //! ```text
-//! repro [experiment ...] [--seed N] [--repeats N]
+//! repro [experiment ...] [--seed N] [--repeats N] [--json]
+//!       [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
-//! failover hdfs rolling ablation all` (default: `all`). Output shows
-//! paper value vs measured value with the relative error; `--json` emits
-//! the same data machine-readably, plus (when the failover experiment
-//! runs) a `telemetry` object carrying the metrics snapshot and the
-//! failover span tree of one run.
+//! failover degraded hdfs rolling ablation all` (default: `all`). Output
+//! shows paper value vs measured value with the relative error; `--json`
+//! emits the same data machine-readably, plus a `telemetry` object (keyed
+//! by experiment) carrying the metrics snapshot and span tree of each
+//! traced run.
+//!
+//! The artifact flags write standard-format telemetry exports of the last
+//! traced experiment that ran (`degraded` wins over `failover` in the
+//! default order):
+//!
+//! - `--prom-out`: Prometheus exposition text of the final metrics
+//!   snapshot;
+//! - `--trace-out`: Chrome trace-event JSON of the span log — open it in
+//!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`;
+//! - `--ts-out`: CSV (`component,series,t_s,value`) of the scraped time
+//!   series.
 
-use ustore_bench::{ablation, failover, fig5, fig6, hdfs, power, table2, Report};
+use ustore_bench::{
+    ablation, degraded, failover, fig5, fig6, hdfs, power, table2, Report, TelemetryArtifacts,
+};
 use ustore_sim::Json;
 
 fn main() {
@@ -19,6 +33,9 @@ fn main() {
     let mut seed: u64 = 20150707;
     let mut repeats: u64 = 6;
     let mut json = false;
+    let mut prom_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut ts_out: Option<String> = None;
     let mut picks: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -36,6 +53,21 @@ fn main() {
                     .unwrap_or_else(|| usage("--repeats needs a number"));
             }
             "--json" => json = true,
+            "--prom-out" => {
+                prom_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--prom-out needs a path")),
+                );
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
+            "--ts-out" => {
+                ts_out = Some(it.next().unwrap_or_else(|| usage("--ts-out needs a path")));
+            }
             "-h" | "--help" => {
                 usage("");
             }
@@ -45,14 +77,15 @@ fn main() {
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = [
             "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
-            "hdfs", "rolling", "ablation",
+            "degraded", "hdfs", "rolling", "ablation",
         ]
         .iter()
         .map(|s| (*s).to_owned())
         .collect();
     }
     let mut reports: Vec<Report> = Vec::new();
-    let mut telemetry: Option<Json> = None;
+    let mut telemetry: Vec<(&'static str, Json)> = Vec::new();
+    let mut artifacts: Option<TelemetryArtifacts> = None;
     for pick in &picks {
         match pick.as_str() {
             "table1" => reports.push(power::table1()),
@@ -64,9 +97,16 @@ fn main() {
             "duplex" => reports.push(fig5::duplex(seed)),
             "fig6" => reports.push(fig6::fig6(seed, repeats)),
             "failover" => {
-                let (rep, tele) = failover::failover_report_traced(seed);
+                let (rep, tele, arts) = failover::failover_report_traced(seed);
                 reports.push(rep);
-                telemetry = Some(tele);
+                telemetry.push(("failover", tele));
+                artifacts = Some(arts);
+            }
+            "degraded" => {
+                let (rep, tele, arts) = degraded::degraded_report_traced(seed);
+                reports.push(rep);
+                telemetry.push(("degraded", tele));
+                artifacts = Some(arts);
             }
             "hdfs" => reports.push(hdfs::hdfs_report(seed)),
             "rolling" => reports.push(power::rolling_spin_up_ablation(seed)),
@@ -78,13 +118,30 @@ fn main() {
             other => usage(&format!("unknown experiment {other:?}")),
         }
     }
+    let wants_artifacts = prom_out.is_some() || trace_out.is_some() || ts_out.is_some();
+    if wants_artifacts && artifacts.is_none() {
+        usage("--prom-out/--trace-out/--ts-out need a traced experiment (failover or degraded)");
+    }
+    if let Some(arts) = &artifacts {
+        let write = |path: &Option<String>, what: &str, content: &str| {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, content) {
+                    eprintln!("error: writing {what} to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        write(&prom_out, "Prometheus metrics", &arts.prometheus);
+        write(&trace_out, "Chrome trace", &arts.chrome_trace);
+        write(&ts_out, "time-series CSV", &arts.timeseries_csv);
+    }
     if json {
         let mut doc = Json::obj([
             ("seed", Json::u64(seed)),
             ("reports", Json::arr(reports.iter().map(Report::to_json))),
         ]);
-        if let Some(tele) = telemetry {
-            doc.insert("telemetry", tele);
+        if !telemetry.is_empty() {
+            doc.insert("telemetry", Json::obj(telemetry));
         }
         println!("{}", doc.pretty());
     } else {
@@ -92,12 +149,14 @@ fn main() {
         for rep in &reports {
             println!("{rep}");
         }
-        if let Some(tele) = &telemetry {
+        for (name, tele) in &telemetry {
             let spans = tele
                 .get("spans")
                 .and_then(Json::as_arr)
                 .map_or(0, <[Json]>::len);
-            println!("telemetry: {spans} spans captured (rerun with --json for the full export)");
+            println!(
+                "telemetry[{name}]: {spans} spans captured (rerun with --json for the full export)"
+            );
         }
     }
 }
@@ -108,7 +167,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [experiment ...] [--seed N] [--repeats N] [--json]\n\
-         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover hdfs rolling ablation all"
+         \x20            [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]\n\
+         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

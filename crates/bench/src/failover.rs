@@ -20,9 +20,9 @@ use std::time::Duration;
 use ustore::{Mounted, SpaceInfo, UStoreSystem};
 use ustore_fabric::HostId;
 use ustore_net::BlockDevice;
-use ustore_sim::{Json, SimTime, TraceLevel};
+use ustore_sim::{Json, ScraperConfig, SimTime, TraceLevel};
 
-use crate::report::{Report, Row};
+use crate::report::{Report, Row, TelemetryArtifacts};
 
 /// Measured breakdown of one failover.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +48,8 @@ pub struct FailoverRun {
     pub timing: FailoverTiming,
     /// `{"experiment", "seed", "victim", "total_s", "metrics", "spans"}`.
     pub telemetry: Json,
+    /// Prometheus / Chrome-trace / CSV exports of the run.
+    pub artifacts: TelemetryArtifacts,
 }
 
 /// Runs one full failover and measures the breakdown.
@@ -64,6 +66,9 @@ pub fn run_failover_traced(seed: u64, victim_index: u32) -> FailoverRun {
     let s = UStoreSystem::prototype(seed);
     s.sim.with_trace(|t| t.set_min_level(TraceLevel::Info));
     s.settle();
+    // Sample the registry throughout, so the run's artifacts carry the
+    // failover as time series too (spikes in remounts, residency shifts).
+    let scraper = s.start_telemetry(ScraperConfig::default());
     let client = s.client("app-1");
 
     // Allocate and mount a space, then park some data on it.
@@ -175,6 +180,7 @@ pub fn run_failover_traced(seed: u64, victim_index: u32) -> FailoverRun {
         ("metrics", s.sim.metrics_snapshot().to_json()),
         ("spans", s.sim.with_spans(|t| t.to_json())),
     ]);
+    let artifacts = TelemetryArtifacts::capture(&s.sim, &scraper);
     FailoverRun {
         timing: FailoverTiming {
             detection: declared.saturating_duration_since(t0),
@@ -184,6 +190,7 @@ pub fn run_failover_traced(seed: u64, victim_index: u32) -> FailoverRun {
             victim,
         },
         telemetry,
+        artifacts,
     }
 }
 
@@ -192,8 +199,9 @@ pub fn failover_report(seed: u64) -> Report {
     failover_report_traced(seed).0
 }
 
-/// Like [`failover_report`], also returning the first run's telemetry.
-pub fn failover_report_traced(seed: u64) -> (Report, Json) {
+/// Like [`failover_report`], also returning the first run's telemetry and
+/// exported artifacts.
+pub fn failover_report_traced(seed: u64) -> (Report, Json, TelemetryArtifacts) {
     let mut rows = Vec::new();
     let mut totals = Duration::ZERO;
     let mut count = 0u32;
@@ -202,7 +210,7 @@ pub fn failover_report_traced(seed: u64) -> (Report, Json) {
         let run = run_failover_traced(seed.wrapping_add(u64::from(v)), u32::MAX);
         let t = run.timing.clone();
         if telemetry.is_none() {
-            telemetry = Some(run.telemetry);
+            telemetry = Some((run.telemetry, run.artifacts));
         }
         rows.push(Row::measured_only(
             format!("detection (victim run {v})"),
@@ -234,9 +242,11 @@ pub fn failover_report_traced(seed: u64) -> (Report, Json) {
         (totals / count).as_secs_f64(),
         "s",
     ));
+    let (tele, artifacts) = telemetry.expect("at least one run");
     (
         Report::new("§I / §VII host-failure recovery", rows),
-        telemetry.expect("at least one run"),
+        tele,
+        artifacts,
     )
 }
 

@@ -12,6 +12,7 @@
 //! | [`fig5`] | Figure 5 — multi-disk aggregate throughput; §VII-A duplex |
 //! | [`fig6`] | Figure 6 — switching time vs disks switched |
 //! | [`failover`] | §I/§VII headline — 5.8 s host-failure recovery |
+//! | [`degraded`] | watchdog: proactive recovery from a slowly failing disk |
 //! | [`hdfs`] | §VII-B — DFS over UStore with a mid-write switch |
 //! | [`power`] | Tables I, III, IV, V; rolling spin-up ablation |
 //! | [`ablation`] | switch placement, heartbeat timeout, allocation policy |
@@ -19,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod degraded;
 pub mod failover;
 pub mod fig5;
 pub mod fig6;
@@ -27,4 +29,4 @@ pub mod power;
 pub mod report;
 pub mod table2;
 
-pub use report::{Report, Row};
+pub use report::{Report, Row, TelemetryArtifacts};

@@ -1,8 +1,9 @@
-//! Reporting helpers: paper-vs-measured rows and text tables.
+//! Reporting helpers: paper-vs-measured rows, text tables, and the
+//! standard-format telemetry artifacts experiments attach to their runs.
 
 use std::fmt;
 
-use ustore_sim::Json;
+use ustore_sim::{export, Json, Scraper, Sim};
 
 /// One measured quantity compared against the paper.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +73,32 @@ impl fmt::Display for Row {
                 "{:<28} {:>32} measured {:>9.1} {:<5}",
                 self.label, "", self.measured, self.unit
             ),
+        }
+    }
+}
+
+/// Standard-format telemetry exports captured from one run's simulator,
+/// ready to be written to disk by the `repro` binary (`--prom-out`,
+/// `--trace-out`, `--ts-out`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryArtifacts {
+    /// Prometheus exposition text of the final metrics snapshot.
+    pub prometheus: String,
+    /// Chrome trace-event JSON of the span log (loads in Perfetto /
+    /// `chrome://tracing`).
+    pub chrome_trace: String,
+    /// CSV dump (`component,series,t_s,value`) of the scraped time series.
+    pub timeseries_csv: String,
+}
+
+impl TelemetryArtifacts {
+    /// Captures all three exports from a finished run.
+    pub fn capture(sim: &Sim, scraper: &Scraper) -> TelemetryArtifacts {
+        let snapshot = sim.metrics_snapshot();
+        TelemetryArtifacts {
+            prometheus: export::prometheus(&snapshot),
+            chrome_trace: sim.with_spans(|t| export::chrome_trace(t)).to_string(),
+            timeseries_csv: scraper.to_csv(),
         }
     }
 }

@@ -46,7 +46,13 @@ impl Controller {
             let req: &PlanReq = req.downcast_ref().expect("PlanReq");
             let plan: PlanResp = c
                 .runtime
-                .with_state(|s| s.plan_evacuation(&req.disks, &req.targets))
+                .with_state(|s| {
+                    if req.pull_cohort {
+                        s.plan_move(&req.disks, &req.targets)
+                    } else {
+                        s.plan_evacuation(&req.disks, &req.targets)
+                    }
+                })
                 .map_err(|e| e.to_string());
             responder.reply(sim, Rc::new(plan), 256);
         });
@@ -112,6 +118,7 @@ mod tests {
             Rc::new(PlanReq {
                 disks: (0..4).map(DiskId).collect(),
                 targets: vec![HostId(1), HostId(2), HostId(3)],
+                pull_cohort: false,
             }),
             128,
             Duration::from_secs(1),

@@ -19,6 +19,9 @@
 //! - [`UStoreClient`] / [`Mounted`]: the ClientLib — allocation, lookup
 //!   and auto-remounting block devices.
 //! - [`UStoreSystem`]: a whole-deployment harness with failure injection.
+//! - [`HealthWatchdog`]: telemetry-driven degradation detection that
+//!   escalates drifting disks into the failover/reconfiguration path
+//!   before they fail hard.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub mod ids;
 pub mod master;
 pub mod messages;
 pub mod system;
+pub mod watchdog;
 
 pub use alloc::{AllocError, Allocation, Allocator, Extent};
 pub use clientlib::{ClientLibConfig, ClientLibError, Mounted, UStoreClient};
@@ -57,3 +61,4 @@ pub use ids::{ParseSpaceNameError, SpaceName, UnitId};
 pub use master::{Master, MasterConfig, UnitConf};
 pub use messages::{MasterError, SpaceInfo};
 pub use system::{coord_addr, host_addr, master_addr, SystemConfig, UStoreSystem};
+pub use watchdog::{HealthEvent, HealthSignal, HealthWatchdog, Phase, WatchdogConfig};

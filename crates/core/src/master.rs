@@ -763,70 +763,145 @@ impl Master {
                 "master",
                 format!("{unit} {d} vanished from all USB trees; rerouting"),
             );
-            let this = self.clone();
-            let rpc_timeout = self.inner.borrow().config.rpc_timeout;
-            let exec_timeout = self.inner.borrow().config.execute_timeout;
-            self.controller_call::<PlanResp>(
-                sim,
-                controllers.clone(),
-                "ctl.plan",
-                Rc::new(PlanReq {
-                    disks: vec![d],
-                    targets,
-                }),
-                rpc_timeout,
-                move |sim, plan| {
-                    let Some((responsive, plan)) = plan else {
-                        return;
-                    };
-                    match plan {
-                        Err(why) => {
-                            // No alternative path: the paper "reports the
-                            // failure to system administrator for future
-                            // replacement or repair".
-                            sim.trace(
-                                TraceLevel::Error,
-                                "master",
-                                format!("{unit} {d} unrecoverable ({why}); needs repair"),
-                            );
-                        }
-                        Ok(pairs) => {
-                            let mut order = vec![responsive.clone()];
-                            order.extend(controllers.into_iter().filter(|a| *a != responsive));
-                            let this2 = this.clone();
-                            let pairs2 = pairs.clone();
-                            this.controller_call::<ExecuteResp>(
-                                sim,
-                                order,
-                                "ctl.execute",
-                                Rc::new(ExecuteReq { pairs }),
-                                exec_timeout,
-                                move |sim, r| {
-                                    let ok = matches!(r, Some((_, Ok(()))));
-                                    if ok {
-                                        let mut m = this2.inner.borrow_mut();
-                                        for (d, h) in &pairs2 {
-                                            m.disk_host.insert((unit, *d), *h);
-                                        }
-                                        m.exposures_pushed.retain(|(n, _)| {
-                                            !pairs2.iter().any(|(d, _)| *d == n.disk)
-                                        });
-                                    }
-                                    sim.trace(
-                                        TraceLevel::Info,
-                                        "master",
-                                        format!(
-                                            "reroute of {unit} {d} {}",
-                                            if ok { "complete" } else { "failed" }
-                                        ),
-                                    );
-                                },
-                            );
-                        }
-                    }
-                },
-            );
+            self.reroute_disk(sim, unit, d, targets, controllers, false, |_, _| {});
         }
+    }
+
+    /// Plans and executes a path switch for one disk (§IV-E), choosing
+    /// targets among the unit's live hosts *other than* the disk's current
+    /// host when any exist — the entry point for proactive moves, e.g. the
+    /// health watchdog escalating sustained degradation before the disk
+    /// fails outright. `done` fires with `true` once the fabric
+    /// reconfiguration completed and SysStat maps the disk to a new host
+    /// (EndPoint re-export and client remounts follow asynchronously).
+    pub fn recover_disk(
+        &self,
+        sim: &Sim,
+        unit: UnitId,
+        d: DiskId,
+        done: impl FnOnce(&Sim, bool) + 'static,
+    ) {
+        let picked = {
+            let mut m = self.inner.borrow_mut();
+            if !m.active || !m.units.contains_key(&unit) {
+                None
+            } else {
+                let conf = m.units[&unit].clone();
+                let current = m.disk_host.get(&(unit, d)).copied();
+                let live: Vec<HostId> = conf
+                    .hosts
+                    .iter()
+                    .map(|(h, _)| *h)
+                    .filter(|h| m.host_alive.get(&(unit, *h)).copied().unwrap_or(false))
+                    .collect();
+                let away: Vec<HostId> = live
+                    .iter()
+                    .copied()
+                    .filter(|h| Some(*h) != current)
+                    .collect();
+                let targets = if away.is_empty() { live } else { away };
+                if targets.is_empty() {
+                    None
+                } else {
+                    m.disk_recovery_attempted.insert((unit, d), sim.now());
+                    Some((targets, conf.controllers))
+                }
+            }
+        };
+        let Some((targets, controllers)) = picked else {
+            sim.trace(
+                TraceLevel::Error,
+                "master",
+                format!("{unit} {d}: no recovery target available"),
+            );
+            done(sim, false);
+            return;
+        };
+        // A still-attached disk moves with its hub cohort: relocating it
+        // turns switches its healthy hub-mates share.
+        self.reroute_disk(sim, unit, d, targets, controllers, true, done);
+    }
+
+    /// The shared plan→execute reroute machinery behind
+    /// [`sweep_missing_disks`](Self::sweep_missing_disks) and
+    /// [`recover_disk`](Self::recover_disk).
+    #[allow(clippy::too_many_arguments)]
+    fn reroute_disk(
+        &self,
+        sim: &Sim,
+        unit: UnitId,
+        d: DiskId,
+        targets: Vec<HostId>,
+        controllers: Vec<Addr>,
+        pull_cohort: bool,
+        done: impl FnOnce(&Sim, bool) + 'static,
+    ) {
+        let this = self.clone();
+        let rpc_timeout = self.inner.borrow().config.rpc_timeout;
+        let exec_timeout = self.inner.borrow().config.execute_timeout;
+        self.controller_call::<PlanResp>(
+            sim,
+            controllers.clone(),
+            "ctl.plan",
+            Rc::new(PlanReq {
+                disks: vec![d],
+                targets,
+                pull_cohort,
+            }),
+            rpc_timeout,
+            move |sim, plan| {
+                let Some((responsive, plan)) = plan else {
+                    done(sim, false);
+                    return;
+                };
+                match plan {
+                    Err(why) => {
+                        // No alternative path: the paper "reports the
+                        // failure to system administrator for future
+                        // replacement or repair".
+                        sim.trace(
+                            TraceLevel::Error,
+                            "master",
+                            format!("{unit} {d} unrecoverable ({why}); needs repair"),
+                        );
+                        done(sim, false);
+                    }
+                    Ok(pairs) => {
+                        let mut order = vec![responsive.clone()];
+                        order.extend(controllers.into_iter().filter(|a| *a != responsive));
+                        let this2 = this.clone();
+                        let pairs2 = pairs.clone();
+                        this.controller_call::<ExecuteResp>(
+                            sim,
+                            order,
+                            "ctl.execute",
+                            Rc::new(ExecuteReq { pairs }),
+                            exec_timeout,
+                            move |sim, r| {
+                                let ok = matches!(r, Some((_, Ok(()))));
+                                if ok {
+                                    let mut m = this2.inner.borrow_mut();
+                                    for (d, h) in &pairs2 {
+                                        m.disk_host.insert((unit, *d), *h);
+                                    }
+                                    m.exposures_pushed
+                                        .retain(|(n, _)| !pairs2.iter().any(|(d, _)| *d == n.disk));
+                                }
+                                sim.trace(
+                                    TraceLevel::Info,
+                                    "master",
+                                    format!(
+                                        "reroute of {unit} {d} {}",
+                                        if ok { "complete" } else { "failed" }
+                                    ),
+                                );
+                                done(sim, ok);
+                            },
+                        );
+                    }
+                }
+            },
+        );
     }
 
     fn failover(&self, sim: &Sim, unit: UnitId, dead: HostId) {
@@ -865,7 +940,11 @@ impl Master {
             sim,
             controllers.clone(),
             "ctl.plan",
-            Rc::new(PlanReq { disks, targets }),
+            Rc::new(PlanReq {
+                disks,
+                targets,
+                pull_cohort: false,
+            }),
             self.inner.borrow().config.rpc_timeout,
             move |sim, plan| {
                 let Some((responsive, Ok(pairs))) = plan else {

@@ -144,6 +144,10 @@ pub struct PlanReq {
     pub disks: Vec<DiskId>,
     /// Live hosts to move them to.
     pub targets: Vec<HostId>,
+    /// Allow still-attached hub-mates to be pulled along (proactive
+    /// single-disk moves) rather than vetoing the plan (dead-host
+    /// evacuation).
+    pub pull_cohort: bool,
 }
 
 /// Controller's plan.

@@ -14,13 +14,14 @@ use std::time::Duration;
 use ustore_consensus::{CoordConfig, CoordServer};
 use ustore_fabric::{DiskId, FabricRuntime, HostId, RuntimeConfig, Topology};
 use ustore_net::{Addr, NetConfig, Network, RpcNode};
-use ustore_sim::{Sim, TraceLevel};
+use ustore_sim::{Scraper, ScraperConfig, Sim, TraceLevel};
 
 use crate::clientlib::{ClientLibConfig, UStoreClient};
 use crate::controller::Controller;
 use crate::endpoint::{Endpoint, EndpointConfig};
 use crate::ids::UnitId;
 use crate::master::{Master, MasterConfig, UnitConf};
+use crate::watchdog::{HealthWatchdog, WatchdogConfig};
 
 /// Deployment shape.
 #[derive(Debug, Clone)]
@@ -297,6 +298,66 @@ impl UStoreSystem {
             &Addr::new(format!("{}-zk", master_addr(i as u32))),
         );
         self.masters[i].pause();
+    }
+
+    /// Starts the telemetry pipeline: a gauge publisher (disk residency +
+    /// network counters, refreshed right before every sample) and a
+    /// [`Scraper`] that records the whole registry into ring-buffered time
+    /// series at `config.interval`.
+    ///
+    /// The publisher timer is registered *before* the scraper at the same
+    /// cadence, so each scrape observes freshly published gauges (the
+    /// simulator fires same-instant timers in registration order).
+    pub fn start_telemetry(&self, config: ScraperConfig) -> Scraper {
+        let runtimes = self.runtimes.clone();
+        let net = self.net.clone();
+        self.sim
+            .every(config.interval, config.interval, move |sim| {
+                for rt in &runtimes {
+                    rt.publish_residency(sim);
+                }
+                net.publish_metrics(sim);
+            });
+        Scraper::start(&self.sim, config)
+    }
+
+    /// Installs the Master-side health watchdog over `scraper`'s series:
+    /// every disk and every host-side link of the deployment is watched
+    /// for seek-latency drift, uncorrectable-read bursts, link saturation
+    /// and re-enumeration storms. Returns `None` if no master is active
+    /// yet (call [`UStoreSystem::settle`] first).
+    ///
+    /// Disk and host component names repeat across deploy units (every
+    /// unit has a `disk0`); the watchdog watches the first unit that
+    /// claims each name, which is exact for single-unit deployments.
+    pub fn install_watchdog(
+        &self,
+        scraper: &Scraper,
+        config: WatchdogConfig,
+    ) -> Option<HealthWatchdog> {
+        let master = self.active_master()?.clone();
+        let mut disks = Vec::new();
+        let mut seen_disks = std::collections::BTreeSet::new();
+        let mut links = Vec::new();
+        let mut seen_links = std::collections::BTreeSet::new();
+        for (u, rt) in self.runtimes.iter().enumerate() {
+            let unit = UnitId(u as u32);
+            for d in rt.disk_ids() {
+                let name = format!("{d}");
+                if seen_disks.insert(name.clone()) {
+                    disks.push((name, unit, d));
+                }
+            }
+            for h in rt.host_ids() {
+                let name = format!("{h}");
+                if seen_links.insert(name.clone()) {
+                    links.push(name);
+                }
+            }
+        }
+        Some(HealthWatchdog::install(
+            scraper, master, disks, links, config,
+        ))
     }
 
     /// All disks currently attached and enumerated somewhere.

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use ustore_sim::{Histogram, Sim, SimTime, Throughput, TraceLevel};
+use ustore_sim::{Histogram, Sim, SimRng, SimTime, Throughput, TraceLevel};
 
 use crate::model::IoModel;
 use crate::power::EnergyMeter;
@@ -125,6 +125,12 @@ struct Inner {
     data: Option<HashMap<u64, Box<[u8]>>>,
     stats: DiskStats,
     epoch: u64, // bumped on power-off to invalidate in-flight completions
+    // Gradual-degradation injection (Gray & van Ingen: drives drift before
+    // they die): a positioning-time multiplier and an uncorrectable-read
+    // probability. Both inert (1.0 / 0.0) unless a scenario dials them up.
+    latency_factor: f64,
+    read_error_rate: f64,
+    degrade_rng: Option<SimRng>, // forked lazily so healthy runs draw nothing
 }
 
 impl Inner {
@@ -192,6 +198,9 @@ impl Disk {
                 data: store_data.then(HashMap::new),
                 stats: DiskStats::default(),
                 epoch: 0,
+                latency_factor: 1.0,
+                read_error_rate: 0.0,
+                degrade_rng: None,
             })),
         }
     }
@@ -364,7 +373,11 @@ impl Disk {
                 },
                 1,
             );
-            (svc.total(), i.epoch)
+            let mut service = svc.total();
+            if i.latency_factor > 1.0 && seek {
+                service += svc.positioning.mul_f64(i.latency_factor - 1.0);
+            }
+            (service, i.epoch)
         };
         let this = self.clone();
         sim.schedule_in(service, move |sim| this.complete(sim, epoch));
@@ -409,7 +422,11 @@ impl Disk {
         };
         match op {
             Pending::Read { offset, len, cb } => {
-                let res = self.do_read(offset, len);
+                let res = if self.roll_uncorrectable(sim, &name) {
+                    Err(DiskError::Medium { offset })
+                } else {
+                    self.do_read(offset, len)
+                };
                 {
                     let mut i = self.inner.borrow_mut();
                     match &res {
@@ -436,6 +453,26 @@ impl Disk {
             }
         }
         self.pump(sim);
+    }
+
+    /// Rolls the degradation RNG for one read; counts a hit as an
+    /// uncorrectable read (it surfaces as a [`DiskError::Medium`]).
+    fn roll_uncorrectable(&self, sim: &Sim, name: &str) -> bool {
+        let mut i = self.inner.borrow_mut();
+        let rate = i.read_error_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        let hit = i
+            .degrade_rng
+            .as_mut()
+            .map(|rng| rng.chance(rate))
+            .unwrap_or(false);
+        if hit {
+            drop(i);
+            sim.count(name, "disk.uncorrectable_reads", 1);
+        }
+        hit
     }
 
     fn do_read(&self, offset: u64, len: u64) -> ReadResult {
@@ -559,6 +596,44 @@ impl Disk {
             let now = sim.now();
             i.set_state(now, PowerStateKind::Standby);
             i.model.reset_stream();
+        }
+    }
+
+    /// Sets the positioning-time multiplier modelling mechanical wear
+    /// (`1.0` = healthy). Only seek/rotation time stretches; transfer rate
+    /// is unaffected, matching the seek-latency drift that precedes
+    /// spindle failure in fleet studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn set_latency_factor(&self, factor: f64) {
+        assert!(factor >= 1.0, "latency factor below healthy: {factor}");
+        self.inner.borrow_mut().latency_factor = factor;
+    }
+
+    /// Current positioning-time multiplier.
+    pub fn latency_factor(&self) -> f64 {
+        self.inner.borrow().latency_factor
+    }
+
+    /// Sets the per-read probability of an uncorrectable (medium) error,
+    /// modelling grown-defect drift. Draws come from a dedicated RNG
+    /// forked on first use, so enabling degradation on one disk never
+    /// shifts random sequences elsewhere in the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_read_error_rate(&self, sim: &Sim, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "error rate {rate}");
+        let mut i = self.inner.borrow_mut();
+        i.read_error_rate = rate;
+        if rate > 0.0 && i.degrade_rng.is_none() {
+            let label = format!("degrade-{}", i.name);
+            drop(i);
+            let rng = sim.fork_rng(&label);
+            self.inner.borrow_mut().degrade_rng = Some(rng);
         }
     }
 
@@ -803,6 +878,61 @@ mod tests {
             "residencies sum to the run window"
         );
         assert!(m.gauge("d0", "power.energy_j").expect("energy") > 0.0);
+    }
+
+    #[test]
+    fn latency_factor_stretches_seeks_only() {
+        // Same random read on a healthy and a degraded disk: the degraded
+        // one takes ~factor x the positioning time longer.
+        let (sim, disk) = setup();
+        disk.read(&sim, 1 << 33, 4096, |_, _| {});
+        sim.run();
+        let healthy = sim.now() - SimTime::ZERO;
+
+        let sim2 = Sim::new(7);
+        let slow = Disk::new(&sim2, "d0", DiskProfile::usb_bridge(), true);
+        slow.set_latency_factor(3.0);
+        assert_eq!(slow.latency_factor(), 3.0);
+        slow.read(&sim2, 1 << 33, 4096, |_, _| {});
+        sim2.run();
+        let degraded = sim2.now() - SimTime::ZERO;
+        assert!(
+            degraded > healthy + Duration::from_millis(10),
+            "degraded {degraded:?} vs healthy {healthy:?}"
+        );
+
+        // Sequential follow-up IO (no positioning) is NOT stretched.
+        let t = sim2.now();
+        slow.read(&sim2, (1 << 33) + 4096, 4096, |_, _| {});
+        sim2.run();
+        assert!(sim2.now() - t < Duration::from_micros(300));
+    }
+
+    #[test]
+    fn read_error_rate_injects_uncorrectable_reads() {
+        let (sim, disk) = setup();
+        disk.set_read_error_rate(&sim, 0.5);
+        let errors = Rc::new(Cell::new(0u32));
+        for n in 0..40u64 {
+            let e = errors.clone();
+            disk.read(&sim, n * 4096, 4096, move |_, r| {
+                if matches!(r, Err(DiskError::Medium { .. })) {
+                    e.set(e.get() + 1);
+                }
+            });
+        }
+        sim.run();
+        let hits = errors.get();
+        assert!(hits > 5 && hits < 35, "p=0.5 over 40 reads: {hits}");
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.counter("d0", "disk.uncorrectable_reads"), u64::from(hits));
+        assert_eq!(m.counter("d0", "disk.errors"), u64::from(hits));
+        // Turning the rate back down restores healthy reads.
+        disk.set_read_error_rate(&sim, 0.0);
+        disk.read(&sim, 0, 512, |_, r| {
+            r.expect("healthy again");
+        });
+        sim.run();
     }
 
     #[test]

@@ -482,6 +482,30 @@ impl FabricState {
         disks: &[DiskId],
         targets: &[HostId],
     ) -> Result<Vec<(DiskId, HostId)>, ScheduleError> {
+        self.plan(disks, targets, false)
+    }
+
+    /// Like [`plan_evacuation`](Self::plan_evacuation), but disks still
+    /// live on a host may be pulled along as cohort: turning a shared
+    /// switch moves every disk behind it, so relocating one *degraded but
+    /// still attached* disk necessarily carries its hub-mates to the new
+    /// host. Evacuation of a dead host refuses that (it would silently
+    /// steal disks from healthy hosts); a proactive single-disk move
+    /// requires it.
+    pub fn plan_move(
+        &self,
+        disks: &[DiskId],
+        targets: &[HostId],
+    ) -> Result<Vec<(DiskId, HostId)>, ScheduleError> {
+        self.plan(disks, targets, true)
+    }
+
+    fn plan(
+        &self,
+        disks: &[DiskId],
+        targets: &[HostId],
+        pull_live_cohort: bool,
+    ) -> Result<Vec<(DiskId, HostId)>, ScheduleError> {
         let moving: BTreeSet<DiskId> = disks.iter().copied().collect();
         let mut loads: BTreeMap<HostId, usize> = targets.iter().map(|h| (*h, 0)).collect();
         for (d, h) in self.attachment_map() {
@@ -523,7 +547,10 @@ impl FabricState {
                         .iter()
                         .any(|(s, _)| turned.contains(s));
                     if crosses {
-                        if !moving.contains(&other) && self.attached_host(other).is_some() {
+                        if !moving.contains(&other)
+                            && self.attached_host(other).is_some()
+                            && !pull_live_cohort
+                        {
                             continue 'target; // would steal a live disk
                         }
                         cohort.push(other);
@@ -770,6 +797,29 @@ mod tests {
         let plan = f.plan_evacuation(&disks, &[HostId(1)]).expect("plan");
         assert_eq!(plan.len(), 8);
         assert!(plan.iter().all(|(_, h)| *h == HostId(1)));
+    }
+
+    #[test]
+    fn plan_move_pulls_live_hub_mates() {
+        // disk0 is alive on host0; its three hub-mates share the leaf
+        // hub. Evacuation-style planning must refuse (stealing live
+        // disks), a proactive move must carry the whole group.
+        let f = prototype();
+        let targets: Vec<HostId> = (1..4).map(HostId).collect();
+        let err = f.plan_evacuation(&[DiskId(0)], &targets).unwrap_err();
+        assert!(matches!(err, ScheduleError::NoPath(_, _)));
+        let plan = f.plan_move(&[DiskId(0)], &targets).expect("plan");
+        assert_eq!(plan.len(), 4, "whole hub group moves");
+        let hosts: BTreeSet<HostId> = plan.iter().map(|(_, h)| *h).collect();
+        assert_eq!(hosts.len(), 1, "group stays together");
+        assert!(!hosts.contains(&HostId(0)), "moved away from host0");
+        // The plan is executable.
+        let mut f = f;
+        let turns = f.switches_to_turn(&plan).expect("valid plan");
+        f.apply_turns(&turns);
+        for (d, h) in &plan {
+            assert_eq!(f.attached_host(*d), Some(*h));
+        }
     }
 
     #[test]

@@ -295,6 +295,17 @@ impl Network {
         (i.sent, i.delivered, i.dropped)
     }
 
+    /// Publishes the fabric-wide message totals as gauges under component
+    /// `"net"` (gauges, not counter deltas, so re-publishing on every
+    /// scrape is idempotent). A rising `net.dropped` between scrapes is a
+    /// watchdog-visible sign of partitions or crashed peers.
+    pub fn publish_metrics(&self, sim: &Sim) {
+        let (sent, delivered, dropped) = self.stats();
+        sim.gauge_set("net", "net.sent", sent as f64);
+        sim.gauge_set("net", "net.delivered", delivered as f64);
+        sim.gauge_set("net", "net.dropped", dropped as f64);
+    }
+
     /// The configured parameters.
     pub fn config(&self) -> NetConfig {
         self.inner.borrow().config.clone()
@@ -427,6 +438,20 @@ mod tests {
         sim.run();
         let (sent, delivered, dropped) = net.stats();
         assert_eq!((sent, delivered, dropped), (1, 0, 1));
+    }
+
+    #[test]
+    fn publish_metrics_exports_gauges() {
+        let (sim, net, a, b) = setup();
+        net.bind(&b, |_, _| {});
+        net.send(&sim, &a, &b, 10, Rc::new(()));
+        sim.run();
+        net.publish_metrics(&sim);
+        net.publish_metrics(&sim); // idempotent re-publish
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.gauge("net", "net.sent"), Some(1.0));
+        assert_eq!(m.gauge("net", "net.delivered"), Some(1.0));
+        assert_eq!(m.gauge("net", "net.dropped"), Some(0.0));
     }
 
     #[test]

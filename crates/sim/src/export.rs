@@ -1,0 +1,352 @@
+//! Standard-format telemetry exporters.
+//!
+//! Bridges the in-simulator observability types to tooling people already
+//! have open:
+//!
+//! - [`prometheus`] renders a [`MetricsRegistry`] in Prometheus exposition
+//!   text format (`promtool check metrics` clean; scrapeable if served);
+//! - [`chrome_trace`] renders a [`SpanTracer`] as Chrome trace-event JSON,
+//!   loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`
+//!   to see the failover span tree on a timeline.
+//!
+//! Both outputs are byte-stable for identical runs: the registry keeps its
+//! keys sorted, and the trace exporter assigns track ids from the sorted
+//! component list rather than encounter order.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::obs::MetricsRegistry;
+use crate::span::{Span, SpanTracer};
+
+/// Maps a dotted metric id to a Prometheus-legal name:
+/// `disk.latency_ns` on component `disk3` → `ustore_disk_latency_ns`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("ustore_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way Prometheus expects (always with enough digits
+/// to round-trip; integral values render without an exponent).
+fn prom_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // 3 -> "3.0": keeps gauges visibly float-typed
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the registry in Prometheus exposition text format.
+///
+/// Counters and gauges become their native types; histograms become
+/// summaries with `quantile` labels plus `_sum`/`_count` and exact-bound
+/// `_min`/`_max` gauges (bucket-midpoint quantiles clamp to the observed
+/// range, so the exported tails never overstate the data — see
+/// `Histogram::quantile`). The `(component, name)` key splits into the
+/// metric name and a `component` label so one `# TYPE` line covers every
+/// instance of a series.
+///
+/// # Examples
+///
+/// ```
+/// use ustore_sim::{export, MetricsRegistry};
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter_add("disk0", "disk.reads", 3);
+/// let text = export::prometheus(&m);
+/// assert!(text.contains("# TYPE ustore_disk_reads counter"));
+/// assert!(text.contains("ustore_disk_reads{component=\"disk0\"} 3"));
+/// ```
+pub fn prometheus(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+
+    // Regroup (component, name) -> name -> [(component, line value)] so each
+    // metric gets exactly one # TYPE header. BTreeMap keeps output sorted.
+    let mut counters: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (c, n, v) in metrics.counters() {
+        counters.entry(n).or_default().push((c, v));
+    }
+    for (name, series) in &counters {
+        let pname = prom_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n"));
+        for (component, v) in series {
+            out.push_str(&format!(
+                "{pname}{{component=\"{}\"}} {v}\n",
+                prom_label(component)
+            ));
+        }
+    }
+
+    let mut gauges: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    for (c, n, v) in metrics.gauges() {
+        gauges.entry(n).or_default().push((c, v));
+    }
+    for (name, series) in &gauges {
+        let pname = prom_name(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        for (component, v) in series {
+            out.push_str(&format!(
+                "{pname}{{component=\"{}\"}} {}\n",
+                prom_label(component),
+                prom_f64(*v)
+            ));
+        }
+    }
+
+    let mut hists: BTreeMap<&str, Vec<(&str, &crate::metrics::Histogram)>> = BTreeMap::new();
+    for (c, n, h) in metrics.histograms() {
+        hists.entry(n).or_default().push((c, h));
+    }
+    for (name, series) in &hists {
+        let pname = prom_name(name);
+        out.push_str(&format!("# TYPE {pname} summary\n"));
+        for (component, h) in series {
+            let label = prom_label(component);
+            for q in [0.5, 0.9, 0.99] {
+                out.push_str(&format!(
+                    "{pname}{{component=\"{label}\",quantile=\"{q}\"}} {}\n",
+                    h.quantile(q).unwrap_or(0)
+                ));
+            }
+            out.push_str(&format!(
+                "{pname}_sum{{component=\"{label}\"}} {}\n",
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "{pname}_count{{component=\"{label}\"}} {}\n",
+                h.count()
+            ));
+        }
+        // Exact observed bounds ride along as gauges: summaries have no
+        // native min/max, and midpoint quantiles alone can hide tails.
+        for suffix in ["min", "max"] {
+            out.push_str(&format!("# TYPE {pname}_{suffix} gauge\n"));
+            for (component, h) in series {
+                let v = match suffix {
+                    "min" => h.min().unwrap_or(0),
+                    _ => h.max().unwrap_or(0),
+                };
+                out.push_str(&format!(
+                    "{pname}_{suffix}{{component=\"{}\"}} {v}\n",
+                    prom_label(component)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the span log as Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), loadable in Perfetto or `chrome://tracing`.
+///
+/// Mapping: one process (`pid` 1), one track (`tid`) per component in
+/// sorted order, named via `thread_name` metadata events. Closed spans are
+/// complete events (`"ph": "X"`) with microsecond `ts`/`dur`; still-open
+/// spans are begin events (`"ph": "B"`) so a crash mid-operation is visible
+/// as an unterminated slice. Span id, parent and attributes land in
+/// `args`, so clicking a failover slice shows the victim host.
+pub fn chrome_trace(spans: &SpanTracer) -> Json {
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in spans.spans() {
+        let next = tids.len() as u64 + 1;
+        tids.entry(s.component.as_str()).or_insert(next);
+    }
+    // Re-number by sorted component name for byte-stable output.
+    for (i, (_, tid)) in tids.iter_mut().enumerate() {
+        *tid = i as u64 + 1;
+    }
+
+    let mut events = Vec::new();
+    for (component, tid) in &tids {
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(1)),
+            ("tid", Json::u64(*tid)),
+            ("args", Json::obj([("name", Json::str(*component))])),
+        ]));
+    }
+    for s in spans.spans() {
+        events.push(span_event(s, tids[s.component.as_str()]));
+    }
+    Json::obj([("traceEvents", Json::arr(events))])
+}
+
+fn span_event(s: &Span, tid: u64) -> Json {
+    let ts_us = s.start.as_nanos() as f64 / 1000.0;
+    let mut args = Json::obj([("span_id", Json::u64(s.id.raw()))]);
+    if let Some(p) = s.parent {
+        args.insert("parent_span_id", Json::u64(p.raw()));
+    }
+    for (k, v) in &s.attrs {
+        args.insert(k.clone(), Json::str(v));
+    }
+    let mut ev = Json::obj([
+        ("name", Json::str(&s.name)),
+        ("cat", Json::str(&s.component)),
+    ]);
+    match s.end {
+        Some(end) => {
+            let dur_us = end.duration_since(s.start).as_nanos() as f64 / 1000.0;
+            ev.insert("ph", Json::str("X"));
+            ev.insert("ts", Json::f64(ts_us));
+            ev.insert("dur", Json::f64(dur_us));
+        }
+        None => {
+            ev.insert("ph", Json::str("B"));
+            ev.insert("ts", Json::f64(ts_us));
+        }
+    }
+    ev.insert("pid", Json::u64(1));
+    ev.insert("tid", Json::u64(tid));
+    ev.insert("args", args);
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("disk0", "disk.reads", 7);
+        m.counter_add("disk1", "disk.reads", 9);
+        m.gauge_set("disk0", "power.watts", 5.1);
+        m.observe("disk0", "disk.latency_ns", 10_000_000);
+        m.observe("disk0", "disk.latency_ns", 14_000_000);
+        m
+    }
+
+    #[test]
+    fn prometheus_groups_components_under_one_type_line() {
+        let text = prometheus(&sample_registry());
+        assert_eq!(
+            text.matches("# TYPE ustore_disk_reads counter").count(),
+            1,
+            "one TYPE line for both disks"
+        );
+        assert!(text.contains("ustore_disk_reads{component=\"disk0\"} 7"));
+        assert!(text.contains("ustore_disk_reads{component=\"disk1\"} 9"));
+        assert!(text.contains("# TYPE ustore_power_watts gauge"));
+        assert!(text.contains("ustore_power_watts{component=\"disk0\"} 5.1"));
+    }
+
+    #[test]
+    fn prometheus_summary_exposes_exact_bounds() {
+        let text = prometheus(&sample_registry());
+        assert!(text.contains("# TYPE ustore_disk_latency_ns summary"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("ustore_disk_latency_ns_sum{component=\"disk0\"} 24000000"));
+        assert!(text.contains("ustore_disk_latency_ns_count{component=\"disk0\"} 2"));
+        assert!(text.contains("ustore_disk_latency_ns_min{component=\"disk0\"} 10000000"));
+        assert!(text.contains("ustore_disk_latency_ns_max{component=\"disk0\"} 14000000"));
+    }
+
+    #[test]
+    fn prometheus_lines_are_well_formed() {
+        let text = prometheus(&sample_registry());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE ustore_"), "bad comment: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(series.starts_with("ustore_"), "bad name: {line}");
+            assert!(series.contains("{component=\""), "bad labels: {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_is_byte_stable() {
+        let a = prometheus(&sample_registry());
+        let b = prometheus(&sample_registry().snapshot());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chrome_trace_tracks_and_events() {
+        let mut t = SpanTracer::new();
+        let root = t.start(SimTime::from_millis(1), "master-0", "failover", None);
+        t.set_attr(root, "victim", "u0/h1");
+        let child = t.start(
+            SimTime::from_millis(2),
+            "fabric",
+            "fabric.execute",
+            Some(root),
+        );
+        t.end(SimTime::from_millis(5), child);
+        t.end(SimTime::from_millis(9), root);
+        let open = t.start(SimTime::from_millis(10), "master-0", "op", None);
+        let _ = open;
+
+        let doc = chrome_trace(&t);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 components -> 2 metadata events, plus 3 spans.
+        assert_eq!(events.len(), 5);
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        let failover = complete
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("failover"))
+            .unwrap();
+        assert_eq!(failover.get("ts").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(failover.get("dur").and_then(Json::as_f64), Some(8000.0));
+        assert_eq!(
+            failover
+                .get("args")
+                .and_then(|a| a.get("victim"))
+                .and_then(Json::as_str),
+            Some("u0/h1")
+        );
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .collect();
+        assert_eq!(begins.len(), 1, "open span exported as B event");
+    }
+
+    #[test]
+    fn chrome_trace_is_byte_stable() {
+        let mut t = SpanTracer::new();
+        let a = t.start(SimTime::from_millis(0), "zeta", "op", None);
+        t.end(SimTime::from_millis(1), a);
+        let b = t.start(SimTime::from_millis(2), "alpha", "op", None);
+        t.end(SimTime::from_millis(3), b);
+        let one = chrome_trace(&t).to_string();
+        let two = chrome_trace(&t.clone()).to_string();
+        assert_eq!(one, two);
+        // alpha gets tid 1 (sorted), despite starting later.
+        assert!(one.find("alpha").unwrap() < one.find("zeta").unwrap());
+    }
+}

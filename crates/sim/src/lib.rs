@@ -26,9 +26,11 @@
 //! - [`engine`]: the event queue and [`Sim`] handle.
 //! - [`rng`]: seeded, forkable randomness ([`SimRng`], [`Zipf`]).
 //! - [`metrics`]: counters, histograms, throughput accounting.
-//! - [`obs`]: the unified [`MetricsRegistry`] every component reports into.
+//! - [`obs`]: the unified [`MetricsRegistry`] every component reports into,
+//!   and [`obs::timeseries`] — the [`Scraper`] sampling it over sim time.
 //! - [`span`]: causal span tracing ([`SpanTracer`]) for decomposition and
 //!   causality queries.
+//! - [`export`]: Prometheus exposition text and Chrome trace-event JSON.
 //! - [`trace`]: structured in-memory tracing.
 //! - [`json`]: dependency-free stable JSON export ([`Json`]).
 
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod obs;
@@ -47,6 +50,7 @@ pub mod trace;
 pub use engine::{EventId, Sim, TimerId};
 pub use json::Json;
 pub use metrics::{Counter, Histogram, Throughput, ThroughputRate};
+pub use obs::timeseries::{Scraper, ScraperConfig, TimeSeries};
 pub use obs::MetricsRegistry;
 pub use rng::{SimRng, Zipf};
 pub use span::{Span, SpanId, SpanTracer};

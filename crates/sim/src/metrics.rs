@@ -61,13 +61,21 @@ const SUB_BUCKETS: u64 = 64; // buckets per octave => <=1.6% quantization
 /// assert_eq!(h.max(), Some(400));
 /// assert!((h.mean().unwrap() - 250.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<(u64, u64)>, // (bucket index, count), sorted by index
     count: u64,
     sum: u128,
     min: u64,
     max: u64,
+}
+
+// Not derived: `min` starts at `u64::MAX` (sentinel for "no samples"), and
+// a derived all-zeros Default would pin every histogram's observed min to 0.
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Histogram {
@@ -161,6 +169,20 @@ impl Histogram {
     /// Exact mean of all samples, if any.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Iterates occupied buckets as `(low, high, count)` with inclusive
+    /// value bounds, ascending. Exporters use this for cumulative bucket
+    /// output without re-deriving the bucket geometry.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|&(idx, c)| (Self::bucket_low(idx), Self::bucket_high(idx), c))
     }
 
     /// Approximate `q`-quantile (`0.0..=1.0`), if any samples exist.

@@ -23,6 +23,9 @@ use std::time::Duration;
 use crate::json::Json;
 use crate::metrics::Histogram;
 
+#[path = "timeseries.rs"]
+pub mod timeseries;
+
 /// A registry of named counters, gauges and histograms.
 ///
 /// # Examples

@@ -349,6 +349,7 @@ impl UsbHost {
         if removed.is_empty() {
             return;
         }
+        sim.count(&self.name(), "usb.detaches", removed.len() as u64);
         let delay = self.inner.borrow().profile.disconnect_detect;
         let this = self.clone();
         sim.schedule_in(delay, move |sim| {
@@ -650,6 +651,11 @@ mod tests {
         assert_eq!(h.device_count(), 0, "subtree gone immediately");
         sim.run();
         assert_eq!(detached.borrow().len(), 3, "all three notified");
+        assert_eq!(
+            sim.metrics_snapshot().counter(&h.name(), "usb.detaches"),
+            3,
+            "detach storms are countable per host"
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! - The allocator never hands out overlapping extents.
 //! - Paxos acceptors never decide two different values.
 //! - The znode store is a deterministic state machine.
+//! - `MetricsRegistry::diff`/`merge` round-trip on counters.
+//! - The Prometheus exporter is byte-stable under insertion order.
 //!
 //! Each property runs a fixed number of seeded cases; on failure the case
 //! seed is in the panic message so the exact input can be replayed.
@@ -16,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use ustore::{Allocator, UnitId};
 use ustore_consensus::{AcceptReply, Acceptor, Ballot, Command, PrepareReply, ZnodeStore};
 use ustore_fabric::{DiskId, FabricState, HostId, Topology};
-use ustore_sim::{Histogram, SimRng};
+use ustore_sim::{export, Histogram, MetricsRegistry, SimRng};
 
 const CASES: u64 = 64;
 
@@ -274,6 +276,96 @@ fn znode_store_is_deterministic() {
         let ka: Vec<&str> = sa.children("/").collect();
         let kb: Vec<&str> = sb.children("/").collect();
         assert_eq!(ka, kb, "case {case}");
+    }
+}
+
+/// Counter telemetry deltas lose nothing: applying `diff(after, before)`
+/// back onto `before` reconstructs `after` exactly, for any monotone
+/// counter growth.
+#[test]
+fn metrics_diff_merge_round_trips_counters() {
+    const COMPONENTS: [&str; 3] = ["disk0", "host1", "master-0"];
+    const NAMES: [&str; 3] = ["io.reads", "io.writes", "rpc.calls"];
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xD1FF + case);
+        let mut before = MetricsRegistry::new();
+        let n = rng.usize_below(20);
+        for _ in 0..n {
+            let c = COMPONENTS[rng.usize_below(3)];
+            let m = NAMES[rng.usize_below(3)];
+            before.counter_add(c, m, rng.u64_below(1000));
+        }
+        // Counters only grow; `after` extends `before`.
+        let mut after = before.snapshot();
+        let grow = rng.usize_below(20);
+        for _ in 0..grow {
+            let c = COMPONENTS[rng.usize_below(3)];
+            let m = NAMES[rng.usize_below(3)];
+            after.counter_add(c, m, rng.u64_below(1000));
+        }
+        let mut rebuilt = before.snapshot();
+        rebuilt.merge(&after.diff(&before));
+        let want: Vec<(String, String, u64)> = after
+            .counters()
+            .map(|(c, n, v)| (c.to_owned(), n.to_owned(), v))
+            .collect();
+        let got: Vec<(String, String, u64)> = rebuilt
+            .counters()
+            .map(|(c, n, v)| (c.to_owned(), n.to_owned(), v))
+            .collect();
+        assert_eq!(want, got, "case {case}: merge(diff(a,b), b) != a");
+    }
+}
+
+/// The Prometheus exporter is a pure function of registry *content*:
+/// recording the same data in any order yields byte-identical exposition
+/// text, and exporting twice never differs.
+#[test]
+fn prometheus_export_is_byte_stable() {
+    const COMPONENTS: [&str; 3] = ["disk0", "disk1", "net"];
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x9B0F + case);
+        // A random batch of operations...
+        let n = 1 + rng.usize_below(40);
+        let ops: Vec<(u8, usize, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.u64_below(3) as u8,
+                    rng.usize_below(3),
+                    rng.u64_below(1_000_000),
+                )
+            })
+            .collect();
+        let apply = |m: &mut MetricsRegistry, (op, c, v): (u8, usize, u64)| {
+            let c = COMPONENTS[c];
+            match op {
+                0 => m.counter_add(c, "ops.count", v),
+                1 => m.gauge_set(c, "ops.gauge", v as f64),
+                _ => m.observe(c, "ops.latency_ns", v),
+            }
+        };
+        let mut fwd = MetricsRegistry::new();
+        for op in &ops {
+            apply(&mut fwd, *op);
+        }
+        // ...replayed in reverse order. Counters sum and histograms are
+        // order-free; replay gauges forward so the last write wins in
+        // both registries.
+        let mut rev = MetricsRegistry::new();
+        for op in ops.iter().rev().filter(|(op, _, _)| *op != 1) {
+            apply(&mut rev, *op);
+        }
+        for op in ops.iter().filter(|(op, _, _)| *op == 1) {
+            apply(&mut rev, *op);
+        }
+        let a = export::prometheus(&fwd);
+        let b = export::prometheus(&rev);
+        assert_eq!(a, b, "case {case}: insertion order leaked into export");
+        assert_eq!(
+            a,
+            export::prometheus(&fwd),
+            "case {case}: repeated export differs"
+        );
     }
 }
 
