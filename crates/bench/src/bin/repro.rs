@@ -1,16 +1,30 @@
 //! Regenerates every table and figure of the UStore paper.
 //!
 //! ```text
-//! repro [experiment ...] [--seed N] [--repeats N] [--json]
+//! repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--json]
 //!       [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]
+//! repro perf [--quick] [--seed N] [--bench-out FILE] [--json]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
-//! failover degraded hdfs rolling ablation all` (default: `all`). Output
-//! shows paper value vs measured value with the relative error; `--json`
-//! emits the same data machine-readably, plus a `telemetry` object (keyed
-//! by experiment) carrying the metrics snapshot and span tree of each
-//! traced run.
+//! failover degraded hdfs rolling ablation podscale all` (default: `all`;
+//! `podscale` — the 1024-disk pod — is not part of `all` because of its
+//! runtime). Output shows paper value vs measured value with the relative
+//! error; `--json` emits the same data machine-readably, plus a
+//! `telemetry` object (keyed by experiment) carrying the metrics snapshot
+//! and span tree of each traced run.
+//!
+//! Each experiment builds its own independent simulator, so the selected
+//! experiments run on a thread pool (`--jobs`, default: available
+//! parallelism). Results are joined in selection order, making the text
+//! and `--json` output byte-identical to a serial run.
+//!
+//! The `perf` subcommand is the wall-clock engine benchmark: it measures
+//! events/sec, peak live queue depth and allocations/event (via a counting
+//! global allocator) on the `degraded` scenario and on the pod-scale
+//! deployment, runs the pod twice to verify telemetry determinism, and
+//! writes `BENCH_podscale.json` (override with `--bench-out`). It always
+//! runs alone, serially, so wall-clock numbers are undisturbed.
 //!
 //! The artifact flags write standard-format telemetry exports of the last
 //! traced experiment that ran (`degraded` wins over `failover` in the
@@ -23,16 +37,110 @@
 //! - `--ts-out`: CSV (`component,series,t_s,value`) of the scraped time
 //!   series.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use ustore_bench::{
-    ablation, degraded, failover, fig5, fig6, hdfs, power, table2, Report, TelemetryArtifacts,
+    ablation, degraded, failover, fig5, fig6, hdfs, perf, podscale, power, table2, Report,
+    TelemetryArtifacts,
 };
 use ustore_sim::Json;
+
+/// Counts heap allocations so `repro perf` can report allocations/event.
+/// Counting two relaxed atomics per alloc is noise next to the allocation
+/// itself and does not disturb the measured scenarios.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const EXPERIMENTS: [&str; 15] = [
+    "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
+    "degraded", "hdfs", "rolling", "ablation", "podscale", "perf",
+];
+
+/// Everything one experiment contributes to the final output.
+struct PickOutput {
+    reports: Vec<Report>,
+    telemetry: Option<(&'static str, Json)>,
+    artifacts: Option<TelemetryArtifacts>,
+}
+
+fn run_pick(pick: &str, seed: u64, repeats: u64) -> PickOutput {
+    let mut out = PickOutput {
+        reports: Vec::new(),
+        telemetry: None,
+        artifacts: None,
+    };
+    match pick {
+        "table1" => out.reports.push(power::table1()),
+        "table2" => out.reports.extend(table2::table2(seed)),
+        "table3" => out.reports.push(power::table3(seed)),
+        "table4" => out.reports.push(power::table4()),
+        "table5" => out.reports.push(power::table5()),
+        "fig5" => out.reports.extend(fig5::fig5(seed)),
+        "duplex" => out.reports.push(fig5::duplex(seed)),
+        "fig6" => out.reports.push(fig6::fig6(seed, repeats)),
+        "failover" => {
+            let (rep, tele, arts) = failover::failover_report_traced(seed);
+            out.reports.push(rep);
+            out.telemetry = Some(("failover", tele));
+            out.artifacts = Some(arts);
+        }
+        "degraded" => {
+            let (rep, tele, arts) = degraded::degraded_report_traced(seed);
+            out.reports.push(rep);
+            out.telemetry = Some(("degraded", tele));
+            out.artifacts = Some(arts);
+        }
+        "hdfs" => out.reports.push(hdfs::hdfs_report(seed)),
+        "rolling" => out.reports.push(power::rolling_spin_up_ablation(seed)),
+        "ablation" => {
+            out.reports.push(ablation::topology_ablation());
+            out.reports.push(ablation::heartbeat_sweep(seed));
+            out.reports.push(ablation::allocation_ablation(seed));
+        }
+        "podscale" => {
+            let run = podscale::run_podscale(seed, &podscale::PodConfig::pod());
+            out.telemetry = Some(("podscale", run.telemetry.clone()));
+            out.reports.push(run.report);
+        }
+        other => unreachable!("picks validated before dispatch: {other:?}"),
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 20150707;
     let mut repeats: u64 = 6;
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, usize::from);
     let mut json = false;
+    let mut quick = false;
+    let mut bench_out = String::from("BENCH_podscale.json");
     let mut prom_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut ts_out: Option<String> = None;
@@ -52,7 +160,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--repeats needs a number"));
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .unwrap_or_else(|| usage("--jobs needs a positive number"));
+            }
             "--json" => json = true,
+            "--quick" => quick = true,
+            "--bench-out" => {
+                bench_out = it
+                    .next()
+                    .unwrap_or_else(|| usage("--bench-out needs a path"));
+            }
             "--prom-out" => {
                 prom_out = Some(
                     it.next()
@@ -74,48 +195,55 @@ fn main() {
             other => picks.push(other.to_owned()),
         }
     }
-    if picks.is_empty() || picks.iter().any(|p| p == "all") {
-        picks = [
-            "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
-            "degraded", "hdfs", "rolling", "ablation",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
+    if picks.iter().any(|p| p == "perf") {
+        if picks.len() > 1 {
+            usage("perf runs alone (wall-clock numbers must not share the machine)");
+        }
+        run_perf_command(seed, quick, &bench_out, json);
+        return;
     }
+    if picks.is_empty() || picks.iter().any(|p| p == "all") {
+        picks = EXPERIMENTS
+            .iter()
+            .filter(|e| !matches!(**e, "podscale" | "perf"))
+            .map(|s| (*s).to_owned())
+            .collect();
+    }
+    for p in &picks {
+        if !EXPERIMENTS.contains(&p.as_str()) {
+            usage(&format!("unknown experiment {p:?}"));
+        }
+    }
+
+    // Every experiment owns an independent simulator, so they run on a
+    // thread pool and join in selection order — output is byte-identical
+    // to a serial run.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PickOutput>>> = picks.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(picks.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(pick) = picks.get(i) else { break };
+                let out = run_pick(pick, seed, repeats);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+
     let mut reports: Vec<Report> = Vec::new();
     let mut telemetry: Vec<(&'static str, Json)> = Vec::new();
     let mut artifacts: Option<TelemetryArtifacts> = None;
-    for pick in &picks {
-        match pick.as_str() {
-            "table1" => reports.push(power::table1()),
-            "table2" => reports.extend(table2::table2(seed)),
-            "table3" => reports.push(power::table3(seed)),
-            "table4" => reports.push(power::table4()),
-            "table5" => reports.push(power::table5()),
-            "fig5" => reports.extend(fig5::fig5(seed)),
-            "duplex" => reports.push(fig5::duplex(seed)),
-            "fig6" => reports.push(fig6::fig6(seed, repeats)),
-            "failover" => {
-                let (rep, tele, arts) = failover::failover_report_traced(seed);
-                reports.push(rep);
-                telemetry.push(("failover", tele));
-                artifacts = Some(arts);
-            }
-            "degraded" => {
-                let (rep, tele, arts) = degraded::degraded_report_traced(seed);
-                reports.push(rep);
-                telemetry.push(("degraded", tele));
-                artifacts = Some(arts);
-            }
-            "hdfs" => reports.push(hdfs::hdfs_report(seed)),
-            "rolling" => reports.push(power::rolling_spin_up_ablation(seed)),
-            "ablation" => {
-                reports.push(ablation::topology_ablation());
-                reports.push(ablation::heartbeat_sweep(seed));
-                reports.push(ablation::allocation_ablation(seed));
-            }
-            other => usage(&format!("unknown experiment {other:?}")),
+    for slot in slots {
+        let out = slot
+            .into_inner()
+            .expect("result slot")
+            .expect("worker completed every pick");
+        reports.extend(out.reports);
+        telemetry.extend(out.telemetry);
+        if let Some(arts) = out.artifacts {
+            artifacts = Some(arts);
         }
     }
     let wants_artifacts = prom_out.is_some() || trace_out.is_some() || ts_out.is_some();
@@ -161,14 +289,43 @@ fn main() {
     }
 }
 
+fn run_perf_command(seed: u64, quick: bool, bench_out: &str, json: bool) {
+    let report = perf::run_perf(&perf::PerfOptions {
+        seed,
+        quick,
+        alloc_counter: Some(alloc_count),
+    });
+    let doc = report.to_bench_json();
+    if let Err(e) = std::fs::write(bench_out, format!("{}\n", doc.pretty())) {
+        eprintln!("error: writing bench report to {bench_out}: {e}");
+        std::process::exit(1);
+    }
+    if json {
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "UStore engine perf (seed {seed}, {} mode)\n",
+            if quick { "quick" } else { "full" }
+        );
+        println!("{}", report.to_report());
+        println!("bench report written to {bench_out}");
+    }
+    if !report.deterministic {
+        eprintln!("error: two same-seed podscale runs diverged — engine is non-deterministic");
+        std::process::exit(1);
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [experiment ...] [--seed N] [--repeats N] [--json]\n\
+        "usage: repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--json]\n\
          \x20            [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]\n\
-         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation all"
+         \x20      repro perf [--quick] [--seed N] [--bench-out FILE] [--json]\n\
+         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale all\n\
+         (podscale — 256 hosts / 1024 disks — is not part of `all`; run it explicitly or via `perf`)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -75,6 +75,10 @@ pub struct DegradedRun {
     pub telemetry: Json,
     /// Prometheus / Chrome-trace / CSV exports of the run.
     pub artifacts: TelemetryArtifacts,
+    /// Engine events processed over the whole run (perf harness input).
+    pub events_processed: u64,
+    /// Peak live event-queue depth over the run.
+    pub peak_queue_depth: f64,
 }
 
 /// Runs the degraded-disk scenario once.
@@ -196,7 +200,7 @@ pub fn run_degraded_traced(seed: u64) -> DegradedRun {
             .last()
             .expect("degradation root span")
             .id;
-        let child = |n: &str| t.children(root).find(|c| c.name == n).cloned();
+        let child = |n: &str| t.children(root).find(|c| &*c.name == n).cloned();
         (
             child("degradation.detection"),
             child("degradation.reconfiguration"),
@@ -260,10 +264,17 @@ pub fn run_degraded_traced(seed: u64) -> DegradedRun {
         ("spans", s.sim.with_spans(|t| t.to_json())),
     ]);
     let artifacts = TelemetryArtifacts::capture(&s.sim, &scraper);
+    let peak_queue_depth = s
+        .sim
+        .metrics_snapshot()
+        .gauge("sim", "queue_depth_max")
+        .unwrap_or(0.0);
     DegradedRun {
         timing,
         telemetry,
         artifacts,
+        events_processed: s.sim.events_processed(),
+        peak_queue_depth,
     }
 }
 

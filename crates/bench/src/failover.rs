@@ -141,7 +141,7 @@ pub fn run_failover_traced(seed: u64, victim_index: u32) -> FailoverRun {
             .last()
             .expect("failover root span")
             .id;
-        let child = |n: &str| t.children(root).find(|c| c.name == n).cloned();
+        let child = |n: &str| t.children(root).find(|c| &*c.name == n).cloned();
         (
             child("failover.detection"),
             child("failover.reconfiguration"),

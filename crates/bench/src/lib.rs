@@ -25,6 +25,8 @@ pub mod failover;
 pub mod fig5;
 pub mod fig6;
 pub mod hdfs;
+pub mod perf;
+pub mod podscale;
 pub mod power;
 pub mod report;
 pub mod table2;

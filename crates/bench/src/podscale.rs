@@ -1,0 +1,354 @@
+//! Pod-scale deployment experiment: many deploy units under one Master.
+//!
+//! The paper's prototype (§V-B) is a single 16-disk deploy unit. A data
+//! center pod is two orders of magnitude bigger: the automated fat-tree
+//! design literature (Solnushkin, arXiv:1301.6179) and reallocation-free
+//! cold-storage distribution (Ishikawa, arXiv:1707.00904) both assume
+//! hundreds of hosts and a thousand-plus devices. This module composes
+//! `N` copies of the paper's deploy unit into one two-layer pod — every
+//! unit keeps its own upper-switched USB fabric (layer one), all units
+//! hang off the shared Master/coordination control plane and data-center
+//! network (layer two) — and drives a mixed archival workload through the
+//! full Master → EndPoint → ClientLib path.
+//!
+//! Besides proving the system composes, the experiment is the simulator's
+//! scale yardstick: [`run_podscale`] reports wall-clock engine statistics
+//! (events processed, peak live queue depth) and a telemetry digest that
+//! must be bit-for-bit identical across same-seed runs. The `repro perf`
+//! subcommand runs it twice and records both in `BENCH_podscale.json`.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use ustore::{Mounted, SpaceInfo, SystemConfig, UStoreSystem, WatchdogConfig};
+use ustore_net::BlockDevice;
+use ustore_sim::{Json, ScraperConfig, TraceLevel};
+
+use crate::report::{Report, Row};
+
+/// Shape and workload of one pod-scale run.
+#[derive(Debug, Clone)]
+pub struct PodConfig {
+    /// Deploy units composed into the pod.
+    pub units: u32,
+    /// Hosts per deploy unit (the paper's unit has 4).
+    pub hosts_per_unit: u32,
+    /// Disks per deploy unit (the paper's unit has 16).
+    pub disks_per_unit: u32,
+    /// USB hub fan-in inside each unit.
+    pub fanin: usize,
+    /// Concurrent archival clients.
+    pub clients: u32,
+    /// Measured workload window (virtual time) after bring-up.
+    pub run: Duration,
+    /// Per-client archival write cadence.
+    pub write_interval: Duration,
+    /// Per-client restore read cadence.
+    pub read_interval: Duration,
+    /// Telemetry scrape cadence (scraper + Master watchdog are installed,
+    /// as they would be in production).
+    pub scrape_interval: Duration,
+}
+
+impl PodConfig {
+    /// The full pod: 64 units of the paper's 4-host/16-disk deploy unit —
+    /// 256 hosts and 1024 disks under one Master.
+    pub fn pod() -> PodConfig {
+        PodConfig {
+            units: 64,
+            hosts_per_unit: 4,
+            disks_per_unit: 16,
+            fanin: 4,
+            clients: 32,
+            run: Duration::from_secs(20),
+            write_interval: Duration::from_millis(200),
+            read_interval: Duration::from_millis(500),
+            scrape_interval: Duration::from_millis(500),
+        }
+    }
+
+    /// Same 1024-disk pod with a shorter workload window and fewer
+    /// clients — the CI smoke shape.
+    pub fn quick() -> PodConfig {
+        PodConfig {
+            clients: 8,
+            run: Duration::from_secs(8),
+            ..PodConfig::pod()
+        }
+    }
+
+    /// A small pod for unit tests (still multi-unit, still the full
+    /// control plane).
+    pub fn tiny() -> PodConfig {
+        PodConfig {
+            units: 4,
+            clients: 4,
+            run: Duration::from_secs(5),
+            ..PodConfig::pod()
+        }
+    }
+
+    /// Total hosts in the pod.
+    pub fn hosts(&self) -> u32 {
+        self.units * self.hosts_per_unit
+    }
+
+    /// Total disks in the pod.
+    pub fn disks(&self) -> u32 {
+        self.units * self.disks_per_unit
+    }
+}
+
+/// Outcome of one pod-scale run.
+#[derive(Debug, Clone)]
+pub struct PodscaleRun {
+    /// Human-readable summary rows.
+    pub report: Report,
+    /// FNV-1a digest over the full telemetry export (metrics snapshot
+    /// JSON + span log JSON + scraped time-series CSV). Two same-seed
+    /// runs must produce the same digest.
+    pub digest: u64,
+    /// Events the engine processed over the whole run.
+    pub events: u64,
+    /// Virtual seconds the run simulated (bring-up + workload).
+    pub sim_seconds: f64,
+    /// Peak live event-queue depth.
+    pub peak_queue_depth: f64,
+    /// Completed archival writes.
+    pub writes_ok: u64,
+    /// Completed restore reads.
+    pub reads_ok: u64,
+    /// Failed IOs (should be zero in a healthy pod).
+    pub io_errors: u64,
+    /// Machine-readable summary (`{"experiment","seed","hosts",...}`).
+    pub telemetry: Json,
+}
+
+/// FNV-1a 64-bit digest, the dependency-free way to fingerprint exports.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the pod-scale experiment once.
+///
+/// # Panics
+///
+/// Panics if bring-up fails (no active master, allocations not served) —
+/// a pod that cannot bring up is a broken system, not a measurement.
+pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
+    let system = UStoreSystem::build(
+        ustore_sim::Sim::new(seed),
+        SystemConfig {
+            units: cfg.units,
+            hosts: cfg.hosts_per_unit,
+            disks: cfg.disks_per_unit,
+            fanin: cfg.fanin,
+            ..SystemConfig::default()
+        },
+    );
+    // Pod-scale runs are about engine throughput; keep the trace buffer to
+    // warnings so it measures the system, not the logger.
+    system.sim.with_trace(|t| t.set_min_level(TraceLevel::Warn));
+    system.settle();
+    assert!(
+        system.active_master().is_some(),
+        "pod bring-up must elect a master"
+    );
+
+    // Production telemetry: scraper + Master-side watchdog over every disk.
+    let scraper = system.start_telemetry(ScraperConfig {
+        interval: cfg.scrape_interval,
+        retention: 1024,
+    });
+    let _dog = system
+        .install_watchdog(&scraper, WatchdogConfig::default())
+        .expect("watchdog installs once a master is active");
+
+    // Allocate one space per client, spread across distinct services so
+    // the allocator fans out over units instead of packing one disk.
+    let mut mounts: Vec<(Mounted, u32)> = Vec::new();
+    let infos: Rc<RefCell<Vec<Option<SpaceInfo>>>> =
+        Rc::new(RefCell::new(vec![None; cfg.clients as usize]));
+    let clients: Vec<_> = (0..cfg.clients)
+        .map(|c| system.client(&format!("archive-{c}")))
+        .collect();
+    for (c, client) in clients.iter().enumerate() {
+        let infos = infos.clone();
+        client.allocate(
+            &system.sim,
+            format!("archive-svc-{c}"),
+            1 << 30,
+            move |_, r| {
+                infos.borrow_mut()[c] = Some(r.expect("pod allocate"));
+            },
+        );
+    }
+    system
+        .sim
+        .run_until(system.sim.now() + Duration::from_secs(10));
+    let mounted: Rc<RefCell<Vec<Option<Mounted>>>> =
+        Rc::new(RefCell::new(vec![None; cfg.clients as usize]));
+    for (c, client) in clients.iter().enumerate() {
+        let info = infos.borrow()[c].clone().expect("pod allocation served");
+        let mounted = mounted.clone();
+        client.mount(&system.sim, info.name, move |_, r| {
+            mounted.borrow_mut()[c] = Some(r.expect("pod mount"));
+        });
+    }
+    system
+        .sim
+        .run_until(system.sim.now() + Duration::from_secs(15));
+    for (c, m) in mounted.borrow().iter().enumerate() {
+        mounts.push((m.clone().expect("pod mount served"), c as u32));
+    }
+
+    // Mixed archival workload: steady sequential ingest writes plus
+    // scattered restore reads, per client, for the measured window.
+    let writes_ok = Rc::new(Cell::new(0u64));
+    let reads_ok = Rc::new(Cell::new(0u64));
+    let io_errors = Rc::new(Cell::new(0u64));
+    for (m, c) in &mounts {
+        let stagger = Duration::from_millis(7 * u64::from(*c) % 97);
+        {
+            let m = m.clone();
+            let ok = writes_ok.clone();
+            let err = io_errors.clone();
+            let k = Cell::new(u64::from(*c));
+            system.sim.every(
+                cfg.write_interval + stagger,
+                cfg.write_interval,
+                move |sim| {
+                    let n = k.get();
+                    k.set(n + 1);
+                    let offset = (n * 65536) % ((1 << 30) - 65536);
+                    let ok = ok.clone();
+                    let err = err.clone();
+                    m.write(
+                        sim,
+                        offset,
+                        vec![0xA5; 65536],
+                        Box::new(move |_, r| match r {
+                            Ok(()) => ok.set(ok.get() + 1),
+                            Err(_) => err.set(err.get() + 1),
+                        }),
+                    );
+                },
+            );
+        }
+        {
+            let m = m.clone();
+            let ok = reads_ok.clone();
+            let err = io_errors.clone();
+            let k = Cell::new(u64::from(*c).wrapping_mul(131));
+            system
+                .sim
+                .every(cfg.read_interval + stagger, cfg.read_interval, move |sim| {
+                    let n = k.get();
+                    k.set(n + 1);
+                    let offset = (n.wrapping_mul(7919) % (1 << 14)) * 4096;
+                    let ok = ok.clone();
+                    let err = err.clone();
+                    m.read(
+                        sim,
+                        offset,
+                        4096,
+                        Box::new(move |_, r| match r {
+                            Ok(_) => ok.set(ok.get() + 1),
+                            Err(_) => err.set(err.get() + 1),
+                        }),
+                    );
+                });
+        }
+    }
+    system.sim.run_until(system.sim.now() + cfg.run);
+
+    // Telemetry digest: the full export, fingerprinted. Residency gauges
+    // are published first so the snapshot is complete.
+    for rt in &system.runtimes {
+        rt.publish_residency(&system.sim);
+    }
+    let metrics_json = system.sim.metrics_snapshot().to_json().to_string();
+    let spans_json = system.sim.with_spans(|t| t.to_json()).to_string();
+    let csv = scraper.to_csv();
+    let mut digest = fnv1a(metrics_json.as_bytes());
+    digest ^= fnv1a(spans_json.as_bytes()).rotate_left(1);
+    digest ^= fnv1a(csv.as_bytes()).rotate_left(2);
+
+    let snapshot = system.sim.metrics_snapshot();
+    let peak_queue_depth = snapshot.gauge("sim", "queue_depth_max").unwrap_or(0.0);
+    let events = system.sim.events_processed();
+    let telemetry = Json::obj([
+        ("experiment", Json::str("podscale")),
+        ("seed", Json::u64(seed)),
+        ("units", Json::u64(u64::from(cfg.units))),
+        ("hosts", Json::u64(u64::from(cfg.hosts()))),
+        ("disks", Json::u64(u64::from(cfg.disks()))),
+        ("clients", Json::u64(u64::from(cfg.clients))),
+        ("sim_seconds", Json::f64(system.sim.now().as_secs_f64())),
+        ("events", Json::u64(events)),
+        ("peak_queue_depth", Json::f64(peak_queue_depth)),
+        ("writes_ok", Json::u64(writes_ok.get())),
+        ("reads_ok", Json::u64(reads_ok.get())),
+        ("io_errors", Json::u64(io_errors.get())),
+        ("telemetry_digest", Json::str(format!("{digest:016x}"))),
+    ]);
+    let report = Report::new(
+        format!(
+            "podscale — {} units, {} hosts, {} disks",
+            cfg.units,
+            cfg.hosts(),
+            cfg.disks()
+        ),
+        vec![
+            Row::measured_only("hosts", f64::from(cfg.hosts()), ""),
+            Row::measured_only("disks", f64::from(cfg.disks()), ""),
+            Row::measured_only("events processed", events as f64, ""),
+            Row::measured_only("peak live queue depth", peak_queue_depth, ""),
+            Row::measured_only("archival writes", writes_ok.get() as f64, ""),
+            Row::measured_only("restore reads", reads_ok.get() as f64, ""),
+            Row::measured_only("io errors", io_errors.get() as f64, ""),
+        ],
+    );
+    PodscaleRun {
+        report,
+        digest,
+        events,
+        sim_seconds: system.sim.now().as_secs_f64(),
+        peak_queue_depth,
+        writes_ok: writes_ok.get(),
+        reads_ok: reads_ok.get(),
+        io_errors: io_errors.get(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pod_brings_up_and_serves_io() {
+        let run = run_podscale(901, &PodConfig::tiny());
+        assert!(run.writes_ok > 0, "archival writes completed");
+        assert!(run.reads_ok > 0, "restore reads completed");
+        assert_eq!(run.io_errors, 0, "healthy pod serves all IO");
+        assert!(run.events > 10_000, "pod generates real event volume");
+    }
+
+    #[test]
+    fn same_seed_runs_share_a_digest() {
+        let cfg = PodConfig::tiny();
+        let a = run_podscale(902, &cfg);
+        let b = run_podscale(902, &cfg);
+        assert_eq!(a.digest, b.digest, "telemetry digest is deterministic");
+        assert_eq!(a.events, b.events);
+        let c = run_podscale(903, &cfg);
+        assert_ne!(a.digest, c.digest, "different seed, different telemetry");
+    }
+}

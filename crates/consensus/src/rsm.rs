@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use ustore_net::{Addr, Network, Responder, RpcNode};
-use ustore_sim::{Sim, SimTime, TraceLevel};
+use ustore_sim::{CounterHandle, Sim, SimTime, TraceLevel};
 
 use crate::paxos::{AcceptReply, Acceptor, Ballot, PrepareReply, Proposer};
 use crate::store::{Applied, Command, SessionId, StoreError, WatchEvent, ZnodeStore};
@@ -213,10 +213,21 @@ impl S {
     }
 }
 
+/// Per-replica consensus counters, resolved once at construction so the
+/// proposal hot path never formats the `coord-{id}` label.
+#[derive(Debug, Clone)]
+struct CoordMetrics {
+    elections: CounterHandle,
+    leader_changes: CounterHandle,
+    redirects: CounterHandle,
+    proposals: CounterHandle,
+}
+
 /// One replica of the coordination service.
 #[derive(Clone)]
 pub struct CoordServer {
     rpc: RpcNode,
+    metrics: CoordMetrics,
     inner: Rc<RefCell<S>>,
 }
 
@@ -249,8 +260,16 @@ impl CoordServer {
     pub fn new(sim: &Sim, net: &Network, id: u32, peers: Vec<Addr>, config: CoordConfig) -> Self {
         assert!((id as usize) < peers.len(), "server id out of range");
         let rpc = RpcNode::new(net, peers[id as usize].clone());
+        let label = format!("coord-{id}");
+        let metrics = CoordMetrics {
+            elections: sim.counter(&label, "consensus.elections"),
+            leader_changes: sim.counter(&label, "consensus.leader_changes"),
+            redirects: sim.counter(&label, "consensus.redirects"),
+            proposals: sim.counter(&label, "consensus.proposals"),
+        };
         let server = CoordServer {
             rpc,
+            metrics,
             inner: Rc::new(RefCell::new(S {
                 id,
                 peers,
@@ -426,7 +445,7 @@ impl CoordServer {
             };
             (ballot, s.applied, s.peers.clone(), s.id)
         };
-        sim.count(&format!("coord-{me}"), "consensus.elections", 1);
+        self.metrics.elections.inc();
         sim.trace(
             TraceLevel::Info,
             "coord",
@@ -534,11 +553,7 @@ impl CoordServer {
             s.peer_have.clear();
             todo
         };
-        sim.count(
-            &format!("coord-{}", self.id()),
-            "consensus.leader_changes",
-            1,
-        );
+        self.metrics.leader_changes.inc();
         sim.trace(
             TraceLevel::Info,
             "coord",
@@ -623,7 +638,7 @@ impl CoordServer {
             let mut s = self.inner.borrow_mut();
             if !matches!(s.role, Role::Leader) {
                 drop(s);
-                sim.count(&format!("coord-{}", self.id()), "consensus.redirects", 1);
+                self.metrics.redirects.inc();
                 if let Some(r) = responder {
                     let hint = self.leader_hint();
                     r.reply(sim, Rc::new(ClientResp::Redirect(hint)), 16);
@@ -634,7 +649,7 @@ impl CoordServer {
             s.next_slot += 1;
             (s.ballot, slot)
         };
-        sim.count(&format!("coord-{}", self.id()), "consensus.proposals", 1);
+        self.metrics.proposals.inc();
         if let Some(r) = responder {
             self.inner.borrow_mut().pending.insert(slot, r);
         }

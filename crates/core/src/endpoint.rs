@@ -16,7 +16,7 @@ use std::time::Duration;
 use ustore_disk::PowerStateKind;
 use ustore_fabric::{DiskId, FabricIoError, FabricRuntime, HostId};
 use ustore_net::{Addr, BlockDevice, BlockError, IscsiServer, ReadCb, RpcNode, WriteCb};
-use ustore_sim::{Sim, SimTime, TraceLevel};
+use ustore_sim::{CounterHandle, Sim, SimTime, TraceLevel};
 use ustore_usb::{DeviceKind, DeviceState, UsbEvent};
 
 use crate::ids::{SpaceName, UnitId};
@@ -74,6 +74,13 @@ struct Ep {
     idle_threshold: HashMap<DiskId, Duration>,
     seq: u64,
     paused: bool,
+    /// Ready-disk list for heartbeats, cached against the USB tree's
+    /// topology generation — rebuilding it means snapshotting and sorting
+    /// the whole tree, which the steady state never needs.
+    ready_cache: (u64, Rc<Vec<DiskId>>),
+    /// Lazily-resolved heartbeat counter handle (avoids re-rendering the
+    /// address label and re-hashing the metric name every beat).
+    hb_counter: Option<CounterHandle>,
 }
 
 /// One EndPoint process. Shares its host's [`RpcNode`] (serving `ep.*`
@@ -124,6 +131,8 @@ impl Endpoint {
                 idle_threshold: HashMap::new(),
                 seq: 0,
                 paused: false,
+                ready_cache: (u64::MAX, Rc::new(Vec::new())),
+                hb_counter: None,
             })),
         };
         ep.install_handlers();
@@ -366,25 +375,37 @@ impl Endpoint {
             let mut ep = self.inner.borrow_mut();
             ep.seq += 1;
             let host = ep.host;
-            let ready: Vec<DiskId> = self
-                .runtime
-                .usb_host(host)
-                .snapshot()
-                .into_iter()
-                .filter(|n| n.kind == DeviceKind::Storage && n.state == DeviceState::Ready)
-                .map(|n| DiskId(n.id.0))
-                .collect();
+            let usb = self.runtime.usb_host(host);
+            let gen = usb.topology_gen();
+            if ep.ready_cache.0 != gen {
+                let ready: Vec<DiskId> = usb
+                    .snapshot()
+                    .into_iter()
+                    .filter(|n| n.kind == DeviceKind::Storage && n.state == DeviceState::Ready)
+                    .map(|n| DiskId(n.id.0))
+                    .collect();
+                ep.ready_cache = (gen, Rc::new(ready));
+            }
             let hb = Heartbeat {
                 unit: ep.unit,
                 host,
                 addr: self.rpc.addr().clone(),
-                ready_disks: ready,
+                ready_disks: ep.ready_cache.1.as_ref().clone(),
                 seq: ep.seq,
             };
             let target = ep.masters[ep.master_hint].clone();
             (hb, target, ep.config.rpc_timeout)
         };
-        sim.count(&self.addr().to_string(), "endpoint.heartbeats_sent", 1);
+        {
+            let mut ep = self.inner.borrow_mut();
+            if ep.hb_counter.is_none() {
+                ep.hb_counter = Some(sim.counter(self.addr().as_str(), "endpoint.heartbeats_sent"));
+            }
+            ep.hb_counter
+                .as_ref()
+                .expect("hb counter initialized")
+                .inc();
+        }
         let this = self.clone();
         self.rpc.call::<HeartbeatAck>(
             sim,

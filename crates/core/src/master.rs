@@ -14,7 +14,7 @@
 //! hosts' EndPoints re-expose their targets and ClientLibs remount.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
@@ -22,7 +22,7 @@ use std::time::Duration;
 use ustore_consensus::{ClientConfig as CoordClientConfig, CoordClient, CreateMode, Election};
 use ustore_fabric::{DiskId, HostId};
 use ustore_net::{Addr, Network, RpcNode};
-use ustore_sim::{Sim, SimTime, TraceLevel};
+use ustore_sim::{CounterHandle, FastMap, FastSet, Sim, SimTime, TraceLevel};
 
 use crate::alloc::{Allocator, Extent};
 use crate::ids::{SpaceName, UnitId};
@@ -82,19 +82,23 @@ struct M {
     active: bool,
     units: BTreeMap<UnitId, UnitConf>,
     // SysStat — memory only (§IV-A), rebuilt from heartbeats.
-    host_last_hb: HashMap<(UnitId, HostId), SimTime>,
-    host_alive: HashMap<(UnitId, HostId), bool>,
-    host_addr: HashMap<(UnitId, HostId), Addr>,
-    disk_host: HashMap<(UnitId, DiskId), HostId>,
-    disk_last_seen: HashMap<(UnitId, DiskId), SimTime>,
+    host_last_hb: FastMap<(UnitId, HostId), SimTime>,
+    host_alive: FastMap<(UnitId, HostId), bool>,
+    host_addr: FastMap<(UnitId, HostId), Addr>,
+    disk_host: FastMap<(UnitId, DiskId), HostId>,
+    disk_last_seen: FastMap<(UnitId, DiskId), SimTime>,
     failover_in_progress: BTreeSet<(UnitId, HostId)>,
-    disk_recovery_attempted: HashMap<(UnitId, DiskId), SimTime>,
+    disk_recovery_attempted: FastMap<(UnitId, DiskId), SimTime>,
     // StorAlloc — persisted through the coordination service.
     alloc: Allocator,
-    exposures_pushed: HashSet<(SpaceName, HostId)>,
+    exposures_pushed: FastSet<(SpaceName, HostId)>,
     /// Allocations whose metadata write is still in flight; not exposed
     /// until persisted (§IV-A's synchronous-persistence rule).
-    pending_persist: HashSet<SpaceName>,
+    pending_persist: FastSet<SpaceName>,
+    /// Lazily-resolved heartbeat counter handle — the heartbeat path runs
+    /// for every beat from every host, so it must not re-render the
+    /// address label each time.
+    hb_counter: Option<CounterHandle>,
     /// When this process became active (baseline for detecting hosts that
     /// died before ever heartbeating to this master).
     activated_at: Option<SimTime>,
@@ -150,16 +154,17 @@ impl Master {
                 config,
                 active: false,
                 units: units.into_iter().map(|u| (u.unit, u)).collect(),
-                host_last_hb: HashMap::new(),
-                host_alive: HashMap::new(),
-                host_addr: HashMap::new(),
-                disk_host: HashMap::new(),
-                disk_last_seen: HashMap::new(),
+                host_last_hb: FastMap::default(),
+                host_alive: FastMap::default(),
+                host_addr: FastMap::default(),
+                disk_host: FastMap::default(),
+                disk_last_seen: FastMap::default(),
                 failover_in_progress: BTreeSet::new(),
-                disk_recovery_attempted: HashMap::new(),
+                disk_recovery_attempted: FastMap::default(),
                 alloc,
-                exposures_pushed: HashSet::new(),
-                pending_persist: HashSet::new(),
+                exposures_pushed: FastSet::default(),
+                pending_persist: FastSet::default(),
+                hb_counter: None,
                 activated_at: None,
             })),
             election: Rc::new(RefCell::new(None)),
@@ -393,7 +398,13 @@ impl Master {
             }
             pushes
         };
-        sim.count(&self.rpc.addr().to_string(), "master.heartbeats", 1);
+        {
+            let mut m = self.inner.borrow_mut();
+            if m.hb_counter.is_none() {
+                m.hb_counter = Some(sim.counter(self.rpc.addr().as_str(), "master.heartbeats"));
+            }
+            m.hb_counter.as_ref().expect("hb counter initialized").inc();
+        }
         let timeout = self.inner.borrow().config.rpc_timeout;
         for (addr, req) in pushes {
             self.rpc.call::<EndpointAck>(
@@ -684,7 +695,7 @@ impl Master {
             // Detection ends the moment the host is declared dead.
             match sim.with_spans(|t| {
                 t.children(root)
-                    .filter(|s| s.name == "failover.detection" && s.is_open())
+                    .filter(|s| &*s.name == "failover.detection" && s.is_open())
                     .map(|s| s.id)
                     .next()
             }) {
@@ -994,7 +1005,7 @@ impl Master {
                                 if let Some(rec) = sim.with_spans(|t| {
                                     t.children(root)
                                         .filter(|s| {
-                                            s.name == "failover.reconfiguration" && s.is_open()
+                                            &*s.name == "failover.reconfiguration" && s.is_open()
                                         })
                                         .map(|s| s.id)
                                         .next()

@@ -289,7 +289,7 @@ impl HealthWatchdog {
         let interval_ns = sc.interval().as_nanos() as f64;
         for link in &links {
             for dir in ["usb.link_in_busy_ns", "usb.link_out_busy_ns"] {
-                let Some(busy) = sc.series(link, dir).and_then(|t| t.delta()) else {
+                let Some(busy) = sc.with_series(link, dir, |t| t.delta()).flatten() else {
                     continue;
                 };
                 let util = busy / interval_ns;
@@ -298,12 +298,12 @@ impl HealthWatchdog {
                 }
             }
             let enums = sc
-                .series(link, "usb.enumerations")
-                .and_then(|t| t.delta())
+                .with_series(link, "usb.enumerations", |t| t.delta())
+                .flatten()
                 .unwrap_or(0.0);
             let detaches = sc
-                .series(link, "usb.detaches")
-                .and_then(|t| t.delta())
+                .with_series(link, "usb.detaches", |t| t.delta())
+                .flatten()
                 .unwrap_or(0.0);
             let storm = enums + detaches;
             if storm >= storm_warn as f64 {
@@ -363,15 +363,16 @@ impl HealthWatchdog {
     /// Drift/error rules for one disk in Healthy/Detecting phase.
     fn judge_disk(&self, sim: &Sim, sc: &Scraper, master: &Master, idx: usize, component: &str) {
         let config = self.inner.borrow().config.clone();
-        let mean = sc.series(component, "disk.latency_ns.mean");
-        let count = sc.series(component, "disk.latency_ns.count");
-        let window = match (&mean, &count) {
-            (Some(m), Some(c)) => window_mean(m, c),
-            _ => None,
-        };
+        // Nested `with_series` is fine: both take shared borrows.
+        let window = sc
+            .with_series(component, "disk.latency_ns.mean", |m| {
+                sc.with_series(component, "disk.latency_ns.count", |c| window_mean(m, c))
+            })
+            .flatten()
+            .flatten();
         let uncorrectable = sc
-            .series(component, "disk.uncorrectable_reads")
-            .and_then(|t| t.delta())
+            .with_series(component, "disk.uncorrectable_reads", |t| t.delta())
+            .flatten()
             .unwrap_or(0.0);
 
         let mut breach = false;

@@ -11,7 +11,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use ustore_sim::{Histogram, Sim, SimRng, SimTime, Throughput, TraceLevel};
+use ustore_sim::{
+    CounterHandle, Histogram, HistogramHandle, Sim, SimRng, SimTime, Throughput, TraceLevel,
+};
 
 use crate::model::IoModel;
 use crate::power::EnergyMeter;
@@ -112,8 +114,43 @@ pub struct DiskStats {
     pub latency: Histogram,
 }
 
+/// Pre-registered metric handles for the per-IO hot path: resolved once at
+/// disk construction so completing a command never hashes or allocates a
+/// metric name.
+#[derive(Debug, Clone)]
+struct DiskMetrics {
+    seeks: CounterHandle,
+    cache_hits: CounterHandle,
+    spin_ups: CounterHandle,
+    latency: HistogramHandle,
+    reads: CounterHandle,
+    read_bytes: CounterHandle,
+    writes: CounterHandle,
+    write_bytes: CounterHandle,
+    errors: CounterHandle,
+    uncorrectable: CounterHandle,
+}
+
+impl DiskMetrics {
+    fn new(sim: &Sim, name: &str) -> Self {
+        DiskMetrics {
+            seeks: sim.counter(name, "disk.seeks"),
+            cache_hits: sim.counter(name, "disk.cache_hits"),
+            spin_ups: sim.counter(name, "disk.spin_ups"),
+            latency: sim.histogram(name, "disk.latency_ns"),
+            reads: sim.counter(name, "disk.reads"),
+            read_bytes: sim.counter(name, "disk.read_bytes"),
+            writes: sim.counter(name, "disk.writes"),
+            write_bytes: sim.counter(name, "disk.write_bytes"),
+            errors: sim.counter(name, "disk.errors"),
+            uncorrectable: sim.counter(name, "disk.uncorrectable_reads"),
+        }
+    }
+}
+
 struct Inner {
     name: String,
+    metrics: DiskMetrics,
     model: IoModel,
     state: PowerStateKind,
     meter: EnergyMeter,
@@ -184,9 +221,12 @@ impl Disk {
     /// zeroes, which the throughput experiments use to save memory.
     pub fn new(sim: &Sim, name: impl Into<String>, profile: DiskProfile, store_data: bool) -> Self {
         let p = profile.clone();
+        let name = name.into();
+        let metrics = DiskMetrics::new(sim, &name);
         Disk {
             inner: Rc::new(RefCell::new(Inner {
-                name: name.into(),
+                name,
+                metrics,
                 model: IoModel::new(profile),
                 state: PowerStateKind::Idle,
                 meter: EnergyMeter::new(sim.now(), PowerStateKind::Idle, move |s| p.power_w(s)),
@@ -363,16 +403,11 @@ impl Disk {
             };
             let svc = i.model.service(offset, len, dir);
             let seek = !svc.positioning.is_zero();
-            let name = i.name.clone();
-            sim.count(
-                &name,
-                if seek {
-                    "disk.seeks"
-                } else {
-                    "disk.cache_hits"
-                },
-                1,
-            );
+            if seek {
+                i.metrics.seeks.inc();
+            } else {
+                i.metrics.cache_hits.inc();
+            }
             let mut service = svc.total();
             if i.latency_factor > 1.0 && seek {
                 service += svc.positioning.mul_f64(i.latency_factor - 1.0);
@@ -393,7 +428,7 @@ impl Disk {
             let now = sim.now();
             i.set_state(now, PowerStateKind::Idle);
             i.model.reset_stream();
-            sim.count(&i.name, "disk.spin_ups", 1);
+            i.metrics.spin_ups.inc();
         }
         self.pump(sim);
     }
@@ -413,16 +448,15 @@ impl Disk {
             entry
         };
         let now = sim.now();
-        let name = {
+        {
             let mut i = self.inner.borrow_mut();
             let lat = now.duration_since(queued_at).as_nanos() as u64;
             i.stats.latency.record(lat);
-            sim.observe(&i.name, "disk.latency_ns", lat);
-            i.name.clone()
-        };
+            i.metrics.latency.observe(lat);
+        }
         match op {
             Pending::Read { offset, len, cb } => {
-                let res = if self.roll_uncorrectable(sim, &name) {
+                let res = if self.roll_uncorrectable() {
                     Err(DiskError::Medium { offset })
                 } else {
                     self.do_read(offset, len)
@@ -432,12 +466,12 @@ impl Disk {
                     match &res {
                         Ok(_) => {
                             i.stats.reads.complete(len);
-                            sim.count(&name, "disk.reads", 1);
-                            sim.count(&name, "disk.read_bytes", len);
+                            i.metrics.reads.inc();
+                            i.metrics.read_bytes.add(len);
                         }
                         Err(_) => {
                             i.stats.errors += 1;
-                            sim.count(&name, "disk.errors", 1);
+                            i.metrics.errors.inc();
                         }
                     }
                 }
@@ -446,9 +480,12 @@ impl Disk {
             Pending::Write { offset, data, cb } => {
                 let len = data.len() as u64;
                 self.do_write(offset, &data);
-                self.inner.borrow_mut().stats.writes.complete(len);
-                sim.count(&name, "disk.writes", 1);
-                sim.count(&name, "disk.write_bytes", len);
+                {
+                    let mut i = self.inner.borrow_mut();
+                    i.stats.writes.complete(len);
+                    i.metrics.writes.inc();
+                    i.metrics.write_bytes.add(len);
+                }
                 cb(sim, Ok(()));
             }
         }
@@ -457,7 +494,7 @@ impl Disk {
 
     /// Rolls the degradation RNG for one read; counts a hit as an
     /// uncorrectable read (it surfaces as a [`DiskError::Medium`]).
-    fn roll_uncorrectable(&self, sim: &Sim, name: &str) -> bool {
+    fn roll_uncorrectable(&self) -> bool {
         let mut i = self.inner.borrow_mut();
         let rate = i.read_error_rate;
         if rate <= 0.0 {
@@ -469,8 +506,7 @@ impl Disk {
             .map(|rng| rng.chance(rate))
             .unwrap_or(false);
         if hit {
-            drop(i);
-            sim.count(name, "disk.uncorrectable_reads", 1);
+            i.metrics.uncorrectable.inc();
         }
         hit
     }

@@ -1059,7 +1059,7 @@ mod tests {
         sim.run_until(sim.now() + Duration::from_secs(20));
         sim.with_spans(|t| {
             let exec = t.by_name("fabric.execute").next().expect("execute span").id;
-            let kids: Vec<&str> = t.children(exec).map(|s| s.name.as_str()).collect();
+            let kids: Vec<&str> = t.children(exec).map(|s| &*s.name).collect();
             assert_eq!(kids, ["fabric.lock", "fabric.actuate", "fabric.verify"]);
             // The §IV-C ordering, asserted causally: the fabric is locked
             // before any switch turns, and turning precedes verification.

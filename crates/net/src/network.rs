@@ -8,12 +8,12 @@
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore_sim::{Sim, SimTime, TraceLevel};
+use ustore_sim::{FastMap, FastSet, Sim, SimTime, TraceLevel};
 
 /// A network address (host name). Cheap to clone.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,8 +98,8 @@ struct Node {
 
 struct Inner {
     config: NetConfig,
-    nodes: HashMap<Addr, Node>,
-    blocked: HashSet<(Addr, Addr)>,
+    nodes: FastMap<Addr, Node>,
+    blocked: FastSet<(Addr, Addr)>,
     sent: u64,
     delivered: u64,
     dropped: u64,
@@ -148,8 +148,8 @@ impl Network {
         Network {
             inner: Rc::new(RefCell::new(Inner {
                 config,
-                nodes: HashMap::new(),
-                blocked: HashSet::new(),
+                nodes: FastMap::default(),
+                blocked: FastSet::default(),
                 sent: 0,
                 delivered: 0,
                 dropped: 0,
@@ -190,7 +190,9 @@ impl Network {
             let now = sim.now();
             let up_from = i.nodes.get(from).is_some_and(|n| n.up);
             let up_to = i.nodes.get(to).is_some_and(|n| n.up);
-            let blocked = i.blocked.contains(&(from.clone(), to.clone()));
+            // No partitions installed (the common case) skips the tuple
+            // hash entirely.
+            let blocked = !i.blocked.is_empty() && i.blocked.contains(&(from.clone(), to.clone()));
             // Down/blocked links drop unconditionally; live links draw the
             // loss dice (short-circuit keeps the RNG stream identical).
             if !up_from

@@ -8,12 +8,12 @@
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore_sim::{EventId, Sim, SimTime};
+use ustore_sim::{CounterHandle, EventId, FastMap, HistogramHandle, Sim, SimTime};
 
 use crate::network::{Addr, Envelope, Network};
 
@@ -62,10 +62,23 @@ struct Pending {
 
 type Handler = Rc<dyn Fn(&Sim, Rc<dyn Any>, Responder)>;
 
+/// Per-endpoint metric handles, resolved once (lazily: [`RpcNode::new`]
+/// has no simulator handle) so per-call accounting neither formats the
+/// address nor hashes metric names.
+#[derive(Debug, Clone)]
+struct RpcMetrics {
+    calls: CounterHandle,
+    timeouts: CounterHandle,
+    round_trips: CounterHandle,
+    errors: CounterHandle,
+    rtt: HistogramHandle,
+}
+
 struct Inner {
     next_id: u64,
-    pending: HashMap<u64, Pending>,
-    handlers: HashMap<String, Handler>,
+    pending: FastMap<u64, Pending>,
+    handlers: FastMap<String, Handler>,
+    metrics: Option<RpcMetrics>,
 }
 
 /// An RPC endpoint bound to one network address.
@@ -162,8 +175,9 @@ impl RpcNode {
             addr: addr.clone(),
             inner: Rc::new(RefCell::new(Inner {
                 next_id: 0,
-                pending: HashMap::new(),
-                handlers: HashMap::new(),
+                pending: FastMap::default(),
+                handlers: FastMap::default(),
+                metrics: None,
             })),
         };
         let n = node.clone();
@@ -210,15 +224,17 @@ impl RpcNode {
             let typed = res.and_then(|body| body.downcast::<Resp>().map_err(|_| RpcError::BadType));
             cb(sim, typed);
         });
-        sim.count(&self.addr.to_string(), "rpc.calls", 1);
+        let timeouts = self.with_metrics(sim, |m| {
+            m.calls.inc();
+            m.timeouts.clone()
+        });
         let inner = self.inner.clone();
-        let addr = self.addr.clone();
         let timeout_event = sim.schedule_in(timeout, move |sim| {
             // Drop the borrow before invoking the callback: it may issue a
             // retry through this same endpoint.
             let pending = inner.borrow_mut().pending.remove(&id);
             if let Some(p) = pending {
-                sim.count(&addr.to_string(), "rpc.timeouts", 1);
+                timeouts.inc();
                 (p.cb)(sim, Err(RpcError::Timeout));
             }
         });
@@ -236,6 +252,25 @@ impl RpcNode {
             body,
         };
         self.net.send(sim, &self.addr, to, bytes + 48, Rc::new(msg));
+    }
+
+    /// Runs `f` with the endpoint's metric handles, resolving the address
+    /// label exactly once over the node's lifetime. Borrowing (instead of
+    /// cloning the handle set out) keeps per-call accounting to plain
+    /// counter bumps.
+    fn with_metrics<R>(&self, sim: &Sim, f: impl FnOnce(&RpcMetrics) -> R) -> R {
+        let mut i = self.inner.borrow_mut();
+        if i.metrics.is_none() {
+            let c = self.addr.to_string();
+            i.metrics = Some(RpcMetrics {
+                calls: sim.counter(&c, "rpc.calls"),
+                timeouts: sim.counter(&c, "rpc.timeouts"),
+                round_trips: sim.counter(&c, "rpc.round_trips"),
+                errors: sim.counter(&c, "rpc.errors"),
+                rtt: sim.histogram(&c, "rpc.rtt_ns"),
+            });
+        }
+        f(i.metrics.as_ref().expect("metrics just initialized"))
     }
 
     fn on_message(&self, sim: &Sim, env: Envelope) {
@@ -260,12 +295,13 @@ impl RpcNode {
                 let pending = self.inner.borrow_mut().pending.remove(id);
                 if let Some(p) = pending {
                     sim.cancel(p.timeout_event);
-                    let comp = self.addr.to_string();
-                    sim.count(&comp, "rpc.round_trips", 1);
-                    sim.observe_duration(&comp, "rpc.rtt_ns", sim.now().duration_since(p.started));
-                    if body.is_err() {
-                        sim.count(&comp, "rpc.errors", 1);
-                    }
+                    self.with_metrics(sim, |m| {
+                        m.round_trips.inc();
+                        m.rtt.observe_duration(sim.now().duration_since(p.started));
+                        if body.is_err() {
+                            m.errors.inc();
+                        }
+                    });
                     (p.cb)(sim, body.clone());
                 }
             }

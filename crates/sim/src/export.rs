@@ -170,7 +170,7 @@ pub fn chrome_trace(spans: &SpanTracer) -> Json {
     let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
     for s in spans.spans() {
         let next = tids.len() as u64 + 1;
-        tids.entry(s.component.as_str()).or_insert(next);
+        tids.entry(&*s.component).or_insert(next);
     }
     // Re-number by sorted component name for byte-stable output.
     for (i, (_, tid)) in tids.iter_mut().enumerate() {
@@ -188,7 +188,7 @@ pub fn chrome_trace(spans: &SpanTracer) -> Json {
         ]));
     }
     for s in spans.spans() {
-        events.push(span_event(s, tids[s.component.as_str()]));
+        events.push(span_event(s, tids[&*s.component]));
     }
     Json::obj([("traceEvents", Json::arr(events))])
 }
@@ -203,8 +203,8 @@ fn span_event(s: &Span, tid: u64) -> Json {
         args.insert(k.clone(), Json::str(v));
     }
     let mut ev = Json::obj([
-        ("name", Json::str(&s.name)),
-        ("cat", Json::str(&s.component)),
+        ("name", Json::str(&*s.name)),
+        ("cat", Json::str(&*s.component)),
     ]);
     match s.end {
         Some(end) => {

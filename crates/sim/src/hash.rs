@@ -1,0 +1,124 @@
+//! A fast, deterministic hasher for simulation-internal maps.
+//!
+//! `std`'s default `SipHash` is DoS-resistant but costs tens of
+//! nanoseconds per short key, and its per-instance random seed makes
+//! iteration order differ between processes. Simulation state is never
+//! exposed to adversarial keys, and cross-process determinism is a
+//! feature here, so hot maps (network node tables, RPC correlation ids,
+//! Master host/disk state) use this fixed-seed multiply-rotate hash
+//! instead — the same construction rustc uses for its own interner
+//! tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use ustore_sim::FastMap;
+//!
+//! let mut m: FastMap<u64, &str> = FastMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fixed-seed multiply-rotate hasher (an `FxHash`-style construction).
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write(b"disk-17/latency_ns");
+        b.write(b"disk-17/latency_ns");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_lengths_and_contents() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FastHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(hash(b"ab"), hash(b"ab\0"));
+        assert_ne!(hash(b"abcdefgh"), hash(b"abcdefgi"));
+        assert_ne!(hash(b""), hash(b"\0"));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        let mut s: FastSet<String> = FastSet::default();
+        s.insert("x".to_owned());
+        assert!(s.contains("x"));
+    }
+}

@@ -1,0 +1,193 @@
+//! String interning for metric keys.
+//!
+//! Every metric call used to allocate two `String`s and walk a
+//! `BTreeMap<(String, String)>`. The [`KeyInterner`] resolves a
+//! `(component, name)` pair to a dense [`MetricKey`] exactly once; after
+//! that, hot paths carry the copyable key (or a handle wrapping it) and
+//! the registry indexes a plain `Vec`. Lookups by `&str` allocate nothing
+//! on a hit: the maps are keyed by `Rc<str>`, and `Rc<str>: Borrow<str>`
+//! lets the probe borrow the caller's slice.
+//!
+//! Key ids are assigned in first-use order, which is itself deterministic
+//! for a deterministic simulation — so id-indexed storage never reorders
+//! between same-seed runs. Sorted (string) order is materialized only at
+//! export time.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Interned id of a component string (e.g. `"u0-d3"`, `"master-0"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// The raw index into the interner's string pool.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Interned id of one `(component, name)` metric key.
+///
+/// Keys are dense: the registry stores metric slots in `Vec`s indexed by
+/// the raw id, and the scraper uses the raw id to map registry series to
+/// ring buffers without hashing strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey(u32);
+
+impl MetricKey {
+    /// The raw dense index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a key from [`MetricKey::raw`]. Only meaningful against the
+    /// same registry that produced the raw id.
+    pub fn from_raw(raw: u32) -> Self {
+        MetricKey(raw)
+    }
+}
+
+/// Interns component/name strings and `(component, name)` pairs.
+///
+/// Components and metric names share one string pool; a [`MetricKey`]
+/// identifies a pair of pool entries.
+#[derive(Debug, Clone, Default)]
+pub struct KeyInterner {
+    pool: Vec<Rc<str>>,
+    by_str: HashMap<Rc<str>, u32>,
+    pairs: Vec<(u32, u32)>,
+    by_pair: HashMap<(u32, u32), u32>,
+}
+
+impl KeyInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns one string, returning its pool index.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&idx) = self.by_str.get(s) {
+            return idx;
+        }
+        let idx = self.pool.len() as u32;
+        let rc: Rc<str> = Rc::from(s);
+        self.pool.push(rc.clone());
+        self.by_str.insert(rc, idx);
+        idx
+    }
+
+    /// Interns a component string.
+    pub fn component(&mut self, component: &str) -> ComponentId {
+        ComponentId(self.intern(component))
+    }
+
+    /// The string behind a pool index.
+    pub fn resolve_str(&self, idx: u32) -> &str {
+        &self.pool[idx as usize]
+    }
+
+    /// Interns a `(component, name)` pair, returning its dense key.
+    pub fn key(&mut self, component: &str, name: &str) -> MetricKey {
+        let c = self.intern(component);
+        let n = self.intern(name);
+        self.pair_key(c, n)
+    }
+
+    /// Interns `(component id, name)` — skips re-hashing the component.
+    pub fn key_of(&mut self, component: ComponentId, name: &str) -> MetricKey {
+        let n = self.intern(name);
+        self.pair_key(component.0, n)
+    }
+
+    fn pair_key(&mut self, c: u32, n: u32) -> MetricKey {
+        if let Some(&k) = self.by_pair.get(&(c, n)) {
+            return MetricKey(k);
+        }
+        let k = self.pairs.len() as u32;
+        self.pairs.push((c, n));
+        self.by_pair.insert((c, n), k);
+        MetricKey(k)
+    }
+
+    /// Looks a pair up without interning; `None` when never registered.
+    pub fn lookup(&self, component: &str, name: &str) -> Option<MetricKey> {
+        let c = *self.by_str.get(component)?;
+        let n = *self.by_str.get(name)?;
+        self.by_pair.get(&(c, n)).map(|&k| MetricKey(k))
+    }
+
+    /// Looks up a string's pool index without interning.
+    pub fn lookup_str(&self, s: &str) -> Option<u32> {
+        self.by_str.get(s).copied()
+    }
+
+    /// Resolves a key back to its `(component, name)` strings.
+    pub fn resolve(&self, key: MetricKey) -> (&str, &str) {
+        let (c, n) = self.pairs[key.0 as usize];
+        (&self.pool[c as usize], &self.pool[n as usize])
+    }
+
+    /// The `(component pool idx, name pool idx)` behind a key.
+    pub fn resolve_ids(&self, key: MetricKey) -> (u32, u32) {
+        self.pairs[key.0 as usize]
+    }
+
+    /// Number of interned pairs; raw key ids are `0..len`.
+    pub fn len(&self) -> u32 {
+        self.pairs.len() as u32
+    }
+
+    /// True when no pair has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = KeyInterner::new();
+        let a = i.key("disk-0", "disk.reads");
+        let b = i.key("disk-0", "disk.reads");
+        assert_eq!(a, b);
+        assert_eq!(a.raw(), 0);
+        let c = i.key("disk-0", "disk.writes");
+        assert_eq!(c.raw(), 1);
+        let d = i.key("disk-1", "disk.reads");
+        assert_eq!(d.raw(), 2);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.resolve(d), ("disk-1", "disk.reads"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut i = KeyInterner::new();
+        assert_eq!(i.lookup("c", "n"), None);
+        let k = i.key("c", "n");
+        assert_eq!(i.lookup("c", "n"), Some(k));
+        assert_eq!(i.lookup("c", "other"), None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn component_ids_share_the_pool() {
+        let mut i = KeyInterner::new();
+        let c = i.component("master-0");
+        let k = i.key_of(c, "rpc.calls");
+        assert_eq!(i.resolve(k), ("master-0", "rpc.calls"));
+        assert_eq!(i.key("master-0", "rpc.calls"), k);
+        assert_eq!(i.resolve_str(c.raw()), "master-0");
+    }
+
+    #[test]
+    fn round_trips_raw_ids() {
+        let mut i = KeyInterner::new();
+        let k = i.key("a", "b");
+        assert_eq!(MetricKey::from_raw(k.raw()), k);
+    }
+}

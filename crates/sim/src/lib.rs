@@ -39,6 +39,8 @@
 
 pub mod engine;
 pub mod export;
+pub mod hash;
+pub mod intern;
 pub mod json;
 pub mod metrics;
 pub mod obs;
@@ -47,7 +49,9 @@ pub mod span;
 pub mod time;
 pub mod trace;
 
-pub use engine::{EventId, Sim, TimerId};
+pub use engine::{CounterHandle, EventId, GaugeHandle, HistogramHandle, Sim, TimerId};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
+pub use intern::{ComponentId, KeyInterner, MetricKey};
 pub use json::Json;
 pub use metrics::{Counter, Histogram, Throughput, ThroughputRate};
 pub use obs::timeseries::{Scraper, ScraperConfig, TimeSeries};

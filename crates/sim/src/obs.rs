@@ -10,16 +10,23 @@
 //! - **name** is a hierarchical dotted metric id (`"disk.reads"`,
 //!   `"power.residency.idle_s"`, `"rpc.round_trips"`).
 //!
+//! Internally the registry is id-indexed: a [`KeyInterner`] resolves each
+//! pair to a dense [`MetricKey`] once, and values live in plain `Vec`s —
+//! so the string-based hot-path methods allocate nothing after a key's
+//! first use, and the key-based `_key` methods (used by the
+//! [`crate::CounterHandle`]-family of handles) are a bounds-checked array
+//! access. Sorted string order is materialized only at export time.
+//!
 //! The registry supports [`snapshot`](MetricsRegistry::snapshot) /
 //! [`diff`](MetricsRegistry::diff) (measure just a window of a run) and
-//! [`merge`](MetricsRegistry::merge) (aggregate repeated runs), and exports
-//! to a byte-stable JSON document or a sorted text listing. Keys are kept
-//! in sorted order so exports never depend on insertion order.
+//! [`merge`](MetricsRegistry::merge) (aggregate repeated runs, resolved by
+//! string so cross-registry merges are safe), and exports to a byte-stable
+//! JSON document or a sorted text listing.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
+use crate::intern::{KeyInterner, MetricKey};
 use crate::json::Json;
 use crate::metrics::Histogram;
 
@@ -45,13 +52,22 @@ pub mod timeseries;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<(String, String), u64>,
-    gauges: BTreeMap<(String, String), f64>,
-    histograms: BTreeMap<(String, String), Histogram>,
+    interner: KeyInterner,
+    counters: Vec<Option<u64>>,
+    gauges: Vec<Option<f64>>,
+    histograms: Vec<Option<Histogram>>,
 }
 
-fn key(component: &str, name: &str) -> (String, String) {
-    (component.to_owned(), name.to_owned())
+fn slot<T>(v: &mut Vec<Option<T>>, key: MetricKey) -> &mut Option<T> {
+    let idx = key.raw() as usize;
+    if v.len() <= idx {
+        v.resize_with(idx + 1, || None);
+    }
+    &mut v[idx]
+}
+
+fn get<T: Copy>(v: &[Option<T>], key: MetricKey) -> Option<T> {
+    v.get(key.raw() as usize).copied().flatten()
 }
 
 impl MetricsRegistry {
@@ -62,133 +78,232 @@ impl MetricsRegistry {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.iter().all(Option::is_none)
+            && self.gauges.iter().all(Option::is_none)
+            && self.histograms.iter().all(Option::is_none)
     }
+
+    // ---- Key interning ----------------------------------------------------
+
+    /// Interns `(component, name)` to its dense key (registering it if
+    /// new). The key addresses all three metric kinds; a value slot is only
+    /// created when first written, so registering a key does not add an
+    /// empty series to exports.
+    pub fn key(&mut self, component: &str, name: &str) -> MetricKey {
+        self.interner.key(component, name)
+    }
+
+    /// Resolves a key back to its `(component, name)` strings.
+    pub fn resolve_key(&self, key: MetricKey) -> (&str, &str) {
+        self.interner.resolve(key)
+    }
+
+    /// Number of interned keys; raw key ids are `0..num_keys()`. Together
+    /// with the `_value` accessors this lets samplers sweep the registry
+    /// without allocating or hashing strings.
+    pub fn num_keys(&self) -> u32 {
+        self.interner.len()
+    }
+
+    // ---- Counters ---------------------------------------------------------
 
     /// Adds `n` to the counter `component/name` (creating it at zero).
     pub fn counter_add(&mut self, component: &str, name: &str, n: u64) {
-        *self.counters.entry(key(component, name)).or_insert(0) += n;
+        let k = self.interner.key(component, name);
+        self.counter_add_key(k, n);
+    }
+
+    /// Adds `n` to the counter behind `key`.
+    pub fn counter_add_key(&mut self, key: MetricKey, n: u64) {
+        let s = slot(&mut self.counters, key);
+        *s = Some(s.unwrap_or(0) + n);
     }
 
     /// Current value of a counter (zero when never touched).
     pub fn counter(&self, component: &str, name: &str) -> u64 {
-        self.counters
-            .get(&key(component, name))
-            .copied()
+        self.interner
+            .lookup(component, name)
+            .and_then(|k| self.counter_value(k))
             .unwrap_or(0)
+    }
+
+    /// Current value of the counter behind `key` (zero when never touched).
+    pub fn counter_key(&self, key: MetricKey) -> u64 {
+        self.counter_value(key).unwrap_or(0)
+    }
+
+    /// The counter behind `key`, `None` when never touched.
+    pub fn counter_value(&self, key: MetricKey) -> Option<u64> {
+        get(&self.counters, key)
     }
 
     /// Sum of `name` counters across all components.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.counters
-            .iter()
-            .filter(|((_, n), _)| n == name)
-            .map(|(_, v)| v)
+        let Some(name_idx) = self.interner.lookup_str(name) else {
+            return 0;
+        };
+        (0..self.interner.len())
+            .filter(|&raw| self.interner.resolve_ids(MetricKey::from_raw(raw)).1 == name_idx)
+            .filter_map(|raw| self.counter_value(MetricKey::from_raw(raw)))
             .sum()
     }
 
+    // ---- Gauges -----------------------------------------------------------
+
     /// Sets the gauge `component/name` to `v`.
     pub fn gauge_set(&mut self, component: &str, name: &str, v: f64) {
-        self.gauges.insert(key(component, name), v);
+        let k = self.interner.key(component, name);
+        self.gauge_set_key(k, v);
+    }
+
+    /// Sets the gauge behind `key` to `v`.
+    pub fn gauge_set_key(&mut self, key: MetricKey, v: f64) {
+        *slot(&mut self.gauges, key) = Some(v);
     }
 
     /// Adds `v` (may be negative) to the gauge, creating it at zero.
     pub fn gauge_add(&mut self, component: &str, name: &str, v: f64) {
-        *self.gauges.entry(key(component, name)).or_insert(0.0) += v;
+        let k = self.interner.key(component, name);
+        self.gauge_add_key(k, v);
+    }
+
+    /// Adds `v` (may be negative) to the gauge behind `key`.
+    pub fn gauge_add_key(&mut self, key: MetricKey, v: f64) {
+        let s = slot(&mut self.gauges, key);
+        *s = Some(s.unwrap_or(0.0) + v);
     }
 
     /// Current gauge value, if set.
     pub fn gauge(&self, component: &str, name: &str) -> Option<f64> {
-        self.gauges.get(&key(component, name)).copied()
+        self.interner
+            .lookup(component, name)
+            .and_then(|k| self.gauge_value(k))
     }
+
+    /// The gauge behind `key`, if set.
+    pub fn gauge_value(&self, key: MetricKey) -> Option<f64> {
+        get(&self.gauges, key)
+    }
+
+    // ---- Histograms -------------------------------------------------------
 
     /// Records a histogram sample (typically nanoseconds).
     pub fn observe(&mut self, component: &str, name: &str, v: u64) {
-        self.histograms
-            .entry(key(component, name))
-            .or_default()
+        let k = self.interner.key(component, name);
+        self.observe_key(k, v);
+    }
+
+    /// Records a histogram sample under `key`.
+    pub fn observe_key(&mut self, key: MetricKey, v: u64) {
+        slot(&mut self.histograms, key)
+            .get_or_insert_with(Histogram::default)
             .record(v);
     }
 
     /// Records a [`Duration`] histogram sample in nanoseconds.
     pub fn observe_duration(&mut self, component: &str, name: &str, d: Duration) {
-        self.histograms
-            .entry(key(component, name))
-            .or_default()
+        let k = self.interner.key(component, name);
+        self.observe_duration_key(k, d);
+    }
+
+    /// Records a [`Duration`] histogram sample under `key`.
+    pub fn observe_duration_key(&mut self, key: MetricKey, d: Duration) {
+        slot(&mut self.histograms, key)
+            .get_or_insert_with(Histogram::default)
             .record_duration(d);
     }
 
     /// The histogram `component/name`, if any samples were recorded.
     pub fn histogram(&self, component: &str, name: &str) -> Option<&Histogram> {
-        self.histograms.get(&key(component, name))
+        self.interner
+            .lookup(component, name)
+            .and_then(|k| self.histogram_value(k))
+    }
+
+    /// The histogram behind `key`, if any samples were recorded.
+    pub fn histogram_value(&self, key: MetricKey) -> Option<&Histogram> {
+        self.histograms
+            .get(key.raw() as usize)
+            .and_then(Option::as_ref)
+    }
+
+    // ---- Sorted iteration (export path) -----------------------------------
+
+    fn sorted_keys<T>(&self, v: &[Option<T>]) -> Vec<MetricKey> {
+        let mut keys: Vec<MetricKey> = (0..self.interner.len())
+            .map(MetricKey::from_raw)
+            .filter(|k| v.get(k.raw() as usize).is_some_and(Option::is_some))
+            .collect();
+        keys.sort_by_key(|&k| self.interner.resolve(k));
+        keys
     }
 
     /// Iterates `(component, name, value)` over all counters, sorted.
     pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
-        self.counters
-            .iter()
-            .map(|((c, n), v)| (c.as_str(), n.as_str(), *v))
+        self.sorted_keys(&self.counters).into_iter().map(|k| {
+            let (c, n) = self.interner.resolve(k);
+            (c, n, self.counters[k.raw() as usize].expect("sorted key"))
+        })
     }
 
     /// Iterates `(component, name, value)` over all gauges, sorted.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, &str, f64)> {
-        self.gauges
-            .iter()
-            .map(|((c, n), v)| (c.as_str(), n.as_str(), *v))
+        self.sorted_keys(&self.gauges).into_iter().map(|k| {
+            let (c, n) = self.interner.resolve(k);
+            (c, n, self.gauges[k.raw() as usize].expect("sorted key"))
+        })
     }
 
     /// Iterates `(component, name, histogram)` sorted by key.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &str, &Histogram)> {
-        self.histograms
-            .iter()
-            .map(|((c, n), h)| (c.as_str(), n.as_str(), h))
+        self.sorted_keys(&self.histograms).into_iter().map(|k| {
+            let (c, n) = self.interner.resolve(k);
+            let h = self.histograms[k.raw() as usize]
+                .as_ref()
+                .expect("sorted key");
+            (c, n, h)
+        })
     }
+
+    // ---- Snapshot / diff / merge ------------------------------------------
 
     /// A point-in-time copy of the whole registry.
     pub fn snapshot(&self) -> MetricsRegistry {
         self.clone()
     }
 
-    /// The change since `base` (an earlier snapshot of the same registry).
+    /// The change since `base` (an earlier snapshot of the same registry —
+    /// though any registry works; series are matched by name).
     ///
     /// Counters and histograms subtract (entries that did not change are
     /// omitted); gauges report their *current* value minus the base value
     /// when both exist, else the current value.
     pub fn diff(&self, base: &MetricsRegistry) -> MetricsRegistry {
         let mut out = MetricsRegistry::new();
-        for ((c, n), v) in &self.counters {
-            let before = base
-                .counters
-                .get(&(c.clone(), n.clone()))
-                .copied()
-                .unwrap_or(0);
-            if *v > before {
-                out.counters.insert((c.clone(), n.clone()), v - before);
-            }
-        }
-        for ((c, n), v) in &self.gauges {
-            let before = base
-                .gauges
-                .get(&(c.clone(), n.clone()))
-                .copied()
-                .unwrap_or(0.0);
-            let d = v - before;
-            if d != 0.0 {
-                out.gauges.insert((c.clone(), n.clone()), d);
-            }
-        }
-        for ((c, n), h) in &self.histograms {
-            match base.histograms.get(&(c.clone(), n.clone())) {
-                Some(bh) => {
-                    let d = h.diff(bh);
-                    if d.count() > 0 {
-                        out.histograms.insert((c.clone(), n.clone()), d);
-                    }
+        for raw in 0..self.interner.len() {
+            let k = MetricKey::from_raw(raw);
+            let (c, n) = self.interner.resolve(k);
+            if let Some(v) = self.counter_value(k) {
+                let before = base.counter(c, n);
+                if v > before {
+                    out.counter_add(c, n, v - before);
                 }
-                None => {
-                    if h.count() > 0 {
-                        out.histograms.insert((c.clone(), n.clone()), h.clone());
-                    }
+            }
+            if let Some(v) = self.gauge_value(k) {
+                let before = base.gauge(c, n).unwrap_or(0.0);
+                let d = v - before;
+                if d != 0.0 {
+                    out.gauge_set(c, n, d);
+                }
+            }
+            if let Some(h) = self.histogram_value(k) {
+                let d = match base.histogram(c, n) {
+                    Some(bh) => h.diff(bh),
+                    None => h.clone(),
+                };
+                if d.count() > 0 {
+                    let key = out.key(c, n);
+                    *slot(&mut out.histograms, key) = Some(d);
                 }
             }
         }
@@ -197,27 +312,33 @@ impl MetricsRegistry {
 
     /// Merges another registry into this one: counters and histogram
     /// samples add; gauges add numerically (so per-run residency or energy
-    /// gauges aggregate across merged runs).
+    /// gauges aggregate across merged runs). Series are matched by name, so
+    /// merging registries with different key id assignments is safe.
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for ((c, n), v) in &other.counters {
-            *self.counters.entry((c.clone(), n.clone())).or_insert(0) += v;
-        }
-        for ((c, n), v) in &other.gauges {
-            *self.gauges.entry((c.clone(), n.clone())).or_insert(0.0) += v;
-        }
-        for ((c, n), h) in &other.histograms {
-            self.histograms
-                .entry((c.clone(), n.clone()))
-                .or_default()
-                .merge(h);
+        for raw in 0..other.interner.len() {
+            let k = MetricKey::from_raw(raw);
+            let (c, n) = other.interner.resolve(k);
+            if let Some(v) = other.counter_value(k) {
+                self.counter_add(c, n, v);
+            }
+            if let Some(v) = other.gauge_value(k) {
+                self.gauge_add(c, n, v);
+            }
+            if let Some(h) = other.histogram_value(k) {
+                let key = self.interner.key(c, n);
+                slot(&mut self.histograms, key)
+                    .get_or_insert_with(Histogram::default)
+                    .merge(h);
+            }
         }
     }
 
-    /// Clears all series.
+    /// Clears all series. Interned keys (and outstanding handles) stay
+    /// valid; the value slots are emptied.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.gauges.clear();
-        self.histograms.clear();
+        self.counters.iter_mut().for_each(|s| *s = None);
+        self.gauges.iter_mut().for_each(|s| *s = None);
+        self.histograms.iter_mut().for_each(|s| *s = None);
     }
 
     /// Stable JSON export.
@@ -310,6 +431,38 @@ mod tests {
     }
 
     #[test]
+    fn key_api_matches_string_api() {
+        let mut m = MetricsRegistry::new();
+        let k = m.key("c", "ops");
+        m.counter_add_key(k, 4);
+        m.counter_add("c", "ops", 1);
+        assert_eq!(m.counter_key(k), 5);
+        assert_eq!(m.counter("c", "ops"), 5);
+        assert_eq!(m.resolve_key(k), ("c", "ops"));
+        // The same key addresses all three kinds independently.
+        m.gauge_set_key(k, 2.0);
+        m.gauge_add_key(k, 0.5);
+        assert_eq!(m.gauge("c", "ops"), Some(2.5));
+        m.observe_key(k, 100);
+        assert_eq!(m.histogram_value(k).unwrap().count(), 1);
+        // Registering a key creates no series until first write.
+        let quiet = m.key("c", "quiet");
+        assert_eq!(m.counter_value(quiet), None);
+        assert!(!m.to_json().to_string().contains("quiet"));
+    }
+
+    #[test]
+    fn clear_keeps_keys_valid() {
+        let mut m = MetricsRegistry::new();
+        let k = m.key("c", "ops");
+        m.counter_add_key(k, 7);
+        m.clear();
+        assert!(m.is_empty());
+        m.counter_add_key(k, 2);
+        assert_eq!(m.counter("c", "ops"), 2);
+    }
+
+    #[test]
     fn snapshot_diff_window() {
         let mut m = MetricsRegistry::new();
         m.counter_add("c", "ops", 10);
@@ -339,9 +492,11 @@ mod tests {
         a.gauge_set("c", "energy_j", 2.0);
         a.observe("c", "lat", 50);
         let mut b = MetricsRegistry::new();
-        b.counter_add("c", "ops", 2);
-        b.gauge_set("c", "energy_j", 3.5);
+        // Different insertion order: key ids differ between the registries,
+        // so merge must match by name, not by raw id.
         b.observe("c", "lat", 70);
+        b.gauge_set("c", "energy_j", 3.5);
+        b.counter_add("c", "ops", 2);
         a.merge(&b);
         assert_eq!(a.counter("c", "ops"), 3);
         assert_eq!(a.gauge("c", "energy_j"), Some(5.5));

@@ -25,6 +25,8 @@
 //! | `endpoint.export`       | endpoint      | iSCSI target (re-)export         |
 //! | `client.remount`        | clientlib     | one client remount cycle         |
 
+use std::collections::HashSet;
+use std::rc::Rc;
 use std::time::Duration;
 
 use crate::json::Json;
@@ -48,10 +50,12 @@ pub struct Span {
     pub id: SpanId,
     /// Enclosing span, if any.
     pub parent: Option<SpanId>,
-    /// Emitting component (e.g. `"master-0"`, `"fabric"`).
-    pub component: String,
+    /// Emitting component (e.g. `"master-0"`, `"fabric"`). Interned:
+    /// every span of a component shares one allocation.
+    pub component: Rc<str>,
     /// Hierarchical dotted name (e.g. `"failover.reconfiguration"`).
-    pub name: String,
+    /// Interned like [`Span::component`].
+    pub name: Rc<str>,
     /// Start instant.
     pub start: SimTime,
     /// End instant; `None` while the span is open.
@@ -84,8 +88,8 @@ impl Span {
         Json::obj([
             ("id", Json::u64(self.id.0)),
             ("parent", self.parent.map_or(Json::Null, |p| Json::u64(p.0))),
-            ("component", Json::str(&self.component)),
-            ("name", Json::str(&self.name)),
+            ("component", Json::str(&*self.component)),
+            ("name", Json::str(&*self.name)),
             ("start_ns", Json::u64(self.start.as_nanos())),
             (
                 "end_ns",
@@ -123,12 +127,26 @@ impl Span {
 #[derive(Debug, Clone, Default)]
 pub struct SpanTracer {
     spans: Vec<Span>, // span with id N lives at index N-1
+    /// Still-open spans in start order; keeps `find_open*` proportional to
+    /// the number of *open* spans rather than every span ever recorded.
+    open: Vec<SpanId>,
+    /// Component/name string pool: each distinct label allocates once.
+    strings: HashSet<Rc<str>>,
 }
 
 impl SpanTracer {
     /// Creates an empty tracer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn intern(&mut self, s: &str) -> Rc<str> {
+        if let Some(rc) = self.strings.get(s) {
+            return rc.clone();
+        }
+        let rc: Rc<str> = Rc::from(s);
+        self.strings.insert(rc.clone());
+        rc
     }
 
     /// Starts a span at `at`; returns its id.
@@ -140,15 +158,18 @@ impl SpanTracer {
         parent: Option<SpanId>,
     ) -> SpanId {
         let id = SpanId(self.spans.len() as u64 + 1);
+        let component = self.intern(component);
+        let name = self.intern(name);
         self.spans.push(Span {
             id,
             parent,
-            component: component.to_owned(),
-            name: name.to_owned(),
+            component,
+            name,
             start: at,
             end: None,
             attrs: Vec::new(),
         });
+        self.open.push(id);
         id
     }
 
@@ -158,6 +179,11 @@ impl SpanTracer {
         if let Some(span) = self.get_mut(id) {
             if span.end.is_none() {
                 span.end = Some(at);
+                // Spans usually close LIFO, so scan the open list from the
+                // back; `remove` keeps the remaining list in start order.
+                if let Some(pos) = self.open.iter().rposition(|&o| o == id) {
+                    self.open.remove(pos);
+                }
             }
         }
     }
@@ -185,7 +211,7 @@ impl SpanTracer {
 
     /// All spans named `name`, in start order.
     pub fn by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
-        self.spans.iter().filter(move |s| s.name == name)
+        self.spans.iter().filter(move |s| &*s.name == name)
     }
 
     /// Direct children of `parent`, in start order.
@@ -199,20 +225,22 @@ impl SpanTracer {
     /// e.g. the fabric runtime parents its `fabric.execute` span under the
     /// failover `failover.reconfiguration` span if one is in flight.
     pub fn find_open(&self, name: &str) -> Option<SpanId> {
-        self.spans
+        self.open
             .iter()
             .rev()
-            .find(|s| s.is_open() && s.name == name)
+            .map(|&id| &self.spans[id.0 as usize - 1])
+            .find(|s| &*s.name == name)
             .map(|s| s.id)
     }
 
     /// Like [`find_open`](Self::find_open), additionally requiring an
     /// attribute match (for concurrent same-named operations).
     pub fn find_open_by(&self, name: &str, key: &str, value: &str) -> Option<SpanId> {
-        self.spans
+        self.open
             .iter()
             .rev()
-            .find(|s| s.is_open() && s.name == name && s.attr(key) == Some(value))
+            .map(|&id| &self.spans[id.0 as usize - 1])
+            .find(|s| &*s.name == name && s.attr(key) == Some(value))
             .map(|s| s.id)
     }
 
@@ -279,7 +307,7 @@ mod tests {
         t.end(ms(9), root);
         assert_eq!(t.len(), 4);
         assert_eq!(t.children(root).count(), 2);
-        let kids: Vec<_> = t.children(root).map(|s| s.name.clone()).collect();
+        let kids: Vec<_> = t.children(root).map(|s| s.name.to_string()).collect();
         assert_eq!(kids, ["failover.detection", "failover.reconfiguration"]);
         assert_eq!(
             t.get(root).unwrap().duration(),

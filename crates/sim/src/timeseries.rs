@@ -20,12 +20,14 @@
 //! simulation holds a sliding window, not an unbounded log.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::rc::Rc;
 use std::time::Duration;
 
 use crate::engine::{Sim, TimerId};
+use crate::intern::MetricKey;
+use crate::obs::MetricsRegistry;
 use crate::time::SimTime;
 
 /// One bounded series of `(instant, value)` samples.
@@ -149,12 +151,78 @@ impl Default for ScraperConfig {
 /// Histogram-derived sub-series appended to the histogram's name.
 const HIST_FACETS: [&str; 5] = ["count", "mean", "p50", "p99", "max"];
 
+/// Facet discriminants used in the id-keyed slot map. Counters and gauges
+/// are single-valued; histograms fan out into [`HIST_FACETS`] (facet
+/// `HIST_BASE + i` maps to `HIST_FACETS[i]`).
+const FACET_COUNTER: u8 = 0;
+const FACET_GAUGE: u8 = 1;
+const HIST_BASE: u8 = 2;
+/// Total facet discriminants per metric key (counter + gauge + 5 histogram
+/// facets) — the width of one row in the dense slot table.
+const FACETS_PER_KEY: usize = HIST_BASE as usize + HIST_FACETS.len();
+/// Sentinel for "no ring buffer assigned yet" in the slot table.
+const NO_SLOT: u32 = u32::MAX;
+
 type ScrapeObserver = Box<dyn FnMut(&Sim, &Scraper)>;
 
 struct ScraperInner {
     config: ScraperConfig,
-    series: BTreeMap<(String, String), TimeSeries>,
+    /// Dense `key raw → per-facet store index` table ([`NO_SLOT`] =
+    /// unassigned). The sweep resolves each registry series with two array
+    /// indexes — no hashing, no per-sample string allocation; names
+    /// materialize only when a series is first seen.
+    slots: Vec<[u32; FACETS_PER_KEY]>,
+    store: Vec<TimeSeries>,
+    /// `(component, series name, store index)`, sorted by name pair — the
+    /// string-keyed view over `store` for lookups, CSV export and key
+    /// listings. A sorted vec (not a map) so reads are allocation-free
+    /// binary searches; inserts only happen the first time a series is
+    /// seen.
+    index: Vec<(String, String, u32)>,
     scrapes: u64,
+}
+
+/// Binary-search `index` for `(component, name)` without allocating keys.
+fn find_series(
+    index: &[(String, String, u32)],
+    component: &str,
+    name: &str,
+) -> Result<usize, usize> {
+    index.binary_search_by(|e| (e.0.as_str(), e.1.as_str()).cmp(&(component, name)))
+}
+
+impl ScraperInner {
+    /// Appends one sample, creating the ring buffer (and its string index
+    /// entry) the first time a `(key, facet)` series is seen.
+    fn push_sample(
+        &mut self,
+        metrics: &MetricsRegistry,
+        key: MetricKey,
+        facet: u8,
+        now: SimTime,
+        value: f64,
+    ) {
+        let row = key.raw() as usize;
+        if row >= self.slots.len() {
+            self.slots.resize(row + 1, [NO_SLOT; FACETS_PER_KEY]);
+        }
+        let mut idx = self.slots[row][facet as usize];
+        if idx == NO_SLOT {
+            let (c, n) = metrics.resolve_key(key);
+            let name = if facet < HIST_BASE {
+                n.to_owned()
+            } else {
+                format!("{n}.{}", HIST_FACETS[(facet - HIST_BASE) as usize])
+            };
+            idx = self.store.len() as u32;
+            self.store.push(TimeSeries::new(self.config.retention));
+            self.slots[row][facet as usize] = idx;
+            if let Err(pos) = find_series(&self.index, c, &name) {
+                self.index.insert(pos, (c.to_owned(), name, idx));
+            }
+        }
+        self.store[idx as usize].push(now, value);
+    }
 }
 
 /// Samples the simulation's [`MetricsRegistry`] on a fixed simulated-time
@@ -187,7 +255,7 @@ impl std::fmt::Debug for Scraper {
         let i = self.inner.borrow();
         f.debug_struct("Scraper")
             .field("interval", &i.config.interval)
-            .field("series", &i.series.len())
+            .field("series", &i.store.len())
             .field("scrapes", &i.scrapes)
             .finish()
     }
@@ -199,7 +267,9 @@ impl Scraper {
     pub fn start(sim: &Sim, config: ScraperConfig) -> Scraper {
         let inner = Rc::new(RefCell::new(ScraperInner {
             config: config.clone(),
-            series: BTreeMap::new(),
+            slots: Vec::new(),
+            store: Vec::new(),
+            index: Vec::new(),
             scrapes: 0,
         }));
         let observers: Rc<RefCell<Vec<ScrapeObserver>>> = Rc::new(RefCell::new(Vec::new()));
@@ -231,40 +301,38 @@ impl Scraper {
     }
 
     /// Runs one sweep immediately (also used by the periodic timer).
+    ///
+    /// The sweep walks the registry in place — no snapshot clone — and
+    /// resolves each series by its interned [`MetricKey`], so steady-state
+    /// sampling allocates nothing beyond ring-buffer growth.
     pub fn scrape(&self, sim: &Sim) {
         let now = sim.now();
-        let snapshot = sim.metrics_snapshot();
+        sim.publish_engine_gauges();
         {
             let mut i = self.inner.borrow_mut();
-            let retention = i.config.retention;
-            let push = |series: &mut BTreeMap<(String, String), TimeSeries>,
-                        c: &str,
-                        n: String,
-                        v: f64| {
-                series
-                    .entry((c.to_owned(), n))
-                    .or_insert_with(|| TimeSeries::new(retention))
-                    .push(now, v);
-            };
-            for (c, n, v) in snapshot.counters() {
-                push(&mut i.series, c, n.to_owned(), v as f64);
-            }
-            for (c, n, v) in snapshot.gauges() {
-                push(&mut i.series, c, n.to_owned(), v);
-            }
-            for (c, n, h) in snapshot.histograms() {
-                for facet in HIST_FACETS {
-                    let v = match facet {
-                        "count" => h.count() as f64,
-                        "mean" => h.mean().unwrap_or(0.0),
-                        "p50" => h.quantile(0.5).unwrap_or(0) as f64,
-                        "p99" => h.quantile(0.99).unwrap_or(0) as f64,
-                        "max" => h.max().unwrap_or(0) as f64,
-                        _ => unreachable!("facet list is fixed"),
-                    };
-                    push(&mut i.series, c, format!("{n}.{facet}"), v);
+            sim.with_metrics(|m| {
+                for raw in 0..m.num_keys() {
+                    let key = MetricKey::from_raw(raw);
+                    if let Some(v) = m.counter_value(key) {
+                        i.push_sample(m, key, FACET_COUNTER, now, v as f64);
+                    }
+                    if let Some(v) = m.gauge_value(key) {
+                        i.push_sample(m, key, FACET_GAUGE, now, v);
+                    }
+                    if let Some(h) = m.histogram_value(key) {
+                        let facets = [
+                            h.count() as f64,
+                            h.mean().unwrap_or(0.0),
+                            h.quantile(0.5).unwrap_or(0) as f64,
+                            h.quantile(0.99).unwrap_or(0) as f64,
+                            h.max().unwrap_or(0) as f64,
+                        ];
+                        for (j, v) in facets.into_iter().enumerate() {
+                            i.push_sample(m, key, HIST_BASE + j as u8, now, v);
+                        }
+                    }
                 }
-            }
+            });
             i.scrapes += 1;
         }
         // Inner borrow released: observers may call accessors freely.
@@ -285,29 +353,91 @@ impl Scraper {
         self.inner.borrow().config.interval
     }
 
-    /// A copy of one series, if it has ever been sampled.
+    /// A copy of one series, if it has ever been sampled. Prefer
+    /// [`Scraper::with_series`] on hot read paths — it skips the clone.
     pub fn series(&self, component: &str, name: &str) -> Option<TimeSeries> {
-        self.inner
-            .borrow()
-            .series
-            .get(&(component.to_owned(), name.to_owned()))
-            .cloned()
+        self.with_series(component, name, |ts| ts.clone())
+    }
+
+    /// Applies `f` to one series in place (no clone), if it has ever been
+    /// sampled.
+    pub fn with_series<R>(
+        &self,
+        component: &str,
+        name: &str,
+        f: impl FnOnce(&TimeSeries) -> R,
+    ) -> Option<R> {
+        let i = self.inner.borrow();
+        let pos = find_series(&i.index, component, name).ok()?;
+        let idx = i.index[pos].2 as usize;
+        Some(f(&i.store[idx]))
     }
 
     /// All `(component, series)` keys, sorted.
     pub fn keys(&self) -> Vec<(String, String)> {
-        self.inner.borrow().series.keys().cloned().collect()
+        self.inner
+            .borrow()
+            .index
+            .iter()
+            .map(|(c, n, _)| (c.clone(), n.clone()))
+            .collect()
     }
 
     /// CSV export of every retained sample:
     /// `component,series,t_s,value` rows, keys sorted, oldest-first within
     /// a series. Byte-stable for identical runs.
+    ///
+    /// This is the largest artifact a run emits (megabytes at pod scale),
+    /// so it avoids the formatting machinery where it can: the
+    /// `component,series,` prefix is built once per series, timestamps are
+    /// formatted once per distinct scrape instant (every series samples at
+    /// the same instants), and integral values — counters and most gauges —
+    /// take a direct digit-writing path instead of `f64` shortest-repr
+    /// formatting.
     pub fn to_csv(&self) -> String {
         let i = self.inner.borrow();
-        let mut out = String::from("component,series,t_s,value\n");
-        for ((c, n), ts) in &i.series {
-            for (at, v) in ts.iter() {
-                let _ = writeln!(out, "{c},{n},{:.6},{v}", at.as_secs_f64());
+        let total: usize = i
+            .index
+            .iter()
+            .map(|&(_, _, idx)| i.store[idx as usize].len())
+            .sum();
+        let mut out = String::with_capacity(64 + total * 48);
+        out.push_str("component,series,t_s,value\n");
+        // Every series samples at the same scrape instants, so timestamp
+        // strings are formatted once per distinct instant and reused;
+        // sorted-vec lookup keeps the per-row cost at a short binary search.
+        let mut times: Vec<(u64, String)> = Vec::new();
+        let mut prefix = String::new();
+        for (c, n, idx) in &i.index {
+            prefix.clear();
+            prefix.push_str(c);
+            prefix.push(',');
+            prefix.push_str(n);
+            prefix.push(',');
+            // Timestamps within a series are increasing and follow the
+            // shared scrape cadence, so a forward cursor into the sorted
+            // cache hits on almost every row; the binary search only runs
+            // when a series joins the cadence mid-run.
+            let mut cursor = 0usize;
+            for (at, v) in i.store[*idx as usize].iter() {
+                out.push_str(&prefix);
+                let ns = at.as_nanos();
+                let pos = if times.get(cursor).is_some_and(|&(t, _)| t == ns) {
+                    cursor
+                } else {
+                    match times.binary_search_by_key(&ns, |&(t, _)| t) {
+                        Ok(pos) => pos,
+                        Err(pos) => {
+                            times.insert(pos, (ns, format!("{:.6}", at.as_secs_f64())));
+                            pos
+                        }
+                    }
+                };
+                cursor = pos + 1;
+                out.push_str(&times[pos].1);
+                out.push(',');
+                push_f64(&mut out, v);
+                out.push('\n');
             }
         }
         out
@@ -323,20 +453,69 @@ impl Scraper {
         from: SimTime,
         to: SimTime,
     ) -> Vec<(f64, f64)> {
-        self.series(component, name)
-            .map(|ts| {
-                ts.iter()
-                    .filter(|(at, _)| *at >= from && *at <= to)
-                    .map(|(at, v)| (at.as_secs_f64(), v))
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.with_series(component, name, |ts| {
+            ts.iter()
+                .filter(|(at, _)| *at >= from && *at <= to)
+                .map(|(at, v)| (at.as_secs_f64(), v))
+                .collect()
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// Appends `v` formatted exactly as `{v}` (f64 `Display`) would, taking a
+/// direct digit-writing path for integral values in the exactly-representable
+/// range — the common case for sampled counters — where shortest-repr float
+/// formatting is several times slower.
+fn push_f64(out: &mut String, v: f64) {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if v.fract() == 0.0 && v.abs() <= EXACT && !(v == 0.0 && v.is_sign_negative()) {
+        let mut n = v as i64;
+        if n < 0 {
+            out.push('-');
+            n = -n;
+        }
+        let mut buf = [0u8; 20];
+        let mut at = buf.len();
+        loop {
+            at -= 1;
+            buf[at] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        out.push_str(std::str::from_utf8(&buf[at..]).expect("ascii digits"));
+    } else {
+        let _ = write!(out, "{v}");
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_f64_matches_float_display() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            3.5,
+            -2.25,
+            123456789.0,
+            9_007_199_254_740_992.0,
+            1.0e300,
+            f64::NAN,
+            f64::INFINITY,
+            0.1,
+        ] {
+            let mut fast = String::new();
+            push_f64(&mut fast, v);
+            assert_eq!(fast, format!("{v}"), "mismatch for {v:?}");
+        }
+    }
 
     #[test]
     fn ring_buffer_evicts_oldest() {

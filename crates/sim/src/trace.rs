@@ -94,6 +94,12 @@ impl Trace {
         self.min_level = level;
     }
 
+    /// Whether events at `level` would be recorded. Callers can skip
+    /// building a message entirely when this is `false`.
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level >= self.min_level
+    }
+
     /// Sets the buffer capacity (events beyond it evict the oldest half).
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity.max(2);

@@ -14,7 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore_sim::{Sim, SimTime, TraceLevel};
+use ustore_sim::{CounterHandle, Sim, SimTime, TraceLevel};
 
 use crate::profile::UsbProfile;
 
@@ -152,6 +152,16 @@ struct Node {
     epoch: u64,
 }
 
+/// Per-transfer metric handles, resolved lazily ([`UsbHost::new`] has no
+/// simulator handle) so the streaming path never re-hashes metric names.
+#[derive(Debug, Clone)]
+struct HostMetrics {
+    transfers: CounterHandle,
+    bytes: CounterHandle,
+    link_in_busy: CounterHandle,
+    link_out_busy: CounterHandle,
+}
+
 struct Inner {
     name: String,
     profile: UsbProfile,
@@ -161,6 +171,25 @@ struct Inner {
     out_busy: SimTime,
     listeners: Vec<Rc<dyn Fn(&Sim, UsbEvent)>>,
     next_epoch: u64,
+    /// Bumped on every attach/detach/state change; consumers (the
+    /// EndPoint's heartbeat) cache derived views keyed by this and skip
+    /// re-snapshotting an unchanged tree.
+    topo_gen: u64,
+    metrics: Option<HostMetrics>,
+}
+
+impl Inner {
+    fn metrics(&mut self, sim: &Sim) -> &HostMetrics {
+        if self.metrics.is_none() {
+            self.metrics = Some(HostMetrics {
+                transfers: sim.counter(&self.name, "usb.transfers"),
+                bytes: sim.counter(&self.name, "usb.bytes"),
+                link_in_busy: sim.counter(&self.name, "usb.link_in_busy_ns"),
+                link_out_busy: sim.counter(&self.name, "usb.link_out_busy_ns"),
+            });
+        }
+        self.metrics.as_ref().expect("metrics just initialized")
+    }
 }
 
 /// A host's root controller. Cloning shares the controller.
@@ -192,6 +221,8 @@ impl UsbHost {
                 out_busy: SimTime::ZERO,
                 listeners: Vec::new(),
                 next_epoch: 0,
+                topo_gen: 0,
+                metrics: None,
             })),
         }
     }
@@ -258,6 +289,7 @@ impl UsbHost {
                             epoch,
                         },
                     );
+                    i.topo_gen += 1;
                     Ok((ready_at, epoch))
                 }
             }
@@ -277,6 +309,9 @@ impl UsbHost {
                             _ => false,
                         }
                     };
+                    if became_ready {
+                        this.inner.borrow_mut().topo_gen += 1;
+                    }
                     if became_ready {
                         sim.count(&this.name(), "usb.enumerations", 1);
                         sim.trace(
@@ -309,6 +344,7 @@ impl UsbHost {
                             epoch,
                         },
                     );
+                    i.topo_gen += 1;
                 }
                 sim.trace(
                     TraceLevel::Warn,
@@ -344,6 +380,9 @@ impl UsbHost {
                     removed.push(d);
                 }
             }
+            if !removed.is_empty() {
+                i.topo_gen += 1;
+            }
             removed
         };
         if removed.is_empty() {
@@ -367,6 +406,12 @@ impl UsbHost {
     /// State of one device, if attached.
     pub fn device_state(&self, id: DeviceId) -> Option<DeviceState> {
         self.inner.borrow().nodes.get(&id).map(|n| n.state)
+    }
+
+    /// Topology generation: changes whenever any device attaches, detaches
+    /// or changes state. Cache keys for derived views of the tree.
+    pub fn topology_gen(&self) -> u64 {
+        self.inner.borrow().topo_gen
     }
 
     /// `lsusb -t`-style snapshot, sorted by (tier, id).
@@ -476,16 +521,14 @@ impl UsbHost {
                     *busy = done;
                     // Link utilization telemetry: summing busy_ns over a
                     // window gives the per-direction duty cycle.
-                    sim.count(&i.name, "usb.transfers", 1);
-                    sim.count(&i.name, "usb.bytes", bytes);
-                    sim.count(
-                        &i.name,
-                        match dir {
-                            BusDir::In => "usb.link_in_busy_ns",
-                            BusDir::Out => "usb.link_out_busy_ns",
-                        },
-                        occ.as_nanos().min(u128::from(u64::MAX)) as u64,
-                    );
+                    let m = i.metrics(sim);
+                    m.transfers.inc();
+                    m.bytes.add(bytes);
+                    match dir {
+                        BusDir::In => &m.link_in_busy,
+                        BusDir::Out => &m.link_out_busy,
+                    }
+                    .add(occ.as_nanos().min(u128::from(u64::MAX)) as u64);
                     Ok(done)
                 }
             }

@@ -328,7 +328,7 @@ fn failover_emits_causally_ordered_span_tree() {
 
     s.sim.with_spans(|t| {
         let root = t.by_name("failover").last().expect("failover root span");
-        let phases: Vec<&str> = t.children(root.id).map(|c| c.name.as_str()).collect();
+        let phases: Vec<&str> = t.children(root.id).map(|c| &*c.name).collect();
         assert_eq!(
             phases,
             [
@@ -346,14 +346,19 @@ fn failover_emits_causally_ordered_span_tree() {
         // remount phase owns the re-export — and the former precedes the
         // latter (startup-time exports are outside the failover tree, so
         // the ordering is asserted within it).
-        let phase_id = |n: &str| t.children(root.id).find(|c| c.name == n).expect("phase").id;
+        let phase_id = |n: &str| {
+            t.children(root.id)
+                .find(|c| &*c.name == n)
+                .expect("phase")
+                .id
+        };
         let exec = t
             .children(phase_id("failover.reconfiguration"))
-            .find(|c| c.name == "fabric.execute")
+            .find(|c| &*c.name == "fabric.execute")
             .expect("fabric command nested under the reconfiguration phase");
         let export = t
             .children(phase_id("failover.remount"))
-            .find(|c| c.name == "endpoint.export")
+            .find(|c| &*c.name == "endpoint.export")
             .expect("re-export nested under the remount phase");
         assert!(
             exec.end.expect("execute closed") <= export.start,
