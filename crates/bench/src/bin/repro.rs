@@ -1,18 +1,26 @@
 //! Regenerates every table and figure of the UStore paper.
 //!
 //! ```text
-//! repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--json]
-//!       [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]
-//! repro perf [--quick] [--seed N] [--bench-out FILE] [--json]
+//! repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N]
+//!       [--json] [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]
+//! repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
-//! failover degraded hdfs rolling ablation podscale all` (default: `all`;
-//! `podscale` — the 1024-disk pod — is not part of `all` because of its
-//! runtime). Output shows paper value vs measured value with the relative
-//! error; `--json` emits the same data machine-readably, plus a
-//! `telemetry` object (keyed by experiment) carrying the metrics snapshot
-//! and span tree of each traced run.
+//! failover degraded hdfs rolling ablation podscale megapod all` (default:
+//! `all`; `podscale` — the 1024-disk pod — and `megapod` — the 4096-disk
+//! pod — are not part of `all` because of their runtime). Output shows
+//! paper value vs measured value with the relative error; `--json` emits
+//! the same data machine-readably, plus a `telemetry` object (keyed by
+//! experiment) carrying the metrics snapshot and span tree of each traced
+//! run.
+//!
+//! `--shards N` selects the sharded parallel engine (conservative
+//! epoch-synchronized PDES) where supported: `podscale` runs sharded when
+//! the flag is given (and single-world otherwise), `megapod` always runs
+//! sharded (default: up to 4 threads), and `perf` sweeps shard counts up
+//! to `N` for the shard-scaling section of `BENCH_podscale.json`. Both
+//! `--jobs` and `--shards` must be ≥ 1 — `0` is rejected, not clamped.
 //!
 //! Each experiment builds its own independent simulator, so the selected
 //! experiments run on a thread pool (`--jobs`, default: available
@@ -42,7 +50,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ustore_bench::{
-    ablation, degraded, failover, fig5, fig6, hdfs, perf, podscale, power, table2, Report,
+    ablation, degraded, failover, fig5, fig6, hdfs, megapod, perf, podscale, power, table2, Report,
     TelemetryArtifacts,
 };
 use ustore_sim::Json;
@@ -77,10 +85,19 @@ fn alloc_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
-    "degraded", "hdfs", "rolling", "ablation", "podscale", "perf",
+    "degraded", "hdfs", "rolling", "ablation", "podscale", "megapod", "perf",
 ];
+
+/// Default shard count for the scenarios that always run sharded: as many
+/// threads as the machine offers, capped where scaling flattens for the
+/// pod shapes.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(4)
+}
 
 /// Everything one experiment contributes to the final output.
 struct PickOutput {
@@ -89,7 +106,7 @@ struct PickOutput {
     artifacts: Option<TelemetryArtifacts>,
 }
 
-fn run_pick(pick: &str, seed: u64, repeats: u64) -> PickOutput {
+fn run_pick(pick: &str, seed: u64, repeats: u64, shards: Option<usize>) -> PickOutput {
     let mut out = PickOutput {
         reports: Vec::new(),
         telemetry: None,
@@ -124,8 +141,20 @@ fn run_pick(pick: &str, seed: u64, repeats: u64) -> PickOutput {
             out.reports.push(ablation::allocation_ablation(seed));
         }
         "podscale" => {
-            let run = podscale::run_podscale(seed, &podscale::PodConfig::pod());
+            let run = match shards {
+                Some(s) => podscale::run_podscale_sharded(seed, &podscale::PodConfig::pod(), s),
+                None => podscale::run_podscale(seed, &podscale::PodConfig::pod()),
+            };
             out.telemetry = Some(("podscale", run.telemetry.clone()));
+            out.reports.push(run.report);
+        }
+        "megapod" => {
+            let run = megapod::run_megapod(
+                seed,
+                &megapod::megapod(),
+                shards.unwrap_or_else(default_shards),
+            );
+            out.telemetry = Some(("megapod", run.telemetry.clone()));
             out.reports.push(run.report);
         }
         other => unreachable!("picks validated before dispatch: {other:?}"),
@@ -138,6 +167,7 @@ fn main() {
     let mut seed: u64 = 20150707;
     let mut repeats: u64 = 6;
     let mut jobs: usize = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut shards: Option<usize> = None;
     let mut json = false;
     let mut quick = false;
     let mut bench_out = String::from("BENCH_podscale.json");
@@ -166,6 +196,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&v| v >= 1)
                     .unwrap_or_else(|| usage("--jobs needs a positive number"));
+            }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &usize| v >= 1)
+                        .unwrap_or_else(|| usage("--shards needs a positive number")),
+                );
             }
             "--json" => json = true,
             "--quick" => quick = true,
@@ -199,13 +237,19 @@ fn main() {
         if picks.len() > 1 {
             usage("perf runs alone (wall-clock numbers must not share the machine)");
         }
-        run_perf_command(seed, quick, &bench_out, json);
+        run_perf_command(
+            seed,
+            quick,
+            shards.unwrap_or_else(default_shards),
+            &bench_out,
+            json,
+        );
         return;
     }
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = EXPERIMENTS
             .iter()
-            .filter(|e| !matches!(**e, "podscale" | "perf"))
+            .filter(|e| !matches!(**e, "podscale" | "megapod" | "perf"))
             .map(|s| (*s).to_owned())
             .collect();
     }
@@ -218,15 +262,17 @@ fn main() {
     // Every experiment owns an independent simulator, so they run on a
     // thread pool and join in selection order — output is byte-identical
     // to a serial run.
+    // `--jobs` is validated ≥ 1 at parse time and `picks` is non-empty
+    // here, so no clamping is needed.
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<PickOutput>>> = picks.iter().map(|_| Mutex::new(None)).collect();
-    let workers = jobs.min(picks.len()).max(1);
+    let workers = jobs.min(picks.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(pick) = picks.get(i) else { break };
-                let out = run_pick(pick, seed, repeats);
+                let out = run_pick(pick, seed, repeats, shards);
                 *slots[i].lock().expect("result slot") = Some(out);
             });
         }
@@ -289,10 +335,11 @@ fn main() {
     }
 }
 
-fn run_perf_command(seed: u64, quick: bool, bench_out: &str, json: bool) {
+fn run_perf_command(seed: u64, quick: bool, shards: usize, bench_out: &str, json: bool) {
     let report = perf::run_perf(&perf::PerfOptions {
         seed,
         quick,
+        shards,
         alloc_counter: Some(alloc_count),
     });
     let doc = report.to_bench_json();
@@ -314,6 +361,12 @@ fn run_perf_command(seed: u64, quick: bool, bench_out: &str, json: bool) {
         eprintln!("error: two same-seed podscale runs diverged — engine is non-deterministic");
         std::process::exit(1);
     }
+    if !report.sharding.digests_identical {
+        eprintln!(
+            "error: telemetry digests diverged across shard counts — the parallel engine broke determinism"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -321,11 +374,12 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--json]\n\
+        "usage: repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N] [--json]\n\
          \x20            [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]\n\
-         \x20      repro perf [--quick] [--seed N] [--bench-out FILE] [--json]\n\
-         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale all\n\
-         (podscale — 256 hosts / 1024 disks — is not part of `all`; run it explicitly or via `perf`)"
+         \x20      repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]\n\
+         experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale megapod all\n\
+         (podscale — 256 hosts / 1024 disks — and megapod — 1024 hosts / 4096 disks — are not part of `all`;\n\
+         run them explicitly or via `perf`; --shards selects the parallel engine, --jobs/--shards must be >= 1)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

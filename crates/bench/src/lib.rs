@@ -25,6 +25,7 @@ pub mod failover;
 pub mod fig5;
 pub mod fig6;
 pub mod hdfs;
+pub mod megapod;
 pub mod perf;
 pub mod podscale;
 pub mod power;

@@ -9,6 +9,10 @@
 //!   full telemetry pipeline on. Telemetry-heavy, the historical hot spot.
 //! - **podscale** — [`crate::podscale`]: 64 units / 256 hosts / 1024
 //!   disks under one Master, mixed archival workload. The scale target.
+//! - **sharding** — the same pod on the sharded parallel engine
+//!   ([`crate::podscale::run_podscale_sharded`]) at 1, 2, 4, … threads
+//!   (digests must be identical at every count), plus the 4096-disk
+//!   [`crate::megapod`] at the largest count.
 //!
 //! For each it reports **events/sec** (engine events processed per
 //! wall-clock second), **peak live queue depth**, and — when the caller
@@ -29,7 +33,8 @@ use std::time::Instant;
 use ustore_sim::Json;
 
 use crate::degraded;
-use crate::podscale::{run_podscale, PodConfig};
+use crate::megapod;
+use crate::podscale::{run_podscale, run_podscale_sharded, PodConfig};
 use crate::report::{Report, Row};
 
 /// Perf-run options.
@@ -40,6 +45,10 @@ pub struct PerfOptions {
     /// Quick mode: fewer repetitions and the shorter podscale workload
     /// window (same 1024-disk pod). This is what CI runs.
     pub quick: bool,
+    /// Maximum executor threads for the shard-scaling sweep (the sweep
+    /// measures powers of two up to this, always including 1 and this
+    /// value; the megapod runs at this value).
+    pub shards: usize,
     /// Returns the process-lifetime allocation count; measured around each
     /// run to derive allocations/event. `None` leaves the metric out.
     pub alloc_counter: Option<fn() -> u64>,
@@ -111,6 +120,43 @@ pub fn pre_overhaul_baseline(quick: bool) -> &'static Baseline {
     }
 }
 
+/// One point of the shard-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardSample {
+    /// Executor threads.
+    pub shards: usize,
+    /// Wall-clock measurement of the run.
+    pub sample: PerfSample,
+    /// Telemetry digest of the run (must match every other point).
+    pub digest: u64,
+    /// Synchronization epochs executed.
+    pub epochs: u64,
+    /// Envelopes routed across world boundaries.
+    pub cross_messages: u64,
+    /// Sum of per-world peak queue depths (whole-sim pressure; the
+    /// `sample`'s `peak_queue_depth` is the per-shard max).
+    pub peak_queue_depth_sum: f64,
+}
+
+/// The shard-scaling section of the perf report.
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// Unit-group worlds the pod was decomposed into.
+    pub groups: u32,
+    /// One measurement per shard count, ascending; `counts[0]` is the
+    /// serial (1-thread) run.
+    pub counts: Vec<ShardSample>,
+    /// Whether every point produced the same telemetry digest — the
+    /// determinism gate for the parallel engine.
+    pub digests_identical: bool,
+    /// `events_per_sec` at the largest shard count over the serial run.
+    pub speedup_vs_serial: f64,
+    /// The megapod (4096 disks) measured at the largest shard count.
+    pub megapod: ShardSample,
+    /// The megapod shape measured.
+    pub megapod_pod: PodConfig,
+}
+
 /// The full perf report.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -132,6 +178,8 @@ pub struct PerfReport {
     pub degraded_speedup: f64,
     /// podscale events/sec relative to [`PRE_OVERHAUL_BASELINE`].
     pub podscale_speedup: f64,
+    /// The sharded-engine scaling sweep (pod at 1..=N shards + megapod).
+    pub sharding: ShardScaling,
 }
 
 fn measure<R>(
@@ -212,6 +260,64 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     } else {
         podscale_sample
     };
+    // Shard-scaling sweep: the same pod on the sharded engine at 1, 2, 4,
+    // ... threads (every digest must match), then the megapod at the
+    // largest count. The sweep reuses the pod shape, so "events" differ
+    // from the single-world runs above (different decomposition) but are
+    // identical across the sweep.
+    let max_shards = opts.shards.max(1);
+    let mut shard_counts: Vec<usize> = vec![1];
+    let mut c = 2;
+    while c <= max_shards {
+        shard_counts.push(c);
+        c *= 2;
+    }
+    if max_shards > 1 && !shard_counts.contains(&max_shards) {
+        shard_counts.push(max_shards);
+    }
+    let shard_sample = |pod: &PodConfig, shards: usize| {
+        let (sample, run) = measure(
+            1,
+            opts.alloc_counter,
+            || run_podscale_sharded(opts.seed, pod, shards),
+            |run| (run.sim_seconds, run.events, run.peak_queue_depth),
+        );
+        let stats = run.sharding.expect("sharded run carries shard stats");
+        ShardSample {
+            shards,
+            sample,
+            digest: run.digest,
+            epochs: stats.epochs,
+            cross_messages: stats.cross_messages,
+            peak_queue_depth_sum: stats.peak_queue_depth_sum,
+        }
+    };
+    let counts: Vec<ShardSample> = shard_counts
+        .iter()
+        .map(|&s| shard_sample(&pod, s))
+        .collect();
+    let digests_identical = counts.windows(2).all(|w| w[0].digest == w[1].digest);
+    let speedup_vs_serial = counts
+        .last()
+        .expect("sweep has points")
+        .sample
+        .events_per_sec
+        / counts[0].sample.events_per_sec;
+    let megapod_pod = if opts.quick {
+        megapod::megapod_quick()
+    } else {
+        megapod::megapod()
+    };
+    let megapod = shard_sample(&megapod_pod, max_shards);
+    let sharding = ShardScaling {
+        groups: pod.world_groups,
+        counts,
+        digests_identical,
+        speedup_vs_serial,
+        megapod,
+        megapod_pod,
+    };
+
     let base = pre_overhaul_baseline(opts.quick);
     let speedup = |cur: f64, b: f64| if b > 0.0 { cur / b } else { f64::NAN };
     PerfReport {
@@ -224,6 +330,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         deterministic,
         degraded_speedup: speedup(degraded_sample.events_per_sec, base.degraded_events_per_sec),
         podscale_speedup: speedup(podscale_best.events_per_sec, base.podscale_events_per_sec),
+        sharding,
     }
 }
 
@@ -241,12 +348,27 @@ fn sample_json(s: &PerfSample) -> Json {
     ])
 }
 
+fn shard_sample_json(s: &ShardSample) -> Json {
+    Json::obj([
+        ("shards", Json::u64(s.shards as u64)),
+        ("sim_seconds", Json::f64(s.sample.sim_seconds)),
+        ("events", Json::u64(s.sample.events)),
+        ("wall_seconds", Json::f64(s.sample.wall_seconds)),
+        ("events_per_sec", Json::f64(s.sample.events_per_sec)),
+        ("epochs", Json::u64(s.epochs)),
+        ("cross_messages", Json::u64(s.cross_messages)),
+        ("peak_queue_depth_max", Json::f64(s.sample.peak_queue_depth)),
+        ("peak_queue_depth_sum", Json::f64(s.peak_queue_depth_sum)),
+        ("digest", Json::str(format!("{:016x}", s.digest))),
+    ])
+}
+
 impl PerfReport {
     /// The `BENCH_podscale.json` document.
     pub fn to_bench_json(&self) -> Json {
         let b = pre_overhaul_baseline(self.quick);
         Json::obj([
-            ("schema", Json::str("ustore-bench-podscale-v1")),
+            ("schema", Json::str("ustore-bench-podscale-v2")),
             ("mode", Json::str(if self.quick { "quick" } else { "full" })),
             ("seed", Json::u64(self.seed)),
             (
@@ -304,6 +426,46 @@ impl PerfReport {
                     ("two_runs_identical", Json::Bool(self.deterministic)),
                 ]),
             ),
+            (
+                "sharding",
+                Json::obj([
+                    ("groups", Json::u64(u64::from(self.sharding.groups))),
+                    (
+                        "counts",
+                        Json::arr(self.sharding.counts.iter().map(shard_sample_json)),
+                    ),
+                    (
+                        "digests_identical",
+                        Json::Bool(self.sharding.digests_identical),
+                    ),
+                    (
+                        "speedup_vs_serial",
+                        Json::f64(self.sharding.speedup_vs_serial),
+                    ),
+                    (
+                        "megapod",
+                        Json::obj([
+                            (
+                                "units",
+                                Json::u64(u64::from(self.sharding.megapod_pod.units)),
+                            ),
+                            (
+                                "hosts",
+                                Json::u64(u64::from(self.sharding.megapod_pod.hosts())),
+                            ),
+                            (
+                                "disks",
+                                Json::u64(u64::from(self.sharding.megapod_pod.disks())),
+                            ),
+                            (
+                                "groups",
+                                Json::u64(u64::from(self.sharding.megapod_pod.world_groups)),
+                            ),
+                            ("run", shard_sample_json(&self.sharding.megapod)),
+                        ]),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -349,6 +511,37 @@ impl PerfReport {
                 "x",
             ));
         }
+        for s in &self.sharding.counts {
+            rows.push(Row::measured_only(
+                format!("sharded pod events/sec ({} threads)", s.shards),
+                s.sample.events_per_sec,
+                "",
+            ));
+        }
+        rows.push(Row::measured_only(
+            "shard digests identical",
+            if self.sharding.digests_identical {
+                1.0
+            } else {
+                0.0
+            },
+            "",
+        ));
+        rows.push(Row::new(
+            "shard speedup vs serial",
+            1.0,
+            self.sharding.speedup_vs_serial,
+            "x",
+        ));
+        rows.push(Row::measured_only(
+            format!(
+                "megapod ({} disks) events/sec ({} threads)",
+                self.sharding.megapod_pod.disks(),
+                self.sharding.megapod.shards
+            ),
+            self.sharding.megapod.sample.events_per_sec,
+            "",
+        ));
         Report::new("engine perf (wall clock)", rows)
     }
 }
@@ -367,6 +560,14 @@ mod tests {
             peak_queue_depth: 7.0,
             allocs_per_event: Some(3.5),
         };
+        let shard = |shards: usize| ShardSample {
+            shards,
+            sample,
+            digest: 0xfeed_f00d,
+            epochs: 42,
+            cross_messages: 17,
+            peak_queue_depth_sum: 11.0,
+        };
         let rep = PerfReport {
             quick: true,
             seed: 1,
@@ -377,12 +578,24 @@ mod tests {
             deterministic: true,
             degraded_speedup: 3.0,
             podscale_speedup: 2.0,
+            sharding: ShardScaling {
+                groups: 8,
+                counts: vec![shard(1), shard(2), shard(4)],
+                digests_identical: true,
+                speedup_vs_serial: 2.5,
+                megapod: shard(4),
+                megapod_pod: crate::megapod::megapod_quick(),
+            },
         };
         let j = rep.to_bench_json().to_string();
-        assert!(j.contains(r#""schema":"ustore-bench-podscale-v1""#));
+        assert!(j.contains(r#""schema":"ustore-bench-podscale-v2""#));
         assert!(j.contains(r#""events_per_sec":200"#));
         assert!(j.contains(r#""two_runs_identical":true"#));
         assert!(j.contains(r#""podscale_digest":"00000000deadbeef""#));
         assert!(j.contains(r#""disks":1024"#));
+        assert!(j.contains(r#""digests_identical":true"#));
+        assert!(j.contains(r#""speedup_vs_serial":2.5"#));
+        assert!(j.contains(r#""cross_messages":17"#));
+        assert!(j.contains(r#""disks":4096"#), "megapod shape recorded");
     }
 }

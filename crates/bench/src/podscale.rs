@@ -21,9 +21,12 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore::{Mounted, SpaceInfo, SystemConfig, UStoreSystem, WatchdogConfig};
+use ustore::{
+    Mounted, ShardedPod, ShardedPodConfig, SpaceInfo, SystemConfig, TelemetryPlan, UStoreClient,
+    UStoreSystem, WatchdogConfig,
+};
 use ustore_net::BlockDevice;
-use ustore_sim::{Json, ScraperConfig, TraceLevel};
+use ustore_sim::{Json, ScraperConfig, Sim, SimTime, TraceLevel};
 
 use crate::report::{Report, Row};
 
@@ -49,6 +52,11 @@ pub struct PodConfig {
     /// Telemetry scrape cadence (scraper + Master watchdog are installed,
     /// as they would be in production).
     pub scrape_interval: Duration,
+    /// Unit-group worlds for the sharded engine ([`run_podscale_sharded`]).
+    /// Part of the scenario, not the execution: the decomposition (and so
+    /// the telemetry digest) depends on it, while the shard count does
+    /// not. Must divide into `units` (1..=units).
+    pub world_groups: u32,
 }
 
 impl PodConfig {
@@ -65,6 +73,7 @@ impl PodConfig {
             write_interval: Duration::from_millis(200),
             read_interval: Duration::from_millis(500),
             scrape_interval: Duration::from_millis(500),
+            world_groups: 8,
         }
     }
 
@@ -85,6 +94,7 @@ impl PodConfig {
             units: 4,
             clients: 4,
             run: Duration::from_secs(5),
+            world_groups: 4,
             ..PodConfig::pod()
         }
     }
@@ -100,6 +110,25 @@ impl PodConfig {
     }
 }
 
+/// Engine statistics specific to a sharded ([`run_podscale_sharded`]) run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Executor threads used.
+    pub shards: usize,
+    /// Unit-group worlds the pod was decomposed into (plus the control
+    /// world).
+    pub groups: u32,
+    /// Synchronization epochs the coordinator executed.
+    pub epochs: u64,
+    /// Envelopes routed across world boundaries.
+    pub cross_messages: u64,
+    /// Peak live queue depth of the deepest single world (per-shard max).
+    pub peak_queue_depth_max: f64,
+    /// Sum of per-world peaks — the whole-sim queue pressure a
+    /// single-world engine would have carried.
+    pub peak_queue_depth_sum: f64,
+}
+
 /// Outcome of one pod-scale run.
 #[derive(Debug, Clone)]
 pub struct PodscaleRun {
@@ -107,14 +136,21 @@ pub struct PodscaleRun {
     pub report: Report,
     /// FNV-1a digest over the full telemetry export (metrics snapshot
     /// JSON + span log JSON + scraped time-series CSV). Two same-seed
-    /// runs must produce the same digest.
+    /// runs must produce the same digest. Sharded runs combine per-world
+    /// digests in world-id order; the result is identical for every shard
+    /// count but differs from the single-world [`run_podscale`] digest
+    /// (different decomposition, different RNG streams).
     pub digest: u64,
-    /// Events the engine processed over the whole run.
+    /// Events the engine processed over the whole run (summed across
+    /// worlds for sharded runs).
     pub events: u64,
     /// Virtual seconds the run simulated (bring-up + workload).
     pub sim_seconds: f64,
-    /// Peak live event-queue depth.
+    /// Peak live event-queue depth (for sharded runs: the per-shard max;
+    /// see [`ShardStats`] for the whole-sim sum).
     pub peak_queue_depth: f64,
+    /// Sharded-engine statistics (`None` for [`run_podscale`]).
+    pub sharding: Option<ShardStats>,
     /// Completed archival writes.
     pub writes_ok: u64,
     /// Completed restore reads.
@@ -133,6 +169,102 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Drives the mixed archival workload against already-built clients:
+/// allocate one space per client (distinct services), mount, then steady
+/// sequential ingest writes plus scattered restore reads for the measured
+/// window. `advance` runs the engine — the single-world and sharded
+/// harnesses advance time differently, the workload recipe is shared
+/// (and must stay identical: the digests depend on it).
+///
+/// Returns `(writes_ok, reads_ok, io_errors)`.
+fn drive_workload(
+    sim: &Sim,
+    clients: &[UStoreClient],
+    cfg: &PodConfig,
+    mut advance: impl FnMut(Duration),
+) -> (u64, u64, u64) {
+    let mut mounts: Vec<(Mounted, u32)> = Vec::new();
+    let infos: Rc<RefCell<Vec<Option<SpaceInfo>>>> =
+        Rc::new(RefCell::new(vec![None; cfg.clients as usize]));
+    for (c, client) in clients.iter().enumerate() {
+        let infos = infos.clone();
+        client.allocate(sim, format!("archive-svc-{c}"), 1 << 30, move |_, r| {
+            infos.borrow_mut()[c] = Some(r.expect("pod allocate"));
+        });
+    }
+    advance(Duration::from_secs(10));
+    let mounted: Rc<RefCell<Vec<Option<Mounted>>>> =
+        Rc::new(RefCell::new(vec![None; cfg.clients as usize]));
+    for (c, client) in clients.iter().enumerate() {
+        let info = infos.borrow()[c].clone().expect("pod allocation served");
+        let mounted = mounted.clone();
+        client.mount(sim, info.name, move |_, r| {
+            mounted.borrow_mut()[c] = Some(r.expect("pod mount"));
+        });
+    }
+    advance(Duration::from_secs(15));
+    for (c, m) in mounted.borrow().iter().enumerate() {
+        mounts.push((m.clone().expect("pod mount served"), c as u32));
+    }
+
+    let writes_ok = Rc::new(Cell::new(0u64));
+    let reads_ok = Rc::new(Cell::new(0u64));
+    let io_errors = Rc::new(Cell::new(0u64));
+    for (m, c) in &mounts {
+        let stagger = Duration::from_millis(7 * u64::from(*c) % 97);
+        {
+            let m = m.clone();
+            let ok = writes_ok.clone();
+            let err = io_errors.clone();
+            let k = Cell::new(u64::from(*c));
+            sim.every(
+                cfg.write_interval + stagger,
+                cfg.write_interval,
+                move |sim| {
+                    let n = k.get();
+                    k.set(n + 1);
+                    let offset = (n * 65536) % ((1 << 30) - 65536);
+                    let ok = ok.clone();
+                    let err = err.clone();
+                    m.write(
+                        sim,
+                        offset,
+                        vec![0xA5; 65536],
+                        Box::new(move |_, r| match r {
+                            Ok(()) => ok.set(ok.get() + 1),
+                            Err(_) => err.set(err.get() + 1),
+                        }),
+                    );
+                },
+            );
+        }
+        {
+            let m = m.clone();
+            let ok = reads_ok.clone();
+            let err = io_errors.clone();
+            let k = Cell::new(u64::from(*c).wrapping_mul(131));
+            sim.every(cfg.read_interval + stagger, cfg.read_interval, move |sim| {
+                let n = k.get();
+                k.set(n + 1);
+                let offset = (n.wrapping_mul(7919) % (1 << 14)) * 4096;
+                let ok = ok.clone();
+                let err = err.clone();
+                m.read(
+                    sim,
+                    offset,
+                    4096,
+                    Box::new(move |_, r| match r {
+                        Ok(_) => ok.set(ok.get() + 1),
+                        Err(_) => err.set(err.get() + 1),
+                    }),
+                );
+            });
+        }
+    }
+    advance(cfg.run);
+    (writes_ok.get(), reads_ok.get(), io_errors.get())
 }
 
 /// Runs the pod-scale experiment once.
@@ -171,102 +303,14 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
         .expect("watchdog installs once a master is active");
 
     // Allocate one space per client, spread across distinct services so
-    // the allocator fans out over units instead of packing one disk.
-    let mut mounts: Vec<(Mounted, u32)> = Vec::new();
-    let infos: Rc<RefCell<Vec<Option<SpaceInfo>>>> =
-        Rc::new(RefCell::new(vec![None; cfg.clients as usize]));
+    // the allocator fans out over units instead of packing one disk, then
+    // run the mixed archival workload for the measured window.
     let clients: Vec<_> = (0..cfg.clients)
         .map(|c| system.client(&format!("archive-{c}")))
         .collect();
-    for (c, client) in clients.iter().enumerate() {
-        let infos = infos.clone();
-        client.allocate(
-            &system.sim,
-            format!("archive-svc-{c}"),
-            1 << 30,
-            move |_, r| {
-                infos.borrow_mut()[c] = Some(r.expect("pod allocate"));
-            },
-        );
-    }
-    system
-        .sim
-        .run_until(system.sim.now() + Duration::from_secs(10));
-    let mounted: Rc<RefCell<Vec<Option<Mounted>>>> =
-        Rc::new(RefCell::new(vec![None; cfg.clients as usize]));
-    for (c, client) in clients.iter().enumerate() {
-        let info = infos.borrow()[c].clone().expect("pod allocation served");
-        let mounted = mounted.clone();
-        client.mount(&system.sim, info.name, move |_, r| {
-            mounted.borrow_mut()[c] = Some(r.expect("pod mount"));
-        });
-    }
-    system
-        .sim
-        .run_until(system.sim.now() + Duration::from_secs(15));
-    for (c, m) in mounted.borrow().iter().enumerate() {
-        mounts.push((m.clone().expect("pod mount served"), c as u32));
-    }
-
-    // Mixed archival workload: steady sequential ingest writes plus
-    // scattered restore reads, per client, for the measured window.
-    let writes_ok = Rc::new(Cell::new(0u64));
-    let reads_ok = Rc::new(Cell::new(0u64));
-    let io_errors = Rc::new(Cell::new(0u64));
-    for (m, c) in &mounts {
-        let stagger = Duration::from_millis(7 * u64::from(*c) % 97);
-        {
-            let m = m.clone();
-            let ok = writes_ok.clone();
-            let err = io_errors.clone();
-            let k = Cell::new(u64::from(*c));
-            system.sim.every(
-                cfg.write_interval + stagger,
-                cfg.write_interval,
-                move |sim| {
-                    let n = k.get();
-                    k.set(n + 1);
-                    let offset = (n * 65536) % ((1 << 30) - 65536);
-                    let ok = ok.clone();
-                    let err = err.clone();
-                    m.write(
-                        sim,
-                        offset,
-                        vec![0xA5; 65536],
-                        Box::new(move |_, r| match r {
-                            Ok(()) => ok.set(ok.get() + 1),
-                            Err(_) => err.set(err.get() + 1),
-                        }),
-                    );
-                },
-            );
-        }
-        {
-            let m = m.clone();
-            let ok = reads_ok.clone();
-            let err = io_errors.clone();
-            let k = Cell::new(u64::from(*c).wrapping_mul(131));
-            system
-                .sim
-                .every(cfg.read_interval + stagger, cfg.read_interval, move |sim| {
-                    let n = k.get();
-                    k.set(n + 1);
-                    let offset = (n.wrapping_mul(7919) % (1 << 14)) * 4096;
-                    let ok = ok.clone();
-                    let err = err.clone();
-                    m.read(
-                        sim,
-                        offset,
-                        4096,
-                        Box::new(move |_, r| match r {
-                            Ok(_) => ok.set(ok.get() + 1),
-                            Err(_) => err.set(err.get() + 1),
-                        }),
-                    );
-                });
-        }
-    }
-    system.sim.run_until(system.sim.now() + cfg.run);
+    let (writes_ok, reads_ok, io_errors) = drive_workload(&system.sim, &clients, cfg, |d| {
+        system.sim.run_until(system.sim.now() + d);
+    });
 
     // Telemetry digest: the full export, fingerprinted. Residency gauges
     // are published first so the snapshot is complete.
@@ -293,9 +337,9 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
         ("sim_seconds", Json::f64(system.sim.now().as_secs_f64())),
         ("events", Json::u64(events)),
         ("peak_queue_depth", Json::f64(peak_queue_depth)),
-        ("writes_ok", Json::u64(writes_ok.get())),
-        ("reads_ok", Json::u64(reads_ok.get())),
-        ("io_errors", Json::u64(io_errors.get())),
+        ("writes_ok", Json::u64(writes_ok)),
+        ("reads_ok", Json::u64(reads_ok)),
+        ("io_errors", Json::u64(io_errors)),
         ("telemetry_digest", Json::str(format!("{digest:016x}"))),
     ]);
     let report = Report::new(
@@ -310,9 +354,9 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
             Row::measured_only("disks", f64::from(cfg.disks()), ""),
             Row::measured_only("events processed", events as f64, ""),
             Row::measured_only("peak live queue depth", peak_queue_depth, ""),
-            Row::measured_only("archival writes", writes_ok.get() as f64, ""),
-            Row::measured_only("restore reads", reads_ok.get() as f64, ""),
-            Row::measured_only("io errors", io_errors.get() as f64, ""),
+            Row::measured_only("archival writes", writes_ok as f64, ""),
+            Row::measured_only("restore reads", reads_ok as f64, ""),
+            Row::measured_only("io errors", io_errors as f64, ""),
         ],
     );
     PodscaleRun {
@@ -321,9 +365,144 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
         events,
         sim_seconds: system.sim.now().as_secs_f64(),
         peak_queue_depth,
-        writes_ok: writes_ok.get(),
-        reads_ok: reads_ok.get(),
-        io_errors: io_errors.get(),
+        sharding: None,
+        writes_ok,
+        reads_ok,
+        io_errors,
+        telemetry,
+    }
+}
+
+/// Runs the pod-scale experiment on the sharded parallel engine: the pod
+/// is decomposed into `cfg.world_groups` unit-group worlds plus a control
+/// world and executed by `shards` OS threads in epochs bounded by the
+/// network base latency (the PDES lookahead).
+///
+/// The workload recipe is [`run_podscale`]'s, driven from the control
+/// world. The telemetry digest combines per-world exports in world-id
+/// order and is bit-identical for every `shards` value — only wall-clock
+/// changes. The Master-side watchdog is not installed (it needs
+/// cross-world disk metrics; the healthy-pod benchmark does not exercise
+/// it), so digests are comparable across shard counts but not with
+/// [`run_podscale`].
+///
+/// # Panics
+///
+/// Panics if bring-up fails, or on a degenerate shape (`shards` 0,
+/// `world_groups` outside `1..=units`).
+pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> PodscaleRun {
+    let mut pod = ShardedPod::build(
+        seed,
+        &ShardedPodConfig {
+            system: SystemConfig {
+                units: cfg.units,
+                hosts: cfg.hosts_per_unit,
+                disks: cfg.disks_per_unit,
+                fanin: cfg.fanin,
+                ..SystemConfig::default()
+            },
+            groups: cfg.world_groups,
+            shards,
+            clients: (0..cfg.clients).map(|c| format!("archive-{c}")).collect(),
+            telemetry: Some(TelemetryPlan {
+                start: SimTime::from_secs(15),
+                scraper: ScraperConfig {
+                    interval: cfg.scrape_interval,
+                    retention: 1024,
+                },
+            }),
+            trace_level: TraceLevel::Warn,
+        },
+    );
+    pod.run_until(SimTime::from_secs(15));
+    assert!(
+        pod.active_master().is_some(),
+        "pod bring-up must elect a master"
+    );
+
+    let sim = pod.sim.clone();
+    let clients = pod.clients.clone();
+    let (writes_ok, reads_ok, io_errors) = drive_workload(&sim, &clients, cfg, |d| pod.run_for(d));
+
+    let sim_seconds = pod.now().as_secs_f64();
+    let epochs = pod.epochs();
+    let cross_messages = pod.cross_messages();
+    drop((sim, clients));
+    let worlds = pod.finalize();
+
+    // Combine per-world digests in world-id order. The per-world digest is
+    // the single-world formula; the fold is order-sensitive so a swap of
+    // two worlds' telemetry cannot cancel out.
+    let mut digest = 0u64;
+    let mut events = 0u64;
+    let mut peak_max = 0f64;
+    let mut peak_sum = 0f64;
+    for w in &worlds {
+        let mut d = fnv1a(w.metrics_json.as_bytes());
+        d ^= fnv1a(w.spans_json.as_bytes()).rotate_left(1);
+        d ^= fnv1a(w.scrape_csv.as_bytes()).rotate_left(2);
+        digest = digest.rotate_left(7) ^ d;
+        events += w.events;
+        peak_max = peak_max.max(w.peak_queue_depth);
+        peak_sum += w.peak_queue_depth;
+    }
+    let sharding = ShardStats {
+        shards,
+        groups: cfg.world_groups,
+        epochs,
+        cross_messages,
+        peak_queue_depth_max: peak_max,
+        peak_queue_depth_sum: peak_sum,
+    };
+
+    let telemetry = Json::obj([
+        ("experiment", Json::str("podscale_sharded")),
+        ("seed", Json::u64(seed)),
+        ("units", Json::u64(u64::from(cfg.units))),
+        ("hosts", Json::u64(u64::from(cfg.hosts()))),
+        ("disks", Json::u64(u64::from(cfg.disks()))),
+        ("clients", Json::u64(u64::from(cfg.clients))),
+        ("world_groups", Json::u64(u64::from(cfg.world_groups))),
+        ("shards", Json::u64(shards as u64)),
+        ("epochs", Json::u64(epochs)),
+        ("cross_messages", Json::u64(cross_messages)),
+        ("sim_seconds", Json::f64(sim_seconds)),
+        ("events", Json::u64(events)),
+        ("peak_queue_depth_max", Json::f64(peak_max)),
+        ("peak_queue_depth_sum", Json::f64(peak_sum)),
+        ("writes_ok", Json::u64(writes_ok)),
+        ("reads_ok", Json::u64(reads_ok)),
+        ("io_errors", Json::u64(io_errors)),
+        ("telemetry_digest", Json::str(format!("{digest:016x}"))),
+    ]);
+    let report = Report::new(
+        format!(
+            "podscale (sharded) — {} units in {} worlds on {} threads",
+            cfg.units, cfg.world_groups, shards
+        ),
+        vec![
+            Row::measured_only("hosts", f64::from(cfg.hosts()), ""),
+            Row::measured_only("disks", f64::from(cfg.disks()), ""),
+            Row::measured_only("events processed", events as f64, ""),
+            Row::measured_only("sync epochs", epochs as f64, ""),
+            Row::measured_only("cross-world messages", cross_messages as f64, ""),
+            Row::measured_only("peak queue depth (per-shard max)", peak_max, ""),
+            Row::measured_only("peak queue depth (whole-sim sum)", peak_sum, ""),
+            Row::measured_only("archival writes", writes_ok as f64, ""),
+            Row::measured_only("restore reads", reads_ok as f64, ""),
+            Row::measured_only("io errors", io_errors as f64, ""),
+        ],
+    );
+    PodscaleRun {
+        report,
+        digest,
+        events,
+        sim_seconds,
+        peak_queue_depth: peak_max,
+        sharding: Some(sharding),
+        writes_ok,
+        reads_ok,
+        io_errors,
         telemetry,
     }
 }
@@ -339,6 +518,21 @@ mod tests {
         assert!(run.reads_ok > 0, "restore reads completed");
         assert_eq!(run.io_errors, 0, "healthy pod serves all IO");
         assert!(run.events > 10_000, "pod generates real event volume");
+    }
+
+    #[test]
+    fn sharded_tiny_pod_serves_io_and_reports_shard_stats() {
+        let cfg = PodConfig::tiny();
+        let run = run_podscale_sharded(904, &cfg, 2);
+        assert!(run.writes_ok > 0, "archival writes completed");
+        assert!(run.reads_ok > 0, "restore reads completed");
+        assert_eq!(run.io_errors, 0, "healthy pod serves all IO");
+        let s = run.sharding.expect("sharded run carries shard stats");
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.groups, cfg.world_groups);
+        assert!(s.epochs > 0, "coordinator ran epochs");
+        assert!(s.cross_messages > 0, "workload crossed world boundaries");
+        assert!(s.peak_queue_depth_sum >= s.peak_queue_depth_max);
     }
 
     #[test]

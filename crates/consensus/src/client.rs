@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_net::{Addr, Network, RpcError, RpcNode};
@@ -128,7 +129,7 @@ impl CoordClient {
         client.rpc.serve("coord.event", move |sim, req, responder| {
             let notif: &WatchNotification = req.downcast_ref().expect("WatchNotification");
             let cb = c.inner.borrow_mut().watches.remove(&notif.watch_id);
-            responder.reply(sim, Rc::new(()), 8);
+            responder.reply(sim, Arc::new(()), 8);
             if let Some(cb) = cb {
                 cb(sim, notif.event.clone());
             }
@@ -183,7 +184,7 @@ impl CoordClient {
             sim,
             &target,
             "coord.request",
-            Rc::new(req.clone()),
+            Arc::new(req.clone()),
             256,
             timeout,
             move |sim, resp| {

@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_net::{Addr, Network, Responder, RpcNode};
@@ -459,7 +460,7 @@ impl CoordServer {
                 sim,
                 addr,
                 "paxos.prepare",
-                Rc::new(req.clone()),
+                Arc::new(req.clone()),
                 128,
                 timeout,
                 move |sim, resp| {
@@ -615,7 +616,7 @@ impl CoordServer {
                 sim,
                 addr,
                 "paxos.learn",
-                Rc::new(req),
+                Arc::new(req),
                 256,
                 timeout,
                 move |_sim, resp| {
@@ -641,7 +642,7 @@ impl CoordServer {
                 self.metrics.redirects.inc();
                 if let Some(r) = responder {
                     let hint = self.leader_hint();
-                    r.reply(sim, Rc::new(ClientResp::Redirect(hint)), 16);
+                    r.reply(sim, Arc::new(ClientResp::Redirect(hint)), 16);
                 }
                 return;
             }
@@ -676,7 +677,7 @@ impl CoordServer {
                 sim,
                 addr,
                 "paxos.accept",
-                Rc::new(req.clone()),
+                Arc::new(req.clone()),
                 256,
                 timeout,
                 move |sim, resp| {
@@ -727,7 +728,7 @@ impl CoordServer {
             s.pending.drain().map(|(_, r)| r).collect()
         };
         for r in pending {
-            r.reply(sim, Rc::new(ClientResp::Redirect(None)), 16);
+            r.reply(sim, Arc::new(ClientResp::Redirect(None)), 16);
         }
     }
 
@@ -753,7 +754,7 @@ impl CoordServer {
             };
             let (result, events, responder) = step;
             if let Some(r) = responder {
-                r.reply(sim, Rc::new(ClientResp::Write(result)), 64);
+                r.reply(sim, Arc::new(ClientResp::Write(result)), 64);
             }
             self.fire_watches(sim, &events);
         }
@@ -790,7 +791,7 @@ impl CoordServer {
                 sim,
                 &client,
                 "coord.event",
-                Rc::new(notif),
+                Arc::new(notif),
                 64,
                 timeout,
                 |_, _| {},
@@ -806,21 +807,21 @@ impl CoordServer {
             let req: &PrepareReq = req.downcast_ref().expect("PrepareReq");
             let resp = this.handle_prepare(sim, req);
             if let Some(resp) = resp {
-                responder.reply(sim, Rc::new(resp), 256);
+                responder.reply(sim, Arc::new(resp), 256);
             }
         });
         let this = self.clone();
         self.rpc.serve("paxos.accept", move |sim, req, responder| {
             let req: &AcceptReq = req.downcast_ref().expect("AcceptReq");
             if let Some(resp) = this.handle_accept(sim, req) {
-                responder.reply(sim, Rc::new(resp), 64);
+                responder.reply(sim, Arc::new(resp), 64);
             }
         });
         let this = self.clone();
         self.rpc.serve("paxos.learn", move |sim, req, responder| {
             let req: &LearnReq = req.downcast_ref().expect("LearnReq");
             if let Some(resp) = this.handle_learn(sim, req) {
-                responder.reply(sim, Rc::new(resp), 64);
+                responder.reply(sim, Arc::new(resp), 64);
             }
         });
         let this = self.clone();
@@ -950,7 +951,7 @@ impl CoordServer {
         };
         if !is_leader {
             let hint = self.leader_hint();
-            responder.reply(sim, Rc::new(ClientResp::Redirect(hint)), 16);
+            responder.reply(sim, Arc::new(ClientResp::Redirect(hint)), 16);
             return;
         }
         match req {
@@ -971,7 +972,7 @@ impl CoordServer {
                     .borrow_mut()
                     .session_last_heard
                     .insert(session, now);
-                responder.reply(sim, Rc::new(ClientResp::Pong), 8);
+                responder.reply(sim, Arc::new(ClientResp::Pong), 8);
             }
             ClientReq::Read { op, watch } => {
                 let peer = responder.peer().clone();
@@ -1002,7 +1003,7 @@ impl CoordServer {
                     }
                     result
                 };
-                responder.reply(sim, Rc::new(ClientResp::Read(result)), 128);
+                responder.reply(sim, Arc::new(ClientResp::Read(result)), 128);
             }
         }
     }

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_fabric::DiskId;
@@ -120,22 +121,22 @@ impl UStoreClient {
         self.rpc.addr().clone()
     }
 
-    fn master_call<T: Clone + 'static>(
+    fn master_call<T: std::any::Any + Send + Sync + Clone>(
         &self,
         sim: &Sim,
         method: &'static str,
-        body: Rc<dyn std::any::Any>,
+        body: ustore_net::Payload,
         cb: impl FnOnce(&Sim, Result<T, ClientLibError>) + 'static,
     ) {
         let attempts = self.config.master_attempts;
         self.master_call_attempt(sim, method, body, attempts, Box::new(cb));
     }
 
-    fn master_call_attempt<T: Clone + 'static>(
+    fn master_call_attempt<T: std::any::Any + Send + Sync + Clone>(
         &self,
         sim: &Sim,
         method: &'static str,
-        body: Rc<dyn std::any::Any>,
+        body: ustore_net::Payload,
         attempts: u32,
         cb: Box<dyn FnOnce(&Sim, Result<T, ClientLibError>)>,
     ) {
@@ -170,11 +171,11 @@ impl UStoreClient {
     /// Dispatch helper that retries `NotActive` responses on the other
     /// master (with a bounded budget — a standby answering instantly must
     /// not reset the overall retry loop forever).
-    fn master_result<T: Clone + 'static>(
+    fn master_result<T: std::any::Any + Send + Sync + Clone>(
         &self,
         sim: &Sim,
         method: &'static str,
-        body: Rc<dyn std::any::Any>,
+        body: ustore_net::Payload,
         cb: impl FnOnce(&Sim, Result<T, ClientLibError>) + 'static,
     ) where
         Result<T, MasterError>: Clone,
@@ -183,11 +184,11 @@ impl UStoreClient {
         self.master_result_attempt(sim, method, body, rounds, Box::new(cb));
     }
 
-    fn master_result_attempt<T: Clone + 'static>(
+    fn master_result_attempt<T: std::any::Any + Send + Sync + Clone>(
         &self,
         sim: &Sim,
         method: &'static str,
-        body: Rc<dyn std::any::Any>,
+        body: ustore_net::Payload,
         rounds_left: u32,
         cb: Box<dyn FnOnce(&Sim, Result<T, ClientLibError>)>,
     ) where
@@ -228,7 +229,7 @@ impl UStoreClient {
             size,
             near: Some(self.addr()),
         };
-        self.master_result::<SpaceInfo>(sim, "master.allocate", Rc::new(req), cb);
+        self.master_result::<SpaceInfo>(sim, "master.allocate", Arc::new(req), cb);
     }
 
     /// Directory lookup: where does this space live right now?
@@ -238,7 +239,7 @@ impl UStoreClient {
         name: SpaceName,
         cb: impl FnOnce(&Sim, Result<SpaceInfo, ClientLibError>) + 'static,
     ) {
-        self.master_result::<SpaceInfo>(sim, "master.lookup", Rc::new(LookupReq { name }), cb);
+        self.master_result::<SpaceInfo>(sim, "master.lookup", Arc::new(LookupReq { name }), cb);
     }
 
     /// Releases an allocated space.
@@ -248,7 +249,7 @@ impl UStoreClient {
         name: SpaceName,
         cb: impl FnOnce(&Sim, Result<(), ClientLibError>) + 'static,
     ) {
-        self.master_result::<()>(sim, "master.release", Rc::new(ReleaseReq { name }), cb);
+        self.master_result::<()>(sim, "master.release", Arc::new(ReleaseReq { name }), cb);
     }
 
     /// Spins a disk belonging to this service up or down (§IV-F exposes
@@ -263,7 +264,7 @@ impl UStoreClient {
         self.master_call::<EndpointAck>(
             sim,
             "master.disk_power",
-            Rc::new(DiskPowerReq { disk, up }),
+            Arc::new(DiskPowerReq { disk, up }),
             move |sim, r| {
                 let out = match r {
                     Err(e) => Err(e),

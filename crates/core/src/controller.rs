@@ -11,6 +11,7 @@
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ustore_fabric::FabricRuntime;
 use ustore_net::RpcNode;
@@ -54,7 +55,7 @@ impl Controller {
                     }
                 })
                 .map_err(|e| e.to_string());
-            responder.reply(sim, Rc::new(plan), 256);
+            responder.reply(sim, Arc::new(plan), 256);
         });
 
         let c = ctl.clone();
@@ -67,7 +68,7 @@ impl Controller {
             );
             c.runtime.execute(sim, req.pairs.clone(), move |sim, r| {
                 let resp: ExecuteResp = r.map_err(|e| e.to_string());
-                responder.reply(sim, Rc::new(resp), 64);
+                responder.reply(sim, Arc::new(resp), 64);
             });
         });
 
@@ -115,7 +116,7 @@ mod tests {
             &sim,
             &Addr::new("host-0"),
             "ctl.plan",
-            Rc::new(PlanReq {
+            Arc::new(PlanReq {
                 disks: (0..4).map(DiskId).collect(),
                 targets: vec![HostId(1), HostId(2), HostId(3)],
                 pull_cohort: false,
@@ -142,7 +143,7 @@ mod tests {
             &sim,
             &Addr::new("host-0"),
             "ctl.execute",
-            Rc::new(ExecuteReq {
+            Arc::new(ExecuteReq {
                 pairs: (0..4).map(|i| (DiskId(i), HostId(2))).collect(),
             }),
             128,
@@ -167,7 +168,7 @@ mod tests {
             &sim,
             &Addr::new("host-0"),
             "ctl.execute",
-            Rc::new(ExecuteReq {
+            Arc::new(ExecuteReq {
                 pairs: vec![(DiskId(0), HostId(1))],
             }),
             128,

@@ -11,6 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_disk::PowerStateKind;
@@ -185,13 +186,13 @@ impl Endpoint {
         self.rpc.serve("ep.expose", move |sim, req, responder| {
             let req: &ExposeReq = req.downcast_ref().expect("ExposeReq");
             e.expose(sim, req.name, req.offset, req.len);
-            responder.reply(sim, Rc::new(Ok(()) as EndpointAck), 16);
+            responder.reply(sim, Arc::new(Ok(()) as EndpointAck), 16);
         });
         let e = self.clone();
         self.rpc.serve("ep.unexpose", move |sim, req, responder| {
             let req: &UnexposeReq = req.downcast_ref().expect("UnexposeReq");
             e.unexpose(req.name);
-            responder.reply(sim, Rc::new(Ok(()) as EndpointAck), 16);
+            responder.reply(sim, Arc::new(Ok(()) as EndpointAck), 16);
         });
         let e = self.clone();
         self.rpc.serve("ep.disk_power", move |sim, req, responder| {
@@ -202,7 +203,7 @@ impl Endpoint {
             } else {
                 disk.spin_down(sim);
             }
-            responder.reply(sim, Rc::new(Ok(()) as EndpointAck), 16);
+            responder.reply(sim, Arc::new(Ok(()) as EndpointAck), 16);
         });
     }
 
@@ -411,7 +412,7 @@ impl Endpoint {
             sim,
             &target,
             "master.heartbeat",
-            Rc::new(hb),
+            Arc::new(hb),
             200,
             timeout,
             move |_sim, resp| {

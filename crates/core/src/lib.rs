@@ -50,6 +50,7 @@ pub mod endpoint;
 pub mod ids;
 pub mod master;
 pub mod messages;
+pub mod sharded;
 pub mod system;
 pub mod watchdog;
 
@@ -60,5 +61,10 @@ pub use endpoint::{Endpoint, EndpointConfig};
 pub use ids::{ParseSpaceNameError, SpaceName, UnitId};
 pub use master::{Master, MasterConfig, UnitConf};
 pub use messages::{MasterError, SpaceInfo};
-pub use system::{coord_addr, host_addr, master_addr, SystemConfig, UStoreSystem};
+pub use sharded::{
+    world_of_unit, PodWorld, ShardedPod, ShardedPodConfig, TelemetryPlan, WorldTelemetry,
+};
+pub use system::{
+    coord_addr, host_addr, master_addr, unit_conf_for, unit_host_addr, SystemConfig, UStoreSystem,
+};
 pub use watchdog::{HealthEvent, HealthSignal, HealthWatchdog, Phase, WatchdogConfig};

@@ -17,6 +17,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_consensus::{ClientConfig as CoordClientConfig, CoordClient, CreateMode, Election};
@@ -329,7 +330,7 @@ impl Master {
             .serve("master.heartbeat", move |sim, req, responder| {
                 let hb: &Heartbeat = req.downcast_ref().expect("Heartbeat");
                 let ack = m.on_heartbeat(sim, hb);
-                responder.reply(sim, Rc::new(ack), 16);
+                responder.reply(sim, Arc::new(ack), 16);
             });
         let m = self.clone();
         self.rpc
@@ -341,7 +342,7 @@ impl Master {
         self.rpc.serve("master.lookup", move |sim, req, responder| {
             let req: &LookupReq = req.downcast_ref().expect("LookupReq");
             let resp: LookupResp = m.on_lookup(req.name);
-            responder.reply(sim, Rc::new(resp), 128);
+            responder.reply(sim, Arc::new(resp), 128);
         });
         let m = self.clone();
         self.rpc
@@ -411,7 +412,7 @@ impl Master {
                 sim,
                 &addr,
                 "ep.expose",
-                Rc::new(req),
+                Arc::new(req),
                 64,
                 timeout,
                 |_, _| {},
@@ -426,7 +427,7 @@ impl Master {
             if !m.active {
                 responder.reply(
                     sim,
-                    Rc::new(Err(MasterError::NotActive) as AllocateResp),
+                    Arc::new(Err(MasterError::NotActive) as AllocateResp),
                     16,
                 );
                 return;
@@ -447,7 +448,11 @@ impl Master {
                 Ok(a) => a,
                 Err(e) => {
                     drop(m);
-                    responder.reply(sim, Rc::new(Err(MasterError::Alloc(e)) as AllocateResp), 16);
+                    responder.reply(
+                        sim,
+                        Arc::new(Err(MasterError::Alloc(e)) as AllocateResp),
+                        16,
+                    );
                     return;
                 }
             }
@@ -468,7 +473,7 @@ impl Master {
                     let _ = this.inner.borrow_mut().alloc.release(name);
                     responder.reply(
                         sim,
-                        Rc::new(Err(MasterError::MetadataUnavailable) as AllocateResp),
+                        Arc::new(Err(MasterError::MetadataUnavailable) as AllocateResp),
                         16,
                     );
                     return;
@@ -486,7 +491,7 @@ impl Master {
                         sim,
                         &addr,
                         "ep.expose",
-                        Rc::new(ExposeReq {
+                        Arc::new(ExposeReq {
                             name,
                             offset: extent.offset,
                             len: extent.len,
@@ -496,7 +501,7 @@ impl Master {
                         |_, _| {},
                     );
                 }
-                responder.reply(sim, Rc::new(Ok(info) as AllocateResp), 128);
+                responder.reply(sim, Arc::new(Ok(info) as AllocateResp), 128);
             });
     }
 
@@ -547,13 +552,17 @@ impl Master {
         {
             let mut m = self.inner.borrow_mut();
             if !m.active {
-                responder.reply(sim, Rc::new(Err(MasterError::NotActive) as ReleaseResp), 16);
+                responder.reply(
+                    sim,
+                    Arc::new(Err(MasterError::NotActive) as ReleaseResp),
+                    16,
+                );
                 return;
             }
             if m.alloc.release(name).is_err() {
                 responder.reply(
                     sim,
-                    Rc::new(Err(MasterError::NoSuchSpace) as ReleaseResp),
+                    Arc::new(Err(MasterError::NoSuchSpace) as ReleaseResp),
                     16,
                 );
                 return;
@@ -574,7 +583,7 @@ impl Master {
                 sim,
                 &addr,
                 "ep.unexpose",
-                Rc::new(UnexposeReq { name }),
+                Arc::new(UnexposeReq { name }),
                 32,
                 timeout,
                 |_, _| {},
@@ -583,7 +592,7 @@ impl Master {
         let znode = format!("/ustore/alloc/{}", encode_space(name));
         self.coord.delete(sim, znode, None, move |sim, r| {
             let resp: ReleaseResp = r.map_err(|_| MasterError::MetadataUnavailable);
-            responder.reply(sim, Rc::new(resp), 16);
+            responder.reply(sim, Arc::new(resp), 16);
         });
     }
 
@@ -593,7 +602,7 @@ impl Master {
             if !m.active {
                 responder.reply(
                     sim,
-                    Rc::new(Err("not active".to_owned()) as EndpointAck),
+                    Arc::new(Err("not active".to_owned()) as EndpointAck),
                     16,
                 );
                 return;
@@ -606,7 +615,7 @@ impl Master {
         let Some(addr) = target else {
             responder.reply(
                 sim,
-                Rc::new(Err("disk not attached".to_owned()) as EndpointAck),
+                Arc::new(Err("disk not attached".to_owned()) as EndpointAck),
                 16,
             );
             return;
@@ -616,7 +625,7 @@ impl Master {
             sim,
             &addr,
             "ep.disk_power",
-            Rc::new(req),
+            Arc::new(req),
             32,
             timeout,
             move |sim, r| {
@@ -624,7 +633,7 @@ impl Master {
                     Ok(a) => (*a).clone(),
                     Err(e) => Err(e.to_string()),
                 };
-                responder.reply(sim, Rc::new(resp), 16);
+                responder.reply(sim, Arc::new(resp), 16);
             },
         );
     }
@@ -854,7 +863,7 @@ impl Master {
             sim,
             controllers.clone(),
             "ctl.plan",
-            Rc::new(PlanReq {
+            Arc::new(PlanReq {
                 disks: vec![d],
                 targets,
                 pull_cohort,
@@ -886,7 +895,7 @@ impl Master {
                             sim,
                             order,
                             "ctl.execute",
-                            Rc::new(ExecuteReq { pairs }),
+                            Arc::new(ExecuteReq { pairs }),
                             exec_timeout,
                             move |sim, r| {
                                 let ok = matches!(r, Some((_, Ok(()))));
@@ -951,7 +960,7 @@ impl Master {
             sim,
             controllers.clone(),
             "ctl.plan",
-            Rc::new(PlanReq {
+            Arc::new(PlanReq {
                 disks,
                 targets,
                 pull_cohort: false,
@@ -978,7 +987,7 @@ impl Master {
                     sim,
                     order,
                     "ctl.execute",
-                    Rc::new(ExecuteReq { pairs }),
+                    Arc::new(ExecuteReq { pairs }),
                     exec_timeout,
                     move |sim, r| {
                         let ok = matches!(r, Some((_, Ok(()))));
@@ -1040,12 +1049,12 @@ impl Master {
     /// Calls the unit's primary Controller, falling back to the backup on
     /// timeout (§IV-C: "Only when the primary fails will the Master send
     /// commands to the backup Controller").
-    fn controller_call<R: Clone + 'static>(
+    fn controller_call<R: std::any::Any + Send + Sync + Clone>(
         &self,
         sim: &Sim,
         controllers: Vec<Addr>,
         method: &'static str,
-        body: Rc<dyn std::any::Any>,
+        body: ustore_net::Payload,
         timeout: Duration,
         cb: impl FnOnce(&Sim, Option<(Addr, R)>) + 'static,
     ) {

@@ -1,0 +1,630 @@
+//! Sharded pod: one UStore deployment split across a fixed set of
+//! simulation worlds, executed by [`ShardCoordinator`] on 1..N threads.
+//!
+//! The decomposition follows the paper's structure (§III): deploy units
+//! are mostly independent — their only cross-unit coupling is
+//! control-plane RPC over the data-center network — so the pod is split
+//! into one *control world* (coordination cluster, Masters, clients) and
+//! `groups` *unit-group worlds* (each a contiguous block of deploy units
+//! with their USB fabrics, disks, EndPoints and Controllers). The
+//! network's `base_latency` is the PDES lookahead bound.
+//!
+//! Crucially the world decomposition is fixed by the scenario, **not** by
+//! the shard count: `--shards N` only chooses how many OS threads execute
+//! the same worlds. Each world consumes its own RNG stream and owns its
+//! own telemetry registries, so per-world exports — and any digest
+//! combined over them in world-id order — are bit-identical for every
+//! shard count.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ustore_consensus::{CoordConfig, CoordServer};
+use ustore_fabric::{FabricRuntime, Topology};
+use ustore_net::{Addr, Envelope, Network, RpcNode};
+use ustore_sim::{
+    FastMap, Routed, Scraper, ScraperConfig, ShardCoordinator, ShardWorld, Sim, SimTime,
+    TraceLevel, WorldBuilder,
+};
+
+use crate::clientlib::UStoreClient;
+use crate::controller::Controller;
+use crate::endpoint::Endpoint;
+use crate::ids::UnitId;
+use crate::master::Master;
+use crate::system::{coord_addr, master_addr, unit_conf_for, unit_host_addr, SystemConfig};
+
+/// When (and how) each world starts its telemetry pipeline. Scheduled at
+/// an absolute instant so every world samples on the same clock.
+#[derive(Debug, Clone)]
+pub struct TelemetryPlan {
+    /// Absolute instant the publisher + scraper start.
+    pub start: SimTime,
+    /// Scraper parameters (each world runs its own scraper).
+    pub scraper: ScraperConfig,
+}
+
+/// Shape of a sharded pod.
+#[derive(Debug, Clone)]
+pub struct ShardedPodConfig {
+    /// The deployment shape (units, hosts, disks, control plane).
+    pub system: SystemConfig,
+    /// Number of unit-group worlds. Fixed per scenario: changing it
+    /// changes the decomposition and therefore the telemetry digests;
+    /// changing `shards` does not.
+    pub groups: u32,
+    /// Executor threads (1 = fully sequential on the calling thread).
+    pub shards: usize,
+    /// Client names to create in the control world (they must be known at
+    /// build time so the placement map covers them).
+    pub clients: Vec<String>,
+    /// Telemetry pipeline start, if any.
+    pub telemetry: Option<TelemetryPlan>,
+    /// Minimum trace level recorded by every world.
+    pub trace_level: TraceLevel,
+}
+
+/// Telemetry and engine statistics of one finalized world.
+#[derive(Debug, Clone)]
+pub struct WorldTelemetry {
+    /// World id (0 = control world).
+    pub world: usize,
+    /// Metrics registry snapshot as stable JSON.
+    pub metrics_json: String,
+    /// Span log as stable JSON.
+    pub spans_json: String,
+    /// Scraped time-series CSV (empty without a [`TelemetryPlan`]).
+    pub scrape_csv: String,
+    /// Events this world's engine processed.
+    pub events: u64,
+    /// Peak live event-queue depth of this world's engine.
+    pub peak_queue_depth: f64,
+}
+
+/// One world of the sharded pod.
+pub struct PodWorld {
+    id: usize,
+    sim: Sim,
+    net: Network,
+    runtimes: Vec<FabricRuntime>,
+    endpoints: Vec<Endpoint>,
+    controllers: Vec<Rc<Controller>>,
+    coord: Vec<CoordServer>,
+    masters: Vec<Master>,
+    scraper: Rc<RefCell<Option<Scraper>>>,
+}
+
+impl fmt::Debug for PodWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PodWorld")
+            .field("id", &self.id)
+            .field("units", &self.runtimes.len())
+            .field("endpoints", &self.endpoints.len())
+            .finish()
+    }
+}
+
+impl ShardWorld for PodWorld {
+    type Msg = Envelope;
+
+    fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    fn drain_outbox(&mut self) -> Vec<Routed<Envelope>> {
+        self.net.drain_outbox()
+    }
+
+    fn deliver(&mut self, batch: Vec<Routed<Envelope>>) {
+        for r in batch {
+            debug_assert_eq!(r.dst_world, self.id, "misrouted envelope");
+            self.net.deliver_remote(&self.sim, r);
+        }
+    }
+
+    fn finalize(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+        // Residency gauges are published right before the snapshot so the
+        // export is complete, mirroring the single-world harness.
+        for rt in &self.runtimes {
+            rt.publish_residency(&self.sim);
+        }
+        let _ = (
+            &self.endpoints,
+            &self.controllers,
+            &self.coord,
+            &self.masters,
+        );
+        Box::new(WorldTelemetry {
+            world: self.id,
+            metrics_json: self.sim.metrics_snapshot().to_json().to_string(),
+            spans_json: self.sim.with_spans(|t| t.to_json()).to_string(),
+            scrape_csv: self
+                .scraper
+                .borrow()
+                .as_ref()
+                .map(|s| s.to_csv())
+                .unwrap_or_default(),
+            events: self.sim.events_processed(),
+            peak_queue_depth: self
+                .sim
+                .metrics_snapshot()
+                .gauge("sim", "queue_depth_max")
+                .unwrap_or(0.0),
+        })
+    }
+}
+
+/// Derives a world's root seed from the run seed: every world gets an
+/// independent, deterministic RNG stream regardless of shard count.
+fn world_seed(root: u64, world: usize) -> u64 {
+    let mut z = root
+        ^ (world as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Units per unit-group world.
+fn units_per_group(units: u32, groups: u32) -> u32 {
+    units.div_ceil(groups)
+}
+
+/// The world a unit's hosts are placed in (shard-placement rule:
+/// contiguous unit blocks, world 0 reserved for the control plane).
+pub fn world_of_unit(unit: u32, units: u32, groups: u32) -> usize {
+    1 + (unit / units_per_group(units, groups)) as usize
+}
+
+/// Builds the static address → world placement map shared by all worlds.
+fn build_placement(cfg: &ShardedPodConfig) -> Arc<FastMap<Addr, usize>> {
+    let sys = &cfg.system;
+    let mut placement: FastMap<Addr, usize> = FastMap::default();
+    for i in 0..sys.coord_nodes {
+        placement.insert(coord_addr(i), 0);
+    }
+    for i in 0..sys.masters {
+        let m = master_addr(i);
+        placement.insert(Addr::new(format!("{m}-zk")), 0);
+        placement.insert(m, 0);
+    }
+    for name in &cfg.clients {
+        placement.insert(Addr::new(name.as_str()), 0);
+    }
+    let (topology, _) = Topology::upper_switched(sys.hosts, sys.disks, sys.fanin);
+    let host_ids: Vec<_> = topology.hosts().collect();
+    for u in 0..sys.units {
+        let world = world_of_unit(u, sys.units, cfg.groups);
+        for &h in &host_ids {
+            placement.insert(unit_host_addr(UnitId(u), h), world);
+        }
+    }
+    Arc::new(placement)
+}
+
+/// Starts the per-world telemetry pipeline at `plan.start`: a gauge
+/// publisher (disk residency + network counters) registered *before* the
+/// scraper at the same cadence, exactly like the single-world harness.
+fn install_telemetry(
+    sim: &Sim,
+    net: &Network,
+    runtimes: &[FabricRuntime],
+    plan: Option<TelemetryPlan>,
+) -> Rc<RefCell<Option<Scraper>>> {
+    let slot: Rc<RefCell<Option<Scraper>>> = Rc::new(RefCell::new(None));
+    let Some(plan) = plan else { return slot };
+    let runtimes = runtimes.to_vec();
+    let net = net.clone();
+    let slot2 = slot.clone();
+    sim.schedule_at(plan.start, move |sim| {
+        let interval = plan.scraper.interval;
+        sim.every(interval, interval, move |sim| {
+            for rt in &runtimes {
+                rt.publish_residency(sim);
+            }
+            net.publish_metrics(sim);
+        });
+        *slot2.borrow_mut() = Some(Scraper::start(sim, plan.scraper.clone()));
+    });
+    slot
+}
+
+/// Builds the control world: coordination cluster, Masters and clients.
+fn build_control_world(
+    seed: u64,
+    cfg: &ShardedPodConfig,
+    placement: Arc<FastMap<Addr, usize>>,
+) -> (PodWorld, Vec<UStoreClient>) {
+    let sys = &cfg.system;
+    let sim = Sim::new(world_seed(seed, 0));
+    sim.with_trace(|t| t.set_min_level(cfg.trace_level));
+    let net = Network::new(sys.net.clone());
+    net.enable_shard_routing(0, placement);
+
+    let coord_addrs: Vec<Addr> = (0..sys.coord_nodes).map(coord_addr).collect();
+    let coord: Vec<CoordServer> = (0..sys.coord_nodes)
+        .map(|i| CoordServer::new(&sim, &net, i, coord_addrs.clone(), CoordConfig::default()))
+        .collect();
+    let unit_confs: Vec<_> = (0..sys.units)
+        .map(|u| unit_conf_for(UnitId(u), sys))
+        .collect();
+    let master_addrs: Vec<Addr> = (0..sys.masters).map(master_addr).collect();
+    let masters: Vec<Master> = master_addrs
+        .iter()
+        .map(|a| {
+            Master::new(
+                &sim,
+                &net,
+                a.clone(),
+                coord_addrs.clone(),
+                unit_confs.clone(),
+                sys.master.clone(),
+            )
+        })
+        .collect();
+    let clients: Vec<UStoreClient> = cfg
+        .clients
+        .iter()
+        .map(|name| {
+            UStoreClient::new(
+                &net,
+                Addr::new(name.as_str()),
+                master_addrs.clone(),
+                sys.clientlib.clone(),
+            )
+        })
+        .collect();
+    let scraper = install_telemetry(&sim, &net, &[], cfg.telemetry.clone());
+    (
+        PodWorld {
+            id: 0,
+            sim,
+            net,
+            runtimes: Vec::new(),
+            endpoints: Vec::new(),
+            controllers: Vec::new(),
+            coord,
+            masters,
+            scraper,
+        },
+        clients,
+    )
+}
+
+/// Builds unit-group world `id` hosting units `lo..hi`.
+fn build_unit_world(
+    id: usize,
+    seed: u64,
+    sys: &SystemConfig,
+    lo: u32,
+    hi: u32,
+    placement: Arc<FastMap<Addr, usize>>,
+    telemetry: Option<TelemetryPlan>,
+    trace_level: TraceLevel,
+) -> PodWorld {
+    let sim = Sim::new(world_seed(seed, id));
+    sim.with_trace(|t| t.set_min_level(trace_level));
+    let net = Network::new(sys.net.clone());
+    net.enable_shard_routing(id, placement);
+    let master_addrs: Vec<Addr> = (0..sys.masters).map(master_addr).collect();
+    let mut runtimes = Vec::new();
+    let mut endpoints = Vec::new();
+    let mut controllers = Vec::new();
+    for u in lo..hi {
+        let unit = UnitId(u);
+        let (topology, switch_config) = Topology::upper_switched(sys.hosts, sys.disks, sys.fanin);
+        let runtime = FabricRuntime::new(&sim, topology, switch_config, sys.runtime.clone());
+        for h in runtime.host_ids() {
+            let rpc = RpcNode::new(&net, unit_host_addr(unit, h));
+            if h.0 < 2 {
+                controllers.push(Controller::new(unit, rpc.clone(), runtime.clone()));
+            }
+            endpoints.push(Endpoint::new(
+                &sim,
+                unit,
+                h,
+                rpc,
+                runtime.clone(),
+                master_addrs.clone(),
+                sys.endpoint.clone(),
+            ));
+        }
+        runtimes.push(runtime);
+    }
+    let scraper = install_telemetry(&sim, &net, &runtimes, telemetry);
+    PodWorld {
+        id,
+        sim,
+        net,
+        runtimes,
+        endpoints,
+        controllers,
+        coord: Vec::new(),
+        masters: Vec::new(),
+        scraper,
+    }
+}
+
+/// A sharded UStore pod: the coordinator plus control-world handles the
+/// driver can interact with between epochs (clients, masters).
+pub struct ShardedPod {
+    coordinator: ShardCoordinator<Envelope>,
+    /// The control world's engine (the driver's clock: issue client calls
+    /// against this, then [`ShardedPod::run_for`] to execute them).
+    pub sim: Sim,
+    /// The control world's network.
+    pub net: Network,
+    /// Master processes (control world).
+    pub masters: Vec<Master>,
+    /// Clients created at build time, in `cfg.clients` order.
+    pub clients: Vec<UStoreClient>,
+}
+
+impl fmt::Debug for ShardedPod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedPod")
+            .field("now", &self.coordinator.now())
+            .field("epochs", &self.coordinator.epochs())
+            .finish()
+    }
+}
+
+impl ShardedPod {
+    /// Builds the pod: the control world and any unit-group worlds that
+    /// land on shard 0 are constructed on the calling thread; the rest
+    /// are constructed on their worker threads (round-robin assignment of
+    /// unit-group worlds over shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape (`groups` 0 or > units, `shards` 0)
+    /// or a zero network base latency (no lookahead bound).
+    pub fn build(seed: u64, cfg: &ShardedPodConfig) -> ShardedPod {
+        let sys = &cfg.system;
+        assert!(sys.units >= 1, "need at least one deploy unit");
+        assert!(
+            cfg.groups >= 1 && cfg.groups <= sys.units,
+            "groups must be in 1..=units"
+        );
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let lookahead = sys.net.base_latency;
+        assert!(
+            lookahead > Duration::ZERO,
+            "sharded execution needs a positive network base latency as lookahead"
+        );
+
+        let placement = build_placement(cfg);
+        let (control, clients) = build_control_world(seed, cfg, placement.clone());
+        let sim = control.sim.clone();
+        let net = control.net.clone();
+        let masters = control.masters.clone();
+
+        let mut local: Vec<(usize, Box<dyn ShardWorld<Msg = Envelope>>)> =
+            vec![(0, Box::new(control))];
+        let mut remote: Vec<Vec<(usize, WorldBuilder<Envelope>)>> =
+            (1..cfg.shards).map(|_| Vec::new()).collect();
+        let per = units_per_group(sys.units, cfg.groups);
+        for g in 0..cfg.groups {
+            let id = 1 + g as usize;
+            let lo = g * per;
+            let hi = ((g + 1) * per).min(sys.units);
+            let shard = (g as usize) % cfg.shards;
+            if shard == 0 {
+                local.push((
+                    id,
+                    Box::new(build_unit_world(
+                        id,
+                        seed,
+                        sys,
+                        lo,
+                        hi,
+                        placement.clone(),
+                        cfg.telemetry.clone(),
+                        cfg.trace_level,
+                    )),
+                ));
+            } else {
+                let sys = sys.clone();
+                let placement = placement.clone();
+                let telemetry = cfg.telemetry.clone();
+                let trace_level = cfg.trace_level;
+                remote[shard - 1].push((
+                    id,
+                    Box::new(move || {
+                        Box::new(build_unit_world(
+                            id,
+                            seed,
+                            &sys,
+                            lo,
+                            hi,
+                            placement,
+                            telemetry,
+                            trace_level,
+                        )) as Box<dyn ShardWorld<Msg = Envelope>>
+                    }) as WorldBuilder<Envelope>,
+                ));
+            }
+        }
+
+        let coordinator = ShardCoordinator::new(lookahead, local, remote);
+        ShardedPod {
+            coordinator,
+            sim,
+            net,
+            masters,
+            clients,
+        }
+    }
+
+    /// The merged clock (barrier reached so far).
+    pub fn now(&self) -> SimTime {
+        self.coordinator.now()
+    }
+
+    /// Runs every world to `deadline` in lookahead-bounded epochs.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.coordinator.run_until(deadline);
+    }
+
+    /// Runs for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.coordinator.run_for(d);
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs(&self) -> u64 {
+        self.coordinator.epochs()
+    }
+
+    /// Cross-world messages exchanged so far.
+    pub fn cross_messages(&self) -> u64 {
+        self.coordinator.cross_messages()
+    }
+
+    /// The currently active master, if any.
+    pub fn active_master(&self) -> Option<&Master> {
+        self.masters.iter().find(|m| m.is_active())
+    }
+
+    /// Finalizes every world and returns their telemetry in world-id
+    /// order.
+    pub fn finalize(self) -> Vec<WorldTelemetry> {
+        self.coordinator
+            .finalize()
+            .into_iter()
+            .map(|(id, t)| {
+                let t = t
+                    .downcast::<WorldTelemetry>()
+                    .expect("pod world returns WorldTelemetry");
+                debug_assert_eq!(t.world, id);
+                *t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use ustore_net::BlockDevice;
+
+    fn pod_cfg(units: u32, groups: u32, shards: usize, clients: u32) -> ShardedPodConfig {
+        ShardedPodConfig {
+            system: SystemConfig {
+                units,
+                ..SystemConfig::default()
+            },
+            groups,
+            shards,
+            clients: (0..clients).map(|c| format!("app-{c}")).collect(),
+            telemetry: None,
+            trace_level: TraceLevel::Warn,
+        }
+    }
+
+    #[test]
+    fn sharded_pod_brings_up_and_serves_cross_world_io() {
+        let mut pod = ShardedPod::build(2001, &pod_cfg(4, 2, 2, 1));
+        pod.run_until(SimTime::from_secs(15));
+        assert!(pod.active_master().is_some(), "master elected");
+        assert!(pod.cross_messages() > 0, "heartbeats crossed worlds");
+
+        // Allocate, mount and do a write/read round trip: every hop
+        // (client → master → controller/endpoint → disk) crosses worlds.
+        let client = pod.clients[0].clone();
+        let info = Rc::new(RefCell::new(None));
+        let i2 = info.clone();
+        client.allocate(&pod.sim, "svc", 1 << 30, move |_, r| {
+            *i2.borrow_mut() = Some(r.expect("allocate"));
+        });
+        pod.run_for(Duration::from_secs(10));
+        let info = info.borrow_mut().take().expect("allocation served");
+
+        let mounted = Rc::new(RefCell::new(None));
+        let m2 = mounted.clone();
+        client.mount(&pod.sim, info.name, move |_, r| {
+            *m2.borrow_mut() = Some(r.expect("mount"));
+        });
+        pod.run_for(Duration::from_secs(15));
+        let mounted = mounted.borrow_mut().take().expect("mount served");
+
+        let ok = Rc::new(Cell::new(false));
+        let o = ok.clone();
+        let m3 = mounted.clone();
+        mounted.write(
+            &pod.sim,
+            4096,
+            b"cold bits".to_vec(),
+            Box::new(move |sim, r| {
+                r.expect("write");
+                m3.read(
+                    sim,
+                    4096,
+                    9,
+                    Box::new(move |_, r| {
+                        assert_eq!(r.expect("read"), b"cold bits".to_vec());
+                        o.set(true);
+                    }),
+                );
+            }),
+        );
+        pod.run_for(Duration::from_secs(10));
+        assert!(ok.get(), "cross-world IO round trip completed");
+    }
+
+    #[test]
+    fn world_telemetry_identical_across_shard_counts() {
+        let run = |shards: usize| -> Vec<WorldTelemetry> {
+            let mut pod = ShardedPod::build(2002, &pod_cfg(4, 4, shards, 2));
+            pod.run_until(SimTime::from_secs(15));
+            assert!(pod.active_master().is_some());
+            pod.run_for(Duration::from_secs(5));
+            pod.finalize()
+        };
+        let one = run(1);
+        assert_eq!(one.len(), 5, "control world + 4 unit worlds");
+        for shards in [2, 4] {
+            let n = run(shards);
+            for (a, b) in one.iter().zip(&n) {
+                assert_eq!(a.world, b.world);
+                assert_eq!(a.events, b.events, "world {} events differ", a.world);
+                assert_eq!(
+                    a.metrics_json, b.metrics_json,
+                    "world {} metrics differ (shards={shards})",
+                    a.world
+                );
+                assert_eq!(
+                    a.spans_json, b.spans_json,
+                    "world {} spans differ (shards={shards})",
+                    a.world
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placement_rules() {
+        let cfg = pod_cfg(8, 4, 2, 1);
+        assert_eq!(world_of_unit(0, 8, 4), 1);
+        assert_eq!(world_of_unit(1, 8, 4), 1);
+        assert_eq!(world_of_unit(2, 8, 4), 2);
+        assert_eq!(world_of_unit(7, 8, 4), 4);
+        let placement = build_placement(&cfg);
+        assert_eq!(placement.get(&master_addr(0)), Some(&0));
+        assert_eq!(placement.get(&coord_addr(0)), Some(&0));
+        assert_eq!(placement.get(&Addr::new("app-0")), Some(&0));
+        assert_eq!(
+            placement.get(&unit_host_addr(UnitId(0), ustore_fabric::HostId(0))),
+            Some(&1)
+        );
+        assert_eq!(
+            placement.get(&unit_host_addr(UnitId(7), ustore_fabric::HostId(3))),
+            Some(&4)
+        );
+    }
+}

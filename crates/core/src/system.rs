@@ -125,6 +125,29 @@ pub fn coord_addr(i: u32) -> Addr {
     Addr::new(format!("coord-{i}"))
 }
 
+/// Unit configuration derived purely from the deployment shape — no live
+/// hardware required. Host/disk id order matches the unit's topology
+/// iteration order, and disk capacity comes from the configured drive
+/// profile, so this is identical to what [`UStoreSystem::build`] derives
+/// from a constructed [`FabricRuntime`]. The sharded builder relies on
+/// that: its Masters live in a different world than the unit hardware.
+pub fn unit_conf_for(unit: UnitId, config: &SystemConfig) -> UnitConf {
+    let (topology, _) = Topology::upper_switched(config.hosts, config.disks, config.fanin);
+    let capacity = config.runtime.disk_profile.mech.capacity_bytes;
+    UnitConf {
+        unit,
+        hosts: topology
+            .hosts()
+            .map(|h| (h, unit_host_addr(unit, h)))
+            .collect(),
+        disks: topology.disks().map(|d| (d, capacity)).collect(),
+        controllers: vec![
+            unit_host_addr(unit, HostId(0)),
+            unit_host_addr(unit, HostId(1)),
+        ],
+    }
+}
+
 impl UStoreSystem {
     /// Builds and starts a deployment. Run the simulator for a few virtual
     /// seconds ([`UStoreSystem::settle`]) before using it: enumeration and
@@ -145,23 +168,7 @@ impl UStoreSystem {
             let (topology, switch_config) =
                 Topology::upper_switched(config.hosts, config.disks, config.fanin);
             let runtime = FabricRuntime::new(&sim, topology, switch_config, config.runtime.clone());
-            unit_confs.push(UnitConf {
-                unit,
-                hosts: runtime
-                    .host_ids()
-                    .into_iter()
-                    .map(|h| (h, unit_host_addr(unit, h)))
-                    .collect(),
-                disks: runtime
-                    .disk_ids()
-                    .into_iter()
-                    .map(|d| (d, runtime.disk(d).capacity()))
-                    .collect(),
-                controllers: vec![
-                    unit_host_addr(unit, HostId(0)),
-                    unit_host_addr(unit, HostId(1)),
-                ],
-            });
+            unit_confs.push(unit_conf_for(unit, &config));
             runtimes.push(runtime);
         }
         // Masters manage every unit.

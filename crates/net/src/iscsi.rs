@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_sim::Sim;
@@ -101,7 +102,7 @@ impl IscsiServer {
                     Err(IscsiError::NoSuchTarget)
                 }
             };
-            responder.reply(sim, Rc::new(resp), 64);
+            responder.reply(sim, Arc::new(resp), 64);
         });
 
         let t = targets.clone();
@@ -112,7 +113,7 @@ impl IscsiServer {
             let dev = t.borrow().get(&req.target).cloned();
             match dev {
                 None => {
-                    responder.reply(sim, Rc::new(Err(IscsiError::NoSuchTarget) as ReadResp), 16)
+                    responder.reply(sim, Arc::new(Err(IscsiError::NoSuchTarget) as ReadResp), 16)
                 }
                 Some(dev) => {
                     let comp = comp.clone();
@@ -126,7 +127,7 @@ impl IscsiServer {
                                 sim.count(&comp, "iscsi.read_bytes", d.len() as u64);
                             }
                             let resp: ReadResp = res.map_err(IscsiError::Block);
-                            responder.reply(sim, Rc::new(resp), bytes);
+                            responder.reply(sim, Arc::new(resp), bytes);
                         }),
                     );
                 }
@@ -140,9 +141,11 @@ impl IscsiServer {
             sim.count(&comp, "iscsi.writes", 1);
             let dev = t.borrow().get(&req.target).cloned();
             match dev {
-                None => {
-                    responder.reply(sim, Rc::new(Err(IscsiError::NoSuchTarget) as WriteResp), 16)
-                }
+                None => responder.reply(
+                    sim,
+                    Arc::new(Err(IscsiError::NoSuchTarget) as WriteResp),
+                    16,
+                ),
                 Some(dev) => {
                     let len = req.data.len() as u64;
                     let comp = comp.clone();
@@ -155,7 +158,7 @@ impl IscsiServer {
                                 sim.count(&comp, "iscsi.write_bytes", len);
                             }
                             let resp: WriteResp = res.map_err(IscsiError::Block);
-                            responder.reply(sim, Rc::new(resp), 16);
+                            responder.reply(sim, Arc::new(resp), 16);
                         }),
                     );
                 }
@@ -228,7 +231,7 @@ impl IscsiSession {
             sim,
             server,
             "iscsi.login",
-            Rc::new(LoginReq {
+            Arc::new(LoginReq {
                 target: target.to_owned(),
             }),
             64,
@@ -279,7 +282,7 @@ impl IscsiSession {
             sim,
             &self.server,
             "iscsi.read",
-            Rc::new(ReadReq {
+            Arc::new(ReadReq {
                 target: self.target.clone(),
                 offset,
                 len,
@@ -309,7 +312,7 @@ impl IscsiSession {
             sim,
             &self.server,
             "iscsi.write",
-            Rc::new(WriteReq {
+            Arc::new(WriteReq {
                 target: self.target.clone(),
                 offset,
                 data,

@@ -37,5 +37,5 @@ pub mod rpc;
 
 pub use blockdev::{BlockDevice, BlockError, MemDevice, Partition, ReadCb, WriteCb};
 pub use iscsi::{IscsiError, IscsiServer, IscsiSession};
-pub use network::{Addr, Envelope, NetConfig, Network};
+pub use network::{Addr, Envelope, NetConfig, Network, Payload};
 pub use rpc::{Responder, RpcError, RpcNode};

@@ -11,18 +11,20 @@ use std::cell::RefCell;
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
-use ustore_sim::{FastMap, FastSet, Sim, SimTime, TraceLevel};
+use ustore_sim::{FastMap, FastSet, Routed, Sim, SimTime, TraceLevel};
 
-/// A network address (host name). Cheap to clone.
+/// A network address (host name). Cheap to clone and safe to move across
+/// shard threads.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Addr(Rc<str>);
+pub struct Addr(Arc<str>);
 
 impl Addr {
     /// Creates an address from a name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Addr(Rc::from(name.as_ref()))
+        Addr(Arc::from(name.as_ref()))
     }
 
     /// The address as a string slice.
@@ -43,6 +45,11 @@ impl From<&str> for Addr {
     }
 }
 
+/// A message payload: typed, reference-counted, and `Send + Sync` so
+/// envelopes can cross shard boundaries. Receivers downcast to the
+/// expected type.
+pub type Payload = Arc<dyn Any + Send + Sync>;
+
 /// A delivered message.
 #[derive(Clone)]
 pub struct Envelope {
@@ -53,7 +60,7 @@ pub struct Envelope {
     /// Wire size used for serialization-delay accounting.
     pub bytes: u64,
     /// The typed payload; receivers downcast to the expected type.
-    pub payload: Rc<dyn Any>,
+    pub payload: Payload,
 }
 
 impl fmt::Debug for Envelope {
@@ -96,10 +103,25 @@ struct Node {
     up: bool,
 }
 
+/// Shard-routing state: when a `Network` is one world of a sharded
+/// simulation, sends whose destination lives in another world are
+/// buffered here instead of being scheduled locally.
+struct Routing {
+    /// This network's world id.
+    world: usize,
+    /// Static address → world-id placement map, shared by every world.
+    placement: Arc<FastMap<Addr, usize>>,
+    /// Cross-world sends buffered since the last drain, in send order.
+    outbox: Vec<Routed<Envelope>>,
+    /// Monotone per-world sequence for the canonical merge.
+    seq: u64,
+}
+
 struct Inner {
     config: NetConfig,
     nodes: FastMap<Addr, Node>,
     blocked: FastSet<(Addr, Addr)>,
+    routing: Option<Routing>,
     sent: u64,
     delivered: u64,
     dropped: u64,
@@ -123,7 +145,7 @@ struct Inner {
 ///     let msg: &String = env.payload.downcast_ref().expect("typed payload");
 ///     assert_eq!(msg, "hello");
 /// });
-/// net.send(&sim, &a, &b, 64, std::rc::Rc::new("hello".to_string()));
+/// net.send(&sim, &a, &b, 64, std::sync::Arc::new("hello".to_string()));
 /// sim.run();
 /// ```
 #[derive(Clone)]
@@ -150,6 +172,7 @@ impl Network {
                 config,
                 nodes: FastMap::default(),
                 blocked: FastSet::default(),
+                routing: None,
                 sent: 0,
                 delivered: 0,
                 dropped: 0,
@@ -183,13 +206,25 @@ impl Network {
 
     /// Sends a message. Delivery is asynchronous; lost/blocked messages
     /// vanish silently (like UDP — reliability belongs to the RPC layer).
-    pub fn send(&self, sim: &Sim, from: &Addr, to: &Addr, bytes: u64, payload: Rc<dyn Any>) {
-        let deliver_at = {
+    ///
+    /// With shard routing enabled, a destination placed in another world
+    /// is buffered into the outbox (with the delivery instant already
+    /// computed, so the sender-side NIC/jitter accounting is identical to
+    /// a local send) instead of being scheduled here.
+    pub fn send(&self, sim: &Sim, from: &Addr, to: &Addr, bytes: u64, payload: Payload) {
+        // None = dropped; Some((at, Some(dst))) = route to world `dst`.
+        let disposition = {
             let mut i = self.inner.borrow_mut();
             i.sent += 1;
             let now = sim.now();
+            let remote_dst = i.routing.as_ref().and_then(|r| {
+                let dst = r.placement.get(to).copied()?;
+                (dst != r.world).then_some(dst)
+            });
             let up_from = i.nodes.get(from).is_some_and(|n| n.up);
-            let up_to = i.nodes.get(to).is_some_and(|n| n.up);
+            // A destination in another world is liveness-checked at
+            // delivery time by its own Network.
+            let up_to = remote_dst.is_some() || i.nodes.get(to).is_some_and(|n| n.up);
             // No partitions installed (the common case) skips the tuple
             // hash entirely.
             let blocked = !i.blocked.is_empty() && i.blocked.contains(&(from.clone(), to.clone()));
@@ -214,17 +249,41 @@ impl Network {
                 let sender = i.nodes.get_mut(from).expect("sender exists");
                 let start = now.max(sender.nic_busy);
                 sender.nic_busy = start + ser;
-                Some(start + ser + i.config.base_latency + jitter)
+                Some((start + ser + i.config.base_latency + jitter, remote_dst))
             }
         };
-        let Some(at) = deliver_at else { return };
-        let this = self.clone();
+        let Some((at, remote_dst)) = disposition else {
+            return;
+        };
         let env = Envelope {
             from: from.clone(),
             to: to.clone(),
             bytes,
             payload,
         };
+        match remote_dst {
+            None => self.schedule_delivery(sim, at, env),
+            Some(dst_world) => {
+                let mut i = self.inner.borrow_mut();
+                let r = i.routing.as_mut().expect("routing enabled");
+                let seq = r.seq;
+                r.seq += 1;
+                r.outbox.push(Routed {
+                    deliver_at: at,
+                    src_world: r.world,
+                    dst_world,
+                    seq,
+                    msg: env,
+                });
+            }
+        }
+    }
+
+    /// Schedules the destination-side half of a delivery: liveness and
+    /// handler checks plus the delivered/dropped accounting happen at the
+    /// delivery instant.
+    fn schedule_delivery(&self, sim: &Sim, at: SimTime, env: Envelope) {
+        let this = self.clone();
         sim.schedule_at(at, move |sim| {
             let handler = {
                 let mut i = this.inner.borrow_mut();
@@ -248,6 +307,43 @@ impl Network {
                 h(sim, env);
             }
         });
+    }
+
+    /// Marks this network as world `world` of a sharded simulation, using
+    /// the shared address placement map to split local from cross-world
+    /// sends. The `sent` counter stays source-side; `delivered`/`dropped`
+    /// are accounted by the destination world, so summing the per-world
+    /// gauges reproduces the single-world totals.
+    pub fn enable_shard_routing(&self, world: usize, placement: Arc<FastMap<Addr, usize>>) {
+        self.inner.borrow_mut().routing = Some(Routing {
+            world,
+            placement,
+            outbox: Vec::new(),
+            seq: 0,
+        });
+    }
+
+    /// Drains the buffered cross-world sends, in send order. Returns an
+    /// empty vector when shard routing is not enabled.
+    pub fn drain_outbox(&self) -> Vec<Routed<Envelope>> {
+        self.inner
+            .borrow_mut()
+            .routing
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.outbox))
+            .unwrap_or_default()
+    }
+
+    /// Injects a message routed from another world. The delivery instant
+    /// was computed at the source; destination liveness, handler dispatch
+    /// and the delivered/dropped counters are evaluated here exactly as
+    /// for a local send.
+    pub fn deliver_remote(&self, sim: &Sim, routed: Routed<Envelope>) {
+        debug_assert!(
+            routed.deliver_at >= sim.now(),
+            "remote delivery in the past"
+        );
+        self.schedule_delivery(sim, routed.deliver_at, routed.msg);
     }
 
     /// Crashes a node: in-flight messages to it are dropped on arrival and
@@ -341,7 +437,7 @@ mod tests {
             assert_eq!(*env.payload.downcast_ref::<u32>().expect("u32"), 42);
             at2.set(sim.now());
         });
-        net.send(&sim, &a, &b, 1000, Rc::new(42u32));
+        net.send(&sim, &a, &b, 1000, Arc::new(42u32));
         sim.run();
         // 1000 B / 1.25 GB/s = 0.8 us serialization + 100 us latency.
         assert_eq!(at.get(), SimTime::from_nanos(800 + 100_000));
@@ -355,7 +451,7 @@ mod tests {
         net.bind(&b, move |sim, _| t.borrow_mut().push(sim.now()));
         // Two 1.25 MB messages: 1 ms serialization each, shared NIC.
         for _ in 0..2 {
-            net.send(&sim, &a, &b, 1_250_000, Rc::new(()));
+            net.send(&sim, &a, &b, 1_250_000, Arc::new(()));
         }
         sim.run();
         let times = times.borrow();
@@ -370,11 +466,11 @@ mod tests {
         let g = got.clone();
         net.bind(&b, move |_, _| g.set(true));
         net.set_down(&sim, &b);
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         sim.run();
         assert!(!got.get());
         net.set_up(&sim, &b);
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         sim.run();
         assert!(got.get());
     }
@@ -385,7 +481,7 @@ mod tests {
         let got = Rc::new(Cell::new(false));
         let g = got.clone();
         net.bind(&b, move |_, _| g.set(true));
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         // Crash b while the message is in flight.
         let net2 = net.clone();
         let b2 = b.clone();
@@ -401,11 +497,11 @@ mod tests {
         let c = count.clone();
         net.bind(&b, move |_, _| c.set(c.get() + 1));
         net.partition(&a, &b);
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         sim.run();
         assert_eq!(count.get(), 0);
         net.heal();
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         sim.run();
         assert_eq!(count.get(), 1);
     }
@@ -426,7 +522,7 @@ mod tests {
         let c = count.clone();
         net.bind(&b, move |_, _| c.set(c.get() + 1));
         for _ in 0..200 {
-            net.send(&sim, &a, &b, 10, Rc::new(()));
+            net.send(&sim, &a, &b, 10, Arc::new(()));
         }
         sim.run();
         let got = count.get();
@@ -436,7 +532,7 @@ mod tests {
     #[test]
     fn unbound_node_counts_drop() {
         let (sim, net, a, b) = setup();
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         sim.run();
         let (sent, delivered, dropped) = net.stats();
         assert_eq!((sent, delivered, dropped), (1, 0, 1));
@@ -446,7 +542,7 @@ mod tests {
     fn publish_metrics_exports_gauges() {
         let (sim, net, a, b) = setup();
         net.bind(&b, |_, _| {});
-        net.send(&sim, &a, &b, 10, Rc::new(()));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
         sim.run();
         net.publish_metrics(&sim);
         net.publish_metrics(&sim); // idempotent re-publish
@@ -462,5 +558,81 @@ mod tests {
         assert_eq!(a.to_string(), "host-1");
         assert_eq!(a, Addr::from("host-1"));
         assert_eq!(a.as_str(), "host-1");
+    }
+
+    #[test]
+    fn shard_routing_buffers_and_delivers_cross_world_sends() {
+        // World 0 hosts "a", world 1 hosts "b"; a cross-world send must be
+        // buffered (not locally scheduled), carry a delivery instant one
+        // base-latency out, and be deliverable on the destination world
+        // with destination-side counters.
+        let mut placement = FastMap::default();
+        placement.insert(Addr::new("a"), 0usize);
+        placement.insert(Addr::new("b"), 1usize);
+        let placement = Arc::new(placement);
+
+        let cfg = NetConfig {
+            jitter: Duration::ZERO,
+            ..NetConfig::default()
+        };
+        let sim0 = Sim::new(1);
+        let net0 = Network::new(cfg.clone());
+        net0.enable_shard_routing(0, placement.clone());
+        let a = Addr::new("a");
+        let b = Addr::new("b");
+        net0.register(&a);
+
+        let sim1 = Sim::new(2);
+        let net1 = Network::new(cfg);
+        net1.enable_shard_routing(1, placement);
+        net1.register(&b);
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        net1.bind(&b, move |_, env| {
+            assert_eq!(*env.payload.downcast_ref::<u32>().expect("u32"), 7);
+            g.set(true);
+        });
+
+        net0.send(&sim0, &a, &b, 1000, Arc::new(7u32));
+        sim0.run();
+        assert!(!got.get(), "cross-world send must not deliver locally");
+        let outbox = net0.drain_outbox();
+        assert_eq!(outbox.len(), 1);
+        let r = &outbox[0];
+        assert_eq!((r.src_world, r.dst_world, r.seq), (0, 1, 0));
+        // 1000 B / 1.25 GB/s = 0.8 us serialization + 100 us latency.
+        assert_eq!(r.deliver_at, SimTime::from_nanos(800 + 100_000));
+        assert_eq!(net0.stats().0, 1, "sent counted at source");
+
+        let (r,) = match outbox.into_iter().next() {
+            Some(r) => (r,),
+            None => unreachable!(),
+        };
+        net1.deliver_remote(&sim1, r);
+        sim1.run();
+        assert!(got.get());
+        let (_, delivered, dropped) = net1.stats();
+        assert_eq!(
+            (delivered, dropped),
+            (1, 0),
+            "delivery counted at destination"
+        );
+        assert!(net0.drain_outbox().is_empty(), "outbox drained");
+    }
+
+    #[test]
+    fn local_sends_unaffected_by_shard_routing() {
+        let (sim, net, a, b) = setup();
+        let mut placement = FastMap::default();
+        placement.insert(a.clone(), 0usize);
+        placement.insert(b.clone(), 0usize);
+        net.enable_shard_routing(0, Arc::new(placement));
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        net.bind(&b, move |_, _| g.set(true));
+        net.send(&sim, &a, &b, 10, Arc::new(()));
+        sim.run();
+        assert!(got.get());
+        assert!(net.drain_outbox().is_empty());
     }
 }

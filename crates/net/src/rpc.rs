@@ -11,11 +11,12 @@ use std::cell::RefCell;
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_sim::{CounterHandle, EventId, FastMap, HistogramHandle, Sim, SimTime};
 
-use crate::network::{Addr, Envelope, Network};
+use crate::network::{Addr, Envelope, Network, Payload};
 
 /// RPC failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,15 +45,15 @@ enum RpcMsg {
     Request {
         id: u64,
         method: String,
-        body: Rc<dyn Any>,
+        body: Payload,
     },
     Response {
         id: u64,
-        body: Result<Rc<dyn Any>, RpcError>,
+        body: Result<Payload, RpcError>,
     },
 }
 
-type ResponseCb = Box<dyn FnOnce(&Sim, Result<Rc<dyn Any>, RpcError>)>;
+type ResponseCb = Box<dyn FnOnce(&Sim, Result<Payload, RpcError>)>;
 
 struct Pending {
     cb: ResponseCb,
@@ -60,7 +61,7 @@ struct Pending {
     started: SimTime,
 }
 
-type Handler = Rc<dyn Fn(&Sim, Rc<dyn Any>, Responder)>;
+type Handler = Rc<dyn Fn(&Sim, Payload, Responder)>;
 
 /// Per-endpoint metric handles, resolved once (lazily: [`RpcNode::new`]
 /// has no simulator handle) so per-call accounting neither formats the
@@ -86,7 +87,7 @@ struct Inner {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use std::time::Duration;
 /// use ustore_sim::Sim;
 /// use ustore_net::{Addr, NetConfig, Network, RpcNode};
@@ -97,13 +98,13 @@ struct Inner {
 /// let client = RpcNode::new(&net, Addr::new("client"));
 /// server.serve("add1", |sim, req, responder| {
 ///     let n: &u32 = req.downcast_ref().expect("u32 request");
-///     responder.reply(sim, Rc::new(n + 1), 8);
+///     responder.reply(sim, Arc::new(n + 1), 8);
 /// });
 /// client.call::<u32>(
 ///     &sim,
 ///     &Addr::new("server"),
 ///     "add1",
-///     Rc::new(41u32),
+///     Arc::new(41u32),
 ///     8,
 ///     Duration::from_secs(1),
 ///     |_, resp| assert_eq!(*resp.expect("reply"), 42),
@@ -147,13 +148,13 @@ impl Responder {
     }
 
     /// Sends the response payload (with `bytes` wire size).
-    pub fn reply(self, sim: &Sim, body: Rc<dyn Any>, bytes: u64) {
+    pub fn reply(self, sim: &Sim, body: Payload, bytes: u64) {
         let msg = RpcMsg::Response {
             id: self.id,
             body: Ok(body),
         };
         self.net
-            .send(sim, &self.from, &self.to, bytes + 48, Rc::new(msg));
+            .send(sim, &self.from, &self.to, bytes + 48, Arc::new(msg));
     }
 
     /// Sends an error response.
@@ -162,7 +163,7 @@ impl Responder {
             id: self.id,
             body: Err(err),
         };
-        self.net.send(sim, &self.from, &self.to, 48, Rc::new(msg));
+        self.net.send(sim, &self.from, &self.to, 48, Arc::new(msg));
     }
 }
 
@@ -196,7 +197,7 @@ impl RpcNode {
     }
 
     /// Registers a handler for `method` (replacing any previous one).
-    pub fn serve(&self, method: &str, handler: impl Fn(&Sim, Rc<dyn Any>, Responder) + 'static) {
+    pub fn serve(&self, method: &str, handler: impl Fn(&Sim, Payload, Responder) + 'static) {
         self.inner
             .borrow_mut()
             .handlers
@@ -204,15 +205,15 @@ impl RpcNode {
     }
 
     /// Issues a call; `cb` receives the typed response or an error.
-    pub fn call<Resp: 'static>(
+    pub fn call<Resp: Any + Send + Sync>(
         &self,
         sim: &Sim,
         to: &Addr,
         method: &str,
-        body: Rc<dyn Any>,
+        body: Payload,
         bytes: u64,
         timeout: Duration,
-        cb: impl FnOnce(&Sim, Result<Rc<Resp>, RpcError>) + 'static,
+        cb: impl FnOnce(&Sim, Result<Arc<Resp>, RpcError>) + 'static,
     ) {
         let id = {
             let mut i = self.inner.borrow_mut();
@@ -251,7 +252,8 @@ impl RpcNode {
             method: method.to_owned(),
             body,
         };
-        self.net.send(sim, &self.addr, to, bytes + 48, Rc::new(msg));
+        self.net
+            .send(sim, &self.addr, to, bytes + 48, Arc::new(msg));
     }
 
     /// Runs `f` with the endpoint's metric handles, resolving the address
@@ -331,7 +333,7 @@ mod tests {
         let (sim, _net, server, client) = setup();
         server.serve("echo", |sim, req, r| {
             let s: &String = req.downcast_ref().expect("string");
-            r.reply(sim, Rc::new(s.clone()), s.len() as u64);
+            r.reply(sim, Arc::new(s.clone()), s.len() as u64);
         });
         let ok = Rc::new(Cell::new(false));
         let o = ok.clone();
@@ -339,7 +341,7 @@ mod tests {
             &sim,
             &Addr::new("server"),
             "echo",
-            Rc::new("ping".to_string()),
+            Arc::new("ping".to_string()),
             4,
             Duration::from_secs(1),
             move |_, resp| {
@@ -361,7 +363,7 @@ mod tests {
             &sim,
             &Addr::new("server"),
             "x",
-            Rc::new(()),
+            Arc::new(()),
             4,
             Duration::from_millis(500),
             move |_, resp| g.set(Some(resp.unwrap_err())),
@@ -380,7 +382,7 @@ mod tests {
             &sim,
             &Addr::new("server"),
             "nope",
-            Rc::new(()),
+            Arc::new(()),
             4,
             Duration::from_secs(1),
             move |_, resp| g.set(Some(resp.unwrap_err())),
@@ -392,14 +394,14 @@ mod tests {
     #[test]
     fn bad_response_type() {
         let (sim, _net, server, client) = setup();
-        server.serve("m", |sim, _req, r| r.reply(sim, Rc::new(1u8), 1));
+        server.serve("m", |sim, _req, r| r.reply(sim, Arc::new(1u8), 1));
         let got = Rc::new(Cell::new(None));
         let g = got.clone();
         client.call::<String>(
             &sim,
             &Addr::new("server"),
             "m",
-            Rc::new(()),
+            Arc::new(()),
             4,
             Duration::from_secs(1),
             move |_, resp| g.set(Some(resp.unwrap_err())),
@@ -413,7 +415,7 @@ mod tests {
         let (sim, _net, server, client) = setup();
         server.serve("double", |sim, req, r| {
             let n: u32 = *req.downcast_ref::<u32>().expect("u32");
-            r.reply(sim, Rc::new(n * 2), 4);
+            r.reply(sim, Arc::new(n * 2), 4);
         });
         let sum = Rc::new(Cell::new(0u32));
         for n in 1..=5u32 {
@@ -422,7 +424,7 @@ mod tests {
                 &sim,
                 &Addr::new("server"),
                 "double",
-                Rc::new(n),
+                Arc::new(n),
                 4,
                 Duration::from_secs(1),
                 move |_, resp| s.set(s.get() + *resp.expect("doubled")),
@@ -435,12 +437,12 @@ mod tests {
     #[test]
     fn rpc_metrics_count_round_trips_and_timeouts() {
         let (sim, net, server, client) = setup();
-        server.serve("echo", |sim, _req, r| r.reply(sim, Rc::new(()), 1));
+        server.serve("echo", |sim, _req, r| r.reply(sim, Arc::new(()), 1));
         client.call::<()>(
             &sim,
             &Addr::new("server"),
             "echo",
-            Rc::new(()),
+            Arc::new(()),
             4,
             Duration::from_secs(1),
             |_, resp| {
@@ -453,7 +455,7 @@ mod tests {
             &sim,
             &Addr::new("server"),
             "echo",
-            Rc::new(()),
+            Arc::new(()),
             4,
             Duration::from_millis(100),
             |_, resp| {
@@ -476,7 +478,7 @@ mod tests {
         // until after the timeout; then heal. The response arrives while no
         // pending call exists — must not panic or double-call.
         server.serve("slow", move |sim, _req, r| {
-            r.reply(sim, Rc::new(7u32), 4);
+            r.reply(sim, Arc::new(7u32), 4);
         });
         net.block(&Addr::new("server"), &Addr::new("client"));
         let outcomes = Rc::new(RefCell::new(Vec::new()));
@@ -485,7 +487,7 @@ mod tests {
             &sim,
             &Addr::new("server"),
             "slow",
-            Rc::new(()),
+            Arc::new(()),
             4,
             Duration::from_millis(10),
             move |_, resp| o.borrow_mut().push(resp.map(|v| *v)),

@@ -402,6 +402,16 @@ impl Sim {
         self.run_until(deadline);
     }
 
+    /// The instant of the earliest live pending event, if any.
+    ///
+    /// Used by the shard coordinator's merged clock: when every world is
+    /// idle past the current epoch barrier, the coordinator jumps straight
+    /// to the minimum `next_event_at` across worlds instead of stepping
+    /// through empty epochs.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.inner.borrow_mut().drain_cancelled_head()
+    }
+
     /// Applies `f` to the simulation's RNG.
     ///
     /// Taking a closure (rather than returning a guard) prevents accidental

@@ -28,6 +28,8 @@
 //! - [`metrics`]: counters, histograms, throughput accounting.
 //! - [`obs`]: the unified [`MetricsRegistry`] every component reports into,
 //!   and [`obs::timeseries`] — the [`Scraper`] sampling it over sim time.
+//! - [`shard`]: conservative epoch-synchronized parallel execution of a
+//!   fixed world decomposition ([`ShardCoordinator`]).
 //! - [`span`]: causal span tracing ([`SpanTracer`]) for decomposition and
 //!   causality queries.
 //! - [`export`]: Prometheus exposition text and Chrome trace-event JSON.
@@ -45,6 +47,7 @@ pub mod json;
 pub mod metrics;
 pub mod obs;
 pub mod rng;
+pub mod shard;
 pub mod span;
 pub mod time;
 pub mod trace;
@@ -57,6 +60,7 @@ pub use metrics::{Counter, Histogram, Throughput, ThroughputRate};
 pub use obs::timeseries::{Scraper, ScraperConfig, TimeSeries};
 pub use obs::MetricsRegistry;
 pub use rng::{SimRng, Zipf};
+pub use shard::{canonical_merge, Routed, ShardCoordinator, ShardWorld, WorldBuilder};
 pub use span::{Span, SpanId, SpanTracer};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent, TraceLevel};

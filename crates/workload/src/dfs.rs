@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ustore_net::{Addr, BlockDevice, RpcNode};
@@ -177,7 +178,7 @@ impl NameNode {
             if !s.datanodes.contains(&req.addr) {
                 s.datanodes.push(req.addr.clone());
             }
-            responder.reply(sim, Rc::new(()), 8);
+            responder.reply(sim, Arc::new(()), 8);
         });
         let n = nn.clone();
         nn.rpc.serve("nn.create_block", move |sim, req, responder| {
@@ -203,7 +204,7 @@ impl NameNode {
                     Ok(BlockPlan { id, pipeline })
                 }
             };
-            responder.reply(sim, Rc::new(resp), 64);
+            responder.reply(sim, Arc::new(resp), 64);
         });
         let n = nn.clone();
         nn.rpc.serve("nn.finish_block", move |sim, req, responder| {
@@ -218,7 +219,7 @@ impl NameNode {
                     len: req.len,
                     replicas: req.replicas.clone(),
                 });
-            responder.reply(sim, Rc::new(()), 8);
+            responder.reply(sim, Arc::new(()), 8);
         });
         let n = nn.clone();
         nn.rpc.serve("nn.locate", move |sim, req, responder| {
@@ -230,7 +231,7 @@ impl NameNode {
                 .get(&req.file)
                 .cloned()
                 .ok_or(DfsError::NoSuchFile);
-            responder.reply(sim, Rc::new(resp), 128);
+            responder.reply(sim, Arc::new(resp), 128);
         });
         nn
     }
@@ -304,7 +305,7 @@ impl DataNode {
             match slot {
                 None => responder.reply(
                     sim,
-                    Rc::new(Err("no such block".to_owned()) as ReadBlockResp),
+                    Arc::new(Err("no such block".to_owned()) as ReadBlockResp),
                     16,
                 ),
                 Some((offset, len)) => {
@@ -315,7 +316,7 @@ impl DataNode {
                         Box::new(move |sim, r| {
                             let bytes = r.as_ref().map_or(16, |d| d.len() as u64 + 16);
                             let resp: ReadBlockResp = r.map_err(|e| e.to_string());
-                            responder.reply(sim, Rc::new(resp), bytes);
+                            responder.reply(sim, Arc::new(resp), bytes);
                         }),
                     );
                 }
@@ -327,7 +328,7 @@ impl DataNode {
             sim,
             namenode,
             "nn.register",
-            Rc::new(RegisterReq { addr }),
+            Arc::new(RegisterReq { addr }),
             32,
             config.rpc_timeout,
             |_, _| {},
@@ -355,7 +356,7 @@ impl DataNode {
                 drop(s);
                 responder.reply(
                     sim,
-                    Rc::new(Err("datanode out of space".to_owned()) as WriteBlockResp),
+                    Arc::new(Err("datanode out of space".to_owned()) as WriteBlockResp),
                     16,
                 );
                 return;
@@ -380,7 +381,7 @@ impl DataNode {
                     let responder = p.2.take().expect("responder present");
                     let out = p.1.clone();
                     drop(p);
-                    responder.reply(sim, Rc::new(out as WriteBlockResp), 16);
+                    responder.reply(sim, Arc::new(out as WriteBlockResp), 16);
                 }
             };
         let p1 = pending.clone();
@@ -409,7 +410,7 @@ impl DataNode {
                 sim,
                 &next,
                 "dn.write_block",
-                Rc::new(fwd),
+                Arc::new(fwd),
                 bytes,
                 timeout,
                 move |sim, r| {
@@ -566,7 +567,7 @@ impl DfsClient {
             sim,
             &self.namenode,
             "nn.create_block",
-            Rc::new(CreateBlockReq { file: file.clone() }),
+            Arc::new(CreateBlockReq { file: file.clone() }),
             64,
             self.config.rpc_timeout,
             move |sim, r| {
@@ -596,7 +597,7 @@ impl DfsClient {
                     sim,
                     &head,
                     "dn.write_block",
-                    Rc::new(req),
+                    Arc::new(req),
                     bytes,
                     timeout,
                     move |sim, r| {
@@ -622,7 +623,7 @@ impl DfsClient {
                             sim,
                             &this2.namenode,
                             "nn.finish_block",
-                            Rc::new(fin),
+                            Arc::new(fin),
                             64,
                             timeout,
                             move |sim, r| match r {
@@ -649,7 +650,7 @@ impl DfsClient {
             sim,
             &self.namenode,
             "nn.locate",
-            Rc::new(LocateReq { file }),
+            Arc::new(LocateReq { file }),
             64,
             self.config.rpc_timeout,
             move |sim, r| {
@@ -716,7 +717,7 @@ impl DfsClient {
             sim,
             &target,
             "dn.read_block",
-            Rc::new(ReadBlockReq { id: meta.id }),
+            Arc::new(ReadBlockReq { id: meta.id }),
             32,
             self.config.rpc_timeout * 2,
             move |sim, r| {

@@ -4,7 +4,8 @@
 //! must produce bit-for-bit identical telemetry exports.
 
 use ustore_bench::degraded::run_degraded_traced;
-use ustore_bench::podscale::{fnv1a, run_podscale, PodConfig};
+use ustore_bench::podscale::{fnv1a, run_podscale, run_podscale_sharded, PodConfig};
+use ustore_sim::{canonical_merge, Routed, SimTime};
 
 #[test]
 fn degraded_telemetry_is_bit_for_bit_deterministic() {
@@ -60,4 +61,101 @@ fn podscale_digest_is_deterministic_across_same_seed_runs() {
         b.telemetry.to_string(),
         "pod telemetry JSON differs"
     );
+}
+
+/// Golden test for the sharded parallel engine: the same pod, same seed,
+/// executed on 1, 2 and 4 threads must produce byte-identical telemetry
+/// digests. The decomposition (world count, RNG streams, registries) is
+/// fixed by the scenario; only the executor thread count varies, so any
+/// divergence means cross-shard message ordering leaked thread timing
+/// into simulation state.
+#[test]
+fn podscale_sharded_digest_is_identical_for_shards_1_2_4() {
+    let cfg = PodConfig::tiny();
+    let runs: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|s| (s, run_podscale_sharded(7, &cfg, s)))
+        .collect();
+    let (_, base) = &runs[0];
+    assert!(base.writes_ok > 0 && base.reads_ok > 0, "workload served");
+    assert_eq!(base.io_errors, 0, "healthy pod serves all IO");
+    for (s, run) in &runs[1..] {
+        assert_eq!(
+            run.digest, base.digest,
+            "telemetry digest diverged at --shards {s}"
+        );
+        assert_eq!(
+            run.events, base.events,
+            "event count diverged at --shards {s}"
+        );
+        assert_eq!(run.writes_ok, base.writes_ok);
+        assert_eq!(run.reads_ok, base.reads_ok);
+        let (a, b) = (
+            base.sharding.as_ref().expect("shard stats"),
+            run.sharding.as_ref().expect("shard stats"),
+        );
+        assert_eq!(a.epochs, b.epochs, "epoch count diverged at --shards {s}");
+        assert_eq!(
+            a.cross_messages, b.cross_messages,
+            "cross-world traffic diverged at --shards {s}"
+        );
+    }
+}
+
+/// Property test for the epoch barrier's merge: the canonical order of
+/// cross-shard messages depends only on `(deliver_at, src_world, seq)`,
+/// never on the order worker threads happened to finish and hand in
+/// their outboxes.
+#[test]
+fn epoch_merge_order_is_independent_of_thread_finish_order() {
+    // A deterministic batch of routed messages from 4 worlds, with
+    // deliberate deliver-time collisions across worlds.
+    let batch: Vec<Routed<u32>> = (0..4)
+        .flat_map(|world| {
+            (0..25u64).map(move |seq| Routed {
+                deliver_at: SimTime::from_nanos(
+                    1_000 + (seq * 7919 + world as u64 * 104_729) % 13 * 100,
+                ),
+                src_world: world,
+                dst_world: (world + 1) % 4,
+                seq,
+                msg: (world * 100) as u32 + seq as u32,
+            })
+        })
+        .collect();
+    let canon: Vec<_> = canonical_merge(batch.clone())
+        .into_iter()
+        .map(|r| (r.deliver_at, r.src_world, r.seq, r.msg))
+        .collect();
+    // Simulate every way the per-shard outboxes could arrive: world-major
+    // permutations, interleaved round-robin, reversed, and a pseudo-random
+    // shuffle — the merged order must always be the canonical one.
+    let mut arrivals: Vec<Vec<Routed<u32>>> = Vec::new();
+    for rotation in 0..4usize {
+        let mut v = Vec::new();
+        for w in 0..4usize {
+            let w = (w + rotation) % 4;
+            v.extend(batch.iter().filter(|r| r.src_world == w).cloned());
+        }
+        arrivals.push(v);
+    }
+    arrivals.push(batch.iter().rev().cloned().collect());
+    let mut shuffled = batch.clone();
+    // Deterministic LCG shuffle — no RNG dependency in tests.
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for i in (1..shuffled.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        shuffled.swap(i, j);
+    }
+    arrivals.push(shuffled);
+    for (i, arrival) in arrivals.into_iter().enumerate() {
+        let merged: Vec<_> = canonical_merge(arrival)
+            .into_iter()
+            .map(|r| (r.deliver_at, r.src_world, r.seq, r.msg))
+            .collect();
+        assert_eq!(merged, canon, "arrival order {i} changed the merge");
+    }
 }
