@@ -4,6 +4,8 @@
 //! repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N]
 //!       [--json] [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]
 //! repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]
+//! repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE]
+//!       [--trace-out FILE] [--json]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
@@ -34,6 +36,15 @@
 //! writes `BENCH_podscale.json` (override with `--bench-out`). It always
 //! runs alone, serially, so wall-clock numbers are undisturbed.
 //!
+//! The `profile` subcommand runs the pod with the wall-clock shard
+//! profiler on and prints a scaling diagnosis: per-world phase breakdown
+//! (execute / outbox_drain / barrier_wait / merge / idle_jump), epoch and
+//! lookahead statistics, and the cross-world traffic matrix. With
+//! `--trace-out` it writes a Perfetto trace with one wall-clock track per
+//! engine thread; with `--prom-out`, the profiler aggregates under the
+//! `ustore_prof_` prefix. It exits nonzero if enabling the profiler
+//! changed the telemetry digest. Like `perf`, it runs alone.
+//!
 //! The artifact flags write standard-format telemetry exports of the last
 //! traced experiment that ran (`degraded` wins over `failover` in the
 //! default order):
@@ -50,8 +61,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ustore_bench::{
-    ablation, degraded, failover, fig5, fig6, hdfs, megapod, perf, podscale, power, table2, Report,
-    TelemetryArtifacts,
+    ablation, degraded, failover, fig5, fig6, hdfs, megapod, perf, podscale, power, profile,
+    table2, Report, TelemetryArtifacts,
 };
 use ustore_sim::Json;
 
@@ -85,9 +96,9 @@ fn alloc_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
-    "degraded", "hdfs", "rolling", "ablation", "podscale", "megapod", "perf",
+    "degraded", "hdfs", "rolling", "ablation", "podscale", "megapod", "perf", "profile",
 ];
 
 /// Default shard count for the scenarios that always run sharded: as many
@@ -233,6 +244,19 @@ fn main() {
             other => picks.push(other.to_owned()),
         }
     }
+    // Artifact destinations are validated up front: a typo'd directory
+    // should cost a usage error now, not a lost result after minutes of
+    // simulation.
+    for (flag, path) in [
+        ("--bench-out", Some(&bench_out)),
+        ("--prom-out", prom_out.as_ref()),
+        ("--trace-out", trace_out.as_ref()),
+        ("--ts-out", ts_out.as_ref()),
+    ] {
+        if let Some(path) = path {
+            check_writable_destination(flag, path);
+        }
+    }
     if picks.iter().any(|p| p == "perf") {
         if picks.len() > 1 {
             usage("perf runs alone (wall-clock numbers must not share the machine)");
@@ -246,10 +270,27 @@ fn main() {
         );
         return;
     }
+    if picks.iter().any(|p| p == "profile") {
+        if picks.len() > 1 {
+            usage("profile runs alone (wall-clock numbers must not share the machine)");
+        }
+        if ts_out.is_some() {
+            usage("--ts-out is not produced by profile (use --prom-out / --trace-out)");
+        }
+        run_profile_command(
+            seed,
+            quick,
+            shards.unwrap_or_else(default_shards),
+            prom_out.as_deref(),
+            trace_out.as_deref(),
+            json,
+        );
+        return;
+    }
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = EXPERIMENTS
             .iter()
-            .filter(|e| !matches!(**e, "podscale" | "megapod" | "perf"))
+            .filter(|e| !matches!(**e, "podscale" | "megapod" | "perf" | "profile"))
             .map(|s| (*s).to_owned())
             .collect();
     }
@@ -369,6 +410,74 @@ fn run_perf_command(seed: u64, quick: bool, shards: usize, bench_out: &str, json
     }
 }
 
+fn run_profile_command(
+    seed: u64,
+    quick: bool,
+    shards: usize,
+    prom_out: Option<&str>,
+    trace_out: Option<&str>,
+    json: bool,
+) {
+    let run = profile::run_profile(&profile::ProfileOptions {
+        seed,
+        quick,
+        shards,
+    });
+    if let Some(path) = prom_out {
+        if let Err(e) = std::fs::write(path, run.prometheus()) {
+            eprintln!("error: writing profiler metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", run.wallclock_trace())) {
+            eprintln!("error: writing wall-clock trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        println!("{}", run.to_json().pretty());
+    } else {
+        println!(
+            "UStore engine wall-clock profile (seed {seed}, {} mode, {shards} shards)\n",
+            if quick { "quick" } else { "full" }
+        );
+        println!("{}", run.diagnosis());
+        if let Some(path) = trace_out {
+            println!("wall-clock Perfetto trace written to {path}");
+        }
+        if let Some(path) = prom_out {
+            println!("profiler metrics written to {path}");
+        }
+    }
+    if !run.digest_matches_unprofiled {
+        eprintln!(
+            "error: telemetry digest changed with profiling on ({:016x} != {:016x}) — the profiler leaked into the simulation",
+            run.sharded.digest, run.unprofiled_digest
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Rejects artifact destinations that can only fail after the run: the
+/// path must not be a directory and its parent directory must exist.
+fn check_writable_destination(flag: &str, path: &str) {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        usage(&format!("{flag}: {path} is a directory, not a file"));
+    }
+    let parent = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    if !parent.is_dir() {
+        usage(&format!(
+            "{flag}: directory {} does not exist (cannot write {path})",
+            parent.display()
+        ));
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -377,6 +486,7 @@ fn usage(err: &str) -> ! {
         "usage: repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N] [--json]\n\
          \x20            [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]\n\
          \x20      repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]\n\
+         \x20      repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE] [--trace-out FILE] [--json]\n\
          experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale megapod all\n\
          (podscale — 256 hosts / 1024 disks — and megapod — 1024 hosts / 4096 disks — are not part of `all`;\n\
          run them explicitly or via `perf`; --shards selects the parallel engine, --jobs/--shards must be >= 1)"

@@ -29,6 +29,7 @@ pub mod megapod;
 pub mod perf;
 pub mod podscale;
 pub mod power;
+pub mod profile;
 pub mod report;
 pub mod table2;
 

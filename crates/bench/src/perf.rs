@@ -34,7 +34,11 @@ use ustore_sim::Json;
 
 use crate::degraded;
 use crate::megapod;
-use crate::podscale::{run_podscale, run_podscale_sharded, PodConfig};
+use crate::podscale::{
+    run_podscale, run_podscale_profiled, run_podscale_sharded, run_podscale_sharded_profiled,
+    PodConfig,
+};
+use crate::profile;
 use crate::report::{Report, Row};
 
 /// Perf-run options.
@@ -151,6 +155,10 @@ pub struct ShardScaling {
     pub digests_identical: bool,
     /// `events_per_sec` at the largest shard count over the serial run.
     pub speedup_vs_serial: f64,
+    /// Serial (shards = 1) sharded wall time over the classic
+    /// single-threaded engine's wall time on the same pod: what the epoch
+    /// machinery itself costs before parallelism pays it back.
+    pub shard_overhead_vs_classic: f64,
     /// The megapod (4096 disks) measured at the largest shard count.
     pub megapod: ShardSample,
     /// The megapod shape measured.
@@ -180,6 +188,10 @@ pub struct PerfReport {
     pub podscale_speedup: f64,
     /// The sharded-engine scaling sweep (pod at 1..=N shards + megapod).
     pub sharding: ShardScaling,
+    /// The wall-clock profiler section: profiled sharded + classic runs,
+    /// phase coverage, and the profiling-on digest gate
+    /// ([`crate::profile::profile_section`]).
+    pub profile: Json,
 }
 
 fn measure<R>(
@@ -309,14 +321,24 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         megapod::megapod()
     };
     let megapod = shard_sample(&megapod_pod, max_shards);
+    let shard_overhead_vs_classic = counts[0].sample.wall_seconds / podscale_best.wall_seconds;
     let sharding = ShardScaling {
         groups: pod.world_groups,
-        counts,
         digests_identical,
         speedup_vs_serial,
+        shard_overhead_vs_classic,
         megapod,
         megapod_pod,
+        counts,
     };
+
+    // The profiler section: one profiled sharded run at the largest count
+    // (its digest must match the unprofiled sweep point) plus a profiled
+    // classic run.
+    let prof_sharded = run_podscale_sharded_profiled(opts.seed, &pod, max_shards);
+    let prof_classic = run_podscale_profiled(opts.seed, &pod);
+    let unprofiled_digest = sharding.counts.last().expect("sweep has points").digest;
+    let profile = profile::profile_section(&prof_sharded, &prof_classic, Some(unprofiled_digest));
 
     let base = pre_overhaul_baseline(opts.quick);
     let speedup = |cur: f64, b: f64| if b > 0.0 { cur / b } else { f64::NAN };
@@ -331,6 +353,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         degraded_speedup: speedup(degraded_sample.events_per_sec, base.degraded_events_per_sec),
         podscale_speedup: speedup(podscale_best.events_per_sec, base.podscale_events_per_sec),
         sharding,
+        profile,
     }
 }
 
@@ -368,7 +391,7 @@ impl PerfReport {
     pub fn to_bench_json(&self) -> Json {
         let b = pre_overhaul_baseline(self.quick);
         Json::obj([
-            ("schema", Json::str("ustore-bench-podscale-v2")),
+            ("schema", Json::str("ustore-bench-podscale-v3")),
             ("mode", Json::str(if self.quick { "quick" } else { "full" })),
             ("seed", Json::u64(self.seed)),
             (
@@ -443,6 +466,10 @@ impl PerfReport {
                         Json::f64(self.sharding.speedup_vs_serial),
                     ),
                     (
+                        "shard_overhead_vs_classic",
+                        Json::f64(self.sharding.shard_overhead_vs_classic),
+                    ),
+                    (
                         "megapod",
                         Json::obj([
                             (
@@ -466,6 +493,7 @@ impl PerfReport {
                     ),
                 ]),
             ),
+            ("profile", self.profile.clone()),
         ])
     }
 
@@ -533,6 +561,12 @@ impl PerfReport {
             self.sharding.speedup_vs_serial,
             "x",
         ));
+        rows.push(Row::new(
+            "shard overhead vs classic (1 thread)",
+            1.0,
+            self.sharding.shard_overhead_vs_classic,
+            "x",
+        ));
         rows.push(Row::measured_only(
             format!(
                 "megapod ({} disks) events/sec ({} threads)",
@@ -583,19 +617,26 @@ mod tests {
                 counts: vec![shard(1), shard(2), shard(4)],
                 digests_identical: true,
                 speedup_vs_serial: 2.5,
+                shard_overhead_vs_classic: 1.2,
                 megapod: shard(4),
                 megapod_pod: crate::megapod::megapod_quick(),
             },
+            profile: Json::obj([("digest_matches_unprofiled", Json::Bool(true))]),
         };
         let j = rep.to_bench_json().to_string();
-        assert!(j.contains(r#""schema":"ustore-bench-podscale-v2""#));
+        assert!(j.contains(r#""schema":"ustore-bench-podscale-v3""#));
         assert!(j.contains(r#""events_per_sec":200"#));
         assert!(j.contains(r#""two_runs_identical":true"#));
         assert!(j.contains(r#""podscale_digest":"00000000deadbeef""#));
         assert!(j.contains(r#""disks":1024"#));
         assert!(j.contains(r#""digests_identical":true"#));
         assert!(j.contains(r#""speedup_vs_serial":2.5"#));
+        assert!(j.contains(r#""shard_overhead_vs_classic":1.2"#));
         assert!(j.contains(r#""cross_messages":17"#));
         assert!(j.contains(r#""disks":4096"#), "megapod shape recorded");
+        assert!(
+            j.contains(r#""profile":{"digest_matches_unprofiled":true}"#),
+            "profile section carried through"
+        );
     }
 }

@@ -19,14 +19,16 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ustore::{
     Mounted, ShardedPod, ShardedPodConfig, SpaceInfo, SystemConfig, TelemetryPlan, UStoreClient,
     UStoreSystem, WatchdogConfig,
 };
 use ustore_net::BlockDevice;
-use ustore_sim::{Json, ScraperConfig, Sim, SimTime, TraceLevel};
+use ustore_sim::{
+    Json, ProfSnapshot, Profiler, ScraperConfig, Sim, SimTime, TraceLevel, TrafficSnapshot,
+};
 
 use crate::report::{Report, Row};
 
@@ -159,6 +161,15 @@ pub struct PodscaleRun {
     pub io_errors: u64,
     /// Machine-readable summary (`{"experiment","seed","hosts",...}`).
     pub telemetry: Json,
+    /// Wall-clock profiler snapshot (profiled runs only — see
+    /// [`run_podscale_profiled`] / [`run_podscale_sharded_profiled`]).
+    pub prof: Option<ProfSnapshot>,
+    /// Cross-world traffic matrix snapshot (profiled sharded runs only).
+    pub traffic: Option<TrafficSnapshot>,
+    /// Wall seconds spent settling and advancing the engine (world
+    /// construction excluded) — the denominator for the profiler's
+    /// phase-coverage check.
+    pub run_wall_seconds: f64,
 }
 
 /// FNV-1a 64-bit digest, the dependency-free way to fingerprint exports.
@@ -274,6 +285,18 @@ fn drive_workload(
 /// Panics if bring-up fails (no active master, allocations not served) —
 /// a pod that cannot bring up is a broken system, not a measurement.
 pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
+    run_podscale_opts(seed, cfg, false)
+}
+
+/// [`run_podscale`] with the wall-clock profiler attached to the classic
+/// single-threaded engine (world 0, lookahead 0). The simulation itself —
+/// events, telemetry, digest — is bit-identical to the unprofiled run; only
+/// `prof` and `run_wall_seconds` are populated.
+pub fn run_podscale_profiled(seed: u64, cfg: &PodConfig) -> PodscaleRun {
+    run_podscale_opts(seed, cfg, true)
+}
+
+fn run_podscale_opts(seed: u64, cfg: &PodConfig, profile: bool) -> PodscaleRun {
     let system = UStoreSystem::build(
         ustore_sim::Sim::new(seed),
         SystemConfig {
@@ -287,6 +310,13 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
     // Pod-scale runs are about engine throughput; keep the trace buffer to
     // warnings so it measures the system, not the logger.
     system.sim.with_trace(|t| t.set_min_level(TraceLevel::Warn));
+    let profiler = if profile {
+        Profiler::on(1)
+    } else {
+        Profiler::off()
+    };
+    system.sim.set_wallclock_prof(profiler.clone(), 0);
+    let wall0 = Instant::now();
     system.settle();
     assert!(
         system.active_master().is_some(),
@@ -311,6 +341,7 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
     let (writes_ok, reads_ok, io_errors) = drive_workload(&system.sim, &clients, cfg, |d| {
         system.sim.run_until(system.sim.now() + d);
     });
+    let run_wall_seconds = wall0.elapsed().as_secs_f64();
 
     // Telemetry digest: the full export, fingerprinted. Residency gauges
     // are published first so the snapshot is complete.
@@ -370,6 +401,9 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
         reads_ok,
         io_errors,
         telemetry,
+        prof: profiler.snapshot(),
+        traffic: None,
+        run_wall_seconds,
     }
 }
 
@@ -391,6 +425,23 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
 /// Panics if bring-up fails, or on a degenerate shape (`shards` 0,
 /// `world_groups` outside `1..=units`).
 pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> PodscaleRun {
+    run_podscale_sharded_opts(seed, cfg, shards, false)
+}
+
+/// [`run_podscale_sharded`] with the wall-clock shard profiler and the
+/// cross-world traffic matrix enabled. The simulation is bit-identical to
+/// the unprofiled run (same digest); `prof`, `traffic`, and
+/// `run_wall_seconds` are additionally populated.
+pub fn run_podscale_sharded_profiled(seed: u64, cfg: &PodConfig, shards: usize) -> PodscaleRun {
+    run_podscale_sharded_opts(seed, cfg, shards, true)
+}
+
+fn run_podscale_sharded_opts(
+    seed: u64,
+    cfg: &PodConfig,
+    shards: usize,
+    profile: bool,
+) -> PodscaleRun {
     let mut pod = ShardedPod::build(
         seed,
         &ShardedPodConfig {
@@ -412,8 +463,10 @@ pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> Podsca
                 },
             }),
             trace_level: TraceLevel::Warn,
+            profile,
         },
     );
+    let wall0 = Instant::now();
     pod.run_until(SimTime::from_secs(15));
     assert!(
         pod.active_master().is_some(),
@@ -423,6 +476,9 @@ pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> Podsca
     let sim = pod.sim.clone();
     let clients = pod.clients.clone();
     let (writes_ok, reads_ok, io_errors) = drive_workload(&sim, &clients, cfg, |d| pod.run_for(d));
+    let run_wall_seconds = wall0.elapsed().as_secs_f64();
+    let prof = pod.prof_snapshot();
+    let traffic = pod.traffic_snapshot();
 
     let sim_seconds = pod.now().as_secs_f64();
     let epochs = pod.epochs();
@@ -504,6 +560,9 @@ pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> Podsca
         reads_ok,
         io_errors,
         telemetry,
+        prof,
+        traffic,
+        run_wall_seconds,
     }
 }
 

@@ -26,8 +26,8 @@ use ustore_consensus::{CoordConfig, CoordServer};
 use ustore_fabric::{FabricRuntime, Topology};
 use ustore_net::{Addr, Envelope, Network, RpcNode};
 use ustore_sim::{
-    FastMap, Routed, Scraper, ScraperConfig, ShardCoordinator, ShardWorld, Sim, SimTime,
-    TraceLevel, WorldBuilder,
+    FastMap, ProfSnapshot, Profiler, Routed, Scraper, ScraperConfig, ShardCoordinator, ShardWorld,
+    Sim, SimTime, TraceLevel, TrafficMatrix, TrafficSnapshot, WorldBuilder,
 };
 
 use crate::clientlib::UStoreClient;
@@ -65,6 +65,12 @@ pub struct ShardedPodConfig {
     pub telemetry: Option<TelemetryPlan>,
     /// Minimum trace level recorded by every world.
     pub trace_level: TraceLevel,
+    /// Wall-clock engine profiling: when true the pod carries an active
+    /// [`Profiler`] (phase timers on every engine thread) and a
+    /// [`TrafficMatrix`] (cross-world send accounting in every world's
+    /// network). Off by default; never affects simulation state or
+    /// telemetry digests.
+    pub profile: bool,
 }
 
 /// Telemetry and engine statistics of one finalized world.
@@ -238,12 +244,16 @@ fn build_control_world(
     seed: u64,
     cfg: &ShardedPodConfig,
     placement: Arc<FastMap<Addr, usize>>,
+    traffic: Option<Arc<TrafficMatrix>>,
 ) -> (PodWorld, Vec<UStoreClient>) {
     let sys = &cfg.system;
     let sim = Sim::new(world_seed(seed, 0));
     sim.with_trace(|t| t.set_min_level(cfg.trace_level));
     let net = Network::new(sys.net.clone());
     net.enable_shard_routing(0, placement);
+    if let Some(m) = traffic {
+        net.set_traffic_matrix(m);
+    }
 
     let coord_addrs: Vec<Addr> = (0..sys.coord_nodes).map(coord_addr).collect();
     let coord: Vec<CoordServer> = (0..sys.coord_nodes)
@@ -305,11 +315,15 @@ fn build_unit_world(
     placement: Arc<FastMap<Addr, usize>>,
     telemetry: Option<TelemetryPlan>,
     trace_level: TraceLevel,
+    traffic: Option<Arc<TrafficMatrix>>,
 ) -> PodWorld {
     let sim = Sim::new(world_seed(seed, id));
     sim.with_trace(|t| t.set_min_level(trace_level));
     let net = Network::new(sys.net.clone());
     net.enable_shard_routing(id, placement);
+    if let Some(m) = traffic {
+        net.set_traffic_matrix(m);
+    }
     let master_addrs: Vec<Addr> = (0..sys.masters).map(master_addr).collect();
     let mut runtimes = Vec::new();
     let mut endpoints = Vec::new();
@@ -362,6 +376,8 @@ pub struct ShardedPod {
     pub masters: Vec<Master>,
     /// Clients created at build time, in `cfg.clients` order.
     pub clients: Vec<UStoreClient>,
+    profiler: Profiler,
+    traffic: Option<Arc<TrafficMatrix>>,
 }
 
 impl fmt::Debug for ShardedPod {
@@ -397,8 +413,18 @@ impl ShardedPod {
             "sharded execution needs a positive network base latency as lookahead"
         );
 
+        let world_count = 1 + cfg.groups as usize;
+        let profiler = if cfg.profile {
+            Profiler::on(world_count)
+        } else {
+            Profiler::off()
+        };
+        let traffic = cfg
+            .profile
+            .then(|| Arc::new(TrafficMatrix::new(world_count)));
+
         let placement = build_placement(cfg);
-        let (control, clients) = build_control_world(seed, cfg, placement.clone());
+        let (control, clients) = build_control_world(seed, cfg, placement.clone(), traffic.clone());
         let sim = control.sim.clone();
         let net = control.net.clone();
         let masters = control.masters.clone();
@@ -425,6 +451,7 @@ impl ShardedPod {
                         placement.clone(),
                         cfg.telemetry.clone(),
                         cfg.trace_level,
+                        traffic.clone(),
                     )),
                 ));
             } else {
@@ -432,6 +459,7 @@ impl ShardedPod {
                 let placement = placement.clone();
                 let telemetry = cfg.telemetry.clone();
                 let trace_level = cfg.trace_level;
+                let traffic = traffic.clone();
                 remote[shard - 1].push((
                     id,
                     Box::new(move || {
@@ -444,19 +472,23 @@ impl ShardedPod {
                             placement,
                             telemetry,
                             trace_level,
+                            traffic,
                         )) as Box<dyn ShardWorld<Msg = Envelope>>
                     }) as WorldBuilder<Envelope>,
                 ));
             }
         }
 
-        let coordinator = ShardCoordinator::new(lookahead, local, remote);
+        let coordinator =
+            ShardCoordinator::new_profiled(lookahead, local, remote, profiler.clone());
         ShardedPod {
             coordinator,
             sim,
             net,
             masters,
             clients,
+            profiler,
+            traffic,
         }
     }
 
@@ -490,6 +522,20 @@ impl ShardedPod {
         self.masters.iter().find(|m| m.is_active())
     }
 
+    /// Wall-clock profiler snapshot (phase slabs, epoch statistics,
+    /// thread tracks). `None` unless built with `profile: true` (or the
+    /// crate was compiled without `wallprof`). Take it after the last
+    /// `run_until` so no worker is mid-epoch.
+    pub fn prof_snapshot(&self) -> Option<ProfSnapshot> {
+        self.profiler.snapshot()
+    }
+
+    /// Cross-world traffic matrix snapshot. `None` unless built with
+    /// `profile: true`.
+    pub fn traffic_snapshot(&self) -> Option<TrafficSnapshot> {
+        self.traffic.as_ref().map(|m| m.snapshot())
+    }
+
     /// Finalizes every world and returns their telemetry in world-id
     /// order.
     pub fn finalize(self) -> Vec<WorldTelemetry> {
@@ -512,6 +558,7 @@ mod tests {
     use super::*;
     use std::cell::Cell;
     use ustore_net::BlockDevice;
+    use ustore_sim::Phase;
 
     fn pod_cfg(units: u32, groups: u32, shards: usize, clients: u32) -> ShardedPodConfig {
         ShardedPodConfig {
@@ -524,6 +571,7 @@ mod tests {
             clients: (0..clients).map(|c| format!("app-{c}")).collect(),
             telemetry: None,
             trace_level: TraceLevel::Warn,
+            profile: false,
         }
     }
 
@@ -605,6 +653,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn profiled_pod_reports_phases_and_traffic() {
+        let mut cfg = pod_cfg(4, 2, 2, 1);
+        cfg.profile = true;
+        let mut pod = ShardedPod::build(2003, &cfg);
+        pod.run_until(SimTime::from_secs(15));
+        assert!(pod.cross_messages() > 0);
+        if !Profiler::compiled_in() {
+            assert!(pod.prof_snapshot().is_none());
+            return;
+        }
+        let prof = pod.prof_snapshot().expect("profiled build snapshots");
+        assert_eq!(prof.worlds.len(), 3, "control + 2 unit worlds");
+        assert_eq!(prof.epochs, pod.epochs());
+        assert!(prof.lookahead_ns > 0);
+        for w in &prof.worlds {
+            assert!(
+                w.phase_ns[Phase::Execute as usize] > 0,
+                "world {} never executed",
+                w.world
+            );
+            assert!(w.epochs > 0);
+        }
+        // Worker thread + coordinator each own a track.
+        assert_eq!(prof.tracks.len(), 2);
+        let traffic = pod.traffic_snapshot().expect("traffic matrix attached");
+        assert_eq!(traffic.total_messages(), pod.cross_messages());
+        assert!(traffic.busiest().is_some());
+        // An unprofiled pod reports neither.
+        let mut plain = ShardedPod::build(2003, &pod_cfg(4, 2, 2, 1));
+        plain.run_until(SimTime::from_secs(1));
+        assert!(plain.prof_snapshot().is_none());
+        assert!(plain.traffic_snapshot().is_none());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ustore_sim::{FastMap, FastSet, Routed, Sim, SimTime, TraceLevel};
+use ustore_sim::{FastMap, FastSet, Routed, Sim, SimTime, TraceLevel, TrafficMatrix};
 
 /// A network address (host name). Cheap to clone and safe to move across
 /// shard threads.
@@ -115,6 +115,11 @@ struct Routing {
     outbox: Vec<Routed<Envelope>>,
     /// Monotone per-world sequence for the canonical merge.
     seq: u64,
+    /// Optional wall-clock profiler hook: every cross-world send is
+    /// recorded as `(src_world, dst_world, slack)` where slack is
+    /// `deliver_at − send_time − base_latency` — the margin by which the
+    /// message clears the conservative lookahead bound.
+    traffic: Option<Arc<TrafficMatrix>>,
 }
 
 struct Inner {
@@ -265,7 +270,16 @@ impl Network {
             None => self.schedule_delivery(sim, at, env),
             Some(dst_world) => {
                 let mut i = self.inner.borrow_mut();
+                let base_latency = i.config.base_latency;
                 let r = i.routing.as_mut().expect("routing enabled");
+                if let Some(m) = &r.traffic {
+                    let slack = at
+                        .duration_since(sim.now())
+                        .saturating_sub(base_latency)
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64;
+                    m.record(r.world, dst_world, slack);
+                }
                 let seq = r.seq;
                 r.seq += 1;
                 r.outbox.push(Routed {
@@ -320,7 +334,26 @@ impl Network {
             placement,
             outbox: Vec::new(),
             seq: 0,
+            traffic: None,
         });
+    }
+
+    /// Attaches a shared cross-world [`TrafficMatrix`]: every subsequent
+    /// cross-world send records its `(src, dst)` pair and lookahead slack.
+    /// Recording is lock-free and never touches simulation state, so
+    /// results are bit-identical with or without a matrix attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard routing was not enabled first (the matrix is
+    /// meaningless without world placement).
+    pub fn set_traffic_matrix(&self, matrix: Arc<TrafficMatrix>) {
+        let mut i = self.inner.borrow_mut();
+        let r = i
+            .routing
+            .as_mut()
+            .expect("set_traffic_matrix: enable_shard_routing first");
+        r.traffic = Some(matrix);
     }
 
     /// Drains the buffered cross-world sends, in send order. Returns an
@@ -618,6 +651,34 @@ mod tests {
             "delivery counted at destination"
         );
         assert!(net0.drain_outbox().is_empty(), "outbox drained");
+    }
+
+    #[test]
+    fn traffic_matrix_records_cross_world_sends_with_slack() {
+        let mut placement = FastMap::default();
+        placement.insert(Addr::new("a"), 0usize);
+        placement.insert(Addr::new("b"), 1usize);
+        let placement = Arc::new(placement);
+        let sim = Sim::new(3);
+        let net = Network::new(NetConfig {
+            jitter: Duration::ZERO,
+            ..NetConfig::default()
+        });
+        net.enable_shard_routing(0, placement);
+        let a = Addr::new("a");
+        let b = Addr::new("b");
+        net.register(&a);
+        let matrix = Arc::new(TrafficMatrix::new(2));
+        net.set_traffic_matrix(matrix.clone());
+        // 1000 B / 1.25 GB/s = 800 ns serialization; zero jitter, so the
+        // slack over the base latency is exactly the serialization time.
+        net.send(&sim, &a, &b, 1000, Arc::new(7u32));
+        // Local sends (none here) and drops must not be recorded.
+        let snap = matrix.snapshot();
+        assert_eq!(snap.total_messages(), 1);
+        let cell = snap.busiest().expect("one cell");
+        assert_eq!((cell.src, cell.dst), (0, 1));
+        assert_eq!(cell.min_slack_ns, 800);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use crate::intern::MetricKey;
 use crate::obs::MetricsRegistry;
+use crate::prof::{Phase, ProfTrack, Profiler};
 use crate::rng::SimRng;
 use crate::span::{SpanId, SpanTracer};
 use crate::time::SimTime;
@@ -158,6 +159,17 @@ struct Inner {
     queue_depth_max: usize,
     /// Cached `sim/*` gauge keys, interned on first publish.
     sim_gauge_keys: Option<[MetricKey; 3]>,
+    /// Wall-clock profiler attachment for the classic (unsharded) path:
+    /// times each `run_until` window as one `Execute` slice so the
+    /// classic engine is comparable with the sharded phase breakdown.
+    wallprof: Option<WallProfAttach>,
+}
+
+/// See [`Sim::set_wallclock_prof`].
+struct WallProfAttach {
+    prof: Profiler,
+    track: ProfTrack,
+    world: usize,
 }
 
 impl Inner {
@@ -233,6 +245,7 @@ impl Sim {
                 processed: 0,
                 queue_depth_max: 0,
                 sim_gauge_keys: None,
+                wallprof: None,
             })),
         }
     }
@@ -380,9 +393,34 @@ impl Sim {
         while self.step() {}
     }
 
+    /// Attaches a wall-clock [`Profiler`] to this engine: every
+    /// subsequent [`Sim::run_until`] window is timed as one `Execute`
+    /// phase for `world`, with an events-per-window sample and a slice on
+    /// a `classic-engine` Perfetto track. This is the classic-path
+    /// equivalent of the shard coordinator's phase timers, so the two
+    /// engines are directly comparable in `repro profile`.
+    ///
+    /// The profiler observes only the monotonic clock and the processed
+    /// counter — simulation state, RNG draws and telemetry are untouched.
+    pub fn set_wallclock_prof(&self, prof: Profiler, world: usize) {
+        let attach = prof.is_on().then(|| WallProfAttach {
+            track: prof.register_track("classic-engine"),
+            prof,
+            world,
+        });
+        self.inner.borrow_mut().wallprof = attach;
+    }
+
     /// Runs all events scheduled at or before `deadline`, then advances the
     /// clock to `deadline` even if the queue still holds later events.
     pub fn run_until(&self, deadline: SimTime) {
+        let profiled = {
+            let inner = self.inner.borrow();
+            inner
+                .wallprof
+                .as_ref()
+                .and_then(|a| a.prof.tick().map(|t| (t, inner.processed, inner.now)))
+        };
         loop {
             let next_at = self.inner.borrow_mut().drain_cancelled_head();
             match next_at {
@@ -394,6 +432,18 @@ impl Sim {
         }
         let mut inner = self.inner.borrow_mut();
         inner.now = inner.now.max(deadline);
+        if let Some((t, ev0, now0)) = profiled {
+            let processed = inner.processed;
+            let now = inner.now;
+            if let Some(a) = &inner.wallprof {
+                let ns = a.prof.lap(Some(t));
+                a.prof.phase(a.world, Phase::Execute, ns);
+                a.prof.epoch_events(a.world, processed - ev0);
+                a.track
+                    .slice(Phase::Execute, a.world, a.prof.offset_ns(t), ns);
+                a.prof.epoch(now.duration_since(now0), false);
+            }
+        }
     }
 
     /// Runs for `d` of virtual time from the current instant.

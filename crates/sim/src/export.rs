@@ -7,16 +7,24 @@
 //!   text format (`promtool check metrics` clean; scrapeable if served);
 //! - [`chrome_trace`] renders a [`SpanTracer`] as Chrome trace-event JSON,
 //!   loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`
-//!   to see the failover span tree on a timeline.
+//!   to see the failover span tree on a timeline;
+//! - [`chrome_trace_with_wallclock`] additionally renders the wall-clock
+//!   profiler's per-thread phase timelines as a second Perfetto process, so
+//!   sim-time spans and engine wall time sit side by side in one file;
+//! - [`prometheus_prof`] renders a profiler snapshot (and optional traffic
+//!   matrix) under the distinct `ustore_prof_` prefix.
 //!
-//! Both outputs are byte-stable for identical runs: the registry keeps its
-//! keys sorted, and the trace exporter assigns track ids from the sorted
-//! component list rather than encounter order.
+//! The sim-time outputs are byte-stable for identical runs: the registry
+//! keeps its keys sorted, and the trace exporter assigns track ids from the
+//! sorted component list rather than encounter order. Wall-clock outputs
+//! are deterministic in *shape* (track order, metric order) but not in
+//! values — they measure the host machine.
 
 use std::collections::BTreeMap;
 
 use crate::json::Json;
 use crate::obs::MetricsRegistry;
+use crate::prof::{Phase, ProfSnapshot, TrafficSnapshot};
 use crate::span::{Span, SpanTracer};
 
 /// Maps a dotted metric id to a Prometheus-legal name:
@@ -193,6 +201,204 @@ pub fn chrome_trace(spans: &SpanTracer) -> Json {
     Json::obj([("traceEvents", Json::arr(events))])
 }
 
+/// Renders the span log plus the wall-clock profiler's thread timelines as
+/// one Chrome trace-event document with two clock domains:
+///
+/// - `pid` 1 (`sim-time`): the [`chrome_trace`] export — spans positioned
+///   by simulated time;
+/// - `pid` 2 (`wall-clock`): one track per engine thread (shard workers,
+///   coordinator, classic engine), with `execute` / `barrier_wait` / ...
+///   slices positioned by monotonic wall time since profiling started.
+///
+/// The two domains share one timeline axis in Perfetto but must not be
+/// compared against each other — a sim microsecond is not a wall
+/// microsecond. Tracks are ordered by sorted label so the layout is stable
+/// across runs even though the slice values are not. Each track's
+/// `thread_name` metadata carries a `dropped_slices` arg when the per-track
+/// slice cap was hit.
+pub fn chrome_trace_with_wallclock(spans: &SpanTracer, prof: &ProfSnapshot) -> Json {
+    let base = chrome_trace(spans);
+    let mut events: Vec<Json> = base
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+
+    for (pid, name) in [(1u64, "sim-time"), (2u64, "wall-clock")] {
+        events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(pid)),
+            ("tid", Json::u64(0)),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+
+    // Stable track order: sort by label (labels are unique per registration
+    // in practice; ties keep registration order via stable sort).
+    let mut order: Vec<usize> = (0..prof.tracks.len()).collect();
+    order.sort_by(|&a, &b| prof.tracks[a].label.cmp(&prof.tracks[b].label));
+    for (i, &t) in order.iter().enumerate() {
+        let track = &prof.tracks[t];
+        let tid = i as u64 + 1;
+        let mut args = Json::obj([("name", Json::str(&*track.label))]);
+        if track.dropped > 0 {
+            args.insert("dropped_slices", Json::u64(track.dropped));
+        }
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(2)),
+            ("tid", Json::u64(tid)),
+            ("args", args),
+        ]));
+        for s in &track.slices {
+            let mut ev = Json::obj([
+                ("name", Json::str(s.phase.name())),
+                ("cat", Json::str("wallprof")),
+                ("ph", Json::str("X")),
+                ("ts", Json::f64(s.start_ns as f64 / 1000.0)),
+                ("dur", Json::f64(s.dur_ns as f64 / 1000.0)),
+                ("pid", Json::u64(2)),
+                ("tid", Json::u64(tid)),
+            ]);
+            if s.world != usize::MAX {
+                ev.insert("args", Json::obj([("world", Json::u64(s.world as u64))]));
+            }
+            events.push(ev);
+        }
+    }
+    Json::obj([("traceEvents", Json::arr(events))])
+}
+
+/// Renders a profiler snapshot (and optional cross-world traffic matrix) in
+/// Prometheus exposition format under the `ustore_prof_` prefix, disjoint
+/// from the sim-time `ustore_` namespace so wall-clock series can never be
+/// mistaken for simulated telemetry.
+///
+/// Phase costs become `ustore_prof_phase_seconds{world,phase}` counters
+/// (plus `_calls`); epoch statistics become per-world counters and an
+/// `events_per_epoch` summary; the traffic matrix becomes
+/// `ustore_prof_cross_messages{src,dst}` with slack gauges.
+pub fn prometheus_prof(prof: &ProfSnapshot, traffic: Option<&TrafficSnapshot>) -> String {
+    let mut out = String::new();
+
+    out.push_str("# TYPE ustore_prof_phase_seconds counter\n");
+    for w in &prof.worlds {
+        for p in Phase::ALL {
+            out.push_str(&format!(
+                "ustore_prof_phase_seconds{{world=\"{}\",phase=\"{}\"}} {}\n",
+                w.world,
+                p.name(),
+                prom_f64(w.phase_ns[p as usize] as f64 / 1e9)
+            ));
+        }
+    }
+    out.push_str("# TYPE ustore_prof_phase_calls counter\n");
+    for w in &prof.worlds {
+        for p in Phase::ALL {
+            out.push_str(&format!(
+                "ustore_prof_phase_calls{{world=\"{}\",phase=\"{}\"}} {}\n",
+                w.world,
+                p.name(),
+                w.phase_calls[p as usize]
+            ));
+        }
+    }
+    type WorldGet = fn(&crate::prof::WorldProf) -> u64;
+    let world_counters: [(&str, WorldGet); 3] = [
+        ("epochs", |w| w.epochs),
+        ("idle_epochs", |w| w.idle_epochs),
+        ("events", |w| w.events),
+    ];
+    for (name, get) in world_counters {
+        out.push_str(&format!("# TYPE ustore_prof_{name} counter\n"));
+        for w in &prof.worlds {
+            out.push_str(&format!(
+                "ustore_prof_{name}{{world=\"{}\"}} {}\n",
+                w.world,
+                get(w)
+            ));
+        }
+    }
+    out.push_str("# TYPE ustore_prof_barrier_wait_fraction gauge\n");
+    for w in &prof.worlds {
+        out.push_str(&format!(
+            "ustore_prof_barrier_wait_fraction{{world=\"{}\"}} {}\n",
+            w.world,
+            prom_f64(w.barrier_fraction())
+        ));
+    }
+    out.push_str("# TYPE ustore_prof_events_per_epoch summary\n");
+    for w in &prof.worlds {
+        let h = &w.events_per_epoch;
+        for q in [0.5, 0.9, 0.99] {
+            out.push_str(&format!(
+                "ustore_prof_events_per_epoch{{world=\"{}\",quantile=\"{q}\"}} {}\n",
+                w.world,
+                h.quantile(q).unwrap_or(0)
+            ));
+        }
+        out.push_str(&format!(
+            "ustore_prof_events_per_epoch_sum{{world=\"{}\"}} {}\n",
+            w.world,
+            h.sum()
+        ));
+        out.push_str(&format!(
+            "ustore_prof_events_per_epoch_count{{world=\"{}\"}} {}\n",
+            w.world,
+            h.count()
+        ));
+    }
+
+    out.push_str("# TYPE ustore_prof_sync_epochs counter\n");
+    out.push_str(&format!("ustore_prof_sync_epochs {}\n", prof.epochs));
+    out.push_str("# TYPE ustore_prof_idle_jump_epochs counter\n");
+    out.push_str(&format!(
+        "ustore_prof_idle_jump_epochs {}\n",
+        prof.idle_jump_epochs
+    ));
+    out.push_str("# TYPE ustore_prof_sim_seconds_advanced counter\n");
+    out.push_str(&format!(
+        "ustore_prof_sim_seconds_advanced {}\n",
+        prom_f64(prof.advance_ns_total as f64 / 1e9)
+    ));
+    if let Some(u) = prof.lookahead_utilization() {
+        out.push_str("# TYPE ustore_prof_lookahead_utilization gauge\n");
+        out.push_str(&format!(
+            "ustore_prof_lookahead_utilization {}\n",
+            prom_f64(u)
+        ));
+    }
+
+    if let Some(t) = traffic {
+        out.push_str("# TYPE ustore_prof_cross_messages counter\n");
+        for c in &t.cells {
+            out.push_str(&format!(
+                "ustore_prof_cross_messages{{src=\"{}\",dst=\"{}\"}} {}\n",
+                c.src, c.dst, c.messages
+            ));
+        }
+        out.push_str("# TYPE ustore_prof_cross_slack_min_ns gauge\n");
+        for c in &t.cells {
+            out.push_str(&format!(
+                "ustore_prof_cross_slack_min_ns{{src=\"{}\",dst=\"{}\"}} {}\n",
+                c.src, c.dst, c.min_slack_ns
+            ));
+        }
+        out.push_str("# TYPE ustore_prof_cross_slack_mean_ns gauge\n");
+        for c in &t.cells {
+            out.push_str(&format!(
+                "ustore_prof_cross_slack_mean_ns{{src=\"{}\",dst=\"{}\"}} {}\n",
+                c.src,
+                c.dst,
+                prom_f64(c.mean_slack_ns())
+            ));
+        }
+    }
+    out
+}
+
 fn span_event(s: &Span, tid: u64) -> Json {
     let ts_us = s.start.as_nanos() as f64 / 1000.0;
     let mut args = Json::obj([("span_id", Json::u64(s.id.raw()))]);
@@ -334,6 +540,92 @@ mod tests {
             .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
             .collect();
         assert_eq!(begins.len(), 1, "open span exported as B event");
+    }
+
+    #[cfg(feature = "wallprof")]
+    #[test]
+    fn wallclock_trace_adds_second_process_with_thread_tracks() {
+        use crate::prof::{Phase, Profiler};
+
+        let prof = Profiler::on(1);
+        let track = prof.register_track("worker-0".to_string());
+        track.slice(Phase::Execute, 0, 100, 50);
+        track.slice(Phase::BarrierWait, usize::MAX, 150, 25);
+        let snap = prof.snapshot().expect("profiler is on");
+
+        let mut t = SpanTracer::new();
+        let a = t.start(SimTime::from_millis(1), "master-0", "op", None);
+        t.end(SimTime::from_millis(2), a);
+
+        let doc = chrome_trace_with_wallclock(&t, &snap);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let pid2: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("pid").and_then(Json::as_f64) == Some(2.0))
+            .collect();
+        // process_name + thread_name + 2 slices on the wall-clock process.
+        assert_eq!(pid2.len(), 4);
+        let exec = pid2
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("execute"))
+            .expect("execute slice present");
+        assert_eq!(exec.get("ts").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(exec.get("dur").and_then(Json::as_f64), Some(0.05));
+        assert!(
+            exec.get("args").and_then(|a| a.get("world")).is_some(),
+            "world-attributed slice carries its world id"
+        );
+        let wait = pid2
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("barrier_wait"))
+            .expect("wait slice present");
+        assert!(
+            wait.get("args").is_none(),
+            "thread-level slice has no world arg"
+        );
+        // The sim-time export is still intact under pid 1.
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("op")));
+    }
+
+    #[cfg(feature = "wallprof")]
+    #[test]
+    fn prometheus_prof_uses_distinct_prefix_and_well_formed_lines() {
+        use crate::prof::{Phase, Profiler, TrafficMatrix};
+
+        let prof = Profiler::on(2);
+        prof.set_lookahead(std::time::Duration::from_micros(100));
+        prof.phase(0, Phase::Execute, 5_000_000);
+        prof.phase(1, Phase::BarrierWait, 2_000_000);
+        prof.epoch_events(0, 10);
+        prof.epoch_events(1, 0);
+        prof.epoch(std::time::Duration::from_micros(80), false);
+        let snap = prof.snapshot().unwrap();
+
+        let m = TrafficMatrix::new(2);
+        m.record(0, 1, 500);
+        m.record(1, 0, 900);
+        let traffic = m.snapshot();
+
+        let text = prometheus_prof(&snap, Some(&traffic));
+        assert!(text.contains("ustore_prof_phase_seconds{world=\"0\",phase=\"execute\"} 0.005"));
+        assert!(text.contains("ustore_prof_idle_epochs{world=\"1\"} 1"));
+        assert!(text.contains("ustore_prof_lookahead_utilization 0.8"));
+        assert!(text.contains("ustore_prof_cross_messages{src=\"0\",dst=\"1\"} 1"));
+        assert!(text.contains("ustore_prof_cross_slack_min_ns{src=\"1\",dst=\"0\"} 900"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# TYPE ustore_prof_"),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(series.starts_with("ustore_prof_"), "bad name: {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
+        }
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   and [`obs::timeseries`] — the [`Scraper`] sampling it over sim time.
 //! - [`shard`]: conservative epoch-synchronized parallel execution of a
 //!   fixed world decomposition ([`ShardCoordinator`]).
+//! - [`prof`]: wall-clock profiling of the engine itself ([`Profiler`],
+//!   [`TrafficMatrix`]) — phase timers, epoch statistics, Perfetto
+//!   thread timelines. Feature-gated (`wallprof`, on by default).
 //! - [`span`]: causal span tracing ([`SpanTracer`]) for decomposition and
 //!   causality queries.
 //! - [`export`]: Prometheus exposition text and Chrome trace-event JSON.
@@ -46,6 +49,7 @@ pub mod intern;
 pub mod json;
 pub mod metrics;
 pub mod obs;
+pub mod prof;
 pub mod rng;
 pub mod shard;
 pub mod span;
@@ -59,6 +63,10 @@ pub use json::Json;
 pub use metrics::{Counter, Histogram, Throughput, ThroughputRate};
 pub use obs::timeseries::{Scraper, ScraperConfig, TimeSeries};
 pub use obs::MetricsRegistry;
+pub use prof::{
+    Phase, ProfSnapshot, ProfTrack, Profiler, TrafficCell, TrafficMatrix, TrafficSnapshot,
+    WorldProf,
+};
 pub use rng::{SimRng, Zipf};
 pub use shard::{canonical_merge, Routed, ShardCoordinator, ShardWorld, WorldBuilder};
 pub use span::{Span, SpanId, SpanTracer};

@@ -90,7 +90,10 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(v: u64) -> u64 {
+    // Bucket geometry is shared with the wall-clock profiler (`prof`),
+    // which accumulates counts in atomic per-bucket slots and folds them
+    // back through `record_n(bucket_mid(idx), count)`.
+    pub(crate) fn bucket_index(v: u64) -> u64 {
         if v < SUB_BUCKETS {
             return v;
         }
@@ -122,7 +125,7 @@ impl Histogram {
 
     /// Midpoint of a bucket's value range (the least-biased point
     /// estimate for any sample that landed in it).
-    fn bucket_mid(idx: u64) -> u64 {
+    pub(crate) fn bucket_mid(idx: u64) -> u64 {
         if idx < SUB_BUCKETS {
             return idx; // width-1 buckets are exact
         }
@@ -149,6 +152,26 @@ impl Histogram {
     /// Records a [`Duration`] in nanoseconds.
     pub fn record_duration(&mut self, d: Duration) {
         self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records `n` occurrences of the same sample value in one call.
+    ///
+    /// Used when folding pre-aggregated data (e.g. the wall-clock
+    /// profiler's atomic bucket counts) into a histogram without paying
+    /// one `record` per original sample.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = Self::bucket_index(v);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += n,
+            Err(pos) => self.buckets.insert(pos, (idx, n)),
+        }
     }
 
     /// Number of samples.

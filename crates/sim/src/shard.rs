@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::engine::Sim;
+use crate::prof::{Phase, ProfTrack, Profiler};
 use crate::time::SimTime;
 
 /// A cross-world message captured at its source world, tagged with enough
@@ -140,6 +141,13 @@ pub struct ShardCoordinator<M: Send + 'static> {
     world_count: usize,
     epochs: u64,
     cross_messages: u64,
+    /// Wall-clock profiler (inert unless built via [`Self::new_profiled`]
+    /// with an active handle). Probes cost one `Option` branch when off.
+    prof: Profiler,
+    /// The coordinator thread's Perfetto track.
+    track: ProfTrack,
+    /// Reusable per-epoch busy-time scratch for the local worlds.
+    local_busy: Vec<u64>,
 }
 
 impl<M: Send + 'static> ShardCoordinator<M> {
@@ -158,10 +166,31 @@ impl<M: Send + 'static> ShardCoordinator<M> {
         local: Vec<(usize, Box<dyn ShardWorld<Msg = M>>)>,
         remote: Vec<Vec<(usize, WorldBuilder<M>)>>,
     ) -> Self {
+        Self::new_profiled(lookahead, local, remote, Profiler::off())
+    }
+
+    /// Like [`Self::new`], but with a wall-clock [`Profiler`] attached.
+    ///
+    /// An active profiler times every engine phase (execute, outbox
+    /// drain, barrier wait, merge, idle-jump) per world, records epoch
+    /// statistics, and gives each engine thread a Perfetto track. Pass
+    /// [`Profiler::off`] for zero overhead; profiling never touches
+    /// simulation state, so results are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn new_profiled(
+        lookahead: Duration,
+        local: Vec<(usize, Box<dyn ShardWorld<Msg = M>>)>,
+        remote: Vec<Vec<(usize, WorldBuilder<M>)>>,
+        prof: Profiler,
+    ) -> Self {
         assert!(
             lookahead > Duration::ZERO,
             "shard coordinator needs a positive lookahead"
         );
+        prof.set_lookahead(lookahead);
         let world_count = local.len() + remote.iter().map(Vec::len).sum::<usize>();
         let mut seen = vec![false; world_count];
         for id in local
@@ -179,9 +208,12 @@ impl<M: Send + 'static> ShardCoordinator<M> {
             let world_ids: Vec<usize> = worlds.iter().map(|(id, _)| *id).collect();
             let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<M>>();
             let (reply_tx, reply_rx) = mpsc::channel::<Reply<M>>();
+            let name = format!("sim-shard-{}", widx + 1);
+            let worker_prof = prof.clone();
+            let label = name.clone();
             let handle = std::thread::Builder::new()
-                .name(format!("sim-shard-{}", widx + 1))
-                .spawn(move || worker_main(worlds, cmd_rx, reply_tx))
+                .name(name)
+                .spawn(move || worker_main(worlds, cmd_rx, reply_tx, worker_prof, label))
                 .expect("spawn shard worker");
             workers.push(Worker {
                 cmd: cmd_tx,
@@ -191,6 +223,8 @@ impl<M: Send + 'static> ShardCoordinator<M> {
             });
         }
 
+        let track = prof.register_track("coordinator");
+        let local_busy = vec![0u64; local.len()];
         let mut this = ShardCoordinator {
             local,
             workers,
@@ -201,6 +235,9 @@ impl<M: Send + 'static> ShardCoordinator<M> {
             world_count,
             epochs: 0,
             cross_messages: 0,
+            prof,
+            track,
+            local_busy,
         };
         // Collect construction-time sends and initial schedules so the
         // first barrier computation sees them.
@@ -297,9 +334,13 @@ impl<M: Send + 'static> ShardCoordinator<M> {
         self.absorb(fresh);
 
         while self.now < deadline {
+            let tb = self.prof.tick();
             let barrier = self.next_barrier(deadline);
+            let idle_ns = self.prof.lap(tb);
+            let idle_jump = barrier > self.now + self.lookahead;
             // Dispatch workers first so they run concurrently with the
             // local worlds.
+            let td = self.prof.tick();
             for w in &self.workers {
                 let batches: Vec<Vec<Routed<M>>> = w
                     .world_ids
@@ -313,14 +354,37 @@ impl<M: Send + 'static> ShardCoordinator<M> {
                     })
                     .expect("shard worker channel closed");
             }
+            let dispatch_ns = self.prof.lap(td);
             let mut outbox = Vec::new();
-            for (id, w) in &mut self.local {
+            for (i, (id, w)) in self.local.iter_mut().enumerate() {
+                self.local_busy[i] = 0;
                 let batch = std::mem::take(&mut self.pending[*id]);
                 if !batch.is_empty() {
+                    let t = self.prof.tick();
                     w.deliver(batch);
+                    let ns = self.prof.lap(t);
+                    self.prof.phase(*id, Phase::Merge, ns);
+                    self.local_busy[i] += ns;
                 }
+                let t = self.prof.tick();
+                let ev0 = t.map(|_| w.sim().events_processed());
                 w.sim().run_until(barrier);
+                if let Some(t0) = t {
+                    let ns = self.prof.lap(t);
+                    self.prof.phase(*id, Phase::Execute, ns);
+                    self.prof
+                        .epoch_events(*id, w.sim().events_processed() - ev0.unwrap_or(0));
+                    self.track
+                        .slice(Phase::Execute, *id, self.prof.offset_ns(t0), ns);
+                    self.local_busy[i] += ns;
+                }
+                let t = self.prof.tick();
                 let drained = w.drain_outbox();
+                if t.is_some() {
+                    let ns = self.prof.lap(t);
+                    self.prof.phase(*id, Phase::OutboxDrain, ns);
+                    self.local_busy[i] += ns;
+                }
                 for r in &drained {
                     debug_assert!(
                         r.deliver_at >= barrier,
@@ -334,6 +398,7 @@ impl<M: Send + 'static> ShardCoordinator<M> {
                 outbox.extend(drained);
                 self.next_events[*id] = w.sim().next_event_at();
             }
+            let tw = self.prof.tick();
             for w in &self.workers {
                 match w.reply.recv().expect("shard worker died mid-epoch") {
                     Reply::EpochDone {
@@ -358,7 +423,37 @@ impl<M: Send + 'static> ShardCoordinator<M> {
                     _ => unreachable!("worker sent unexpected reply"),
                 }
             }
+            let wait_ns = self.prof.lap(tw);
+            let tm = self.prof.tick();
             self.absorb(outbox);
+            if tm.is_some() {
+                let absorb_ns = self.prof.lap(tm);
+                // Tile the coordinator's epoch into every local world's
+                // slab: thread-level intervals (barrier computation,
+                // dispatch, worker waits, the canonical merge) apply to
+                // each hosted world, and time spent running a sibling
+                // world counts as that world waiting. This makes each
+                // world's phase sum approximate the epoch's wall time.
+                let total_busy: u64 = self.local_busy.iter().sum();
+                for (i, (id, _)) in self.local.iter().enumerate() {
+                    self.prof.phase(*id, Phase::IdleJump, idle_ns);
+                    self.prof.phase(*id, Phase::Merge, absorb_ns);
+                    self.prof.phase(
+                        *id,
+                        Phase::BarrierWait,
+                        dispatch_ns + wait_ns + (total_busy - self.local_busy[i]),
+                    );
+                }
+                if let Some(w0) = tw {
+                    self.track.slice(
+                        Phase::BarrierWait,
+                        usize::MAX,
+                        self.prof.offset_ns(w0),
+                        wait_ns,
+                    );
+                }
+                self.prof.epoch(barrier.duration_since(self.now), idle_jump);
+            }
             self.now = barrier;
             self.epochs += 1;
         }
@@ -416,10 +511,17 @@ impl<M: Send + 'static> Drop for ShardCoordinator<M> {
 
 /// Worker thread body: builds its worlds, reports readiness, then serves
 /// epoch commands until the channel closes or finalize is requested.
+///
+/// With an active profiler the worker times each hosted world's merge,
+/// execute and outbox-drain scopes, attributes channel waits (plus time
+/// spent running sibling worlds) as barrier waits, and records execute /
+/// wait slices on its own Perfetto track.
 fn worker_main<M: Send + 'static>(
     worlds: Vec<(usize, WorldBuilder<M>)>,
     cmd: Receiver<Cmd<M>>,
     reply: Sender<Reply<M>>,
+    prof: Profiler,
+    label: String,
 ) {
     let mut built: Vec<(usize, Box<dyn ShardWorld<Msg = M>>)> =
         worlds.into_iter().map(|(id, b)| (id, b())).collect();
@@ -434,21 +536,60 @@ fn worker_main<M: Send + 'static>(
         return;
     }
 
+    let track = prof.register_track(label);
+    let mut busy = vec![0u64; built.len()];
+    let mut wait_start = prof.tick();
     while let Ok(c) = cmd.recv() {
+        let wait_ns = prof.lap(wait_start);
+        if let Some(w0) = wait_start {
+            track.slice(Phase::BarrierWait, usize::MAX, prof.offset_ns(w0), wait_ns);
+        }
         match c {
             Cmd::Epoch { until, batches } => {
                 debug_assert_eq!(batches.len(), built.len());
-                for ((_, w), batch) in built.iter_mut().zip(batches) {
+                busy.iter_mut().for_each(|b| *b = 0);
+                for (i, ((id, w), batch)) in built.iter_mut().zip(batches).enumerate() {
                     if !batch.is_empty() {
+                        let t = prof.tick();
                         w.deliver(batch);
+                        if t.is_some() {
+                            let ns = prof.lap(t);
+                            prof.phase(*id, Phase::Merge, ns);
+                            busy[i] += ns;
+                        }
                     }
                 }
                 let mut outbox = Vec::new();
                 let mut next_event: Option<SimTime> = None;
-                for (_, w) in &mut built {
+                for (i, (id, w)) in built.iter_mut().enumerate() {
+                    let t = prof.tick();
+                    let ev0 = t.map(|_| w.sim().events_processed());
                     w.sim().run_until(until);
+                    if let Some(t0) = t {
+                        let ns = prof.lap(t);
+                        prof.phase(*id, Phase::Execute, ns);
+                        prof.epoch_events(*id, w.sim().events_processed() - ev0.unwrap_or(0));
+                        track.slice(Phase::Execute, *id, prof.offset_ns(t0), ns);
+                        busy[i] += ns;
+                    }
+                    let t = prof.tick();
                     outbox.extend(w.drain_outbox());
+                    if t.is_some() {
+                        let ns = prof.lap(t);
+                        prof.phase(*id, Phase::OutboxDrain, ns);
+                        busy[i] += ns;
+                    }
                     next_event = w.sim().next_event_at().min_opt(next_event);
+                }
+                if prof.is_on() {
+                    // Tile the epoch: each hosted world charges the
+                    // channel wait plus its siblings' busy time as
+                    // barrier wait, so per-world phase sums approximate
+                    // this thread's wall time.
+                    let total_busy: u64 = busy.iter().sum();
+                    for (i, (id, _)) in built.iter().enumerate() {
+                        prof.phase(*id, Phase::BarrierWait, wait_ns + (total_busy - busy[i]));
+                    }
                 }
                 if reply.send(Reply::EpochDone { outbox, next_event }).is_err() {
                     return;
@@ -460,6 +601,7 @@ fn worker_main<M: Send + 'static>(
                 return;
             }
         }
+        wait_start = prof.tick();
     }
 }
 

@@ -4,8 +4,11 @@
 //! must produce bit-for-bit identical telemetry exports.
 
 use ustore_bench::degraded::run_degraded_traced;
-use ustore_bench::podscale::{fnv1a, run_podscale, run_podscale_sharded, PodConfig};
-use ustore_sim::{canonical_merge, Routed, SimTime};
+use ustore_bench::podscale::{
+    fnv1a, run_podscale, run_podscale_profiled, run_podscale_sharded,
+    run_podscale_sharded_profiled, PodConfig,
+};
+use ustore_sim::{canonical_merge, Profiler, Routed, SimTime};
 
 #[test]
 fn degraded_telemetry_is_bit_for_bit_deterministic() {
@@ -98,6 +101,67 @@ fn podscale_sharded_digest_is_identical_for_shards_1_2_4() {
         assert_eq!(
             a.cross_messages, b.cross_messages,
             "cross-world traffic diverged at --shards {s}"
+        );
+    }
+}
+
+/// Golden test for the wall-clock profiler: it observes the engine from a
+/// monotonic-clock side channel and must never feed back into simulation
+/// state. Enabling it leaves every shard count's telemetry digest
+/// bit-identical to the unprofiled run.
+#[test]
+fn profiling_leaves_sharded_digests_bit_identical() {
+    if !Profiler::compiled_in() {
+        // Built with --no-default-features: the profiler is compiled out
+        // and the comparison would be vacuous.
+        return;
+    }
+    let cfg = PodConfig::tiny();
+    for shards in [1usize, 2, 4] {
+        let plain = run_podscale_sharded(7, &cfg, shards);
+        let profiled = run_podscale_sharded_profiled(7, &cfg, shards);
+        assert_eq!(
+            profiled.digest, plain.digest,
+            "profiling changed the telemetry digest at --shards {shards}"
+        );
+        assert_eq!(profiled.events, plain.events);
+        assert!(
+            profiled.prof.is_some() && profiled.traffic.is_some(),
+            "profiled run captured its snapshots"
+        );
+        assert!(plain.prof.is_none() && plain.traffic.is_none());
+    }
+    let plain = run_podscale(7, &cfg);
+    let profiled = run_podscale_profiled(7, &cfg);
+    assert_eq!(
+        profiled.digest, plain.digest,
+        "profiling changed the classic engine's telemetry digest"
+    );
+}
+
+/// The profiler's phase accounting must tile the run: each world's phase
+/// sums approximate the measured wall time of the run window. The bounds
+/// are generous — CI machines are noisy and the tiny pod runs for
+/// milliseconds — but they reject both gross undercounting (a phase not
+/// instrumented) and double counting (a phase attributed twice).
+#[test]
+fn profiled_phase_sums_approximate_measured_wall_time() {
+    if !Profiler::compiled_in() {
+        return;
+    }
+    let run = run_podscale_sharded_profiled(7, &PodConfig::tiny(), 2);
+    let prof = run.prof.expect("profiled run has a snapshot");
+    let wall_ns = run.run_wall_seconds * 1e9;
+    assert!(wall_ns > 0.0);
+    for w in &prof.worlds {
+        let ratio = w.total_ns() as f64 / wall_ns;
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "world {}: phase sum is {:.0}% of wall time (sum {} ns, wall {:.0} ns)",
+            w.world,
+            ratio * 100.0,
+            w.total_ns(),
+            wall_ns
         );
     }
 }
