@@ -6,6 +6,8 @@
 //! repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]
 //! repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE]
 //!       [--trace-out FILE] [--json]
+//! repro slo [--quick] [--seed N] [--shards N] [--slo-out FILE]
+//!       [--trace-out FILE] [--json]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
@@ -45,6 +47,15 @@
 //! `ustore_prof_` prefix. It exits nonzero if enabling the profiler
 //! changed the telemetry digest. Like `perf`, it runs alone.
 //!
+//! The `slo` subcommand runs the pod with the request-lifecycle tracer on
+//! and prints the time-to-first-byte decomposition: per-stage p50 / p99 /
+//! p99.9 tables for reads and writes, the coverage fraction (attributed ÷
+//! end-to-end latency), and the slowest request's full stage timeline.
+//! With `--slo-out` it writes the machine-readable report; with
+//! `--trace-out` it writes a Perfetto trace with one track per
+//! slowest-request exemplar. It exits nonzero if enabling the tracer
+//! changed the telemetry digest. Like `perf`, it runs alone.
+//!
 //! The artifact flags write standard-format telemetry exports of the last
 //! traced experiment that ran (`degraded` wins over `failover` in the
 //! default order):
@@ -61,7 +72,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ustore_bench::{
-    ablation, degraded, failover, fig5, fig6, hdfs, megapod, perf, podscale, power, profile,
+    ablation, degraded, failover, fig5, fig6, hdfs, megapod, perf, podscale, power, profile, slo,
     table2, Report, TelemetryArtifacts,
 };
 use ustore_sim::Json;
@@ -96,9 +107,9 @@ fn alloc_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
-    "degraded", "hdfs", "rolling", "ablation", "podscale", "megapod", "perf", "profile",
+    "degraded", "hdfs", "rolling", "ablation", "podscale", "megapod", "perf", "profile", "slo",
 ];
 
 /// Default shard count for the scenarios that always run sharded: as many
@@ -182,6 +193,7 @@ fn main() {
     let mut json = false;
     let mut quick = false;
     let mut bench_out = String::from("BENCH_podscale.json");
+    let mut slo_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut ts_out: Option<String> = None;
@@ -223,6 +235,9 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--bench-out needs a path"));
             }
+            "--slo-out" => {
+                slo_out = Some(it.next().unwrap_or_else(|| usage("--slo-out needs a path")));
+            }
             "--prom-out" => {
                 prom_out = Some(
                     it.next()
@@ -249,6 +264,7 @@ fn main() {
     // simulation.
     for (flag, path) in [
         ("--bench-out", Some(&bench_out)),
+        ("--slo-out", slo_out.as_ref()),
         ("--prom-out", prom_out.as_ref()),
         ("--trace-out", trace_out.as_ref()),
         ("--ts-out", ts_out.as_ref()),
@@ -287,10 +303,30 @@ fn main() {
         );
         return;
     }
+    if picks.iter().any(|p| p == "slo") {
+        if picks.len() > 1 {
+            usage("slo runs alone (it owns the pod-scale runs it measures)");
+        }
+        if prom_out.is_some() || ts_out.is_some() {
+            usage("--prom-out/--ts-out are not produced by slo (use --slo-out / --trace-out)");
+        }
+        run_slo_command(
+            seed,
+            quick,
+            shards.unwrap_or_else(default_shards),
+            slo_out.as_deref(),
+            trace_out.as_deref(),
+            json,
+        );
+        return;
+    }
+    if slo_out.is_some() {
+        usage("--slo-out is only produced by the slo subcommand");
+    }
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = EXPERIMENTS
             .iter()
-            .filter(|e| !matches!(**e, "podscale" | "megapod" | "perf" | "profile"))
+            .filter(|e| !matches!(**e, "podscale" | "megapod" | "perf" | "profile" | "slo"))
             .map(|s| (*s).to_owned())
             .collect();
     }
@@ -459,6 +495,57 @@ fn run_profile_command(
     }
 }
 
+fn run_slo_command(
+    seed: u64,
+    quick: bool,
+    shards: usize,
+    slo_out: Option<&str>,
+    trace_out: Option<&str>,
+    json: bool,
+) {
+    let run = slo::run_slo(&slo::SloOptions {
+        seed,
+        quick,
+        shards,
+        sample_every: ustore_sim::reqtrace::DEFAULT_SAMPLE_EVERY,
+        exemplars: ustore_sim::reqtrace::DEFAULT_EXEMPLARS,
+    });
+    if let Some(path) = slo_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", run.to_json().pretty())) {
+            eprintln!("error: writing slo report to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", run.request_trace())) {
+            eprintln!("error: writing request trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        println!("{}", run.to_json().pretty());
+    } else {
+        println!(
+            "UStore request-lifecycle SLO (seed {seed}, {} mode, {shards} shards)\n",
+            if quick { "quick" } else { "full" }
+        );
+        println!("{}", run.decomposition());
+        if let Some(path) = slo_out {
+            println!("slo report written to {path}");
+        }
+        if let Some(path) = trace_out {
+            println!("request-exemplar Perfetto trace written to {path}");
+        }
+    }
+    if !run.digest_matches_untraced {
+        eprintln!(
+            "error: telemetry digest changed with tracing on ({:016x} != {:016x}) — the tracer leaked into the simulation",
+            run.sharded.digest, run.untraced_digest
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Rejects artifact destinations that can only fail after the run: the
 /// path must not be a directory and its parent directory must exist.
 fn check_writable_destination(flag: &str, path: &str) {
@@ -487,6 +574,7 @@ fn usage(err: &str) -> ! {
          \x20            [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]\n\
          \x20      repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]\n\
          \x20      repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE] [--trace-out FILE] [--json]\n\
+         \x20      repro slo [--quick] [--seed N] [--shards N] [--slo-out FILE] [--trace-out FILE] [--json]\n\
          experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale megapod all\n\
          (podscale — 256 hosts / 1024 disks — and megapod — 1024 hosts / 4096 disks — are not part of `all`;\n\
          run them explicitly or via `perf`; --shards selects the parallel engine, --jobs/--shards must be >= 1)"

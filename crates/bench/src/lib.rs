@@ -31,6 +31,7 @@ pub mod podscale;
 pub mod power;
 pub mod profile;
 pub mod report;
+pub mod slo;
 pub mod table2;
 
 pub use report::{Report, Row, TelemetryArtifacts};

@@ -32,14 +32,17 @@ use std::time::Instant;
 
 use ustore_sim::Json;
 
+use ustore::TracePlan;
+
 use crate::degraded;
 use crate::megapod;
 use crate::podscale::{
     run_podscale, run_podscale_profiled, run_podscale_sharded, run_podscale_sharded_profiled,
-    PodConfig,
+    run_podscale_sharded_traced, run_podscale_traced, PodConfig,
 };
 use crate::profile;
 use crate::report::{Report, Row};
+use crate::slo;
 
 /// Perf-run options.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +195,10 @@ pub struct PerfReport {
     /// phase coverage, and the profiling-on digest gate
     /// ([`crate::profile::profile_section`]).
     pub profile: Json,
+    /// The request-lifecycle SLO section: traced sharded + classic runs'
+    /// TTFB decomposition snapshots and the tracing-on digest gate
+    /// ([`crate::slo::slo_section`]).
+    pub slo: Json,
 }
 
 fn measure<R>(
@@ -340,6 +347,14 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     let unprofiled_digest = sharding.counts.last().expect("sweep has points").digest;
     let profile = profile::profile_section(&prof_sharded, &prof_classic, Some(unprofiled_digest));
 
+    // The SLO section: one traced sharded run at the largest count (its
+    // digest must match the unprofiled sweep point — tracing must not
+    // perturb the simulation) plus a traced classic run.
+    let slo_sharded =
+        run_podscale_sharded_traced(opts.seed, &pod, max_shards, TracePlan::default());
+    let slo_classic = run_podscale_traced(opts.seed, &pod, TracePlan::default());
+    let slo = slo::slo_section(&slo_sharded, &slo_classic, Some(unprofiled_digest));
+
     let base = pre_overhaul_baseline(opts.quick);
     let speedup = |cur: f64, b: f64| if b > 0.0 { cur / b } else { f64::NAN };
     PerfReport {
@@ -354,6 +369,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         podscale_speedup: speedup(podscale_best.events_per_sec, base.podscale_events_per_sec),
         sharding,
         profile,
+        slo,
     }
 }
 
@@ -391,7 +407,7 @@ impl PerfReport {
     pub fn to_bench_json(&self) -> Json {
         let b = pre_overhaul_baseline(self.quick);
         Json::obj([
-            ("schema", Json::str("ustore-bench-podscale-v3")),
+            ("schema", Json::str("ustore-bench-podscale-v4")),
             ("mode", Json::str(if self.quick { "quick" } else { "full" })),
             ("seed", Json::u64(self.seed)),
             (
@@ -494,6 +510,7 @@ impl PerfReport {
                 ]),
             ),
             ("profile", self.profile.clone()),
+            ("slo", self.slo.clone()),
         ])
     }
 
@@ -622,9 +639,10 @@ mod tests {
                 megapod_pod: crate::megapod::megapod_quick(),
             },
             profile: Json::obj([("digest_matches_unprofiled", Json::Bool(true))]),
+            slo: Json::obj([("digest_matches_untraced", Json::Bool(true))]),
         };
         let j = rep.to_bench_json().to_string();
-        assert!(j.contains(r#""schema":"ustore-bench-podscale-v3""#));
+        assert!(j.contains(r#""schema":"ustore-bench-podscale-v4""#));
         assert!(j.contains(r#""events_per_sec":200"#));
         assert!(j.contains(r#""two_runs_identical":true"#));
         assert!(j.contains(r#""podscale_digest":"00000000deadbeef""#));
@@ -637,6 +655,10 @@ mod tests {
         assert!(
             j.contains(r#""profile":{"digest_matches_unprofiled":true}"#),
             "profile section carried through"
+        );
+        assert!(
+            j.contains(r#""slo":{"digest_matches_untraced":true}"#),
+            "slo section carried through"
         );
     }
 }

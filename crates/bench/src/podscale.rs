@@ -22,12 +22,13 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use ustore::{
-    Mounted, ShardedPod, ShardedPodConfig, SpaceInfo, SystemConfig, TelemetryPlan, UStoreClient,
-    UStoreSystem, WatchdogConfig,
+    Mounted, ShardedPod, ShardedPodConfig, SpaceInfo, SystemConfig, TelemetryPlan, TracePlan,
+    UStoreClient, UStoreSystem, WatchdogConfig,
 };
 use ustore_net::BlockDevice;
 use ustore_sim::{
-    Json, ProfSnapshot, Profiler, ScraperConfig, Sim, SimTime, TraceLevel, TrafficSnapshot,
+    Json, ProfSnapshot, Profiler, RequestTracer, ScraperConfig, Sim, SimTime, TraceLevel,
+    TraceSnapshot, TrafficSnapshot,
 };
 
 use crate::report::{Report, Row};
@@ -166,6 +167,9 @@ pub struct PodscaleRun {
     pub prof: Option<ProfSnapshot>,
     /// Cross-world traffic matrix snapshot (profiled sharded runs only).
     pub traffic: Option<TrafficSnapshot>,
+    /// Request-lifecycle trace snapshot (traced runs only — see
+    /// [`run_podscale_traced`] / [`run_podscale_sharded_traced`]).
+    pub slo: Option<TraceSnapshot>,
     /// Wall seconds spent settling and advancing the engine (world
     /// construction excluded) — the denominator for the profiler's
     /// phase-coverage check.
@@ -285,7 +289,7 @@ fn drive_workload(
 /// Panics if bring-up fails (no active master, allocations not served) —
 /// a pod that cannot bring up is a broken system, not a measurement.
 pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
-    run_podscale_opts(seed, cfg, false)
+    run_podscale_opts(seed, cfg, false, None)
 }
 
 /// [`run_podscale`] with the wall-clock profiler attached to the classic
@@ -293,12 +297,31 @@ pub fn run_podscale(seed: u64, cfg: &PodConfig) -> PodscaleRun {
 /// events, telemetry, digest — is bit-identical to the unprofiled run; only
 /// `prof` and `run_wall_seconds` are populated.
 pub fn run_podscale_profiled(seed: u64, cfg: &PodConfig) -> PodscaleRun {
-    run_podscale_opts(seed, cfg, true)
+    run_podscale_opts(seed, cfg, true, None)
 }
 
-fn run_podscale_opts(seed: u64, cfg: &PodConfig, profile: bool) -> PodscaleRun {
+/// [`run_podscale`] with the request-lifecycle tracer attached to the
+/// classic single-threaded engine. The simulation itself — events,
+/// telemetry, digest — is bit-identical to the untraced run; only `slo`
+/// is additionally populated.
+pub fn run_podscale_traced(seed: u64, cfg: &PodConfig, plan: TracePlan) -> PodscaleRun {
+    run_podscale_opts(seed, cfg, false, Some(plan))
+}
+
+fn run_podscale_opts(
+    seed: u64,
+    cfg: &PodConfig,
+    profile: bool,
+    trace: Option<TracePlan>,
+) -> PodscaleRun {
+    let tracer = match &trace {
+        Some(plan) => RequestTracer::on(plan.sample_every, plan.exemplars),
+        None => RequestTracer::off(),
+    };
+    let sim = ustore_sim::Sim::new(seed);
+    sim.set_reqtracer(tracer.clone());
     let system = UStoreSystem::build(
-        ustore_sim::Sim::new(seed),
+        sim,
         SystemConfig {
             units: cfg.units,
             hosts: cfg.hosts_per_unit,
@@ -403,6 +426,7 @@ fn run_podscale_opts(seed: u64, cfg: &PodConfig, profile: bool) -> PodscaleRun {
         telemetry,
         prof: profiler.snapshot(),
         traffic: None,
+        slo: tracer.snapshot(),
         run_wall_seconds,
     }
 }
@@ -425,7 +449,7 @@ fn run_podscale_opts(seed: u64, cfg: &PodConfig, profile: bool) -> PodscaleRun {
 /// Panics if bring-up fails, or on a degenerate shape (`shards` 0,
 /// `world_groups` outside `1..=units`).
 pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> PodscaleRun {
-    run_podscale_sharded_opts(seed, cfg, shards, false)
+    run_podscale_sharded_opts(seed, cfg, shards, false, None)
 }
 
 /// [`run_podscale_sharded`] with the wall-clock shard profiler and the
@@ -433,7 +457,19 @@ pub fn run_podscale_sharded(seed: u64, cfg: &PodConfig, shards: usize) -> Podsca
 /// the unprofiled run (same digest); `prof`, `traffic`, and
 /// `run_wall_seconds` are additionally populated.
 pub fn run_podscale_sharded_profiled(seed: u64, cfg: &PodConfig, shards: usize) -> PodscaleRun {
-    run_podscale_sharded_opts(seed, cfg, shards, true)
+    run_podscale_sharded_opts(seed, cfg, shards, true, None)
+}
+
+/// [`run_podscale_sharded`] with the request-lifecycle tracer installed
+/// in every world. The simulation is bit-identical to the untraced run
+/// (same digest); `slo` is additionally populated.
+pub fn run_podscale_sharded_traced(
+    seed: u64,
+    cfg: &PodConfig,
+    shards: usize,
+    plan: TracePlan,
+) -> PodscaleRun {
+    run_podscale_sharded_opts(seed, cfg, shards, false, Some(plan))
 }
 
 fn run_podscale_sharded_opts(
@@ -441,6 +477,7 @@ fn run_podscale_sharded_opts(
     cfg: &PodConfig,
     shards: usize,
     profile: bool,
+    trace: Option<TracePlan>,
 ) -> PodscaleRun {
     let mut pod = ShardedPod::build(
         seed,
@@ -464,6 +501,7 @@ fn run_podscale_sharded_opts(
             }),
             trace_level: TraceLevel::Warn,
             profile,
+            trace,
         },
     );
     let wall0 = Instant::now();
@@ -479,6 +517,7 @@ fn run_podscale_sharded_opts(
     let run_wall_seconds = wall0.elapsed().as_secs_f64();
     let prof = pod.prof_snapshot();
     let traffic = pod.traffic_snapshot();
+    let slo = pod.trace_snapshot();
 
     let sim_seconds = pod.now().as_secs_f64();
     let epochs = pod.epochs();
@@ -562,6 +601,7 @@ fn run_podscale_sharded_opts(
         telemetry,
         prof,
         traffic,
+        slo,
         run_wall_seconds,
     }
 }
@@ -592,6 +632,23 @@ mod tests {
         assert!(s.epochs > 0, "coordinator ran epochs");
         assert!(s.cross_messages > 0, "workload crossed world boundaries");
         assert!(s.peak_queue_depth_sum >= s.peak_queue_depth_max);
+    }
+
+    #[test]
+    fn traced_tiny_pod_attributes_ttfb() {
+        if !RequestTracer::compiled_in() {
+            return;
+        }
+        let run = run_podscale_traced(905, &PodConfig::tiny(), TracePlan::default());
+        let slo = run.slo.expect("traced run snapshots");
+        assert!(slo.seen > 0, "workload completed under trace");
+        assert!(slo.worst().is_some(), "slowest exemplar retained");
+        // Acceptance invariant: stage sums explain >=95% of end-to-end
+        // TTFB at every reported quantile.
+        for q in [0.5, 0.99, 0.999] {
+            let c = slo.min_coverage(q).expect("traffic on both kinds");
+            assert!(c >= 0.95, "stage coverage {c:.3} below 0.95 at q={q}");
+        }
     }
 
     #[test]

@@ -246,6 +246,17 @@ impl ProfileRun {
             p(&mut out, "no profiler snapshot captured".to_string());
             return out;
         };
+        let dropped = prof.dropped_slices();
+        if dropped > 0 {
+            p(
+                &mut out,
+                format!(
+                    "warning: wall-clock timeline truncated — {dropped} slices dropped past \
+                     the {}-per-track cap (aggregates are complete)",
+                    ustore_sim::prof::SLICE_CAP
+                ),
+            );
+        }
 
         // Top phase costs, aggregated across worlds, sorted descending.
         let mut totals: Vec<(Phase, u64)> = Phase::ALL
@@ -417,6 +428,10 @@ mod tests {
         let json = run.to_json().to_string();
         assert!(json.contains(r#""experiment":"profile""#));
         assert!(json.contains(r#""digest_matches_unprofiled":true"#));
+        assert!(
+            json.contains(r#""dropped_slices""#),
+            "snapshot reports timeline truncation (0 when none)"
+        );
         let prom = run.prometheus();
         assert!(prom.contains("ustore_prof_phase_seconds"));
         let trace = run.wallclock_trace().to_string();

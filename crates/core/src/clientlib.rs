@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use ustore_fabric::DiskId;
 use ustore_net::{Addr, BlockDevice, BlockError, IscsiSession, Network, ReadCb, RpcNode, WriteCb};
-use ustore_sim::{Sim, SpanId, TraceLevel};
+use ustore_sim::{ReqKind, Sim, SpanId, TraceId, TraceLevel};
 
 use crate::ids::SpaceName;
 use crate::messages::{
@@ -315,13 +315,23 @@ enum QueuedOp {
         len: u64,
         cb: ReadCb,
         attempts: u32,
+        trace: Option<TraceId>,
     },
     Write {
         offset: u64,
         data: Vec<u8>,
         cb: WriteCb,
         attempts: u32,
+        trace: Option<TraceId>,
     },
+}
+
+impl QueuedOp {
+    fn trace(&self) -> Option<TraceId> {
+        match self {
+            QueuedOp::Read { trace, .. } | QueuedOp::Write { trace, .. } => *trace,
+        }
+    }
 }
 
 struct Mount {
@@ -386,28 +396,47 @@ impl Mounted {
             (session, op)
         };
         let this = self.clone();
+        // Close the queued interval and expose the stamp to the
+        // synchronous dispatch chain (iSCSI → rpc) so the outgoing
+        // request carries it.
+        let stamp = op
+            .trace()
+            .and_then(|id| sim.reqtracer().dispatch(id, sim.now()));
+        if stamp.is_some() {
+            sim.set_current_stamp(stamp);
+        }
         match op {
             QueuedOp::Read {
                 offset,
                 len,
                 cb,
                 attempts,
+                trace,
             } => {
                 session.read(sim, offset, len, move |sim, r| match r {
                     Ok(data) => {
+                        if let Some(id) = trace {
+                            sim.reqtracer().complete(id, sim.now());
+                        }
                         cb(sim, Ok(data));
                         this.pump(sim);
                     }
-                    Err(e) => this.io_failed(
-                        sim,
-                        QueuedOp::Read {
-                            offset,
-                            len,
-                            cb,
-                            attempts: attempts + 1,
-                        },
-                        e.to_string(),
-                    ),
+                    Err(e) => {
+                        if let Some(id) = trace {
+                            sim.reqtracer().io_failed(id, sim.now());
+                        }
+                        this.io_failed(
+                            sim,
+                            QueuedOp::Read {
+                                offset,
+                                len,
+                                cb,
+                                attempts: attempts + 1,
+                                trace,
+                            },
+                            e.to_string(),
+                        )
+                    }
                 });
             }
             QueuedOp::Write {
@@ -415,25 +444,38 @@ impl Mounted {
                 data,
                 cb,
                 attempts,
+                trace,
             } => {
                 let data2 = data.clone();
                 session.write(sim, offset, data, move |sim, r| match r {
                     Ok(()) => {
+                        if let Some(id) = trace {
+                            sim.reqtracer().complete(id, sim.now());
+                        }
                         cb(sim, Ok(()));
                         this.pump(sim);
                     }
-                    Err(e) => this.io_failed(
-                        sim,
-                        QueuedOp::Write {
-                            offset,
-                            data: data2,
-                            cb,
-                            attempts: attempts + 1,
-                        },
-                        e.to_string(),
-                    ),
+                    Err(e) => {
+                        if let Some(id) = trace {
+                            sim.reqtracer().io_failed(id, sim.now());
+                        }
+                        this.io_failed(
+                            sim,
+                            QueuedOp::Write {
+                                offset,
+                                data: data2,
+                                cb,
+                                attempts: attempts + 1,
+                                trace,
+                            },
+                            e.to_string(),
+                        )
+                    }
                 });
             }
+        }
+        if stamp.is_some() {
+            sim.set_current_stamp(None);
         }
     }
 
@@ -443,6 +485,9 @@ impl Mounted {
             QueuedOp::Read { attempts, .. } | QueuedOp::Write { attempts, .. } => *attempts,
         };
         if attempts >= MAX_ATTEMPTS {
+            if let Some(id) = op.trace() {
+                sim.reqtracer().abandon(id);
+            }
             match op {
                 QueuedOp::Read { cb, .. } => cb(sim, Err(BlockError::Unavailable(why))),
                 QueuedOp::Write { cb, .. } => cb(sim, Err(BlockError::Unavailable(why))),
@@ -503,6 +548,9 @@ impl Mounted {
                 m.queue.drain(..).collect()
             };
             for op in failed {
+                if let Some(id) = op.trace() {
+                    sim.reqtracer().abandon(id);
+                }
                 match op {
                     QueuedOp::Read { cb, .. } => {
                         cb(sim, Err(BlockError::Unavailable("remount deadline".into())))
@@ -522,7 +570,25 @@ impl Mounted {
         }
         let name = self.name();
         let this = self.clone();
+        let lookup_started = sim.now();
         self.client.lookup(sim, name, move |sim, r| {
+            // Attribute the Master lookup to every IO stalled behind this
+            // remount: it is metadata-path latency, not client queueing.
+            let tracer = sim.reqtracer();
+            if tracer.is_on() {
+                let lookup_dur = sim.now().duration_since(lookup_started);
+                tracer.note_master_lookup(lookup_dur);
+                let ids: Vec<TraceId> = this
+                    .inner
+                    .borrow()
+                    .queue
+                    .iter()
+                    .filter_map(QueuedOp::trace)
+                    .collect();
+                for id in ids {
+                    tracer.absorb_lookup(id, lookup_dur, lookup_started);
+                }
+            }
             let retry =
                 move |this: Mounted,
                       sim: &Sim,
@@ -599,6 +665,7 @@ impl BlockDevice for Mounted {
     }
 
     fn read(&self, sim: &Sim, offset: u64, len: u64, cb: ReadCb) {
+        let trace = sim.reqtracer().begin(ReqKind::Read, sim.now());
         self.enqueue(
             sim,
             QueuedOp::Read {
@@ -606,11 +673,13 @@ impl BlockDevice for Mounted {
                 len,
                 cb,
                 attempts: 0,
+                trace,
             },
         );
     }
 
     fn write(&self, sim: &Sim, offset: u64, data: Vec<u8>, cb: WriteCb) {
+        let trace = sim.reqtracer().begin(ReqKind::Write, sim.now());
         self.enqueue(
             sim,
             QueuedOp::Write {
@@ -618,6 +687,7 @@ impl BlockDevice for Mounted {
                 data,
                 cb,
                 attempts: 0,
+                trace,
             },
         );
     }

@@ -524,6 +524,10 @@ impl ExposedSpace {
     fn touch(&self, sim: &Sim) {
         self.activity.set(sim.now());
         if self.runtime.disk(self.disk).power_state() == PowerStateKind::Standby {
+            // Cold hit: the IO arrived at a spun-down disk. Flag the trace
+            // (if one rides the ambient stamp) so the slo report can split
+            // cold reads from warm ones.
+            sim.reqtracer().note_cold_hit(sim.current_stamp());
             (self.on_spin_up)(sim);
         }
     }

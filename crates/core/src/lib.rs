@@ -62,7 +62,7 @@ pub use ids::{ParseSpaceNameError, SpaceName, UnitId};
 pub use master::{Master, MasterConfig, UnitConf};
 pub use messages::{MasterError, SpaceInfo};
 pub use sharded::{
-    world_of_unit, PodWorld, ShardedPod, ShardedPodConfig, TelemetryPlan, WorldTelemetry,
+    world_of_unit, PodWorld, ShardedPod, ShardedPodConfig, TelemetryPlan, TracePlan, WorldTelemetry,
 };
 pub use system::{
     coord_addr, host_addr, master_addr, unit_conf_for, unit_host_addr, SystemConfig, UStoreSystem,

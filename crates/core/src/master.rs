@@ -342,6 +342,7 @@ impl Master {
         self.rpc.serve("master.lookup", move |sim, req, responder| {
             let req: &LookupReq = req.downcast_ref().expect("LookupReq");
             let resp: LookupResp = m.on_lookup(req.name);
+            sim.reqtracer().note_lookup_served(resp.is_ok());
             responder.reply(sim, Arc::new(resp), 128);
         });
         let m = self.clone();

@@ -26,8 +26,9 @@ use ustore_consensus::{CoordConfig, CoordServer};
 use ustore_fabric::{FabricRuntime, Topology};
 use ustore_net::{Addr, Envelope, Network, RpcNode};
 use ustore_sim::{
-    FastMap, ProfSnapshot, Profiler, Routed, Scraper, ScraperConfig, ShardCoordinator, ShardWorld,
-    Sim, SimTime, TraceLevel, TrafficMatrix, TrafficSnapshot, WorldBuilder,
+    FastMap, ProfSnapshot, Profiler, RequestTracer, Routed, Scraper, ScraperConfig,
+    ShardCoordinator, ShardWorld, Sim, SimTime, TraceLevel, TraceSnapshot, TrafficMatrix,
+    TrafficSnapshot, WorldBuilder,
 };
 
 use crate::clientlib::UStoreClient;
@@ -45,6 +46,24 @@ pub struct TelemetryPlan {
     pub start: SimTime,
     /// Scraper parameters (each world runs its own scraper).
     pub scraper: ScraperConfig,
+}
+
+/// Request-lifecycle tracing parameters (see `ustore_sim::reqtrace`).
+#[derive(Debug, Clone)]
+pub struct TracePlan {
+    /// Keep one full per-stage trace every this many completions.
+    pub sample_every: u64,
+    /// Always retain this many slowest-request exemplars.
+    pub exemplars: usize,
+}
+
+impl Default for TracePlan {
+    fn default() -> Self {
+        TracePlan {
+            sample_every: ustore_sim::reqtrace::DEFAULT_SAMPLE_EVERY,
+            exemplars: ustore_sim::reqtrace::DEFAULT_EXEMPLARS,
+        }
+    }
 }
 
 /// Shape of a sharded pod.
@@ -71,6 +90,12 @@ pub struct ShardedPodConfig {
     /// network). Off by default; never affects simulation state or
     /// telemetry digests.
     pub profile: bool,
+    /// Request-lifecycle tracing: when `Some` every world carries the
+    /// same active [`RequestTracer`] and each client IO accumulates typed
+    /// stage intervals (queue, lookup, network, spin-up, seek, transfer,
+    /// retry). Off by default; never affects simulation state or
+    /// telemetry digests.
+    pub trace: Option<TracePlan>,
 }
 
 /// Telemetry and engine statistics of one finalized world.
@@ -245,10 +270,12 @@ fn build_control_world(
     cfg: &ShardedPodConfig,
     placement: Arc<FastMap<Addr, usize>>,
     traffic: Option<Arc<TrafficMatrix>>,
+    tracer: RequestTracer,
 ) -> (PodWorld, Vec<UStoreClient>) {
     let sys = &cfg.system;
     let sim = Sim::new(world_seed(seed, 0));
     sim.with_trace(|t| t.set_min_level(cfg.trace_level));
+    sim.set_reqtracer(tracer);
     let net = Network::new(sys.net.clone());
     net.enable_shard_routing(0, placement);
     if let Some(m) = traffic {
@@ -316,9 +343,11 @@ fn build_unit_world(
     telemetry: Option<TelemetryPlan>,
     trace_level: TraceLevel,
     traffic: Option<Arc<TrafficMatrix>>,
+    tracer: RequestTracer,
 ) -> PodWorld {
     let sim = Sim::new(world_seed(seed, id));
     sim.with_trace(|t| t.set_min_level(trace_level));
+    sim.set_reqtracer(tracer);
     let net = Network::new(sys.net.clone());
     net.enable_shard_routing(id, placement);
     if let Some(m) = traffic {
@@ -378,6 +407,7 @@ pub struct ShardedPod {
     pub clients: Vec<UStoreClient>,
     profiler: Profiler,
     traffic: Option<Arc<TrafficMatrix>>,
+    tracer: RequestTracer,
 }
 
 impl fmt::Debug for ShardedPod {
@@ -422,9 +452,19 @@ impl ShardedPod {
         let traffic = cfg
             .profile
             .then(|| Arc::new(TrafficMatrix::new(world_count)));
+        let tracer = match &cfg.trace {
+            Some(plan) => RequestTracer::on(plan.sample_every, plan.exemplars),
+            None => RequestTracer::off(),
+        };
 
         let placement = build_placement(cfg);
-        let (control, clients) = build_control_world(seed, cfg, placement.clone(), traffic.clone());
+        let (control, clients) = build_control_world(
+            seed,
+            cfg,
+            placement.clone(),
+            traffic.clone(),
+            tracer.clone(),
+        );
         let sim = control.sim.clone();
         let net = control.net.clone();
         let masters = control.masters.clone();
@@ -452,6 +492,7 @@ impl ShardedPod {
                         cfg.telemetry.clone(),
                         cfg.trace_level,
                         traffic.clone(),
+                        tracer.clone(),
                     )),
                 ));
             } else {
@@ -460,6 +501,7 @@ impl ShardedPod {
                 let telemetry = cfg.telemetry.clone();
                 let trace_level = cfg.trace_level;
                 let traffic = traffic.clone();
+                let tracer = tracer.clone();
                 remote[shard - 1].push((
                     id,
                     Box::new(move || {
@@ -473,6 +515,7 @@ impl ShardedPod {
                             telemetry,
                             trace_level,
                             traffic,
+                            tracer,
                         )) as Box<dyn ShardWorld<Msg = Envelope>>
                     }) as WorldBuilder<Envelope>,
                 ));
@@ -489,6 +532,7 @@ impl ShardedPod {
             clients,
             profiler,
             traffic,
+            tracer,
         }
     }
 
@@ -536,6 +580,15 @@ impl ShardedPod {
         self.traffic.as_ref().map(|m| m.snapshot())
     }
 
+    /// Request-lifecycle trace snapshot (per-stage TTFB attribution,
+    /// sampled traces, slowest exemplars). `None` unless built with
+    /// `trace: Some(..)` (or the crate was compiled without `reqtrace`).
+    /// Take it after the last `run_until` so no request is mid-flight on
+    /// a worker.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.tracer.snapshot()
+    }
+
     /// Finalizes every world and returns their telemetry in world-id
     /// order.
     pub fn finalize(self) -> Vec<WorldTelemetry> {
@@ -572,6 +625,7 @@ mod tests {
             telemetry: None,
             trace_level: TraceLevel::Warn,
             profile: false,
+            trace: None,
         }
     }
 
@@ -688,6 +742,86 @@ mod tests {
         plain.run_until(SimTime::from_secs(1));
         assert!(plain.prof_snapshot().is_none());
         assert!(plain.traffic_snapshot().is_none());
+    }
+
+    #[test]
+    fn traced_pod_attributes_request_stages() {
+        let mut cfg = pod_cfg(4, 2, 2, 1);
+        cfg.trace = Some(TracePlan {
+            sample_every: 1,
+            exemplars: 4,
+        });
+        let mut pod = ShardedPod::build(2004, &cfg);
+        pod.run_until(SimTime::from_secs(15));
+        assert!(pod.active_master().is_some(), "master elected");
+
+        let client = pod.clients[0].clone();
+        let info = Rc::new(RefCell::new(None));
+        let i2 = info.clone();
+        client.allocate(&pod.sim, "svc", 1 << 30, move |_, r| {
+            *i2.borrow_mut() = Some(r.expect("allocate"));
+        });
+        pod.run_for(Duration::from_secs(10));
+        let info = info.borrow_mut().take().expect("allocation served");
+
+        let mounted = Rc::new(RefCell::new(None));
+        let m2 = mounted.clone();
+        client.mount(&pod.sim, info.name, move |_, r| {
+            *m2.borrow_mut() = Some(r.expect("mount"));
+        });
+        pod.run_for(Duration::from_secs(15));
+        let mounted = mounted.borrow_mut().take().expect("mount served");
+
+        let ok = Rc::new(Cell::new(false));
+        let o = ok.clone();
+        let m3 = mounted.clone();
+        mounted.write(
+            &pod.sim,
+            4096,
+            b"trace me".to_vec(),
+            Box::new(move |sim, r| {
+                r.expect("write");
+                m3.read(
+                    sim,
+                    4096,
+                    8,
+                    Box::new(move |_, r| {
+                        r.expect("read");
+                        o.set(true);
+                    }),
+                );
+            }),
+        );
+        pod.run_for(Duration::from_secs(10));
+        assert!(ok.get(), "traced IO round trip completed");
+
+        if !RequestTracer::compiled_in() {
+            assert!(pod.trace_snapshot().is_none());
+            return;
+        }
+        let snap = pod.trace_snapshot().expect("traced build snapshots");
+        assert!(snap.seen >= 2, "write + read completed under trace");
+        assert_eq!(snap.live_at_end, 0, "no request left mid-flight");
+        let worst = snap.worst().expect("exemplar retained");
+        assert!(worst.ttfb_ns > 0);
+        assert!(
+            worst.attributed_ns > 0,
+            "stage attribution covers the worst request"
+        );
+        // Every completed request crossed the network at least twice.
+        for k in &snap.kinds {
+            if k.completed > 0 {
+                assert!(
+                    k.stages[ustore_sim::reqtrace::Stage::NetTransit as usize].sum() > 0,
+                    "net transit attributed for {:?}",
+                    k.kind
+                );
+            }
+        }
+        // An untraced pod reports nothing.
+        let mut plain = ShardedPod::build(2004, &pod_cfg(4, 2, 2, 1));
+        plain.run_until(SimTime::from_secs(1));
+        assert!(plain.trace_snapshot().is_none());
     }
 
     #[test]

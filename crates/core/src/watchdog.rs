@@ -464,6 +464,8 @@ impl HealthWatchdog {
             (d.unit, d.disk, d.detection.take(), d.root)
         };
         sim.count("watchdog", "watchdog.escalations", 1);
+        sim.reqtracer()
+            .annotate(&format!("watchdog escalate {component}"), sim.now());
         sim.trace(
             TraceLevel::Warn,
             "watchdog",

@@ -12,7 +12,8 @@ use std::fmt;
 use std::rc::Rc;
 
 use ustore_sim::{
-    CounterHandle, Histogram, HistogramHandle, Sim, SimRng, SimTime, Throughput, TraceLevel,
+    CounterHandle, Histogram, HistogramHandle, ReqStamp, Sim, SimRng, SimTime, Stage, Throughput,
+    TraceLevel,
 };
 
 use crate::model::IoModel;
@@ -154,9 +155,14 @@ struct Inner {
     model: IoModel,
     state: PowerStateKind,
     meter: EnergyMeter,
-    queue: VecDeque<(Pending, SimTime)>,
+    queue: VecDeque<(Pending, SimTime, Option<ReqStamp>)>,
     busy: bool,
     spinning_up: bool,
+    /// When the in-progress spin-up started (attribution of spin-up wait).
+    spin_started: Option<SimTime>,
+    /// The most recent completed spin-up interval `[start, end]`: queued
+    /// commands overlapping it charge that overlap to `SpinUpWait`.
+    last_spin: Option<(SimTime, SimTime)>,
     failed: bool,
     bad_pages: HashSet<u64>,
     data: Option<HashMap<u64, Box<[u8]>>>,
@@ -233,6 +239,8 @@ impl Disk {
                 queue: VecDeque::new(),
                 busy: false,
                 spinning_up: false,
+                spin_started: None,
+                last_spin: None,
                 failed: false,
                 bad_pages: HashSet::new(),
                 data: store_data.then(HashMap::new),
@@ -364,13 +372,18 @@ impl Disk {
             });
             return;
         }
-        self.inner.borrow_mut().queue.push_back((op, sim.now()));
+        // Capture the ambient trace stamp (set by the rpc layer around the
+        // server handler chain) so device-level stages can be attributed.
+        self.inner
+            .borrow_mut()
+            .queue
+            .push_back((op, sim.now(), sim.current_stamp()));
         self.pump(sim);
     }
 
     /// Starts the next queued command if the disk is ready.
     fn pump(&self, sim: &Sim) {
-        let (service, epoch) = {
+        let (service, epoch, traced) = {
             let mut i = self.inner.borrow_mut();
             if i.busy || i.queue.is_empty() {
                 return;
@@ -384,6 +397,7 @@ impl Disk {
                         i.spinning_up = true;
                         let now = sim.now();
                         i.set_state(now, PowerStateKind::SpinningUp);
+                        i.spin_started = Some(now);
                         let spin = i.model.profile().mech.spin_up;
                         let epoch = i.epoch;
                         drop(i);
@@ -397,9 +411,9 @@ impl Disk {
             i.busy = true;
             let now = sim.now();
             i.set_state(now, PowerStateKind::Active);
-            let (offset, len, dir) = {
-                let (op, _) = i.queue.front().expect("queue nonempty");
-                (op.offset(), op.len(), op.dir())
+            let (offset, len, dir, queued_at, stamp) = {
+                let (op, queued_at, stamp) = i.queue.front().expect("queue nonempty");
+                (op.offset(), op.len(), op.dir(), *queued_at, *stamp)
             };
             let svc = i.model.service(offset, len, dir);
             let seek = !svc.positioning.is_zero();
@@ -408,14 +422,61 @@ impl Disk {
             } else {
                 i.metrics.cache_hits.inc();
             }
-            let mut service = svc.total();
+            let mut positioning = svc.positioning;
             if i.latency_factor > 1.0 && seek {
-                service += svc.positioning.mul_f64(i.latency_factor - 1.0);
+                positioning += svc.positioning.mul_f64(i.latency_factor - 1.0);
             }
-            (service, i.epoch)
+            let service = svc.total() + (positioning - svc.positioning);
+            let traced = stamp.map(|s| (s, queued_at, positioning, service, i.last_spin));
+            (service, i.epoch, traced)
         };
+        if let Some((stamp, queued_at, positioning, service, last_spin)) = traced {
+            self.attribute_dispatch(sim, stamp, queued_at, positioning, service, last_spin);
+        }
         let this = self.clone();
         sim.schedule_in(service, move |sim| this.complete(sim, epoch));
+    }
+
+    /// Splits one dispatched command's history into traced stages: the
+    /// time since submission becomes spin-up wait (where it overlaps the
+    /// last spin-up) plus endpoint queueing, and the service time ahead
+    /// splits into seek (positioning, health-stretched) and transfer.
+    fn attribute_dispatch(
+        &self,
+        sim: &Sim,
+        stamp: ReqStamp,
+        queued_at: SimTime,
+        positioning: std::time::Duration,
+        service: std::time::Duration,
+        last_spin: Option<(SimTime, SimTime)>,
+    ) {
+        let tracer = sim.reqtracer();
+        if !tracer.is_on() {
+            return;
+        }
+        let stamp = Some(stamp);
+        let now = sim.now();
+        let mut spin_wait = std::time::Duration::ZERO;
+        let mut spin_from = queued_at;
+        if let Some((s, e)) = last_spin {
+            let lo = s.max(queued_at);
+            let hi = e.min(now);
+            if hi > lo {
+                spin_wait = hi.duration_since(lo);
+                spin_from = lo;
+            }
+        }
+        let wait = now.duration_since(queued_at);
+        let queue_wait = wait.saturating_sub(spin_wait);
+        tracer.absorb(stamp, Stage::EndpointQueue, queue_wait, queued_at);
+        tracer.absorb(stamp, Stage::SpinUpWait, spin_wait, spin_from);
+        tracer.absorb(stamp, Stage::Seek, positioning, now);
+        tracer.absorb(
+            stamp,
+            Stage::Transfer,
+            service.saturating_sub(positioning),
+            now + positioning,
+        );
     }
 
     fn finish_spin_up(&self, sim: &Sim, epoch: u64) {
@@ -427,6 +488,9 @@ impl Disk {
             i.spinning_up = false;
             let now = sim.now();
             i.set_state(now, PowerStateKind::Idle);
+            if let Some(started) = i.spin_started.take() {
+                i.last_spin = Some((started, now));
+            }
             i.model.reset_stream();
             i.metrics.spin_ups.inc();
         }
@@ -434,7 +498,7 @@ impl Disk {
     }
 
     fn complete(&self, sim: &Sim, epoch: u64) {
-        let (op, queued_at) = {
+        let (op, queued_at, _stamp) = {
             let mut i = self.inner.borrow_mut();
             if i.epoch != epoch {
                 return; // disk power-cycled while command in flight
@@ -573,10 +637,11 @@ impl Disk {
             i.epoch += 1;
             i.busy = false;
             i.spinning_up = false;
+            i.spin_started = None;
             let now = sim.now();
             i.set_state(now, PowerStateKind::PoweredOff);
             i.model.reset_stream();
-            i.queue.drain(..).map(|(op, _)| op).collect()
+            i.queue.drain(..).map(|(op, ..)| op).collect()
         };
         let n = aborted.len();
         for op in aborted {
@@ -601,6 +666,7 @@ impl Disk {
             let now = sim.now();
             i.set_state(now, PowerStateKind::SpinningUp);
             i.spinning_up = true;
+            i.spin_started = Some(now);
             (i.model.profile().mech.spin_up, i.epoch)
         };
         let this = self.clone();
@@ -618,6 +684,7 @@ impl Disk {
             i.spinning_up = true;
             let now = sim.now();
             i.set_state(now, PowerStateKind::SpinningUp);
+            i.spin_started = Some(now);
             (i.model.profile().mech.spin_up, i.epoch)
         };
         let this = self.clone();
@@ -681,7 +748,7 @@ impl Disk {
             if failed {
                 i.epoch += 1;
                 i.busy = false;
-                i.queue.drain(..).map(|(op, _)| op).collect()
+                i.queue.drain(..).map(|(op, ..)| op).collect()
             } else {
                 Vec::new()
             }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ustore_sim::{CounterHandle, EventId, FastMap, HistogramHandle, Sim, SimTime};
+use ustore_sim::{CounterHandle, EventId, FastMap, HistogramHandle, ReqStamp, Sim, SimTime, Stage};
 
 use crate::network::{Addr, Envelope, Network, Payload};
 
@@ -46,10 +46,15 @@ enum RpcMsg {
         id: u64,
         method: String,
         body: Payload,
+        /// Request-lifecycle stamp riding this hop (no wire bytes: the
+        /// simulated message size is unchanged, so tracing cannot perturb
+        /// network timing or telemetry).
+        stamp: Option<ReqStamp>,
     },
     Response {
         id: u64,
         body: Result<Payload, RpcError>,
+        stamp: Option<ReqStamp>,
     },
 }
 
@@ -133,6 +138,8 @@ pub struct Responder {
     from: Addr,
     to: Addr,
     id: u64,
+    /// Trace stamp the request carried; travels back on the response.
+    stamp: Option<ReqStamp>,
 }
 
 impl fmt::Debug for Responder {
@@ -149,9 +156,15 @@ impl Responder {
 
     /// Sends the response payload (with `bytes` wire size).
     pub fn reply(self, sim: &Sim, body: Payload, bytes: u64) {
+        if self.stamp.is_some() {
+            // Whatever server-side time since the last mark was not
+            // explicitly absorbed (device stages) counts as transfer.
+            sim.reqtracer().mark(self.stamp, Stage::Transfer, sim.now());
+        }
         let msg = RpcMsg::Response {
             id: self.id,
             body: Ok(body),
+            stamp: self.stamp,
         };
         self.net
             .send(sim, &self.from, &self.to, bytes + 48, Arc::new(msg));
@@ -162,6 +175,7 @@ impl Responder {
         let msg = RpcMsg::Response {
             id: self.id,
             body: Err(err),
+            stamp: self.stamp,
         };
         self.net.send(sim, &self.from, &self.to, 48, Arc::new(msg));
     }
@@ -251,6 +265,7 @@ impl RpcNode {
             id,
             method: method.to_owned(),
             body,
+            stamp: sim.current_stamp(),
         };
         self.net
             .send(sim, &self.addr, to, bytes + 48, Arc::new(msg));
@@ -280,23 +295,48 @@ impl RpcNode {
             return; // not RPC traffic
         };
         match msg {
-            RpcMsg::Request { id, method, body } => {
+            RpcMsg::Request {
+                id,
+                method,
+                body,
+                stamp,
+            } => {
                 let handler = self.inner.borrow().handlers.get(method).cloned();
                 let responder = Responder {
                     net: self.net.clone(),
                     from: self.addr.clone(),
                     to: env.from.clone(),
                     id: *id,
+                    stamp: *stamp,
                 };
                 match handler {
-                    Some(h) => h(sim, body.clone(), responder),
+                    Some(h) => {
+                        if let Some(stamp) = *stamp {
+                            // Close the request hop, then expose the stamp
+                            // to the synchronous handler chain (iSCSI →
+                            // exposed space → fabric → disk submit).
+                            sim.reqtracer()
+                                .mark(Some(stamp), Stage::NetTransit, sim.now());
+                            sim.set_current_stamp(Some(stamp));
+                            h(sim, body.clone(), responder);
+                            sim.set_current_stamp(None);
+                        } else {
+                            h(sim, body.clone(), responder);
+                        }
+                    }
                     None => responder.reply_err(sim, RpcError::NoSuchMethod),
                 }
             }
-            RpcMsg::Response { id, body } => {
+            RpcMsg::Response { id, body, stamp } => {
                 let pending = self.inner.borrow_mut().pending.remove(id);
                 if let Some(p) = pending {
                     sim.cancel(p.timeout_event);
+                    if stamp.is_some() {
+                        // Close the response hop. Late responses (timeout
+                        // already fired) never reach here, and the stamp's
+                        // attempt guard drops them anyway.
+                        sim.reqtracer().mark(*stamp, Stage::NetTransit, sim.now());
+                    }
                     self.with_metrics(sim, |m| {
                         m.round_trips.inc();
                         m.rtt.observe_duration(sim.now().duration_since(p.started));

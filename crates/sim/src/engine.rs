@@ -27,6 +27,7 @@ use std::time::Duration;
 use crate::intern::MetricKey;
 use crate::obs::MetricsRegistry;
 use crate::prof::{Phase, ProfTrack, Profiler};
+use crate::reqtrace::{ReqStamp, RequestTracer};
 use crate::rng::SimRng;
 use crate::span::{SpanId, SpanTracer};
 use crate::time::SimTime;
@@ -163,6 +164,14 @@ struct Inner {
     /// times each `run_until` window as one `Execute` slice so the
     /// classic engine is comparable with the sharded phase breakdown.
     wallprof: Option<WallProfAttach>,
+    /// Request-lifecycle tracer shared by every world of a run (inert by
+    /// default).
+    reqtracer: RequestTracer,
+    /// Ambient trace stamp: set around synchronous call chains (client
+    /// dispatch, server request handling) so downstream layers — rpc,
+    /// disk — pick up the stamp without plumbing it through every
+    /// signature.
+    current_stamp: Option<ReqStamp>,
 }
 
 /// See [`Sim::set_wallclock_prof`].
@@ -246,6 +255,8 @@ impl Sim {
                 queue_depth_max: 0,
                 sim_gauge_keys: None,
                 wallprof: None,
+                reqtracer: RequestTracer::off(),
+                current_stamp: None,
             })),
         }
     }
@@ -409,6 +420,34 @@ impl Sim {
             world,
         });
         self.inner.borrow_mut().wallprof = attach;
+    }
+
+    /// Installs the request-lifecycle tracer for this world. Every world
+    /// of a sharded run shares clones of one tracer; the default is the
+    /// inert [`RequestTracer::off`].
+    ///
+    /// The tracer observes sim timestamps only — it never draws RNG,
+    /// schedules events, or touches digested telemetry (see
+    /// [`crate::reqtrace`]).
+    pub fn set_reqtracer(&self, tracer: RequestTracer) {
+        self.inner.borrow_mut().reqtracer = tracer;
+    }
+
+    /// A clone of this world's request tracer (inert unless installed).
+    pub fn reqtracer(&self) -> RequestTracer {
+        self.inner.borrow().reqtracer.clone()
+    }
+
+    /// Sets the ambient trace stamp for the current synchronous call
+    /// chain (see the `current_stamp` field). Callers must clear it
+    /// (`None`) when the scope ends.
+    pub fn set_current_stamp(&self, stamp: Option<ReqStamp>) {
+        self.inner.borrow_mut().current_stamp = stamp;
+    }
+
+    /// The ambient trace stamp, if a traced scope is active.
+    pub fn current_stamp(&self) -> Option<ReqStamp> {
+        self.inner.borrow().current_stamp
     }
 
     /// Runs all events scheduled at or before `deadline`, then advances the

@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 use crate::json::Json;
 use crate::obs::MetricsRegistry;
 use crate::prof::{Phase, ProfSnapshot, TrafficSnapshot};
+use crate::reqtrace::TraceSnapshot;
 use crate::span::{Span, SpanTracer};
 
 /// Maps a dotted metric id to a Prometheus-legal name:
@@ -131,7 +132,7 @@ pub fn prometheus(metrics: &MetricsRegistry) -> String {
         out.push_str(&format!("# TYPE {pname} summary\n"));
         for (component, h) in series {
             let label = prom_label(component);
-            for q in [0.5, 0.9, 0.99] {
+            for q in [0.5, 0.9, 0.99, 0.999] {
                 out.push_str(&format!(
                     "{pname}{{component=\"{label}\",quantile=\"{q}\"}} {}\n",
                     h.quantile(q).unwrap_or(0)
@@ -271,6 +272,109 @@ pub fn chrome_trace_with_wallclock(spans: &SpanTracer, prof: &ProfSnapshot) -> J
     Json::obj([("traceEvents", Json::arr(events))])
 }
 
+/// Renders the span log plus the request tracer's slowest-request
+/// exemplars as one Chrome trace-event document:
+///
+/// - `pid` 1 (`sim-time`): the [`chrome_trace`] export;
+/// - `pid` 3 (`requests`): one track per exemplar, slowest first. Each
+///   track holds a root `request` slice spanning the full TTFB with the
+///   per-stage segments nested inside it (both in simulated time, so the
+///   exemplars line up with any failover spans on `pid` 1). A final
+///   `annotations` track carries cluster events (watchdog escalations) as
+///   instant markers.
+///
+/// Track order and naming are deterministic: exemplars are already sorted
+/// by `(ttfb, id)` in the snapshot.
+pub fn chrome_trace_with_requests(spans: &SpanTracer, trace: &TraceSnapshot) -> Json {
+    let base = chrome_trace(spans);
+    let mut events: Vec<Json> = base
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+
+    for (pid, name) in [(1u64, "sim-time"), (3u64, "requests")] {
+        events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(pid)),
+            ("tid", Json::u64(0)),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+
+    for (i, r) in trace.exemplars.iter().enumerate() {
+        let tid = i as u64 + 1;
+        let label = format!(
+            "req {} ({}, {:.2} ms{})",
+            r.id,
+            r.kind.name(),
+            r.ttfb_ns as f64 / 1e6,
+            if r.cold { ", cold" } else { "" }
+        );
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(3)),
+            ("tid", Json::u64(tid)),
+            ("args", Json::obj([("name", Json::str(label))])),
+        ]));
+        events.push(Json::obj([
+            ("name", Json::str("request")),
+            ("cat", Json::str("reqtrace")),
+            ("ph", Json::str("X")),
+            ("ts", Json::f64(r.start_ns as f64 / 1000.0)),
+            ("dur", Json::f64(r.ttfb_ns as f64 / 1000.0)),
+            ("pid", Json::u64(3)),
+            ("tid", Json::u64(tid)),
+            (
+                "args",
+                Json::obj([
+                    ("id", Json::u64(r.id)),
+                    ("kind", Json::str(r.kind.name())),
+                    ("attempts", Json::u64(u64::from(r.attempts))),
+                    ("cold", Json::Bool(r.cold)),
+                    ("dominant", Json::str(r.dominant().name())),
+                ]),
+            ),
+        ]));
+        for seg in &r.segments {
+            events.push(Json::obj([
+                ("name", Json::str(seg.stage.name())),
+                ("cat", Json::str("reqtrace")),
+                ("ph", Json::str("X")),
+                ("ts", Json::f64(seg.start_ns as f64 / 1000.0)),
+                ("dur", Json::f64(seg.dur_ns as f64 / 1000.0)),
+                ("pid", Json::u64(3)),
+                ("tid", Json::u64(tid)),
+            ]));
+        }
+    }
+
+    if !trace.annotations.is_empty() {
+        let tid = trace.exemplars.len() as u64 + 1;
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(3)),
+            ("tid", Json::u64(tid)),
+            ("args", Json::obj([("name", Json::str("annotations"))])),
+        ]));
+        for (ns, label) in &trace.annotations {
+            events.push(Json::obj([
+                ("name", Json::str(label.as_str())),
+                ("cat", Json::str("reqtrace")),
+                ("ph", Json::str("i")),
+                ("s", Json::str("t")),
+                ("ts", Json::f64(*ns as f64 / 1000.0)),
+                ("pid", Json::u64(3)),
+                ("tid", Json::u64(tid)),
+            ]));
+        }
+    }
+    Json::obj([("traceEvents", Json::arr(events))])
+}
+
 /// Renders a profiler snapshot (and optional cross-world traffic matrix) in
 /// Prometheus exposition format under the `ustore_prof_` prefix, disjoint
 /// from the sim-time `ustore_` namespace so wall-clock series can never be
@@ -332,7 +436,7 @@ pub fn prometheus_prof(prof: &ProfSnapshot, traffic: Option<&TrafficSnapshot>) -
     out.push_str("# TYPE ustore_prof_events_per_epoch summary\n");
     for w in &prof.worlds {
         let h = &w.events_per_epoch;
-        for q in [0.5, 0.9, 0.99] {
+        for q in [0.5, 0.9, 0.99, 0.999] {
             out.push_str(&format!(
                 "ustore_prof_events_per_epoch{{world=\"{}\",quantile=\"{q}\"}} {}\n",
                 w.world,
@@ -626,6 +730,53 @@ mod tests {
             assert!(series.starts_with("ustore_prof_"), "bad name: {line}");
             assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
         }
+    }
+
+    #[cfg(feature = "reqtrace")]
+    #[test]
+    fn request_trace_adds_exemplar_tracks() {
+        use crate::reqtrace::{ReqKind, RequestTracer, Stage};
+
+        let tr = RequestTracer::on(1, 4);
+        let id = tr.begin(ReqKind::Read, SimTime::from_millis(1)).unwrap();
+        let stamp = tr.dispatch(id, SimTime::from_millis(2));
+        tr.mark(stamp, Stage::NetTransit, SimTime::from_millis(3));
+        tr.complete(id, SimTime::from_millis(4));
+        tr.annotate("watchdog escalate d0", SimTime::from_millis(5));
+        let snap = tr.snapshot().unwrap();
+
+        let spans = SpanTracer::new();
+        let doc = chrome_trace_with_requests(&spans, &snap);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let pid3: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("pid").and_then(Json::as_f64) == Some(3.0))
+            .collect();
+        let root = pid3
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("request"))
+            .expect("root request slice");
+        assert_eq!(root.get("ts").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(root.get("dur").and_then(Json::as_f64), Some(3000.0));
+        assert!(
+            root.get("args")
+                .and_then(|a| a.get("dominant"))
+                .and_then(Json::as_str)
+                .is_some(),
+            "root slice names the dominant stage"
+        );
+        assert!(
+            pid3.iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("net_transit")),
+            "stage segment nested under the request"
+        );
+        assert!(
+            pid3.iter().any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("i")
+                    && e.get("name").and_then(Json::as_str) == Some("watchdog escalate d0")
+            }),
+            "annotation exported as instant event"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod json;
 pub mod metrics;
 pub mod obs;
 pub mod prof;
+pub mod reqtrace;
 pub mod rng;
 pub mod shard;
 pub mod span;
@@ -66,6 +67,9 @@ pub use obs::MetricsRegistry;
 pub use prof::{
     Phase, ProfSnapshot, ProfTrack, Profiler, TrafficCell, TrafficMatrix, TrafficSnapshot,
     WorldProf,
+};
+pub use reqtrace::{
+    ReqKind, ReqStamp, RequestTracer, Stage, TraceId, TraceRecord, TraceSeg, TraceSnapshot,
 };
 pub use rng::{SimRng, Zipf};
 pub use shard::{canonical_merge, Routed, ShardCoordinator, ShardWorld, WorldBuilder};

@@ -84,7 +84,7 @@ const HIST_SLOTS: usize = 1536;
 
 /// Per-thread slice buffers stop growing past this many slices; the
 /// overflow is counted in `dropped` so exports can say so.
-const SLICE_CAP: usize = 20_000;
+pub const SLICE_CAP: usize = 20_000;
 
 /// Lock-free histogram slab sharing [`Histogram`]'s bucket geometry.
 struct AtomicHist {
@@ -487,6 +487,13 @@ impl ProfSnapshot {
         self.worlds.iter().map(|w| w.phase_ns[phase as usize]).sum()
     }
 
+    /// Total wall-clock timeline slices dropped across tracks after the
+    /// per-track [`SLICE_CAP`]. Aggregates (phase sums, histograms) are
+    /// unaffected — only the Perfetto timeline is truncated.
+    pub fn dropped_slices(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
     /// Events-per-epoch distribution merged across all worlds.
     pub fn events_per_epoch(&self) -> Histogram {
         let mut h = Histogram::new();
@@ -542,6 +549,19 @@ impl ProfSnapshot {
                 ("p99", Json::u64(epe.quantile(0.99).unwrap_or(0))),
                 ("max", Json::u64(epe.max().unwrap_or(0))),
             ]),
+        );
+        // Timeline completeness: a reader must be able to tell a quiet
+        // run from a truncated export without diffing slice counts.
+        out.insert("dropped_slices", Json::u64(self.dropped_slices()));
+        out.insert(
+            "tracks",
+            Json::arr(self.tracks.iter().map(|t| {
+                Json::obj([
+                    ("label", Json::str(&*t.label)),
+                    ("slices", Json::u64(t.slices.len() as u64)),
+                    ("dropped", Json::u64(t.dropped)),
+                ])
+            })),
         );
         out
     }

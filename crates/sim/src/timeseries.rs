@@ -149,7 +149,7 @@ impl Default for ScraperConfig {
 }
 
 /// Histogram-derived sub-series appended to the histogram's name.
-const HIST_FACETS: [&str; 5] = ["count", "mean", "p50", "p99", "max"];
+const HIST_FACETS: [&str; 6] = ["count", "mean", "p50", "p99", "p999", "max"];
 
 /// Facet discriminants used in the id-keyed slot map. Counters and gauges
 /// are single-valued; histograms fan out into [`HIST_FACETS`] (facet
@@ -320,11 +320,13 @@ impl Scraper {
                         i.push_sample(m, key, FACET_GAUGE, now, v);
                     }
                     if let Some(h) = m.histogram_value(key) {
+                        // Order must match HIST_FACETS exactly.
                         let facets = [
                             h.count() as f64,
                             h.mean().unwrap_or(0.0),
                             h.quantile(0.5).unwrap_or(0) as f64,
                             h.quantile(0.99).unwrap_or(0) as f64,
+                            h.quantile(0.999).unwrap_or(0) as f64,
                             h.max().unwrap_or(0) as f64,
                         ];
                         for (j, v) in facets.into_iter().enumerate() {

@@ -3,12 +3,13 @@
 //! or telemetry byte order. Two same-seed runs of each benchmark scenario
 //! must produce bit-for-bit identical telemetry exports.
 
+use ustore::TracePlan;
 use ustore_bench::degraded::run_degraded_traced;
 use ustore_bench::podscale::{
     fnv1a, run_podscale, run_podscale_profiled, run_podscale_sharded,
-    run_podscale_sharded_profiled, PodConfig,
+    run_podscale_sharded_profiled, run_podscale_sharded_traced, run_podscale_traced, PodConfig,
 };
-use ustore_sim::{canonical_merge, Profiler, Routed, SimTime};
+use ustore_sim::{canonical_merge, Profiler, RequestTracer, Routed, SimTime};
 
 #[test]
 fn degraded_telemetry_is_bit_for_bit_deterministic() {
@@ -137,6 +138,40 @@ fn profiling_leaves_sharded_digests_bit_identical() {
         profiled.digest, plain.digest,
         "profiling changed the classic engine's telemetry digest"
     );
+}
+
+/// Golden test for the request-lifecycle tracer: like the profiler it is
+/// a pure observability side channel — no RNG draws, no scheduled events,
+/// no digested telemetry. Enabling it leaves every shard count's
+/// telemetry digest bit-identical to the untraced run, and the classic
+/// engine's too.
+#[test]
+fn tracing_leaves_sharded_digests_bit_identical() {
+    if !RequestTracer::compiled_in() {
+        // Built with --no-default-features: the tracer is compiled out
+        // and the comparison would be vacuous.
+        return;
+    }
+    let cfg = PodConfig::tiny();
+    for shards in [1usize, 2, 4] {
+        let plain = run_podscale_sharded(7, &cfg, shards);
+        let traced = run_podscale_sharded_traced(7, &cfg, shards, TracePlan::default());
+        assert_eq!(
+            traced.digest, plain.digest,
+            "tracing changed the telemetry digest at --shards {shards}"
+        );
+        assert_eq!(traced.events, plain.events);
+        let snap = traced.slo.as_ref().expect("traced run captured snapshot");
+        assert!(snap.seen > 0, "tracer saw the pod's requests");
+        assert!(plain.slo.is_none());
+    }
+    let plain = run_podscale(7, &cfg);
+    let traced = run_podscale_traced(7, &cfg, TracePlan::default());
+    assert_eq!(
+        traced.digest, plain.digest,
+        "tracing changed the classic engine's telemetry digest"
+    );
+    assert_eq!(traced.events, plain.events);
 }
 
 /// The profiler's phase accounting must tile the run: each world's phase
