@@ -8,6 +8,8 @@
 //!       [--trace-out FILE] [--json]
 //! repro slo [--quick] [--seed N] [--shards N] [--slo-out FILE]
 //!       [--trace-out FILE] [--json]
+//! repro fuzz [--quick] [--seed N] [--shards N] [--campaigns N]
+//!       [--replay SEED] [--synthetic-fail] [--fuzz-out FILE] [--json]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table5 fig5 fig6 duplex
@@ -56,6 +58,20 @@
 //! slowest-request exemplar. It exits nonzero if enabling the tracer
 //! changed the telemetry digest. Like `perf`, it runs alone.
 //!
+//! The `fuzz` subcommand runs seeded fault-injection campaigns against
+//! the full system under the empirical fault model (`ustore-sim`'s
+//! `faultgen`): bathtub drive failures, latent sector errors, degradation
+//! ramps, background scrubs, and correlated hub/host outages. After each
+//! campaign an invariant oracle reads back every acknowledged write and
+//! probes every mount; unexplained losses are violations, and a failing
+//! schedule is shrunk to a minimal reproduction. `--replay SEED` reruns
+//! exactly one campaign from its printed seed — the result (and its
+//! telemetry digest) is bit-identical, which the run itself verifies and
+//! exits nonzero on divergence. `--synthetic-fail` plants a harness-level
+//! self-test fault so the shrink/replay machinery stays exercised.
+//! `--fuzz-out` writes the machine-readable report. Like `perf`, it runs
+//! alone.
+//!
 //! The artifact flags write standard-format telemetry exports of the last
 //! traced experiment that ran (`degraded` wins over `failover` in the
 //! default order):
@@ -72,8 +88,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ustore_bench::{
-    ablation, degraded, failover, fig5, fig6, hdfs, megapod, perf, podscale, power, profile, slo,
-    table2, Report, TelemetryArtifacts,
+    ablation, degraded, failover, fig5, fig6, fuzz, hdfs, megapod, perf, podscale, power, profile,
+    slo, table2, Report, TelemetryArtifacts,
 };
 use ustore_sim::Json;
 
@@ -107,9 +123,10 @@ fn alloc_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "table1", "table2", "table3", "table4", "table5", "fig5", "duplex", "fig6", "failover",
     "degraded", "hdfs", "rolling", "ablation", "podscale", "megapod", "perf", "profile", "slo",
+    "fuzz",
 ];
 
 /// Default shard count for the scenarios that always run sharded: as many
@@ -194,6 +211,10 @@ fn main() {
     let mut quick = false;
     let mut bench_out = String::from("BENCH_podscale.json");
     let mut slo_out: Option<String> = None;
+    let mut fuzz_out: Option<String> = None;
+    let mut campaigns: Option<u32> = None;
+    let mut replay: Option<u64> = None;
+    let mut synthetic_fail = false;
     let mut prom_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut ts_out: Option<String> = None;
@@ -238,6 +259,27 @@ fn main() {
             "--slo-out" => {
                 slo_out = Some(it.next().unwrap_or_else(|| usage("--slo-out needs a path")));
             }
+            "--fuzz-out" => {
+                fuzz_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--fuzz-out needs a path")),
+                );
+            }
+            "--campaigns" => {
+                campaigns = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u32| v >= 1)
+                        .unwrap_or_else(|| usage("--campaigns needs a positive number")),
+                );
+            }
+            "--replay" => {
+                replay =
+                    Some(it.next().and_then(|v| parse_seed(&v)).unwrap_or_else(|| {
+                        usage("--replay needs a campaign seed (0x... or decimal)")
+                    }));
+            }
+            "--synthetic-fail" => synthetic_fail = true,
             "--prom-out" => {
                 prom_out = Some(
                     it.next()
@@ -265,6 +307,7 @@ fn main() {
     for (flag, path) in [
         ("--bench-out", Some(&bench_out)),
         ("--slo-out", slo_out.as_ref()),
+        ("--fuzz-out", fuzz_out.as_ref()),
         ("--prom-out", prom_out.as_ref()),
         ("--trace-out", trace_out.as_ref()),
         ("--ts-out", ts_out.as_ref()),
@@ -272,6 +315,30 @@ fn main() {
         if let Some(path) = path {
             check_writable_destination(flag, path);
         }
+    }
+    if picks.iter().any(|p| p == "fuzz") {
+        if picks.len() > 1 {
+            usage("fuzz runs alone (campaign seeds must not share artifact flags)");
+        }
+        if prom_out.is_some() || trace_out.is_some() || ts_out.is_some() || slo_out.is_some() {
+            usage("--prom-out/--trace-out/--ts-out/--slo-out are not produced by fuzz (use --fuzz-out)");
+        }
+        run_fuzz_command(
+            seed,
+            quick,
+            shards.unwrap_or_else(default_shards),
+            campaigns.unwrap_or(8),
+            replay,
+            synthetic_fail,
+            fuzz_out.as_deref(),
+            json,
+        );
+        return;
+    }
+    if campaigns.is_some() || replay.is_some() || fuzz_out.is_some() || synthetic_fail {
+        usage(
+            "--campaigns/--replay/--fuzz-out/--synthetic-fail are only used by the fuzz subcommand",
+        );
     }
     if picks.iter().any(|p| p == "perf") {
         if picks.len() > 1 {
@@ -326,7 +393,12 @@ fn main() {
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = EXPERIMENTS
             .iter()
-            .filter(|e| !matches!(**e, "podscale" | "megapod" | "perf" | "profile" | "slo"))
+            .filter(|e| {
+                !matches!(
+                    **e,
+                    "podscale" | "megapod" | "perf" | "profile" | "slo" | "fuzz"
+                )
+            })
             .map(|s| (*s).to_owned())
             .collect();
     }
@@ -546,6 +618,74 @@ fn run_slo_command(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn run_fuzz_command(
+    seed: u64,
+    quick: bool,
+    shards: usize,
+    campaigns: u32,
+    replay: Option<u64>,
+    synthetic_fail: bool,
+    fuzz_out: Option<&str>,
+    json: bool,
+) {
+    let run = fuzz::run_fuzz(&fuzz::FuzzOptions {
+        seed,
+        quick,
+        shards,
+        campaigns,
+        synthetic_fail,
+        replay,
+    });
+    if let Some(path) = fuzz_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", run.to_json().pretty())) {
+            eprintln!("error: writing fuzz report to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        println!("{}", run.to_json().pretty());
+    } else {
+        println!(
+            "UStore scenario fuzzer (seed {seed}, {} mode, {} campaign(s))\n",
+            if quick { "quick" } else { "full" },
+            run.campaigns.len()
+        );
+        println!("{}", run.summary());
+        if let Some(path) = fuzz_out {
+            println!("fuzz report written to {path}");
+        }
+    }
+    if !run.replay.matches {
+        eprintln!(
+            "error: replaying campaign seed {:#018x} diverged ({:016x} != {:016x}) — the campaign is non-deterministic",
+            run.replay.seed, run.replay.digest, run.replay.replay_digest
+        );
+        std::process::exit(1);
+    }
+    // A real invariant violation is a bug; the planted self-test fault is
+    // the expected outcome of --synthetic-fail.
+    if !synthetic_fail && run.failing.is_some() {
+        eprintln!(
+            "error: invariant violation found (minimized schedule above; rerun with --replay)"
+        );
+        std::process::exit(1);
+    }
+    if synthetic_fail && run.failing.is_none() {
+        eprintln!("error: --synthetic-fail planted a fault the oracle failed to catch");
+        std::process::exit(1);
+    }
+}
+
+/// Parses a campaign seed as printed by the fuzzer (`0x...`) or decimal.
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
 /// Rejects artifact destinations that can only fail after the run: the
 /// path must not be a directory and its parent directory must exist.
 fn check_writable_destination(flag: &str, path: &str) {
@@ -575,6 +715,7 @@ fn usage(err: &str) -> ! {
          \x20      repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]\n\
          \x20      repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE] [--trace-out FILE] [--json]\n\
          \x20      repro slo [--quick] [--seed N] [--shards N] [--slo-out FILE] [--trace-out FILE] [--json]\n\
+         \x20      repro fuzz [--quick] [--seed N] [--shards N] [--campaigns N] [--replay SEED] [--synthetic-fail] [--fuzz-out FILE] [--json]\n\
          experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale megapod all\n\
          (podscale — 256 hosts / 1024 disks — and megapod — 1024 hosts / 4096 disks — are not part of `all`;\n\
          run them explicitly or via `perf`; --shards selects the parallel engine, --jobs/--shards must be >= 1)"

@@ -24,6 +24,7 @@ pub mod degraded;
 pub mod failover;
 pub mod fig5;
 pub mod fig6;
+pub mod fuzz;
 pub mod hdfs;
 pub mod megapod;
 pub mod perf;

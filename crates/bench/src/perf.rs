@@ -35,6 +35,7 @@ use ustore_sim::Json;
 use ustore::TracePlan;
 
 use crate::degraded;
+use crate::fuzz;
 use crate::megapod;
 use crate::podscale::{
     run_podscale, run_podscale_profiled, run_podscale_sharded, run_podscale_sharded_profiled,
@@ -199,6 +200,11 @@ pub struct PerfReport {
     /// TTFB decomposition snapshots and the tracing-on digest gate
     /// ([`crate::slo::slo_section`]).
     pub slo: Json,
+    /// The fault-model section: a reference fuzz campaign set's
+    /// durability nines, repair bandwidth, scrub coverage, watchdog FP/FN
+    /// rates, and the replay determinism gate
+    /// ([`crate::fuzz::faults_section`]).
+    pub faults: Json,
 }
 
 fn measure<R>(
@@ -355,6 +361,18 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     let slo_classic = run_podscale_traced(opts.seed, &pod, TracePlan::default());
     let slo = slo::slo_section(&slo_sharded, &slo_classic, Some(unprofiled_digest));
 
+    // The fault-model section: a small reference fuzz campaign set under
+    // the empirical fault model, including its replay determinism gate.
+    let fuzz_run = fuzz::run_fuzz(&fuzz::FuzzOptions {
+        seed: opts.seed,
+        quick: opts.quick,
+        shards: max_shards,
+        campaigns: if opts.quick { 2 } else { 4 },
+        synthetic_fail: false,
+        replay: None,
+    });
+    let faults = fuzz::faults_section(&fuzz_run);
+
     let base = pre_overhaul_baseline(opts.quick);
     let speedup = |cur: f64, b: f64| if b > 0.0 { cur / b } else { f64::NAN };
     PerfReport {
@@ -370,6 +388,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         sharding,
         profile,
         slo,
+        faults,
     }
 }
 
@@ -407,7 +426,7 @@ impl PerfReport {
     pub fn to_bench_json(&self) -> Json {
         let b = pre_overhaul_baseline(self.quick);
         Json::obj([
-            ("schema", Json::str("ustore-bench-podscale-v4")),
+            ("schema", Json::str("ustore-bench-podscale-v5")),
             ("mode", Json::str(if self.quick { "quick" } else { "full" })),
             ("seed", Json::u64(self.seed)),
             (
@@ -511,6 +530,7 @@ impl PerfReport {
             ),
             ("profile", self.profile.clone()),
             ("slo", self.slo.clone()),
+            ("faults", self.faults.clone()),
         ])
     }
 
@@ -593,6 +613,25 @@ impl PerfReport {
             self.sharding.megapod.sample.events_per_sec,
             "",
         ));
+        if let Some(nines) = self
+            .faults
+            .get("durability")
+            .and_then(|d| d.get("nines"))
+            .and_then(Json::as_f64)
+        {
+            rows.push(Row::measured_only("fuzz durability nines", nines, ""));
+        }
+        if let Some(Json::Bool(ok)) = self
+            .faults
+            .get("replay")
+            .and_then(|r| r.get("digest_matches"))
+        {
+            rows.push(Row::measured_only(
+                "fuzz replay bit-identical",
+                if *ok { 1.0 } else { 0.0 },
+                "",
+            ));
+        }
         Report::new("engine perf (wall clock)", rows)
     }
 }
@@ -640,9 +679,10 @@ mod tests {
             },
             profile: Json::obj([("digest_matches_unprofiled", Json::Bool(true))]),
             slo: Json::obj([("digest_matches_untraced", Json::Bool(true))]),
+            faults: Json::obj([("replay", Json::obj([("digest_matches", Json::Bool(true))]))]),
         };
         let j = rep.to_bench_json().to_string();
-        assert!(j.contains(r#""schema":"ustore-bench-podscale-v4""#));
+        assert!(j.contains(r#""schema":"ustore-bench-podscale-v5""#));
         assert!(j.contains(r#""events_per_sec":200"#));
         assert!(j.contains(r#""two_runs_identical":true"#));
         assert!(j.contains(r#""podscale_digest":"00000000deadbeef""#));
@@ -659,6 +699,10 @@ mod tests {
         assert!(
             j.contains(r#""slo":{"digest_matches_untraced":true}"#),
             "slo section carried through"
+        );
+        assert!(
+            j.contains(r#""faults":{"replay":{"digest_matches":true}}"#),
+            "faults section carried through"
         );
     }
 }

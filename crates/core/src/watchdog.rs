@@ -27,6 +27,14 @@
 //! `degradation.remount`) mirroring the hard-failover taxonomy, and a
 //! per-disk `watchdog.phase` gauge makes the phases readable straight from
 //! the exported time series.
+//!
+//! Fault-injection harnesses can register ground truth
+//! ([`HealthWatchdog::mark_degraded`]) so escalation accuracy is exported
+//! as explicit `watchdog.false_pos_total` / `watchdog.false_neg_total`
+//! counters (`ustore_watchdog_false_{pos,neg}_total` in Prometheus form):
+//! an escalation on a component never marked degraded is a false positive
+//! at escalation time; a marked component never escalated is a false
+//! negative, tallied by the end-of-run [`HealthWatchdog::audit`].
 
 use std::cell::RefCell;
 use std::fmt;
@@ -150,6 +158,11 @@ struct DiskWatch {
     root: Option<SpanId>,
     detection: Option<SpanId>,
     remount: Option<SpanId>,
+    // Ground truth + accuracy accounting (fault-injection harnesses mark
+    // genuinely degraded components; escalations are judged against it).
+    truth_degraded: bool,
+    escalated: bool,
+    fn_counted: bool,
 }
 
 struct W {
@@ -158,6 +171,9 @@ struct W {
     links: Vec<String>,
     events: Vec<HealthEvent>,
     escalations: u64,
+    false_pos: u64,
+    false_neg: u64,
+    counters_registered: bool,
 }
 
 /// The health watchdog; see the module docs.
@@ -220,11 +236,17 @@ impl HealthWatchdog {
                     root: None,
                     detection: None,
                     remount: None,
+                    truth_degraded: false,
+                    escalated: false,
+                    fn_counted: false,
                 })
                 .collect(),
             links,
             events: Vec::new(),
             escalations: 0,
+            false_pos: 0,
+            false_neg: 0,
+            counters_registered: false,
         }));
         let dog = HealthWatchdog { inner };
         let d2 = dog.clone();
@@ -240,6 +262,60 @@ impl HealthWatchdog {
     /// How many times sustained degradation escalated into recovery.
     pub fn escalations(&self) -> u64 {
         self.inner.borrow().escalations
+    }
+
+    /// Registers ground truth: `component` really is degrading (a fault
+    /// injector dialled up its drift / error rate). Escalations on marked
+    /// components are true positives; escalations on unmarked ones count
+    /// into `watchdog.false_pos_total`.
+    pub fn mark_degraded(&self, component: &str) {
+        let mut w = self.inner.borrow_mut();
+        if let Some(d) = w.disks.iter_mut().find(|d| d.component == component) {
+            d.truth_degraded = true;
+        }
+    }
+
+    /// End-of-run accuracy audit: every marked-degraded disk the watchdog
+    /// never escalated counts once into `watchdog.false_neg_total`.
+    /// Idempotent; returns the cumulative `(false_pos, false_neg)` totals.
+    pub fn audit(&self, sim: &Sim) -> (u64, u64) {
+        self.ensure_counters(sim);
+        let mut misses = 0u64;
+        {
+            let mut w = self.inner.borrow_mut();
+            for d in &mut w.disks {
+                if d.truth_degraded && !d.escalated && !d.fn_counted {
+                    d.fn_counted = true;
+                    misses += 1;
+                }
+            }
+            w.false_neg += misses;
+        }
+        if misses > 0 {
+            sim.count("watchdog", "watchdog.false_neg_total", misses);
+        }
+        self.false_counts()
+    }
+
+    /// Cumulative `(false_pos, false_neg)` counts (false negatives only
+    /// populate after [`HealthWatchdog::audit`]).
+    pub fn false_counts(&self) -> (u64, u64) {
+        let w = self.inner.borrow();
+        (w.false_pos, w.false_neg)
+    }
+
+    /// Registers the accuracy counters at zero so the exported series
+    /// (`ustore_watchdog_false_{pos,neg}_total`) exist even on clean runs.
+    fn ensure_counters(&self, sim: &Sim) {
+        {
+            let mut w = self.inner.borrow_mut();
+            if w.counters_registered {
+                return;
+            }
+            w.counters_registered = true;
+        }
+        sim.count("watchdog", "watchdog.false_pos_total", 0);
+        sim.count("watchdog", "watchdog.false_neg_total", 0);
     }
 
     /// The recovery phase of a watched disk component.
@@ -273,6 +349,7 @@ impl HealthWatchdog {
 
     /// One sweep: runs every rule against the scraper's current series.
     fn check(&self, sim: &Sim, sc: &Scraper, master: &Master) {
+        self.ensure_counters(sim);
         self.check_links(sim, sc);
         self.check_disks(sim, sc, master);
     }
@@ -297,12 +374,25 @@ impl HealthWatchdog {
                     self.emit(sim, link, HealthSignal::LinkSaturation, util, util_warn);
                 }
             }
+            // A series with a single retained sample was born between the
+            // last two scrapes, so its whole value accrued inside the
+            // window — a mass detach lands entire on a fresh counter. The
+            // scrapes() guard keeps the scraper's very first sweep (where
+            // every series is single-sample but carries history from
+            // before telemetry started) from reading as a storm.
+            let windowed = |t: &TimeSeries| {
+                t.delta().or_else(|| {
+                    (sc.scrapes() >= 2)
+                        .then(|| t.last().map(|(_, v)| v))
+                        .flatten()
+                })
+            };
             let enums = sc
-                .with_series(link, "usb.enumerations", |t| t.delta())
+                .with_series(link, "usb.enumerations", windowed)
                 .flatten()
                 .unwrap_or(0.0);
             let detaches = sc
-                .with_series(link, "usb.detaches", |t| t.delta())
+                .with_series(link, "usb.detaches", windowed)
                 .flatten()
                 .unwrap_or(0.0);
             let storm = enums + detaches;
@@ -456,14 +546,23 @@ impl HealthWatchdog {
     /// Sustained degradation: hand the disk to the Master's
     /// reconfiguration path and track the recovery phases.
     fn escalate(&self, sim: &Sim, master: &Master, idx: usize, component: &str) {
-        let (unit, disk, detection, root) = {
+        let (unit, disk, detection, root, false_pos) = {
             let mut w = self.inner.borrow_mut();
             w.escalations += 1;
+            let first = !w.disks[idx].escalated;
+            let false_pos = first && !w.disks[idx].truth_degraded;
+            if false_pos {
+                w.false_pos += 1;
+            }
             let d = &mut w.disks[idx];
+            d.escalated = true;
             d.phase = Phase::Reconfiguring;
-            (d.unit, d.disk, d.detection.take(), d.root)
+            (d.unit, d.disk, d.detection.take(), d.root, false_pos)
         };
         sim.count("watchdog", "watchdog.escalations", 1);
+        if false_pos {
+            sim.count("watchdog", "watchdog.false_pos_total", 1);
+        }
         sim.reqtracer()
             .annotate(&format!("watchdog escalate {component}"), sim.now());
         sim.trace(

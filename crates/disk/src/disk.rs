@@ -130,6 +130,8 @@ struct DiskMetrics {
     write_bytes: CounterHandle,
     errors: CounterHandle,
     uncorrectable: CounterHandle,
+    scrub_pages: CounterHandle,
+    scrub_repairs: CounterHandle,
 }
 
 impl DiskMetrics {
@@ -145,8 +147,21 @@ impl DiskMetrics {
             write_bytes: sim.counter(name, "disk.write_bytes"),
             errors: sim.counter(name, "disk.errors"),
             uncorrectable: sim.counter(name, "disk.uncorrectable_reads"),
+            scrub_pages: sim.counter(name, "disk.scrub_pages"),
+            scrub_repairs: sim.counter(name, "disk.scrub_repairs"),
         }
     }
+}
+
+/// Outcome of one background scrub pass ([`Disk::scrub`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// 4 KiB pages verify-read by the pass.
+    pub scanned_pages: u64,
+    /// Latent sector errors detected inside the scanned range.
+    pub bad_found: u64,
+    /// Pages repaired (rewritten/reallocated) by the pass.
+    pub repaired: u64,
 }
 
 struct Inner {
@@ -764,6 +779,102 @@ impl Disk {
         self.inner.borrow_mut().bad_pages.insert(offset / PAGE);
     }
 
+    /// Latent sector errors currently present on the platters.
+    pub fn bad_page_count(&self) -> usize {
+        self.inner.borrow().bad_pages.len()
+    }
+
+    /// Background media scrub over `[offset, offset + len)`: verify-reads
+    /// every 4 KiB page in the range, detects latent sector errors and
+    /// repairs them (sector reallocation — stored payload survives, the
+    /// page reads normally again). The pass is costed at the sequential
+    /// media rate stretched by the current latency factor, but runs as a
+    /// firmware background task: it does not occupy the command queue, so
+    /// foreground IO interleaves freely (TeraScale SneakerNet's "scrub in
+    /// the idle gaps" discipline).
+    ///
+    /// Completes with an error if the disk is powered off, failed, or
+    /// loses power mid-pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or the range exceeds the disk capacity.
+    pub fn scrub(
+        &self,
+        sim: &Sim,
+        offset: u64,
+        len: u64,
+        done: impl FnOnce(&Sim, Result<ScrubReport, DiskError>) + 'static,
+    ) {
+        assert!(len > 0, "scrub of empty range");
+        let (duration, epoch) = {
+            let i = self.inner.borrow();
+            assert!(
+                offset + len <= i.model.profile().mech.capacity_bytes,
+                "scrub beyond disk capacity"
+            );
+            if i.failed {
+                drop(i);
+                done(sim, Err(DiskError::Failed));
+                return;
+            }
+            if i.state == PowerStateKind::PoweredOff {
+                drop(i);
+                done(sim, Err(DiskError::PoweredOff));
+                return;
+            }
+            let rate = i.model.media_rate(offset, Direction::Read);
+            let secs = len as f64 / rate * i.latency_factor;
+            (std::time::Duration::from_secs_f64(secs), i.epoch)
+        };
+        let this = self.clone();
+        sim.schedule_in(duration, move |sim| {
+            let report = {
+                let mut i = this.inner.borrow_mut();
+                if i.epoch != epoch || i.failed {
+                    None
+                } else {
+                    let first_page = offset / PAGE;
+                    let last_page = (offset + len - 1) / PAGE;
+                    let bad: Vec<u64> = i
+                        .bad_pages
+                        .iter()
+                        .copied()
+                        .filter(|p| (first_page..=last_page).contains(p))
+                        .collect();
+                    for p in &bad {
+                        i.bad_pages.remove(p);
+                    }
+                    let scanned = last_page - first_page + 1;
+                    i.metrics.scrub_pages.add(scanned);
+                    i.metrics.scrub_repairs.add(bad.len() as u64);
+                    Some(ScrubReport {
+                        scanned_pages: scanned,
+                        bad_found: bad.len() as u64,
+                        repaired: bad.len() as u64,
+                    })
+                }
+            };
+            match report {
+                Some(r) => {
+                    if r.repaired > 0 {
+                        sim.trace(
+                            TraceLevel::Info,
+                            "disk",
+                            format!(
+                                "{}: scrub repaired {} latent sector error(s)",
+                                this.name(),
+                                r.repaired
+                            ),
+                        );
+                    }
+                    done(sim, Ok(r));
+                }
+                None => done(sim, Err(DiskError::Aborted)),
+            }
+        });
+    }
+
     /// Whether the disk is currently serving or queueing commands.
     pub fn is_busy(&self) -> bool {
         let i = self.inner.borrow();
@@ -1036,6 +1147,75 @@ mod tests {
             r.expect("healthy again");
         });
         sim.run();
+    }
+
+    #[test]
+    fn scrub_detects_and_repairs_latent_sector_errors() {
+        let (sim, disk) = setup();
+        disk.write(&sim, 0, vec![0x5A; 8192], |_, r| r.expect("write"));
+        sim.run();
+        disk.inject_bad_page(4096);
+        disk.inject_bad_page(1 << 20);
+        assert_eq!(disk.bad_page_count(), 2);
+
+        let report = Rc::new(Cell::new(None));
+        let r2 = report.clone();
+        disk.scrub(&sim, 0, 2 << 20, move |_, r| {
+            r2.set(Some(r.expect("scrub completes")));
+        });
+        sim.run();
+        let rep = report.get().expect("scrub ran");
+        assert_eq!(rep.scanned_pages, (2 << 20) / 4096);
+        assert_eq!(rep.bad_found, 2);
+        assert_eq!(rep.repaired, 2);
+        assert_eq!(disk.bad_page_count(), 0);
+
+        // The repaired page serves the payload written before the LSE.
+        disk.read(&sim, 4096, 4096, |_, r| {
+            assert_eq!(r.expect("repaired page readable")[0], 0x5A);
+        });
+        sim.run();
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.counter("d0", "disk.scrub_pages"), (2 << 20) / 4096);
+        assert_eq!(m.counter("d0", "disk.scrub_repairs"), 2);
+    }
+
+    #[test]
+    fn scrub_fails_cleanly_on_dead_or_powered_off_disks() {
+        let (sim, disk) = setup();
+        disk.power_off(&sim);
+        let saw = Rc::new(Cell::new(0u32));
+        let s2 = saw.clone();
+        disk.scrub(&sim, 0, 4096, move |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::PoweredOff);
+            s2.set(s2.get() + 1);
+        });
+        disk.power_on(&sim);
+        sim.run();
+        // A pass in flight when the disk fails aborts instead of lying.
+        disk.inject_bad_page(0);
+        let s3 = saw.clone();
+        disk.scrub(&sim, 0, 1 << 20, move |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::Aborted);
+            s3.set(s3.get() + 1);
+        });
+        let d = disk.clone();
+        sim.schedule_in(Duration::from_micros(10), move |sim| {
+            d.power_off(sim);
+        });
+        sim.run();
+        assert_eq!(saw.get(), 2);
+        // Failed disks reject the pass synchronously.
+        let sim2 = Sim::new(9);
+        let dead = Disk::new(&sim2, "d1", DiskProfile::usb_bridge(), false);
+        dead.set_failed(&sim2, true);
+        let s4 = Rc::new(Cell::new(false));
+        let s5 = s4.clone();
+        dead.scrub(&sim2, 0, 4096, move |_, r| {
+            assert_eq!(r.unwrap_err(), DiskError::Failed);
+            s5.set(true);
+        });
+        assert!(s4.get(), "failed-disk scrub completes synchronously");
     }
 
     #[test]

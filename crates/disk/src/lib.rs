@@ -27,7 +27,7 @@ pub mod model;
 pub mod power;
 pub mod profile;
 
-pub use disk::{Disk, DiskError, DiskStats, ReadResult, WriteResult};
+pub use disk::{Disk, DiskError, DiskStats, ReadResult, ScrubReport, WriteResult};
 pub use model::{IoModel, ServiceBreakdown};
 pub use power::EnergyMeter;
 pub use profile::{

@@ -1,0 +1,561 @@
+//! Empirical fleet fault model: seeded schedules of realistic failures.
+//!
+//! The watchdog and failover machinery were grown against hand-scripted
+//! single-disk failures; real cold-storage fleets fail differently. Gray &
+//! van Ingen's error-rate measurements show drives following a *bathtub*
+//! hazard (infant mortality + wear-out, each well modelled by a Weibull),
+//! latent sector errors accumulating silently on idle platters, and
+//! failures arriving *correlated* through shared infrastructure — a hub, a
+//! switch, a host PSU takes out a whole cohort at once. TeraScale
+//! SneakerNet's operational lesson is that background scrubbing is what
+//! makes cheap disks survivable: without it latent errors sit undetected
+//! until the one restore read that needed the sector.
+//!
+//! This module turns those observations into *deterministic schedules* of
+//! typed [`FaultEvent`]s that a harness applies through the existing
+//! injection hooks (`Disk::set_latency_factor` / `set_read_error_rate` /
+//! `inject_bad_page` / `set_failed`, fabric hub/host kill paths):
+//!
+//! - per-drive lifetimes drawn from a [`Bathtub`] mixture of two
+//!   [`Weibull`] hazards (infant shape < 1, wear-out shape > 1),
+//!   compressed onto the simulated horizon by an age-acceleration factor;
+//! - latent sector errors as a Poisson process per disk, repaired by
+//!   periodic [`FaultKind::ScrubPass`] events with per-disk phase;
+//! - gradual seek-latency / read-error drift ramps on a random subset of
+//!   drives (the watchdog's ground truth);
+//! - correlated domain events: leaf-hub failures orphaning a whole disk
+//!   group, and host-PSU failures taking down every disk behind a host,
+//!   each followed by a repair after a dwell.
+//!
+//! Determinism contract: all draws come from **per-world, per-unit
+//! labelled RNG streams** keyed exactly like the sharded engine's world
+//! decomposition (the world of a unit depends only on the scenario's
+//! `world_groups`, never on the `--shards` thread count), so the same
+//! `(seed, shape, config)` always yields the byte-identical schedule at
+//! any shard count — goldened in `tests/determinism.rs`.
+
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Two-parameter Weibull distribution over drive operating hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Shape `k` (< 1 decreasing hazard, > 1 increasing).
+    pub shape: f64,
+    /// Scale `λ` in hours (63.2% of lifetimes fall below it).
+    pub scale: f64,
+}
+
+impl Weibull {
+    /// Analytic CDF `F(t) = 1 − exp(−(t/λ)^k)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (-(t / self.scale).powf(self.shape)).exp()
+    }
+
+    /// Inverse-CDF sample: `λ · (−ln(1−u))^(1/k)`.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.f64(); // [0, 1) → 1−u in (0, 1], ln is finite
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Bathtub hazard as a mixture of an infant-mortality Weibull (shape < 1)
+/// and a wear-out Weibull (shape > 1): each drive is an infant-mortality
+/// case with probability `infant_weight`, a wear-out case otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bathtub {
+    /// Early-failure branch (decreasing hazard).
+    pub infant: Weibull,
+    /// Wear-out branch (increasing hazard).
+    pub wearout: Weibull,
+    /// Mixture weight of the infant branch in `[0, 1]`.
+    pub infant_weight: f64,
+}
+
+impl Bathtub {
+    /// Mixture CDF `w·F_infant(t) + (1−w)·F_wearout(t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        self.infant_weight * self.infant.cdf(t) + (1.0 - self.infant_weight) * self.wearout.cdf(t)
+    }
+
+    /// Samples one drive lifetime in hours (branch pick, then branch
+    /// inverse-CDF — two draws per call, always).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let infant = rng.chance(self.infant_weight);
+        if infant {
+            self.infant.sample(rng)
+        } else {
+            self.wearout.sample(rng)
+        }
+    }
+}
+
+/// One typed fault (or maintenance) event. Indices are *logical*: disk and
+/// host indices are within the unit, `group` names the unit's g-th leaf
+/// disk group — the applying harness resolves them against its topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Whole-drive hardware failure (bathtub lifetime reached).
+    DriveFailure {
+        /// Deploy unit index.
+        unit: u32,
+        /// Disk index within the unit.
+        disk: u32,
+    },
+    /// One step of a gradual degradation ramp: positioning-time stretch
+    /// plus an uncorrectable-read probability.
+    LatencyDrift {
+        /// Deploy unit index.
+        unit: u32,
+        /// Disk index within the unit.
+        disk: u32,
+        /// Positioning-time multiplier (≥ 1.0).
+        factor: f64,
+        /// Per-read uncorrectable probability in `[0, 1]`.
+        error_rate: f64,
+    },
+    /// A latent sector error appears on an idle platter.
+    LatentSector {
+        /// Deploy unit index.
+        unit: u32,
+        /// Disk index within the unit.
+        disk: u32,
+        /// Byte offset of the affected 4 KiB page.
+        offset: u64,
+    },
+    /// A background scrub pass over the disk's active region.
+    ScrubPass {
+        /// Deploy unit index.
+        unit: u32,
+        /// Disk index within the unit.
+        disk: u32,
+    },
+    /// A shared leaf hub fails, orphaning its whole disk group.
+    HubFailure {
+        /// Deploy unit index.
+        unit: u32,
+        /// Leaf disk-group index within the unit.
+        group: u32,
+    },
+    /// The failed leaf hub is replaced.
+    HubRepair {
+        /// Deploy unit index.
+        unit: u32,
+        /// Leaf disk-group index within the unit.
+        group: u32,
+    },
+    /// A host PSU fails: the host and every disk behind it drop out.
+    HostFailure {
+        /// Deploy unit index.
+        unit: u32,
+        /// Host index within the unit.
+        host: u32,
+    },
+    /// The failed host comes back.
+    HostRepair {
+        /// Deploy unit index.
+        unit: u32,
+        /// Host index within the unit.
+        host: u32,
+    },
+}
+
+impl FaultKind {
+    /// Canonical sort/digest key — total order even over the f64 fields
+    /// (rendered with full precision).
+    fn key(&self) -> String {
+        match self {
+            FaultKind::DriveFailure { unit, disk } => format!("drive-failure u{unit} d{disk}"),
+            FaultKind::LatencyDrift {
+                unit,
+                disk,
+                factor,
+                error_rate,
+            } => format!("latency-drift u{unit} d{disk} f{factor:.6} e{error_rate:.6}"),
+            FaultKind::LatentSector { unit, disk, offset } => {
+                format!("latent-sector u{unit} d{disk} o{offset}")
+            }
+            FaultKind::ScrubPass { unit, disk } => format!("scrub-pass u{unit} d{disk}"),
+            FaultKind::HubFailure { unit, group } => format!("hub-failure u{unit} g{group}"),
+            FaultKind::HubRepair { unit, group } => format!("hub-repair u{unit} g{group}"),
+            FaultKind::HostFailure { unit, host } => format!("host-failure u{unit} h{host}"),
+            FaultKind::HostRepair { unit, host } => format!("host-repair u{unit} h{host}"),
+        }
+    }
+
+    /// Short kind label for counting and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DriveFailure { .. } => "drive_failure",
+            FaultKind::LatencyDrift { .. } => "latency_drift",
+            FaultKind::LatentSector { .. } => "latent_sector",
+            FaultKind::ScrubPass { .. } => "scrub_pass",
+            FaultKind::HubFailure { .. } => "hub_failure",
+            FaultKind::HubRepair { .. } => "hub_repair",
+            FaultKind::HostFailure { .. } => "host_failure",
+            FaultKind::HostRepair { .. } => "host_repair",
+        }
+    }
+}
+
+/// One scheduled fault event, relative to the campaign's fault onset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Offset from the fault onset.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The fleet a schedule is generated for. Mirrors the sharded engine's
+/// decomposition inputs: `world_groups` fixes which world each unit's
+/// stream is keyed to (`--shards` never enters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetShape {
+    /// Deploy units.
+    pub units: u32,
+    /// Hosts per unit.
+    pub hosts_per_unit: u32,
+    /// Disks per unit.
+    pub disks_per_unit: u32,
+    /// Hub fan-in (disks per leaf group).
+    pub fanin: u32,
+    /// Unit-group worlds of the sharded decomposition.
+    pub world_groups: u32,
+}
+
+impl FleetShape {
+    /// Leaf disk groups per unit.
+    pub fn groups_per_unit(&self) -> u32 {
+        self.disks_per_unit.div_ceil(self.fanin.max(1))
+    }
+}
+
+/// Fault-model tunables. Rates are per modelled drive-hour; `accel` maps
+/// modelled hours onto the simulated horizon (one simulated second ages
+/// every drive by `accel` hours), compressing a multi-year service life
+/// into a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModelConfig {
+    /// Campaign fault window in simulated time.
+    pub horizon: Duration,
+    /// Drive-hours of ageing per simulated second.
+    pub accel: f64,
+    /// Per-drive lifetime hazard.
+    pub drive_hazard: Bathtub,
+    /// Latent-sector-error arrivals per drive-hour.
+    pub lse_per_hour: f64,
+    /// Active-region span LSEs and scrubs cover, bytes.
+    pub region_bytes: u64,
+    /// Per-drive probability of developing a gradual degradation ramp.
+    pub drift_prob: f64,
+    /// Per-drive scrub cadence in simulated time (first pass at a random
+    /// phase within one interval).
+    pub scrub_interval: Duration,
+    /// Expected leaf-hub failures per group per campaign.
+    pub hub_fail_mean: f64,
+    /// Expected host-PSU failures per host per campaign.
+    pub host_fail_mean: f64,
+    /// Dwell before a failed hub/host is repaired.
+    pub domain_repair: Duration,
+}
+
+impl FaultModelConfig {
+    /// Reference campaign model: ~8 000 accelerated drive-hours over a
+    /// 90 s fault window, a few latent errors per drive, scrubs every
+    /// 12 s, and rare correlated domain failures.
+    pub fn reference() -> Self {
+        FaultModelConfig {
+            horizon: Duration::from_secs(90),
+            accel: 90.0,
+            drive_hazard: Bathtub {
+                infant: Weibull {
+                    shape: 0.7,
+                    scale: 40_000.0,
+                },
+                wearout: Weibull {
+                    shape: 3.0,
+                    scale: 60_000.0,
+                },
+                infant_weight: 0.15,
+            },
+            lse_per_hour: 4e-4,
+            region_bytes: 64 << 20,
+            drift_prob: 0.08,
+            scrub_interval: Duration::from_secs(12),
+            hub_fail_mean: 0.06,
+            host_fail_mean: 0.04,
+            domain_repair: Duration::from_secs(10),
+        }
+    }
+
+    /// Shorter, denser variant for CI smoke campaigns: a 40 s window at
+    /// higher acceleration so the same phenomena still occur.
+    pub fn quick() -> Self {
+        FaultModelConfig {
+            horizon: Duration::from_secs(40),
+            accel: 200.0,
+            scrub_interval: Duration::from_secs(8),
+            ..FaultModelConfig::reference()
+        }
+    }
+
+    /// Modelled drive-hours covered by the fault window.
+    pub fn horizon_hours(&self) -> f64 {
+        self.horizon.as_secs_f64() * self.accel
+    }
+}
+
+/// SplitMix64-style seed mixer — the same finalizer the sharded engine
+/// uses to derive per-world seeds, so fault streams and world streams
+/// share one keying discipline.
+pub fn mix_seed(root: u64, salt: u64) -> u64 {
+    let mut z = root ^ salt.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A generated, sorted fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Events sorted by `(at, canonical key)`.
+    pub events: Vec<FaultEvent>,
+    /// The fault window the schedule was generated for.
+    pub horizon: Duration,
+}
+
+impl FaultSchedule {
+    /// Generates the schedule for `shape` under `config`. Pure function
+    /// of `(seed, shape, config)`; see the module docs for the stream
+    /// keying that makes it shard-count invariant.
+    pub fn generate(seed: u64, shape: &FleetShape, config: &FaultModelConfig) -> FaultSchedule {
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let groups = shape.world_groups.max(1);
+        let units_per_group = shape.units.div_ceil(groups);
+        let horizon_s = config.horizon.as_secs_f64();
+        let horizon_h = config.horizon_hours();
+        let region_pages = (config.region_bytes / 4096).max(1);
+
+        for unit in 0..shape.units {
+            // The unit's stream is keyed by (root, world, unit): the same
+            // double-mix regardless of how many threads later execute the
+            // decomposition.
+            let world = 1 + u64::from(unit / units_per_group);
+            let mut unit_rng = SimRng::seed_from(mix_seed(mix_seed(seed, world), u64::from(unit)));
+
+            for disk in 0..shape.disks_per_unit {
+                let mut rng = unit_rng.fork(&format!("disk-{disk}"));
+
+                // Bathtub lifetime, accelerated onto the horizon.
+                let life_h = config.drive_hazard.sample(&mut rng);
+                if life_h < horizon_h {
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((life_h / config.accel * 1e9) as u64),
+                        kind: FaultKind::DriveFailure { unit, disk },
+                    });
+                }
+
+                // Latent sector errors: Poisson arrivals over the window.
+                let mut t_h = rng.exp(1.0 / config.lse_per_hour.max(1e-12));
+                while t_h < horizon_h {
+                    let offset = rng.u64_below(region_pages) * 4096;
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((t_h / config.accel * 1e9) as u64),
+                        kind: FaultKind::LatentSector { unit, disk, offset },
+                    });
+                    t_h += rng.exp(1.0 / config.lse_per_hour.max(1e-12));
+                }
+
+                // Gradual degradation ramp on a random subset of drives.
+                // Three steps 2 s apart, like a spindle going bad.
+                if rng.chance(config.drift_prob) {
+                    let onset = rng.range_f64(0.2, 0.7) * horizon_s;
+                    for (i, (factor, err)) in [(2.0, 0.0), (4.0, 0.05), (8.0, 0.10)]
+                        .into_iter()
+                        .enumerate()
+                    {
+                        events.push(FaultEvent {
+                            at: SimTime::from_nanos(((onset + 2.0 * i as f64) * 1e9) as u64),
+                            kind: FaultKind::LatencyDrift {
+                                unit,
+                                disk,
+                                factor,
+                                error_rate: err,
+                            },
+                        });
+                    }
+                }
+
+                // Scrub passes with per-disk phase.
+                let interval_s = config.scrub_interval.as_secs_f64();
+                let mut t_s = rng.range_f64(0.0, interval_s);
+                while t_s < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((t_s * 1e9) as u64),
+                        kind: FaultKind::ScrubPass { unit, disk },
+                    });
+                    t_s += interval_s;
+                }
+            }
+
+            // Correlated failure domains, one stream per unit.
+            let mut dom = unit_rng.fork("domains");
+            for group in 0..shape.groups_per_unit() {
+                let mut t_s = dom.exp(horizon_s / config.hub_fail_mean.max(1e-12));
+                while t_s < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((t_s * 1e9) as u64),
+                        kind: FaultKind::HubFailure { unit, group },
+                    });
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((t_s * 1e9) as u64) + config.domain_repair,
+                        kind: FaultKind::HubRepair { unit, group },
+                    });
+                    t_s += config.domain_repair.as_secs_f64()
+                        + dom.exp(horizon_s / config.hub_fail_mean.max(1e-12));
+                }
+            }
+            for host in 0..shape.hosts_per_unit {
+                let mut t_s = dom.exp(horizon_s / config.host_fail_mean.max(1e-12));
+                while t_s < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((t_s * 1e9) as u64),
+                        kind: FaultKind::HostFailure { unit, host },
+                    });
+                    events.push(FaultEvent {
+                        at: SimTime::from_nanos((t_s * 1e9) as u64) + config.domain_repair,
+                        kind: FaultKind::HostRepair { unit, host },
+                    });
+                    t_s += config.domain_repair.as_secs_f64()
+                        + dom.exp(horizon_s / config.host_fail_mean.max(1e-12));
+                }
+            }
+        }
+
+        events.sort_by_key(|a| (a.at, a.kind.key()));
+        FaultSchedule {
+            events,
+            horizon: config.horizon,
+        }
+    }
+
+    /// Like [`FaultSchedule::generate`], taking the executor thread count
+    /// the campaign will run under. Thread count never enters generation —
+    /// the parameter exists so harnesses and the golden determinism tests
+    /// state the invariance explicitly.
+    pub fn generate_for(
+        seed: u64,
+        shape: &FleetShape,
+        config: &FaultModelConfig,
+        shards: usize,
+    ) -> FaultSchedule {
+        assert!(shards >= 1, "need at least one executor thread");
+        Self::generate(seed, shape, config)
+    }
+
+    /// FNV-1a digest over the canonical event rendering — byte-identical
+    /// schedules have equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for ev in &self.events {
+            eat(format!("{} {}\n", ev.at.as_nanos(), ev.kind.key()).as_bytes());
+        }
+        h
+    }
+
+    /// Events per kind label, sorted by label.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for ev in &self.events {
+            *counts.entry(ev.kind.label()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Stable JSON rendering (one object per event, sorted order) — used
+    /// for minimized-schedule artifacts and the byte-identity golden test.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("horizon_s", Json::f64(self.horizon.as_secs_f64())),
+            ("digest", Json::str(format!("{:016x}", self.digest()))),
+            (
+                "events",
+                Json::arr(self.events.iter().map(|ev| {
+                    Json::obj([
+                        ("at_s", Json::f64(ev.at.as_nanos() as f64 / 1e9)),
+                        ("kind", Json::str(ev.kind.key())),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> FleetShape {
+        FleetShape {
+            units: 2,
+            hosts_per_unit: 4,
+            disks_per_unit: 8,
+            fanin: 4,
+            world_groups: 2,
+        }
+    }
+
+    #[test]
+    fn weibull_sample_matches_cdf() {
+        let w = Weibull {
+            shape: 1.5,
+            scale: 100.0,
+        };
+        let mut rng = SimRng::seed_from(7);
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|_| w.sample(&mut rng)).collect();
+        for t in [30.0, 80.0, 150.0, 250.0] {
+            let empirical = samples.iter().filter(|&&s| s < t).count() as f64 / n as f64;
+            let analytic = w.cdf(t);
+            assert!(
+                (empirical - analytic).abs() < 0.03,
+                "F({t}): empirical {empirical} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_pure_and_sorted() {
+        let cfg = FaultModelConfig::quick();
+        let a = FaultSchedule::generate(11, &shape(), &cfg);
+        let b = FaultSchedule::generate(11, &shape(), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!a.events.is_empty(), "quick model generates work");
+        let c = FaultSchedule::generate(12, &shape(), &cfg);
+        assert_ne!(a.digest(), c.digest(), "seed changes the schedule");
+    }
+
+    #[test]
+    fn schedule_ignores_thread_count() {
+        let cfg = FaultModelConfig::reference();
+        let one = FaultSchedule::generate_for(5, &shape(), &cfg, 1);
+        let four = FaultSchedule::generate_for(5, &shape(), &cfg, 4);
+        assert_eq!(one, four);
+    }
+}

@@ -25,6 +25,9 @@
 //! - [`time`]: virtual instants ([`SimTime`]).
 //! - [`engine`]: the event queue and [`Sim`] handle.
 //! - [`rng`]: seeded, forkable randomness ([`SimRng`], [`Zipf`]).
+//! - [`faultgen`]: empirical fleet fault model — Weibull/bathtub drive
+//!   lifetimes, latent sector errors, scrub passes, correlated failure
+//!   domains — generating deterministic [`FaultSchedule`]s.
 //! - [`metrics`]: counters, histograms, throughput accounting.
 //! - [`obs`]: the unified [`MetricsRegistry`] every component reports into,
 //!   and [`obs::timeseries`] — the [`Scraper`] sampling it over sim time.
@@ -44,6 +47,7 @@
 
 pub mod engine;
 pub mod export;
+pub mod faultgen;
 pub mod hash;
 pub mod intern;
 pub mod json;
@@ -58,6 +62,9 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{CounterHandle, EventId, GaugeHandle, HistogramHandle, Sim, TimerId};
+pub use faultgen::{
+    Bathtub, FaultEvent, FaultKind, FaultModelConfig, FaultSchedule, FleetShape, Weibull,
+};
 pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use intern::{ComponentId, KeyInterner, MetricKey};
 pub use json::Json;

@@ -5,11 +5,13 @@
 
 use ustore::TracePlan;
 use ustore_bench::degraded::run_degraded_traced;
+use ustore_bench::fuzz::{run_fuzz, FuzzOptions};
 use ustore_bench::podscale::{
     fnv1a, run_podscale, run_podscale_profiled, run_podscale_sharded,
     run_podscale_sharded_profiled, run_podscale_sharded_traced, run_podscale_traced, PodConfig,
 };
-use ustore_sim::{canonical_merge, Profiler, RequestTracer, Routed, SimTime};
+use ustore_sim::faultgen::{Bathtub, FaultModelConfig, FaultSchedule, FleetShape, Weibull};
+use ustore_sim::{canonical_merge, Profiler, RequestTracer, Routed, SimRng, SimTime};
 
 #[test]
 fn degraded_telemetry_is_bit_for_bit_deterministic() {
@@ -199,6 +201,155 @@ fn profiled_phase_sums_approximate_measured_wall_time() {
             wall_ns
         );
     }
+}
+
+/// Property test for the fault model's lifetime samplers: at a fixed
+/// seed, the empirical CDF of inverse-transform draws must track the
+/// analytic CDF. The tolerance is a Kolmogorov–Smirnov-style bound with
+/// slack (the seed is fixed, so the test is deterministic; the bound
+/// rejects a broken transform, not an unlucky sample).
+#[test]
+fn weibull_and_bathtub_samples_match_the_analytic_cdf() {
+    const N: usize = 4000;
+    const TOL: f64 = 0.03; // ~1.6/sqrt(N) with headroom
+
+    fn max_cdf_deviation(samples: &mut [f64], cdf: impl Fn(f64) -> f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len() as f64;
+        samples
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let empirical = (i as f64 + 0.5) / n;
+                (cdf(t) - empirical).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    let infant = Weibull {
+        shape: 0.7,
+        scale: 40_000.0,
+    };
+    let wearout = Weibull {
+        shape: 3.0,
+        scale: 60_000.0,
+    };
+    let mut rng = SimRng::seed_from(0xCDF_CDF);
+    let mut draws: Vec<f64> = (0..N).map(|_| infant.sample(&mut rng)).collect();
+    let d = max_cdf_deviation(&mut draws, |t| infant.cdf(t));
+    assert!(d < TOL, "infant Weibull deviates from analytic CDF: {d:.4}");
+
+    let mut draws: Vec<f64> = (0..N).map(|_| wearout.sample(&mut rng)).collect();
+    let d = max_cdf_deviation(&mut draws, |t| wearout.cdf(t));
+    assert!(
+        d < TOL,
+        "wear-out Weibull deviates from analytic CDF: {d:.4}"
+    );
+
+    let tub = Bathtub {
+        infant,
+        wearout,
+        infant_weight: 0.15,
+    };
+    let mut draws: Vec<f64> = (0..N).map(|_| tub.sample(&mut rng)).collect();
+    let d = max_cdf_deviation(&mut draws, |t| tub.cdf(t));
+    assert!(
+        d < TOL,
+        "bathtub mixture deviates from analytic CDF: {d:.4}"
+    );
+}
+
+/// Golden test for the fault generator's shard invariance: schedules are
+/// keyed per `(world, unit)` by the fleet's `world_groups` decomposition,
+/// so the executor thread count must never reach the stream. The same
+/// seed at `--shards` 1, 2 and 4 must produce the identical schedule,
+/// pinned to a golden digest so silent generator drift is also caught.
+#[test]
+fn fault_schedules_are_identical_across_shard_counts() {
+    let shape = FleetShape {
+        units: 2,
+        hosts_per_unit: 4,
+        disks_per_unit: 8,
+        fanin: 4,
+        world_groups: 2,
+    };
+    let cfg = FaultModelConfig::reference();
+    let runs: Vec<FaultSchedule> = [1usize, 2, 4]
+        .into_iter()
+        .map(|s| FaultSchedule::generate_for(0x5EED_FA07, &shape, &cfg, s))
+        .collect();
+    assert!(!runs[0].events.is_empty(), "reference model yields faults");
+    assert!(
+        runs[0].events.windows(2).all(|w| w[0].at <= w[1].at),
+        "schedule sorted by time"
+    );
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            r.digest(),
+            runs[0].digest(),
+            "schedule diverged at shard count index {i}"
+        );
+        assert_eq!(r.events, runs[0].events);
+        assert_eq!(r.counts(), runs[0].counts());
+    }
+    assert_eq!(
+        runs[0].digest(),
+        GOLDEN_SCHEDULE_DIGEST,
+        "fault generator drifted from the golden schedule \
+         (update GOLDEN_SCHEDULE_DIGEST only for a deliberate model change)"
+    );
+}
+
+/// Golden digest for `FaultSchedule::generate_for(0x5EED_FA07, ..)` over
+/// the 2-unit reference fleet above.
+const GOLDEN_SCHEDULE_DIGEST: u64 = 0x2364_B17A_D8FD_33C8;
+
+/// Golden replay test for the fuzzer: a short campaign with a synthetic
+/// failure must catch the failure, shrink it, and a second run of the
+/// identical options must reproduce the telemetry digest and the
+/// minimized schedule byte-for-byte.
+#[test]
+fn fuzz_failing_campaign_replays_bit_identically() {
+    let opts = FuzzOptions {
+        seed: 0xD1_6E57,
+        quick: true,
+        shards: 2,
+        campaigns: 1,
+        synthetic_fail: true,
+        replay: None,
+    };
+    let a = run_fuzz(&opts);
+    let b = run_fuzz(&opts);
+
+    // Both runs caught the synthetic failure and the in-run replay gate
+    // (re-execution of the failing seed) held.
+    for run in [&a, &b] {
+        assert!(run.failing.is_some(), "synthetic failure caught");
+        assert!(run.replay.matches, "in-run replay gate holds");
+    }
+
+    // Cross-run: telemetry digests, violations and the minimized
+    // schedule are byte-identical.
+    assert_eq!(a.campaigns.len(), b.campaigns.len());
+    for (ca, cb) in a.campaigns.iter().zip(&b.campaigns) {
+        assert_eq!(ca.digest, cb.digest, "campaign telemetry digest differs");
+        assert_eq!(ca.schedule_digest, cb.schedule_digest);
+        assert_eq!(ca.violations, cb.violations);
+        assert_eq!(ca.events_processed, cb.events_processed);
+    }
+    let (fa, fb) = (a.failing.as_ref().unwrap(), b.failing.as_ref().unwrap());
+    assert_eq!(fa.seed, fb.seed);
+    assert_eq!(fa.minimized.digest(), fb.minimized.digest());
+    assert_eq!(
+        fa.minimized.to_json().to_string(),
+        fb.minimized.to_json().to_string(),
+        "minimized schedule JSON differs between runs"
+    );
+    assert_eq!(
+        a.to_json().to_string(),
+        b.to_json().to_string(),
+        "full fuzz report differs between runs"
+    );
 }
 
 /// Property test for the epoch barrier's merge: the canonical order of

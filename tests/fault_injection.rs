@@ -6,10 +6,10 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore::{Mounted, SpaceInfo, SystemConfig, UStoreSystem};
+use ustore::{HealthSignal, Mounted, SpaceInfo, SystemConfig, UStoreSystem, WatchdogConfig};
 use ustore_fabric::{Component, DiskId, HostId, HubId};
 use ustore_net::{BlockDevice, NetConfig};
-use ustore_sim::Sim;
+use ustore_sim::{ScraperConfig, Sim};
 
 fn run_for(s: &UStoreSystem, secs: u64) {
     s.sim.run_until(s.sim.now() + Duration::from_secs(secs));
@@ -294,6 +294,107 @@ fn leaf_hub_failure_is_reported_as_unrecoverable() {
     s.runtime.hub_repaired(&s.sim, leaf_hub);
     run_for(&s, 15);
     assert!(s.runtime.with_state(|st| st.orphaned_disks().is_empty()));
+}
+
+#[test]
+fn shared_hub_death_mid_read_storm_remounts_the_whole_cohort() {
+    // A shared (host-root) hub dies while every disk behind it is under a
+    // read storm. The master must pull the whole hub cohort over to
+    // surviving hosts, the storm must resume, and the watchdog must have
+    // seen the detach storm and logged it as properly-attributed spans.
+    let s = UStoreSystem::prototype(7009);
+    s.settle();
+    let scraper = s.start_telemetry(ScraperConfig {
+        interval: Duration::from_millis(250),
+        retention: 8192,
+    });
+    let dog = s
+        .install_watchdog(&scraper, WatchdogConfig::default())
+        .expect("active master after settle");
+
+    // Hub 0 is host 0's root hub in the prototype build order; its cohort
+    // is disks 0-3.
+    let cohort: Vec<DiskId> = (0..4).map(DiskId).collect();
+    for d in &cohort {
+        assert_eq!(s.runtime.attached_host(*d), Some(HostId(0)));
+    }
+
+    // Read storm: scattered 4 KiB reads against every cohort disk. Errors
+    // during the outage window are expected; the counters let us assert
+    // the storm was flowing before the kill and resumed after recovery.
+    let oks = Rc::new(Cell::new(0u64));
+    for (i, d) in cohort.iter().copied().enumerate() {
+        let rt = s.runtime.clone();
+        let oks = oks.clone();
+        let k = Rc::new(Cell::new(0u64));
+        s.sim.every(
+            Duration::from_millis(23 * (i as u64 + 1)),
+            Duration::from_millis(40),
+            move |sim| {
+                let n = k.get();
+                k.set(n + 1);
+                let offset = (n * 7919 % ((64 << 20) / 4096)) * 4096;
+                let oks = oks.clone();
+                rt.read(sim, d, offset, 4096, move |_, r| {
+                    if r.is_ok() {
+                        oks.set(oks.get() + 1);
+                    }
+                });
+            },
+        );
+    }
+    run_for(&s, 5);
+    let before_kill = oks.get();
+    assert!(before_kill > 0, "storm flowing before the kill");
+
+    s.runtime.hub_failed(&s.sim, HubId(0));
+    assert!(s.runtime.attached_host(DiskId(0)).is_none(), "path gone");
+    run_for(&s, 30);
+
+    // The whole cohort remounted on surviving hosts.
+    for d in &cohort {
+        let host = s.runtime.attached_host(*d);
+        assert!(
+            host.is_some() && host != Some(HostId(0)),
+            "{d} pulled to a surviving host: {host:?}"
+        );
+        assert!(s.runtime.disk_ready(*d), "{d} enumerated on its new host");
+    }
+    let reported = s
+        .sim
+        .with_trace(|t| t.find("vanished from all USB trees").is_some());
+    assert!(reported, "master attributed the loss to the fabric sweep");
+
+    // The storm resumed against the remounted cohort.
+    let after_recovery = oks.get();
+    run_for(&s, 5);
+    assert!(
+        oks.get() > after_recovery,
+        "reads flow again after the cohort remount"
+    );
+
+    // The watchdog saw the mass detach as an enumeration storm on host 0's
+    // link and recorded it both as an event and as an attributed span.
+    let events = dog.events();
+    let storm = events
+        .iter()
+        .find(|e| e.signal == HealthSignal::EnumStorm)
+        .expect("watchdog recorded the detach storm");
+    s.sim.with_spans(|t| {
+        let span = t
+            .by_name("watchdog.event")
+            .find(|sp| {
+                sp.attr("signal") == Some("enum_storm")
+                    && sp.attr("component") == Some(&storm.component)
+            })
+            .expect("enum-storm breach logged as a watchdog.event span");
+        assert_eq!(&*span.component, "watchdog");
+        assert!(
+            span.parent.is_none(),
+            "watchdog breach instants are roots, not children of client IO"
+        );
+        assert!(span.attr("value").is_some() && span.attr("threshold").is_some());
+    });
 }
 
 #[test]
