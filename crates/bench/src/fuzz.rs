@@ -912,7 +912,7 @@ impl FuzzRun {
     }
 }
 
-/// The `faults` section of `BENCH_podscale.json` (schema v5): durability
+/// The `faults` section of `BENCH_podscale.json` (schema v5, unchanged in v6): durability
 /// nines, repair bandwidth, scrub coverage, watchdog FP/FN rates, and the
 /// replay determinism gate.
 pub fn faults_section(run: &FuzzRun) -> Json {

@@ -137,8 +137,10 @@ pub struct ShardSample {
     pub sample: PerfSample,
     /// Telemetry digest of the run (must match every other point).
     pub digest: u64,
-    /// Synchronization epochs executed.
+    /// Epoch windows executed.
     pub epochs: u64,
+    /// Inner synchronization rounds executed.
+    pub sync_rounds: u64,
     /// Envelopes routed across world boundaries.
     pub cross_messages: u64,
     /// Sum of per-world peak queue depths (whole-sim pressure; the
@@ -159,6 +161,12 @@ pub struct ShardScaling {
     pub digests_identical: bool,
     /// `events_per_sec` at the largest shard count over the serial run.
     pub speedup_vs_serial: f64,
+    /// Classic single-threaded engine wall time over the *best* (fastest)
+    /// sharded point's wall time: how the parallel engine fares against
+    /// the engine it is supposed to beat, not just against its own serial
+    /// mode (shards-1 being 4x off classic used to hide behind
+    /// `speedup_vs_serial`).
+    pub speedup_vs_classic: f64,
     /// Serial (shards = 1) sharded wall time over the classic
     /// single-threaded engine's wall time on the same pod: what the epoch
     /// machinery itself costs before parallelism pays it back.
@@ -300,9 +308,14 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     if max_shards > 1 && !shard_counts.contains(&max_shards) {
         shard_counts.push(max_shards);
     }
+    // Best-of-3 per sweep point: sharded wall times are compared against
+    // the classic engine's (also best-of), and a single noisy sample on a
+    // shared or virtualized runner would otherwise dominate the
+    // `shard_overhead_vs_classic` gate.
+    let shard_iters = if opts.quick { 2 } else { 3 };
     let shard_sample = |pod: &PodConfig, shards: usize| {
         let (sample, run) = measure(
-            1,
+            shard_iters,
             opts.alloc_counter,
             || run_podscale_sharded(opts.seed, pod, shards),
             |run| (run.sim_seconds, run.events, run.peak_queue_depth),
@@ -313,6 +326,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
             sample,
             digest: run.digest,
             epochs: stats.epochs,
+            sync_rounds: stats.sync_rounds,
             cross_messages: stats.cross_messages,
             peak_queue_depth_sum: stats.peak_queue_depth_sum,
         }
@@ -335,10 +349,16 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     };
     let megapod = shard_sample(&megapod_pod, max_shards);
     let shard_overhead_vs_classic = counts[0].sample.wall_seconds / podscale_best.wall_seconds;
+    let best_sharded_wall = counts
+        .iter()
+        .map(|c| c.sample.wall_seconds)
+        .fold(f64::INFINITY, f64::min);
+    let speedup_vs_classic = podscale_best.wall_seconds / best_sharded_wall;
     let sharding = ShardScaling {
         groups: pod.world_groups,
         digests_identical,
         speedup_vs_serial,
+        speedup_vs_classic,
         shard_overhead_vs_classic,
         megapod,
         megapod_pod,
@@ -414,6 +434,7 @@ fn shard_sample_json(s: &ShardSample) -> Json {
         ("wall_seconds", Json::f64(s.sample.wall_seconds)),
         ("events_per_sec", Json::f64(s.sample.events_per_sec)),
         ("epochs", Json::u64(s.epochs)),
+        ("sync_rounds", Json::u64(s.sync_rounds)),
         ("cross_messages", Json::u64(s.cross_messages)),
         ("peak_queue_depth_max", Json::f64(s.sample.peak_queue_depth)),
         ("peak_queue_depth_sum", Json::f64(s.peak_queue_depth_sum)),
@@ -426,7 +447,7 @@ impl PerfReport {
     pub fn to_bench_json(&self) -> Json {
         let b = pre_overhaul_baseline(self.quick);
         Json::obj([
-            ("schema", Json::str("ustore-bench-podscale-v5")),
+            ("schema", Json::str("ustore-bench-podscale-v6")),
             ("mode", Json::str(if self.quick { "quick" } else { "full" })),
             ("seed", Json::u64(self.seed)),
             (
@@ -499,6 +520,10 @@ impl PerfReport {
                     (
                         "speedup_vs_serial",
                         Json::f64(self.sharding.speedup_vs_serial),
+                    ),
+                    (
+                        "speedup_vs_classic",
+                        Json::f64(self.sharding.speedup_vs_classic),
                     ),
                     (
                         "shard_overhead_vs_classic",
@@ -599,6 +624,12 @@ impl PerfReport {
             "x",
         ));
         rows.push(Row::new(
+            "shard speedup vs classic (best point)",
+            1.0,
+            self.sharding.speedup_vs_classic,
+            "x",
+        ));
+        rows.push(Row::new(
             "shard overhead vs classic (1 thread)",
             1.0,
             self.sharding.shard_overhead_vs_classic,
@@ -655,6 +686,7 @@ mod tests {
             sample,
             digest: 0xfeed_f00d,
             epochs: 42,
+            sync_rounds: 84,
             cross_messages: 17,
             peak_queue_depth_sum: 11.0,
         };
@@ -673,6 +705,7 @@ mod tests {
                 counts: vec![shard(1), shard(2), shard(4)],
                 digests_identical: true,
                 speedup_vs_serial: 2.5,
+                speedup_vs_classic: 2.1,
                 shard_overhead_vs_classic: 1.2,
                 megapod: shard(4),
                 megapod_pod: crate::megapod::megapod_quick(),
@@ -682,13 +715,15 @@ mod tests {
             faults: Json::obj([("replay", Json::obj([("digest_matches", Json::Bool(true))]))]),
         };
         let j = rep.to_bench_json().to_string();
-        assert!(j.contains(r#""schema":"ustore-bench-podscale-v5""#));
+        assert!(j.contains(r#""schema":"ustore-bench-podscale-v6""#));
         assert!(j.contains(r#""events_per_sec":200"#));
         assert!(j.contains(r#""two_runs_identical":true"#));
         assert!(j.contains(r#""podscale_digest":"00000000deadbeef""#));
         assert!(j.contains(r#""disks":1024"#));
         assert!(j.contains(r#""digests_identical":true"#));
         assert!(j.contains(r#""speedup_vs_serial":2.5"#));
+        assert!(j.contains(r#""speedup_vs_classic":2.1"#));
+        assert!(j.contains(r#""sync_rounds":84"#));
         assert!(j.contains(r#""shard_overhead_vs_classic":1.2"#));
         assert!(j.contains(r#""cross_messages":17"#));
         assert!(j.contains(r#""disks":4096"#), "megapod shape recorded");

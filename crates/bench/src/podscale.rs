@@ -121,8 +121,12 @@ pub struct ShardStats {
     /// Unit-group worlds the pod was decomposed into (plus the control
     /// world).
     pub groups: u32,
-    /// Synchronization epochs the coordinator executed.
+    /// Epoch windows the adaptive coordinator executed (each advances
+    /// the global floor by up to one coalescing quantum).
     pub epochs: u64,
+    /// Inner synchronization rounds across all windows (each round runs
+    /// the runnable worlds once and exchanges messages).
+    pub sync_rounds: u64,
     /// Envelopes routed across world boundaries.
     pub cross_messages: u64,
     /// Peak live queue depth of the deepest single world (per-shard max).
@@ -413,11 +417,16 @@ fn run_podscale_opts(
             Row::measured_only("io errors", io_errors as f64, ""),
         ],
     );
+    let sim_seconds = system.sim.now().as_secs_f64();
+    // Break the engine's Rc cycles (pending recurring timers capture the
+    // sim and components) so back-to-back harness runs in one process
+    // don't accumulate each run's heap.
+    system.sim.teardown();
     PodscaleRun {
         report,
         digest,
         events,
-        sim_seconds: system.sim.now().as_secs_f64(),
+        sim_seconds,
         peak_queue_depth,
         sharding: None,
         writes_ok,
@@ -433,8 +442,10 @@ fn run_podscale_opts(
 
 /// Runs the pod-scale experiment on the sharded parallel engine: the pod
 /// is decomposed into `cfg.world_groups` unit-group worlds plus a control
-/// world and executed by `shards` OS threads in epochs bounded by the
-/// network base latency (the PDES lookahead).
+/// world and executed by `shards` OS threads through adaptive epoch
+/// windows (the per-pair lookahead matrix encodes the pod's star-shaped
+/// control-plane topology; the network base latency is the minimum
+/// cross-world lookahead).
 ///
 /// The workload recipe is [`run_podscale`]'s, driven from the control
 /// world. The telemetry digest combines per-world exports in world-id
@@ -521,6 +532,7 @@ fn run_podscale_sharded_opts(
 
     let sim_seconds = pod.now().as_secs_f64();
     let epochs = pod.epochs();
+    let sync_rounds = pod.sync_rounds();
     let cross_messages = pod.cross_messages();
     drop((sim, clients));
     let worlds = pod.finalize();
@@ -545,6 +557,7 @@ fn run_podscale_sharded_opts(
         shards,
         groups: cfg.world_groups,
         epochs,
+        sync_rounds,
         cross_messages,
         peak_queue_depth_max: peak_max,
         peak_queue_depth_sum: peak_sum,
@@ -560,6 +573,7 @@ fn run_podscale_sharded_opts(
         ("world_groups", Json::u64(u64::from(cfg.world_groups))),
         ("shards", Json::u64(shards as u64)),
         ("epochs", Json::u64(epochs)),
+        ("sync_rounds", Json::u64(sync_rounds)),
         ("cross_messages", Json::u64(cross_messages)),
         ("sim_seconds", Json::f64(sim_seconds)),
         ("events", Json::u64(events)),
@@ -579,7 +593,8 @@ fn run_podscale_sharded_opts(
             Row::measured_only("hosts", f64::from(cfg.hosts()), ""),
             Row::measured_only("disks", f64::from(cfg.disks()), ""),
             Row::measured_only("events processed", events as f64, ""),
-            Row::measured_only("sync epochs", epochs as f64, ""),
+            Row::measured_only("epoch windows", epochs as f64, ""),
+            Row::measured_only("sync rounds", sync_rounds as f64, ""),
             Row::measured_only("cross-world messages", cross_messages as f64, ""),
             Row::measured_only("peak queue depth (per-shard max)", peak_max, ""),
             Row::measured_only("peak queue depth (whole-sim sum)", peak_sum, ""),
@@ -629,7 +644,8 @@ mod tests {
         let s = run.sharding.expect("sharded run carries shard stats");
         assert_eq!(s.shards, 2);
         assert_eq!(s.groups, cfg.world_groups);
-        assert!(s.epochs > 0, "coordinator ran epochs");
+        assert!(s.epochs > 0, "coordinator ran epoch windows");
+        assert!(s.sync_rounds > 0, "windows executed sync rounds");
         assert!(s.cross_messages > 0, "workload crossed world boundaries");
         assert!(s.peak_queue_depth_sum >= s.peak_queue_depth_max);
     }

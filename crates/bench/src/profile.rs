@@ -104,7 +104,7 @@ pub fn run_profile(opts: &ProfileOptions) -> ProfileRun {
     }
 }
 
-/// The `profile` section of `BENCH_podscale.json` (schema v3): profiled
+/// The `profile` section of `BENCH_podscale.json` (schema v3, unchanged in v6): profiled
 /// sharded + classic snapshots, coverage, overhead, and the digest gate.
 pub fn profile_section(
     sharded: &PodscaleRun,
@@ -321,12 +321,31 @@ impl ProfileRun {
         p(
             &mut out,
             format!(
-                "epochs: {} total, {} idle-jump; lookahead {} ns, utilization {}",
+                "epochs: {} windows ({} sync rounds), {} idle-jump; min lookahead {} ns, utilization {}",
                 prof.epochs,
+                prof.sync_rounds,
                 prof.idle_jump_epochs,
                 prof.lookahead_ns,
                 prof.lookahead_utilization()
                     .map_or_else(|| "n/a".to_string(), |u| format!("{:.1}%", u * 100.0))
+            ),
+        );
+        let horizon_ns = self.sharded.sim_seconds * 1e9;
+        let mean_advance_ns = prof.advance_ns_total as f64 / prof.epochs.max(1) as f64;
+        let barrier_ns = prof.phase_total_ns(Phase::BarrierWait);
+        let accounted: u64 = Phase::ALL.iter().map(|&ph| prof.phase_total_ns(ph)).sum();
+        p(
+            &mut out,
+            format!(
+                "epoch efficiency: {} windows, mean advance {:.4}% of horizon, \
+                 barrier-wait {:.1}% of accounted wall",
+                prof.epochs,
+                if horizon_ns > 0.0 {
+                    mean_advance_ns / horizon_ns * 100.0
+                } else {
+                    0.0
+                },
+                barrier_ns as f64 / accounted.max(1) as f64 * 100.0
             ),
         );
         p(
@@ -424,6 +443,8 @@ mod tests {
         let text = run.diagnosis();
         assert!(text.contains("top phase costs"));
         assert!(text.contains("busiest pair"));
+        assert!(text.contains("epoch efficiency:"));
+        assert!(text.contains("sync rounds"));
         assert!(text.contains("=="));
         let json = run.to_json().to_string();
         assert!(json.contains(r#""experiment":"profile""#));

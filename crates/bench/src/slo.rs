@@ -109,7 +109,7 @@ pub fn run_slo(opts: &SloOptions) -> SloRun {
     }
 }
 
-/// The `slo` section of `BENCH_podscale.json` (schema v4): the traced
+/// The `slo` section of `BENCH_podscale.json` (schema v4, unchanged in v6): the traced
 /// sharded + classic snapshots and the digest gate.
 pub fn slo_section(
     sharded: &PodscaleRun,

@@ -26,9 +26,9 @@ use ustore_consensus::{CoordConfig, CoordServer};
 use ustore_fabric::{FabricRuntime, Topology};
 use ustore_net::{Addr, Envelope, Network, RpcNode};
 use ustore_sim::{
-    FastMap, ProfSnapshot, Profiler, RequestTracer, Routed, Scraper, ScraperConfig,
-    ShardCoordinator, ShardWorld, Sim, SimTime, TraceLevel, TraceSnapshot, TrafficMatrix,
-    TrafficSnapshot, WorldBuilder,
+    FastMap, LookaheadMatrix, ProfSnapshot, Profiler, RequestTracer, Routed, Scraper,
+    ScraperConfig, ShardCoordinator, ShardWorld, Sim, SimTime, TraceLevel, TraceSnapshot,
+    TrafficMatrix, TrafficSnapshot, WorldBuilder,
 };
 
 use crate::clientlib::UStoreClient;
@@ -145,12 +145,12 @@ impl ShardWorld for PodWorld {
         &self.sim
     }
 
-    fn drain_outbox(&mut self) -> Vec<Routed<Envelope>> {
-        self.net.drain_outbox()
+    fn drain_outbox_into(&mut self, out: &mut Vec<Routed<Envelope>>) {
+        self.net.drain_outbox_into(out);
     }
 
-    fn deliver(&mut self, batch: Vec<Routed<Envelope>>) {
-        for r in batch {
+    fn deliver(&mut self, batch: &mut Vec<Routed<Envelope>>) {
+        for r in batch.drain(..) {
             debug_assert_eq!(r.dst_world, self.id, "misrouted envelope");
             self.net.deliver_remote(&self.sim, r);
         }
@@ -168,7 +168,7 @@ impl ShardWorld for PodWorld {
             &self.coord,
             &self.masters,
         );
-        Box::new(WorldTelemetry {
+        let telemetry = Box::new(WorldTelemetry {
             world: self.id,
             metrics_json: self.sim.metrics_snapshot().to_json().to_string(),
             spans_json: self.sim.with_spans(|t| t.to_json()).to_string(),
@@ -184,7 +184,12 @@ impl ShardWorld for PodWorld {
                 .metrics_snapshot()
                 .gauge("sim", "queue_depth_max")
                 .unwrap_or(0.0),
-        })
+        });
+        // Break the engine's Rc cycles (pending recurring timers capture
+        // the sim and components) so harnesses running many sharded pods
+        // in one process don't accumulate every world's heap.
+        self.sim.teardown();
+        telemetry
     }
 }
 
@@ -269,6 +274,7 @@ fn build_control_world(
     seed: u64,
     cfg: &ShardedPodConfig,
     placement: Arc<FastMap<Addr, usize>>,
+    lookahead: Arc<LookaheadMatrix>,
     traffic: Option<Arc<TrafficMatrix>>,
     tracer: RequestTracer,
 ) -> (PodWorld, Vec<UStoreClient>) {
@@ -277,7 +283,7 @@ fn build_control_world(
     sim.with_trace(|t| t.set_min_level(cfg.trace_level));
     sim.set_reqtracer(tracer);
     let net = Network::new(sys.net.clone());
-    net.enable_shard_routing(0, placement);
+    net.enable_shard_routing_with_lookahead(0, placement, lookahead);
     if let Some(m) = traffic {
         net.set_traffic_matrix(m);
     }
@@ -340,6 +346,7 @@ fn build_unit_world(
     lo: u32,
     hi: u32,
     placement: Arc<FastMap<Addr, usize>>,
+    lookahead: Arc<LookaheadMatrix>,
     telemetry: Option<TelemetryPlan>,
     trace_level: TraceLevel,
     traffic: Option<Arc<TrafficMatrix>>,
@@ -349,7 +356,7 @@ fn build_unit_world(
     sim.with_trace(|t| t.set_min_level(trace_level));
     sim.set_reqtracer(tracer);
     let net = Network::new(sys.net.clone());
-    net.enable_shard_routing(id, placement);
+    net.enable_shard_routing_with_lookahead(id, placement, lookahead);
     if let Some(m) = traffic {
         net.set_traffic_matrix(m);
     }
@@ -458,10 +465,22 @@ impl ShardedPod {
         };
 
         let placement = build_placement(cfg);
+        // The pod's cross-world traffic is control-plane RPC only: unit
+        // worlds talk to the Masters/coordination/clients in world 0 and
+        // never to each other (clients reach EndPoints via world 0 as
+        // well). The lookahead matrix encodes exactly that star, so the
+        // adaptive scheduler never lets one unit world's horizon
+        // constrain a sibling's.
+        let matrix = Arc::new(LookaheadMatrix::from_reachability(
+            world_count,
+            lookahead,
+            |src, dst| src == 0 || dst == 0,
+        ));
         let (control, clients) = build_control_world(
             seed,
             cfg,
             placement.clone(),
+            matrix.clone(),
             traffic.clone(),
             tracer.clone(),
         );
@@ -489,6 +508,7 @@ impl ShardedPod {
                         lo,
                         hi,
                         placement.clone(),
+                        matrix.clone(),
                         cfg.telemetry.clone(),
                         cfg.trace_level,
                         traffic.clone(),
@@ -498,6 +518,7 @@ impl ShardedPod {
             } else {
                 let sys = sys.clone();
                 let placement = placement.clone();
+                let matrix = matrix.clone();
                 let telemetry = cfg.telemetry.clone();
                 let trace_level = cfg.trace_level;
                 let traffic = traffic.clone();
@@ -512,6 +533,7 @@ impl ShardedPod {
                             lo,
                             hi,
                             placement,
+                            matrix,
                             telemetry,
                             trace_level,
                             traffic,
@@ -522,8 +544,7 @@ impl ShardedPod {
             }
         }
 
-        let coordinator =
-            ShardCoordinator::new_profiled(lookahead, local, remote, profiler.clone());
+        let coordinator = ShardCoordinator::with_matrix(matrix, local, remote, profiler.clone());
         ShardedPod {
             coordinator,
             sim,
@@ -541,7 +562,7 @@ impl ShardedPod {
         self.coordinator.now()
     }
 
-    /// Runs every world to `deadline` in lookahead-bounded epochs.
+    /// Runs every world to `deadline` through adaptive epoch windows.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.coordinator.run_until(deadline);
     }
@@ -551,9 +572,15 @@ impl ShardedPod {
         self.coordinator.run_for(d);
     }
 
-    /// Epochs executed so far.
+    /// Epoch windows executed so far.
     pub fn epochs(&self) -> u64 {
         self.coordinator.epochs()
+    }
+
+    /// Inner synchronization rounds executed so far (several per window;
+    /// see [`ShardCoordinator::sync_rounds`]).
+    pub fn sync_rounds(&self) -> u64 {
+        self.coordinator.sync_rounds()
     }
 
     /// Cross-world messages exchanged so far.

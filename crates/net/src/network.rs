@@ -14,7 +14,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ustore_sim::{FastMap, FastSet, Routed, Sim, SimTime, TraceLevel, TrafficMatrix};
+use ustore_sim::{
+    FastMap, FastSet, LookaheadMatrix, Routed, Sim, SimTime, TraceLevel, TrafficMatrix,
+};
 
 /// A network address (host name). Cheap to clone and safe to move across
 /// shard threads.
@@ -120,6 +122,13 @@ struct Routing {
     /// `deliver_at − send_time − base_latency` — the margin by which the
     /// message clears the conservative lookahead bound.
     traffic: Option<Arc<TrafficMatrix>>,
+    /// Optional per-world-pair lookahead matrix shared with the shard
+    /// coordinator. When present, every cross-world send is checked
+    /// against it: the pair must be reachable (hard assert — an
+    /// unreachable pair means the matrix mis-modeled the topology and
+    /// the conservative bounds are unsound) and the delivery latency
+    /// must clear the pair's minimum (debug assert).
+    lookahead: Option<Arc<LookaheadMatrix>>,
 }
 
 struct Inner {
@@ -272,6 +281,20 @@ impl Network {
                 let mut i = self.inner.borrow_mut();
                 let base_latency = i.config.base_latency;
                 let r = i.routing.as_mut().expect("routing enabled");
+                if let Some(m) = &r.lookahead {
+                    assert!(
+                        m.reachable(r.world, dst_world),
+                        "cross-world send {} -> {} but the lookahead matrix says the pair \
+                         cannot talk (conservative bounds would be unsound)",
+                        r.world,
+                        dst_world
+                    );
+                    debug_assert!(
+                        at.duration_since(sim.now()).as_nanos()
+                            >= u128::from(m.get_ns(r.world, dst_world)),
+                        "cross-world delivery latency undercuts the lookahead matrix"
+                    );
+                }
                 if let Some(m) = &r.traffic {
                     let slack = at
                         .duration_since(sim.now())
@@ -335,6 +358,29 @@ impl Network {
             outbox: Vec::new(),
             seq: 0,
             traffic: None,
+            lookahead: None,
+        });
+    }
+
+    /// Like [`Self::enable_shard_routing`], but also pins the per-pair
+    /// [`LookaheadMatrix`] the shard coordinator schedules with. Every
+    /// cross-world send is then validated against the matrix: sends
+    /// between pairs the matrix declares unreachable panic (the adaptive
+    /// scheduler's safety proof would be void), and in debug builds the
+    /// computed delivery latency is checked against the pair's minimum.
+    pub fn enable_shard_routing_with_lookahead(
+        &self,
+        world: usize,
+        placement: Arc<FastMap<Addr, usize>>,
+        lookahead: Arc<LookaheadMatrix>,
+    ) {
+        self.inner.borrow_mut().routing = Some(Routing {
+            world,
+            placement,
+            outbox: Vec::new(),
+            seq: 0,
+            traffic: None,
+            lookahead: Some(lookahead),
         });
     }
 
@@ -365,6 +411,15 @@ impl Network {
             .as_mut()
             .map(|r| std::mem::take(&mut r.outbox))
             .unwrap_or_default()
+    }
+
+    /// Appends the buffered cross-world sends to `out` in send order,
+    /// keeping the outbox's capacity (the zero-allocation epoch-exchange
+    /// path). A no-op when shard routing is not enabled.
+    pub fn drain_outbox_into(&self, out: &mut Vec<Routed<Envelope>>) {
+        if let Some(r) = self.inner.borrow_mut().routing.as_mut() {
+            out.append(&mut r.outbox);
+        }
     }
 
     /// Injects a message routed from another world. The delivery instant
@@ -679,6 +734,50 @@ mod tests {
         let cell = snap.busiest().expect("one cell");
         assert_eq!((cell.src, cell.dst), (0, 1));
         assert_eq!(cell.min_slack_ns, 800);
+    }
+
+    fn lookahead_setup(reachable: bool) -> (Sim, Network, Addr, Addr) {
+        let mut placement = FastMap::default();
+        placement.insert(Addr::new("a"), 0usize);
+        placement.insert(Addr::new("b"), 1usize);
+        let sim = Sim::new(4);
+        let cfg = NetConfig {
+            jitter: Duration::ZERO,
+            ..NetConfig::default()
+        };
+        let net = Network::new(cfg.clone());
+        let matrix = if reachable {
+            LookaheadMatrix::uniform(2, cfg.base_latency)
+        } else {
+            LookaheadMatrix::disconnected(2)
+        };
+        net.enable_shard_routing_with_lookahead(0, Arc::new(placement), Arc::new(matrix));
+        let a = Addr::new("a");
+        let b = Addr::new("b");
+        net.register(&a);
+        (sim, net, a, b)
+    }
+
+    #[test]
+    fn lookahead_matrix_admits_reachable_cross_world_sends() {
+        let (sim, net, a, b) = lookahead_setup(true);
+        net.send(&sim, &a, &b, 1000, Arc::new(7u32));
+        let mut out = Vec::new();
+        net.drain_outbox_into(&mut out);
+        assert_eq!(out.len(), 1);
+        // The computed latency (serialization + base latency) clears the
+        // matrix's minimum (= base latency) with the serialization slack.
+        assert!(out[0].deliver_at.duration_since(sim.now()) >= NetConfig::default().base_latency);
+        out.clear();
+        net.drain_outbox_into(&mut out);
+        assert!(out.is_empty(), "outbox drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot talk")]
+    fn lookahead_matrix_rejects_unreachable_cross_world_sends() {
+        let (sim, net, a, b) = lookahead_setup(false);
+        net.send(&sim, &a, &b, 1000, Arc::new(7u32));
     }
 
     #[test]

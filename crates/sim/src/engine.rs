@@ -452,7 +452,10 @@ impl Sim {
 
     /// Runs all events scheduled at or before `deadline`, then advances the
     /// clock to `deadline` even if the queue still holds later events.
-    pub fn run_until(&self, deadline: SimTime) {
+    /// Returns the number of events executed by this call (the shard
+    /// coordinator feeds it to the per-round profiler probes).
+    pub fn run_until(&self, deadline: SimTime) -> u64 {
+        let before = self.inner.borrow().processed;
         let profiled = {
             let inner = self.inner.borrow();
             inner
@@ -483,12 +486,40 @@ impl Sim {
                 a.prof.epoch(now.duration_since(now0), false);
             }
         }
+        inner.processed - before
     }
 
     /// Runs for `d` of virtual time from the current instant.
     pub fn run_for(&self, d: Duration) {
         let deadline = self.now() + d;
         self.run_until(deadline);
+    }
+
+    /// Drops every pending event and timer without running it.
+    ///
+    /// Scheduled closures capture `Sim` clones (and component handles
+    /// that in turn capture `Sim`), so a finished run whose queue still
+    /// holds recurring timers — heartbeats, scrub passes, scraper ticks —
+    /// is an `Rc` cycle that outlives every external handle: a benchmark
+    /// harness executing many runs in one process leaks each run's whole
+    /// heap. Calling this after telemetry export breaks those cycles.
+    /// The handle remains usable as a clock (`now()`), but nothing is
+    /// left to run and nothing new should be scheduled.
+    ///
+    /// The queue, arenas and their closures are moved out and dropped
+    /// *after* the engine borrow is released, so closure drops that
+    /// release component `Rc`s can never observe a held borrow.
+    pub fn teardown(&self) {
+        let retained = {
+            let mut inner = self.inner.borrow_mut();
+            inner.live_pending = 0;
+            (
+                std::mem::take(&mut inner.queue),
+                std::mem::take(&mut inner.events),
+                std::mem::take(&mut inner.timers),
+            )
+        };
+        drop(retained);
     }
 
     /// The instant of the earliest live pending event, if any.

@@ -79,7 +79,10 @@ pub use reqtrace::{
     ReqKind, ReqStamp, RequestTracer, Stage, TraceId, TraceRecord, TraceSeg, TraceSnapshot,
 };
 pub use rng::{SimRng, Zipf};
-pub use shard::{canonical_merge, Routed, ShardCoordinator, ShardWorld, WorldBuilder};
+pub use shard::{
+    canonical_merge, canonical_sort, LookaheadMatrix, Routed, ShardCoordinator, ShardWorld,
+    WorldBuilder,
+};
 pub use span::{Span, SpanId, SpanTracer};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent, TraceLevel};

@@ -167,6 +167,7 @@ struct ProfInner {
     lookahead_ns: AtomicU64,
     epochs: AtomicU64,
     idle_jump_epochs: AtomicU64,
+    sync_rounds: AtomicU64,
     advance_ns: AtomicU64,
     worlds: Vec<WorldSlab>,
     tracks: Mutex<Vec<Arc<TrackSlab>>>,
@@ -180,6 +181,7 @@ impl ProfInner {
             lookahead_ns: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
             idle_jump_epochs: AtomicU64::new(0),
+            sync_rounds: AtomicU64::new(0),
             advance_ns: AtomicU64::new(0),
             worlds: (0..worlds).map(|_| WorldSlab::new()).collect(),
             tracks: Mutex::new(Vec::new()),
@@ -284,8 +286,10 @@ impl Profiler {
         }
     }
 
-    /// Records one coordinator epoch: how far sim time advanced and
-    /// whether the barrier jumped past `now + lookahead` (idle gap).
+    /// Records one coordinator epoch window: how far sim time advanced
+    /// and whether the window was an *idle jump* — its start bound leapt
+    /// more than one coalescing quantum past the previous floor, i.e. the
+    /// scheduler skipped dead air instead of rolling through it.
     pub fn epoch(&self, advance: Duration, idle_jump: bool) {
         if let Some(inner) = &self.0 {
             inner.epochs.fetch_add(1, Ordering::Relaxed);
@@ -295,6 +299,15 @@ impl Profiler {
             if idle_jump {
                 inner.idle_jump_epochs.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Records inner synchronization rounds executed during one epoch
+    /// window (the adaptive coordinator runs several fixpoint rounds per
+    /// window; the classic engine records none).
+    pub fn add_sync_rounds(&self, n: u64) {
+        if let Some(inner) = &self.0 {
+            inner.sync_rounds.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -348,6 +361,7 @@ impl Profiler {
             lookahead_ns: inner.lookahead_ns.load(Ordering::Relaxed),
             epochs: inner.epochs.load(Ordering::Relaxed),
             idle_jump_epochs: inner.idle_jump_epochs.load(Ordering::Relaxed),
+            sync_rounds: inner.sync_rounds.load(Ordering::Relaxed),
             advance_ns_total: inner.advance_ns.load(Ordering::Relaxed),
             worlds,
             tracks,
@@ -456,10 +470,14 @@ pub struct TrackProf {
 pub struct ProfSnapshot {
     /// Engine lookahead in nanoseconds (0 for the classic path).
     pub lookahead_ns: u64,
-    /// Coordinator epochs executed.
+    /// Coordinator epoch windows executed.
     pub epochs: u64,
-    /// Epochs whose barrier jumped past `now + lookahead` (idle gaps).
+    /// Windows whose start bound leapt more than one coalescing quantum
+    /// past the previous floor (the scheduler skipped dead air).
     pub idle_jump_epochs: u64,
+    /// Inner synchronization rounds executed across all windows (0 for
+    /// the classic path).
+    pub sync_rounds: u64,
     /// Total sim-time advanced across epochs, nanoseconds.
     pub advance_ns_total: u64,
     /// Per-world slabs, indexed by world id.
@@ -531,6 +549,7 @@ impl ProfSnapshot {
             ("lookahead_ns", Json::u64(self.lookahead_ns)),
             ("epochs", Json::u64(self.epochs)),
             ("idle_jump_epochs", Json::u64(self.idle_jump_epochs)),
+            ("sync_rounds", Json::u64(self.sync_rounds)),
             (
                 "sim_seconds_advanced",
                 Json::f64(self.advance_ns_total as f64 / 1e9),

@@ -1,15 +1,32 @@
-//! Conservative epoch-synchronized parallel discrete-event simulation.
+//! Conservative parallel discrete-event simulation with adaptive epochs.
 //!
 //! A simulation is partitioned into a fixed set of *worlds*, each a
 //! single-threaded [`Sim`] with its own event queue, RNG stream, and
 //! telemetry registries. Worlds only interact through explicitly routed
-//! messages whose delivery is at least one *lookahead* in the future
-//! (for the UStore stack: the network's `base_latency`). That bound makes
-//! conservative synchronization safe: the coordinator runs all worlds in
-//! lockstep epochs no longer than the lookahead, exchanges the buffered
-//! cross-world messages at each barrier, and injects them into their
-//! destination queues — by construction every exchanged message still
-//! lies in the destination's future.
+//! messages whose delivery is at least one *lookahead* in the future.
+//! Unlike the original lockstep design (one global lookahead, one barrier
+//! per lookahead interval), synchronization is driven by three pieces:
+//!
+//! * a per-world-pair [`LookaheadMatrix`] — the minimum latency any
+//!   message from world `i` to world `j` can have, with unreachable pairs
+//!   at `+∞` — derived from the network topology rather than a single
+//!   global `base_latency`;
+//! * an LBTS-style *epoch coalescing* scheduler: every world publishes
+//!   its earliest pending event and the earliest undelivered inbound
+//!   message, the coordinator solves the conservative fixpoint
+//!   `E_i = min(Q_i, min_k(E_k + L[k][i]))` and grants each world a run
+//!   bound `B_j = min(target, min_k(E_k + L[k][j]))` — so the engine
+//!   jumps over dead air instead of stepping one lookahead at a time.
+//!   Outer *windows* (the `epochs` counter) advance the global floor by a
+//!   coalescing quantum of `256 ×` the smallest finite lookahead; inner
+//!   *sync rounds* (the `sync_rounds` counter) iterate the fixpoint until
+//!   every world's next work lies at or beyond the window target. Only
+//!   worlds with runnable work are dispatched in a round — idle workers
+//!   stay parked;
+//! * a spin-then-park [`Gate`] rendezvous with zero-allocation message
+//!   exchange: bounds and next-event times travel through atomics,
+//!   batches through reusable per-world buffer slots that circulate by
+//!   `mem::swap`, so the steady state allocates nothing per round.
 //!
 //! Determinism is independent of both the number of executor shards and
 //! thread scheduling because:
@@ -17,19 +34,34 @@
 //! 1. the world decomposition is fixed by the scenario (shard count only
 //!    chooses how many OS threads execute the fixed worlds),
 //! 2. each world's RNG stream is seeded from `(root_seed, world_id)` and
-//!    consumed only by that world's single-threaded engine, and
-//! 3. cross-world batches are merged in the canonical total order
-//!    `(deliver_at, src_world, seq)` — see [`canonical_merge`] — which
-//!    does not depend on gather order or thread finish order.
+//!    consumed only by that world's single-threaded engine,
+//! 3. all scheduling decisions (fixpoint, bounds, active sets) are pure
+//!    functions of deterministic simulation state — never of thread
+//!    timing — and pending messages are injected into a world only in
+//!    rounds where that world is active, regardless of which thread hosts
+//!    it, and
+//! 4. cross-world batches are sorted into the canonical total order
+//!    `(deliver_at, src_world, seq)` — see [`canonical_sort`] — by the
+//!    owning thread at injection time, which does not depend on gather
+//!    order or thread finish order.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::engine::Sim;
 use crate::prof::{Phase, ProfTrack, Profiler};
 use crate::time::SimTime;
+
+/// Sentinel for "no event / unreachable" in nanosecond timelines.
+const NEVER: u64 = u64::MAX;
+
+fn ns_opt(t: Option<SimTime>) -> u64 {
+    t.map_or(NEVER, |t| t.as_nanos())
+}
 
 /// A cross-world message captured at its source world, tagged with enough
 /// metadata for the canonical merge at the epoch barrier.
@@ -48,6 +80,125 @@ pub struct Routed<M> {
     pub msg: M,
 }
 
+/// Per-world-pair minimum cross-world latency: `L[src][dst]` is a lower
+/// bound on `deliver_at − send_at` for any message from `src` to `dst`,
+/// and `+∞` (absent) for pairs that can never exchange messages.
+///
+/// The matrix is what makes adaptive epochs safe: the coordinator's LBTS
+/// fixpoint relaxes only finite edges, so a pair that cannot talk never
+/// constrains either side's run bound, and a sparse topology (e.g. the
+/// star control-plane pattern of the sharded pod) yields far longer
+/// epochs than one global lookahead.
+///
+/// Every finite entry must be strictly positive — a zero lookahead would
+/// admit same-instant feedback loops and stall the fixpoint.
+#[derive(Debug, Clone)]
+pub struct LookaheadMatrix {
+    worlds: usize,
+    /// Row-major `worlds × worlds` nanosecond entries; `NEVER` encodes
+    /// "unreachable". The diagonal is always `NEVER` (worlds do not route
+    /// messages to themselves).
+    ns: Vec<u64>,
+}
+
+impl LookaheadMatrix {
+    /// A matrix with no reachable pairs (start here and [`Self::set`]
+    /// the edges the topology allows).
+    pub fn disconnected(worlds: usize) -> Self {
+        LookaheadMatrix {
+            worlds,
+            ns: vec![NEVER; worlds * worlds],
+        }
+    }
+
+    /// Every ordered pair of distinct worlds reachable with the same
+    /// lookahead — the behaviour of the original single-lookahead engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero.
+    pub fn uniform(worlds: usize, lookahead: Duration) -> Self {
+        let mut m = Self::disconnected(worlds);
+        for src in 0..worlds {
+            for dst in 0..worlds {
+                if src != dst {
+                    m.set(src, dst, lookahead);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds the matrix from a reachability predicate: every ordered
+    /// pair `(src, dst)` with `src != dst` and `reachable(src, dst)` gets
+    /// `min_latency`; everything else stays unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_latency` is zero.
+    pub fn from_reachability(
+        worlds: usize,
+        min_latency: Duration,
+        reachable: impl Fn(usize, usize) -> bool,
+    ) -> Self {
+        let mut m = Self::disconnected(worlds);
+        for src in 0..worlds {
+            for dst in 0..worlds {
+                if src != dst && reachable(src, dst) {
+                    m.set(src, dst, min_latency);
+                }
+            }
+        }
+        m
+    }
+
+    /// Declares `src → dst` reachable with the given minimum latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either id is out of range, or `lookahead`
+    /// is zero.
+    pub fn set(&mut self, src: usize, dst: usize, lookahead: Duration) {
+        assert!(src != dst, "worlds do not route to themselves");
+        assert!(
+            src < self.worlds && dst < self.worlds,
+            "world id out of range"
+        );
+        assert!(
+            lookahead > Duration::ZERO,
+            "lookahead matrix entries must be positive"
+        );
+        self.ns[src * self.worlds + dst] = lookahead.as_nanos() as u64;
+    }
+
+    /// Number of worlds the matrix covers.
+    pub fn worlds(&self) -> usize {
+        self.worlds
+    }
+
+    /// The `src → dst` lookahead in nanoseconds, `u64::MAX` when
+    /// unreachable.
+    pub fn get_ns(&self, src: usize, dst: usize) -> u64 {
+        self.ns[src * self.worlds + dst]
+    }
+
+    /// Whether `src` can ever deliver a message to `dst`.
+    pub fn reachable(&self, src: usize, dst: usize) -> bool {
+        self.get_ns(src, dst) != NEVER
+    }
+
+    /// The smallest finite lookahead across all reachable pairs, `None`
+    /// for a fully disconnected matrix.
+    pub fn min_finite(&self) -> Option<Duration> {
+        self.ns
+            .iter()
+            .copied()
+            .filter(|&v| v != NEVER)
+            .min()
+            .map(Duration::from_nanos)
+    }
+}
+
 /// One world of a sharded simulation. Implementations own a [`Sim`] plus
 /// whatever model state lives in it; they are *not* `Send` — each world is
 /// constructed and driven on exactly one thread.
@@ -58,14 +209,16 @@ pub trait ShardWorld {
     /// The world's engine.
     fn sim(&self) -> &Sim;
 
-    /// Removes and returns every cross-world message buffered since the
-    /// previous drain, in send order.
-    fn drain_outbox(&mut self) -> Vec<Routed<Self::Msg>>;
+    /// Appends every cross-world message buffered since the previous
+    /// drain to `out`, in send order, leaving the internal buffer empty
+    /// (capacity preserved so the steady state allocates nothing).
+    fn drain_outbox_into(&mut self, out: &mut Vec<Routed<Self::Msg>>);
 
-    /// Injects messages destined for this world. The batch arrives in the
-    /// canonical merge order and every `deliver_at` is at or after the
-    /// world's current instant.
-    fn deliver(&mut self, batch: Vec<Routed<Self::Msg>>);
+    /// Injects messages destined for this world, draining `batch` (the
+    /// caller recycles its capacity). The batch arrives in the canonical
+    /// merge order and every `deliver_at` is at or after the world's
+    /// current instant.
+    fn deliver(&mut self, batch: &mut Vec<Routed<Self::Msg>>);
 
     /// Consumes the world at the end of the run, returning its telemetry
     /// (downcast by the driver).
@@ -77,52 +230,135 @@ pub trait ShardWorld {
 pub type WorldBuilder<M> = Box<dyn FnOnce() -> Box<dyn ShardWorld<Msg = M>> + Send>;
 
 /// Sorts cross-world messages into the canonical total order
-/// `(deliver_at, src_world, seq)`.
+/// `(deliver_at, src_world, seq)` in place.
 ///
-/// `(src_world, seq)` is unique per message, so this is a total order and
-/// the result is independent of the input permutation — in particular of
-/// the order worker threads happened to finish the epoch.
+/// `(src_world, seq)` is unique per message, so this is a total order:
+/// an unstable sort is observationally stable and the result is
+/// independent of the input permutation — in particular of the order
+/// worker threads happened to finish a round.
+pub fn canonical_sort<M>(msgs: &mut [Routed<M>]) {
+    msgs.sort_unstable_by_key(|r| (r.deliver_at, r.src_world, r.seq));
+}
+
+/// Sorts cross-world messages into the canonical total order
+/// `(deliver_at, src_world, seq)` (allocating convenience wrapper around
+/// [`canonical_sort`]).
 pub fn canonical_merge<M>(mut msgs: Vec<Routed<M>>) -> Vec<Routed<M>> {
-    msgs.sort_by_key(|r| (r.deliver_at, r.src_world, r.seq));
+    canonical_sort(&mut msgs);
     msgs
 }
 
-enum Cmd<M> {
-    /// Deliver the given batches (index-paired with the worker's worlds),
-    /// then run every world to `until` and report the drained outbox plus
-    /// the earliest still-pending event.
-    Epoch {
-        until: SimTime,
-        batches: Vec<Vec<Routed<M>>>,
-    },
-    /// Finalize all worlds and ship their telemetry back.
-    Finalize,
+/// A reusable one-shot rendezvous: `open` publishes a new generation,
+/// `wait` spins briefly (cheap when the other side is about to arrive)
+/// and then parks on a condvar.
+///
+/// The generation counter makes the gate sense-reversing without a
+/// separate phase flag: each waiter tracks the last generation it saw and
+/// wakes when the counter moves past it. `open`/`wait` use `SeqCst` on
+/// the counter and the sleeper count so the "check sleepers after
+/// bumping seq" / "register sleeper then re-check seq under the lock"
+/// pair can never miss a wakeup, and the `SeqCst` bump doubles as the
+/// release/acquire edge ordering the relaxed payload atomics around it.
+struct Gate {
+    seq: AtomicU64,
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
 }
 
-enum Reply<M> {
-    /// Sent once after construction: initial outbox (builders may send
-    /// during setup) and earliest pending event per the whole worker.
-    Ready {
-        outbox: Vec<Routed<M>>,
-        next_event: Option<SimTime>,
-    },
-    EpochDone {
-        outbox: Vec<Routed<M>>,
-        next_event: Option<SimTime>,
-    },
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            seq: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Opens the gate for the next generation, waking any parked waiter.
+    fn open(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Waits until the generation moves past `seen`; returns the new
+    /// generation for the next wait.
+    fn wait(&self, seen: u64) -> u64 {
+        for _ in 0..64 {
+            let cur = self.seq.load(Ordering::Acquire);
+            if cur != seen {
+                return cur;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..32 {
+            let cur = self.seq.load(Ordering::Acquire);
+            if cur != seen {
+                return cur;
+            }
+            std::thread::yield_now();
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.lock.lock().unwrap();
+        while self.seq.load(Ordering::SeqCst) == seen {
+            g = self.cv.wait(g).unwrap();
+        }
+        drop(g);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.seq.load(Ordering::Acquire)
+    }
+}
+
+/// Coordinator↔worker rendezvous pair: the coordinator opens `go` after
+/// publishing a round, the worker opens `done` after finishing it.
+struct WorkerGates {
+    go: Gate,
+    done: Gate,
+}
+
+/// Lock-free-ish state shared between the coordinator and every worker.
+/// Bounds and next-event times are relaxed atomics (ordered by the gate
+/// generations); message batches travel through per-world mutex slots
+/// whose buffers circulate by `mem::swap` so no round allocates.
+struct Shared<M> {
+    /// Per-world run bound (ns) for the current round; `NEVER` means the
+    /// world is not active this round.
+    bounds: Vec<AtomicU64>,
+    /// Per-world earliest pending event (ns), republished by the owner
+    /// after every round it runs.
+    next_events: Vec<AtomicU64>,
+    /// Coordinator → owner batch slot (canonically unsorted; the owner
+    /// sorts at injection).
+    inboxes: Vec<Mutex<Vec<Routed<M>>>>,
+    /// Owner → coordinator batch slot (drained every round the world ran).
+    outboxes: Vec<Mutex<Vec<Routed<M>>>>,
+    /// Set once before the final `go` to make workers finalize.
+    stop: AtomicBool,
+}
+
+enum Reply {
+    /// Sent once after construction; the initial outbox and next-event
+    /// publication goes through the shared slots/atomics.
+    Ready,
     Finalized(Vec<(usize, Box<dyn Any + Send>)>),
 }
 
-struct Worker<M> {
-    cmd: Sender<Cmd<M>>,
-    reply: Receiver<Reply<M>>,
+struct Worker {
+    gates: Arc<WorkerGates>,
+    /// Last `done` generation observed (strict ping-pong with `go`).
+    done_seen: u64,
+    reply: Receiver<Reply>,
     /// World ids hosted by this worker, in its local order.
     world_ids: Vec<usize>,
     handle: Option<JoinHandle<()>>,
 }
 
 /// Drives a fixed set of worlds — some on the calling thread, some on
-/// worker threads — through conservative lookahead-bounded epochs.
+/// worker threads — through adaptive conservative epochs.
 ///
 /// The calling thread hosts the "local" worlds so the driver can keep
 /// `Rc`-cloned handles into them (e.g. client libraries in a control
@@ -130,29 +366,51 @@ struct Worker<M> {
 /// calls.
 pub struct ShardCoordinator<M: Send + 'static> {
     local: Vec<(usize, Box<dyn ShardWorld<Msg = M>>)>,
-    workers: Vec<Worker<M>>,
-    lookahead: Duration,
+    workers: Vec<Worker>,
+    shared: Arc<Shared<M>>,
+    /// `in_edges[dst] = (src, lookahead_ns)` for every finite matrix
+    /// entry — the only edges the fixpoint ever relaxes.
+    in_edges: Vec<Vec<(usize, u64)>>,
+    /// Window length scale: `256 ×` the smallest finite lookahead
+    /// (`NEVER` for a fully disconnected matrix — the whole run becomes
+    /// one window).
+    quantum_ns: u64,
     now: SimTime,
-    /// Merged, canonical-order messages awaiting injection, keyed by
-    /// destination world id.
+    /// Per-world bound granted so far (ns): the instant up to which the
+    /// world is known complete. Run bounds are clamped to at least this.
+    clocks: Vec<u64>,
+    /// Undelivered messages per destination world, in arrival order
+    /// (sorted canonically by the owner at injection time).
     pending: Vec<Vec<Routed<M>>>,
-    /// Earliest pending event per world, refreshed at every barrier.
-    next_events: Vec<Option<SimTime>>,
+    /// Earliest `deliver_at` in `pending`, `NEVER` when empty.
+    pending_min: Vec<u64>,
+    /// Coordinator-side cache of each world's earliest pending event.
+    next_events: Vec<u64>,
+    /// Fixpoint scratch: `E_i`, per-round bounds, active set, and which
+    /// workers were dispatched this round.
+    est: Vec<u64>,
+    round_bounds: Vec<u64>,
+    active: Vec<bool>,
+    dispatched: Vec<bool>,
+    /// Reusable gather buffer for freshly drained cross-world messages.
+    gather: Vec<Routed<M>>,
     world_count: usize,
     epochs: u64,
+    sync_rounds: u64,
     cross_messages: u64,
     /// Wall-clock profiler (inert unless built via [`Self::new_profiled`]
     /// with an active handle). Probes cost one `Option` branch when off.
     prof: Profiler,
     /// The coordinator thread's Perfetto track.
     track: ProfTrack,
-    /// Reusable per-epoch busy-time scratch for the local worlds.
+    /// Reusable per-round busy-time scratch for the local worlds.
     local_busy: Vec<u64>,
 }
 
 impl<M: Send + 'static> ShardCoordinator<M> {
-    /// Builds a coordinator from local worlds (calling thread) and one
-    /// builder list per worker thread.
+    /// Builds a coordinator with a uniform lookahead matrix — every pair
+    /// of worlds reachable at `lookahead`, the behaviour of the original
+    /// lockstep engine (but with adaptive epoch scheduling).
     ///
     /// World ids must be unique and dense in `0..world_count` where
     /// `world_count` is the total number of worlds across all shards.
@@ -171,12 +429,6 @@ impl<M: Send + 'static> ShardCoordinator<M> {
 
     /// Like [`Self::new`], but with a wall-clock [`Profiler`] attached.
     ///
-    /// An active profiler times every engine phase (execute, outbox
-    /// drain, barrier wait, merge, idle-jump) per world, records epoch
-    /// statistics, and gives each engine thread a Perfetto track. Pass
-    /// [`Profiler::off`] for zero overhead; profiling never touches
-    /// simulation state, so results are bit-identical either way.
-    ///
     /// # Panics
     ///
     /// Same conditions as [`Self::new`].
@@ -190,8 +442,39 @@ impl<M: Send + 'static> ShardCoordinator<M> {
             lookahead > Duration::ZERO,
             "shard coordinator needs a positive lookahead"
         );
-        prof.set_lookahead(lookahead);
         let world_count = local.len() + remote.iter().map(Vec::len).sum::<usize>();
+        let matrix = Arc::new(LookaheadMatrix::uniform(world_count, lookahead));
+        Self::with_matrix(matrix, local, remote, prof)
+    }
+
+    /// Builds a coordinator with an explicit per-pair [`LookaheadMatrix`]
+    /// and a wall-clock [`Profiler`].
+    ///
+    /// An active profiler times every engine phase (execute, outbox
+    /// drain, barrier wait, merge, idle-jump) per world, records window
+    /// and sync-round statistics, and gives each engine thread a Perfetto
+    /// track. Pass [`Profiler::off`] for zero overhead; profiling never
+    /// touches simulation state, so results are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix does not cover exactly the coordinator's
+    /// worlds or if world ids are duplicated or out of range.
+    pub fn with_matrix(
+        matrix: Arc<LookaheadMatrix>,
+        local: Vec<(usize, Box<dyn ShardWorld<Msg = M>>)>,
+        remote: Vec<Vec<(usize, WorldBuilder<M>)>>,
+        prof: Profiler,
+    ) -> Self {
+        let world_count = local.len() + remote.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(
+            matrix.worlds(),
+            world_count,
+            "lookahead matrix must cover exactly the coordinator's worlds"
+        );
+        if let Some(min) = matrix.min_finite() {
+            prof.set_lookahead(min);
+        }
         let mut seen = vec![false; world_count];
         for id in local
             .iter()
@@ -203,71 +486,131 @@ impl<M: Send + 'static> ShardCoordinator<M> {
             seen[id] = true;
         }
 
+        let shared = Arc::new(Shared {
+            bounds: (0..world_count).map(|_| AtomicU64::new(NEVER)).collect(),
+            next_events: (0..world_count).map(|_| AtomicU64::new(NEVER)).collect(),
+            inboxes: (0..world_count).map(|_| Mutex::new(Vec::new())).collect(),
+            outboxes: (0..world_count).map(|_| Mutex::new(Vec::new())).collect(),
+            stop: AtomicBool::new(false),
+        });
+
         let mut workers = Vec::with_capacity(remote.len());
         for (widx, worlds) in remote.into_iter().enumerate() {
             let world_ids: Vec<usize> = worlds.iter().map(|(id, _)| *id).collect();
-            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<M>>();
-            let (reply_tx, reply_rx) = mpsc::channel::<Reply<M>>();
+            let gates = Arc::new(WorkerGates {
+                go: Gate::new(),
+                done: Gate::new(),
+            });
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
             let name = format!("sim-shard-{}", widx + 1);
-            let worker_prof = prof.clone();
             let label = name.clone();
+            let worker_shared = shared.clone();
+            let worker_gates = gates.clone();
+            let worker_prof = prof.clone();
             let handle = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || worker_main(worlds, cmd_rx, reply_tx, worker_prof, label))
+                .spawn(move || {
+                    worker_main(
+                        worlds,
+                        worker_shared,
+                        worker_gates,
+                        reply_tx,
+                        worker_prof,
+                        label,
+                    )
+                })
                 .expect("spawn shard worker");
             workers.push(Worker {
-                cmd: cmd_tx,
+                gates,
+                done_seen: 0,
                 reply: reply_rx,
                 world_ids,
                 handle: Some(handle),
             });
         }
 
+        let mut in_edges: Vec<Vec<(usize, u64)>> = vec![Vec::new(); world_count];
+        for src in 0..world_count {
+            for (dst, edges) in in_edges.iter_mut().enumerate() {
+                let l = matrix.get_ns(src, dst);
+                if l != NEVER {
+                    edges.push((src, l));
+                }
+            }
+        }
+        let quantum_ns = matrix
+            .min_finite()
+            .map_or(NEVER, |d| (d.as_nanos() as u64).saturating_mul(256));
+
         let track = prof.register_track("coordinator");
         let local_busy = vec![0u64; local.len()];
+        let worker_count = workers.len();
         let mut this = ShardCoordinator {
             local,
             workers,
-            lookahead,
+            shared,
+            in_edges,
+            quantum_ns,
             now: SimTime::ZERO,
+            clocks: vec![0; world_count],
             pending: (0..world_count).map(|_| Vec::new()).collect(),
-            next_events: vec![None; world_count],
+            pending_min: vec![NEVER; world_count],
+            next_events: vec![NEVER; world_count],
+            est: vec![NEVER; world_count],
+            round_bounds: vec![NEVER; world_count],
+            active: vec![false; world_count],
+            dispatched: vec![false; worker_count],
+            gather: Vec::new(),
             world_count,
             epochs: 0,
+            sync_rounds: 0,
             cross_messages: 0,
             prof,
             track,
             local_busy,
         };
         // Collect construction-time sends and initial schedules so the
-        // first barrier computation sees them.
-        let mut outbox = Vec::new();
+        // first window computation sees them. Workers publish through the
+        // shared slots/atomics before sending Ready (the channel provides
+        // the happens-before edge).
         for w in &this.workers {
             match w.reply.recv().expect("shard worker died during build") {
-                Reply::Ready {
-                    outbox: o,
-                    next_event,
-                } => {
-                    outbox.extend(o);
-                    for &id in &w.world_ids {
-                        this.next_events[id] = next_event.min_opt(this.next_events[id]);
-                    }
-                }
+                Reply::Ready => {}
                 _ => unreachable!("worker sent non-Ready first reply"),
             }
         }
-        this.absorb(outbox);
+        for w in &this.workers {
+            for &id in &w.world_ids {
+                this.next_events[id] = this.shared.next_events[id].load(Ordering::Relaxed);
+                let mut slot = this.shared.outboxes[id].lock().unwrap();
+                this.gather.append(&mut slot);
+            }
+        }
+        for li in 0..this.local.len() {
+            let id = this.local[li].0;
+            this.local[li].1.drain_outbox_into(&mut this.gather);
+            this.next_events[id] = ns_opt(this.local[li].1.sim().next_event_at());
+        }
+        this.route();
         this
     }
 
-    /// Barrier instant reached so far (the merged clock).
+    /// Window floor reached so far (the merged clock).
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Number of epochs executed.
+    /// Number of epoch windows executed (each window advances the global
+    /// floor by up to one coalescing quantum, or jumps over dead air).
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Number of inner synchronization rounds executed across all
+    /// windows (each round runs the currently-runnable worlds to their
+    /// conservative bounds and exchanges messages once).
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds
     }
 
     /// Total cross-world messages exchanged.
@@ -283,183 +626,274 @@ impl<M: Send + 'static> ShardCoordinator<M> {
             .map(|(_, w)| w.as_ref())
     }
 
-    /// Merges freshly drained messages into the per-destination pending
-    /// queues, preserving the canonical order.
-    fn absorb(&mut self, outbox: Vec<Routed<M>>) {
-        if outbox.is_empty() {
-            return;
-        }
-        self.cross_messages += outbox.len() as u64;
-        for r in canonical_merge(outbox) {
+    /// Routes freshly gathered messages into the per-destination pending
+    /// queues (unsorted — the owning thread sorts at injection time).
+    fn route(&mut self) {
+        self.cross_messages += self.gather.len() as u64;
+        for r in self.gather.drain(..) {
             assert!(
                 r.dst_world < self.world_count,
                 "routed message to unknown world {}",
                 r.dst_world
             );
+            let d = r.deliver_at.as_nanos();
+            if d < self.pending_min[r.dst_world] {
+                self.pending_min[r.dst_world] = d;
+            }
             self.pending[r.dst_world].push(r);
         }
     }
 
-    /// Picks the next barrier: normally `now + lookahead`, but when every
-    /// world is idle until some instant `t > now` the coordinator jumps to
-    /// `t + lookahead` (no world can generate a message delivering before
-    /// then, because no world has anything to execute before `t`).
-    fn next_barrier(&self, deadline: SimTime) -> SimTime {
-        let mut min_next: Option<SimTime> = None;
-        for ne in &self.next_events {
-            min_next = ne.min_opt(min_next);
+    /// Runs every world to `deadline` through adaptive epoch windows.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        // The driver may have interacted with local worlds (e.g. issued
+        // client calls) since the last window; pick up those sends and
+        // schedules before planning.
+        for li in 0..self.local.len() {
+            let id = self.local[li].0;
+            self.local[li].1.drain_outbox_into(&mut self.gather);
+            self.next_events[id] = ns_opt(self.local[li].1.sim().next_event_at());
         }
-        for batch in &self.pending {
-            if let Some(first) = batch.first() {
-                min_next = Some(first.deliver_at).min_opt(min_next);
+        self.route();
+
+        let deadline_ns = deadline.as_nanos();
+        while self.now < deadline {
+            let floor = self.now.as_nanos();
+            let mut min_e = NEVER;
+            for i in 0..self.world_count {
+                let q = self.next_events[i].min(self.pending_min[i]);
+                if q < min_e {
+                    min_e = q;
+                }
             }
+            // Window target: jump straight to the first runnable instant
+            // (skipping dead air), then cover one coalescing quantum.
+            let target = if min_e >= deadline_ns {
+                deadline_ns
+            } else {
+                min_e
+                    .max(floor)
+                    .saturating_add(self.quantum_ns)
+                    .min(deadline_ns)
+            };
+            // An idle-jump window leapt more than one quantum past the
+            // floor — the scheduler skipped dead air rather than rolling
+            // through it.
+            let idle_jump = min_e > floor.saturating_add(self.quantum_ns);
+
+            let rounds = self.run_window(target);
+            for c in &mut self.clocks {
+                *c = (*c).max(target);
+            }
+            self.prof
+                .epoch(Duration::from_nanos(target - floor), idle_jump);
+            self.prof.add_sync_rounds(rounds);
+            self.sync_rounds += rounds;
+            self.epochs += 1;
+            self.now = SimTime::from_nanos(target);
         }
-        match min_next {
-            None => deadline,
-            Some(t) if t >= deadline => deadline,
-            Some(t) => (t.max(self.now) + self.lookahead).min(deadline),
+
+        // Align the local engines' clocks with the merged clock so the
+        // driver observes `sim().now() == deadline` between calls. No
+        // events execute here (the window loop cleared everything at or
+        // before the deadline).
+        for li in 0..self.local.len() {
+            let _ = self.local[li].1.sim().run_until(deadline);
         }
     }
 
-    /// Runs every world to `deadline` in lookahead-bounded epochs.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        // The driver may have interacted with local worlds (e.g. issued
-        // client calls) since the last barrier; pick up those sends and
-        // schedules before computing the first barrier.
-        let mut fresh = Vec::new();
-        for (id, w) in &mut self.local {
-            fresh.extend(w.drain_outbox());
-            self.next_events[*id] = w.sim().next_event_at();
-        }
-        self.absorb(fresh);
+    /// Runs inner synchronization rounds until every world's next work
+    /// lies at or beyond `target`. Returns the number of rounds.
+    fn run_window(&mut self, target: u64) -> u64 {
+        let mut rounds = 0u64;
+        loop {
+            // --- plan: LBTS fixpoint + per-world bounds + active set ---
+            let tp = self.prof.tick();
+            for i in 0..self.world_count {
+                self.est[i] = self.next_events[i].min(self.pending_min[i]);
+            }
+            loop {
+                let mut changed = false;
+                for dst in 0..self.world_count {
+                    let mut e = self.est[dst];
+                    for &(src, l) in &self.in_edges[dst] {
+                        let cand = self.est[src].saturating_add(l);
+                        if cand < e {
+                            e = cand;
+                        }
+                    }
+                    if e < self.est[dst] {
+                        self.est[dst] = e;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let mut any_active = false;
+            for j in 0..self.world_count {
+                let mut r = NEVER;
+                for &(src, l) in &self.in_edges[j] {
+                    let cand = self.est[src].saturating_add(l);
+                    if cand < r {
+                        r = cand;
+                    }
+                }
+                let b = target.min(r).max(self.clocks[j]);
+                self.round_bounds[j] = b;
+                let q = self.next_events[j].min(self.pending_min[j]);
+                let a = q <= b;
+                self.active[j] = a;
+                any_active |= a;
+            }
+            let plan_ns = self.prof.lap(tp);
+            if !any_active {
+                if plan_ns > 0 {
+                    for (id, _) in &self.local {
+                        self.prof.phase(*id, Phase::IdleJump, plan_ns);
+                    }
+                }
+                return rounds;
+            }
+            rounds += 1;
 
-        while self.now < deadline {
-            let tb = self.prof.tick();
-            let barrier = self.next_barrier(deadline);
-            let idle_ns = self.prof.lap(tb);
-            let idle_jump = barrier > self.now + self.lookahead;
-            // Dispatch workers first so they run concurrently with the
-            // local worlds.
+            // --- dispatch: publish bounds, hand over batches, open go ---
             let td = self.prof.tick();
-            for w in &self.workers {
-                let batches: Vec<Vec<Routed<M>>> = w
-                    .world_ids
-                    .iter()
-                    .map(|&id| std::mem::take(&mut self.pending[id]))
-                    .collect();
-                w.cmd
-                    .send(Cmd::Epoch {
-                        until: barrier,
-                        batches,
-                    })
-                    .expect("shard worker channel closed");
+            for j in 0..self.world_count {
+                let b = if self.active[j] {
+                    self.round_bounds[j]
+                } else {
+                    NEVER
+                };
+                self.shared.bounds[j].store(b, Ordering::Relaxed);
+            }
+            for (wi, w) in self.workers.iter().enumerate() {
+                let mut any = false;
+                for &id in &w.world_ids {
+                    any |= self.active[id];
+                }
+                self.dispatched[wi] = any;
+                if !any {
+                    continue;
+                }
+                for &id in &w.world_ids {
+                    if self.active[id] && !self.pending[id].is_empty() {
+                        let mut slot = self.shared.inboxes[id].lock().unwrap();
+                        std::mem::swap(&mut *slot, &mut self.pending[id]);
+                        self.pending_min[id] = NEVER;
+                    }
+                }
+                w.gates.go.open();
             }
             let dispatch_ns = self.prof.lap(td);
-            let mut outbox = Vec::new();
-            for (i, (id, w)) in self.local.iter_mut().enumerate() {
-                self.local_busy[i] = 0;
-                let batch = std::mem::take(&mut self.pending[*id]);
-                if !batch.is_empty() {
+
+            // --- run the active local worlds while workers execute ---
+            for li in 0..self.local.len() {
+                self.local_busy[li] = 0;
+                let id = self.local[li].0;
+                if !self.active[id] {
+                    continue;
+                }
+                let bound_ns = self.round_bounds[id];
+                if !self.pending[id].is_empty() {
+                    let mut batch = std::mem::take(&mut self.pending[id]);
+                    self.pending_min[id] = NEVER;
                     let t = self.prof.tick();
-                    w.deliver(batch);
-                    let ns = self.prof.lap(t);
-                    self.prof.phase(*id, Phase::Merge, ns);
-                    self.local_busy[i] += ns;
+                    canonical_sort(&mut batch);
+                    self.local[li].1.deliver(&mut batch);
+                    debug_assert!(batch.is_empty(), "deliver must drain the batch");
+                    if t.is_some() {
+                        let ns = self.prof.lap(t);
+                        self.prof.phase(id, Phase::Merge, ns);
+                        self.local_busy[li] += ns;
+                    }
+                    self.pending[id] = batch;
                 }
                 let t = self.prof.tick();
-                let ev0 = t.map(|_| w.sim().events_processed());
-                w.sim().run_until(barrier);
+                let events = self.local[li]
+                    .1
+                    .sim()
+                    .run_until(SimTime::from_nanos(bound_ns));
                 if let Some(t0) = t {
                     let ns = self.prof.lap(t);
-                    self.prof.phase(*id, Phase::Execute, ns);
-                    self.prof
-                        .epoch_events(*id, w.sim().events_processed() - ev0.unwrap_or(0));
+                    self.prof.phase(id, Phase::Execute, ns);
+                    self.prof.epoch_events(id, events);
                     self.track
-                        .slice(Phase::Execute, *id, self.prof.offset_ns(t0), ns);
-                    self.local_busy[i] += ns;
+                        .slice(Phase::Execute, id, self.prof.offset_ns(t0), ns);
+                    self.local_busy[li] += ns;
                 }
                 let t = self.prof.tick();
-                let drained = w.drain_outbox();
+                self.local[li].1.drain_outbox_into(&mut self.gather);
                 if t.is_some() {
                     let ns = self.prof.lap(t);
-                    self.prof.phase(*id, Phase::OutboxDrain, ns);
-                    self.local_busy[i] += ns;
+                    self.prof.phase(id, Phase::OutboxDrain, ns);
+                    self.local_busy[li] += ns;
                 }
-                for r in &drained {
-                    debug_assert!(
-                        r.deliver_at >= barrier,
-                        "lookahead violation: deliver_at={:?} barrier={:?} src={} seq={}",
-                        r.deliver_at,
-                        barrier,
-                        r.src_world,
-                        r.seq
-                    );
-                }
-                outbox.extend(drained);
-                self.next_events[*id] = w.sim().next_event_at();
+                self.next_events[id] = ns_opt(self.local[li].1.sim().next_event_at());
+                self.clocks[id] = bound_ns;
             }
+
+            // --- wait for the dispatched workers ---
             let tw = self.prof.tick();
-            for w in &self.workers {
-                match w.reply.recv().expect("shard worker died mid-epoch") {
-                    Reply::EpochDone {
-                        outbox: o,
-                        next_event,
-                    } => {
-                        debug_assert!(
-                            o.iter().all(|r| r.deliver_at >= barrier),
-                            "cross-world message violates the lookahead bound"
-                        );
-                        for &id in &w.world_ids {
-                            self.next_events[id] = None;
-                        }
-                        // Workers report one merged minimum; attribute it
-                        // to the first hosted world (only the global min
-                        // matters for the barrier computation).
-                        if let Some(&first) = w.world_ids.first() {
-                            self.next_events[first] = next_event;
-                        }
-                        outbox.extend(o);
-                    }
-                    _ => unreachable!("worker sent unexpected reply"),
+            for wi in 0..self.workers.len() {
+                if !self.dispatched[wi] {
+                    continue;
                 }
+                let w = &mut self.workers[wi];
+                w.done_seen = w.gates.done.wait(w.done_seen);
             }
             let wait_ns = self.prof.lap(tw);
-            let tm = self.prof.tick();
-            self.absorb(outbox);
-            if tm.is_some() {
-                let absorb_ns = self.prof.lap(tm);
-                // Tile the coordinator's epoch into every local world's
-                // slab: thread-level intervals (barrier computation,
-                // dispatch, worker waits, the canonical merge) apply to
-                // each hosted world, and time spent running a sibling
-                // world counts as that world waiting. This makes each
-                // world's phase sum approximate the epoch's wall time.
+            if let Some(w0) = tw {
+                self.track.slice(
+                    Phase::BarrierWait,
+                    usize::MAX,
+                    self.prof.offset_ns(w0),
+                    wait_ns,
+                );
+            }
+
+            // --- collect the workers' results ---
+            let tc = self.prof.tick();
+            for (wi, w) in self.workers.iter().enumerate() {
+                if !self.dispatched[wi] {
+                    continue;
+                }
+                for &id in &w.world_ids {
+                    if !self.active[id] {
+                        continue;
+                    }
+                    self.next_events[id] = self.shared.next_events[id].load(Ordering::Relaxed);
+                    self.clocks[id] = self.round_bounds[id];
+                    let mut slot = self.shared.outboxes[id].lock().unwrap();
+                    self.gather.append(&mut slot);
+                }
+            }
+            self.route();
+            let collect_ns = self.prof.lap(tc);
+
+            // Tile the coordinator's round into every local world's slab:
+            // thread-level intervals (planning, dispatch, worker waits,
+            // collection) apply to each hosted world, and time spent
+            // running a sibling world counts as that world waiting. This
+            // makes each world's phase sum approximate the round's wall
+            // time.
+            if self.prof.is_on() {
                 let total_busy: u64 = self.local_busy.iter().sum();
-                for (i, (id, _)) in self.local.iter().enumerate() {
-                    self.prof.phase(*id, Phase::IdleJump, idle_ns);
-                    self.prof.phase(*id, Phase::Merge, absorb_ns);
+                for (li, (id, _)) in self.local.iter().enumerate() {
+                    self.prof.phase(*id, Phase::IdleJump, plan_ns);
+                    self.prof.phase(*id, Phase::Merge, collect_ns);
                     self.prof.phase(
                         *id,
                         Phase::BarrierWait,
-                        dispatch_ns + wait_ns + (total_busy - self.local_busy[i]),
+                        dispatch_ns + wait_ns + (total_busy - self.local_busy[li]),
                     );
                 }
-                if let Some(w0) = tw {
-                    self.track.slice(
-                        Phase::BarrierWait,
-                        usize::MAX,
-                        self.prof.offset_ns(w0),
-                        wait_ns,
-                    );
-                }
-                self.prof.epoch(barrier.duration_since(self.now), idle_jump);
             }
-            self.now = barrier;
-            self.epochs += 1;
         }
     }
 
-    /// Runs for `d` of virtual time past the current barrier.
+    /// Runs for `d` of virtual time past the current window floor.
     pub fn run_for(&mut self, d: Duration) {
         let deadline = self.now + d;
         self.run_until(deadline);
@@ -469,10 +903,9 @@ impl<M: Send + 'static> ShardCoordinator<M> {
     /// world id. Consumes the coordinator; worker threads are joined.
     pub fn finalize(mut self) -> Vec<(usize, Box<dyn Any + Send>)> {
         let mut out: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+        self.shared.stop.store(true, Ordering::SeqCst);
         for w in &self.workers {
-            w.cmd
-                .send(Cmd::Finalize)
-                .expect("shard worker channel closed");
+            w.gates.go.open();
         }
         for w in &mut self.workers {
             match w.reply.recv().expect("shard worker died in finalize") {
@@ -493,14 +926,14 @@ impl<M: Send + 'static> ShardCoordinator<M> {
 
 impl<M: Send + 'static> Drop for ShardCoordinator<M> {
     fn drop(&mut self) {
-        // Dropping the Cmd senders ends each worker loop; join so no
-        // detached thread outlives the coordinator (e.g. on panic paths).
-        for w in &mut self.workers {
-            let _ = &w.cmd;
-        }
+        // Waking every worker with the stop flag set ends its loop; join
+        // so no detached thread outlives the coordinator (e.g. on panic
+        // paths). `finalize` leaves `workers` with taken handles, so this
+        // is a no-op after a clean shutdown.
+        self.shared.stop.store(true, Ordering::SeqCst);
         let workers = std::mem::take(&mut self.workers);
         for mut w in workers {
-            drop(w.cmd);
+            w.gates.go.open();
             drop(w.reply);
             if let Some(h) = w.handle.take() {
                 let _ = h.join();
@@ -509,114 +942,111 @@ impl<M: Send + 'static> Drop for ShardCoordinator<M> {
     }
 }
 
-/// Worker thread body: builds its worlds, reports readiness, then serves
-/// epoch commands until the channel closes or finalize is requested.
+/// Worker thread body: builds its worlds, publishes their initial state
+/// through the shared slots, then serves rounds each time its `go` gate
+/// opens until the stop flag is raised.
 ///
 /// With an active profiler the worker times each hosted world's merge,
-/// execute and outbox-drain scopes, attributes channel waits (plus time
+/// execute and outbox-drain scopes, attributes gate waits (plus time
 /// spent running sibling worlds) as barrier waits, and records execute /
 /// wait slices on its own Perfetto track.
 fn worker_main<M: Send + 'static>(
     worlds: Vec<(usize, WorldBuilder<M>)>,
-    cmd: Receiver<Cmd<M>>,
-    reply: Sender<Reply<M>>,
+    shared: Arc<Shared<M>>,
+    gates: Arc<WorkerGates>,
+    reply: Sender<Reply>,
     prof: Profiler,
     label: String,
 ) {
     let mut built: Vec<(usize, Box<dyn ShardWorld<Msg = M>>)> =
         worlds.into_iter().map(|(id, b)| (id, b())).collect();
 
-    let mut outbox = Vec::new();
-    let mut next_event: Option<SimTime> = None;
-    for (_, w) in &mut built {
-        outbox.extend(w.drain_outbox());
-        next_event = w.sim().next_event_at().min_opt(next_event);
+    // Publish construction-time sends and initial schedules; the Ready
+    // reply is the happens-before edge the coordinator reads them behind.
+    let mut outbuf: Vec<Routed<M>> = Vec::new();
+    for (id, w) in &mut built {
+        w.drain_outbox_into(&mut outbuf);
+        if !outbuf.is_empty() {
+            let mut slot = shared.outboxes[*id].lock().unwrap();
+            slot.append(&mut outbuf);
+        }
+        shared.next_events[*id].store(ns_opt(w.sim().next_event_at()), Ordering::Relaxed);
     }
-    if reply.send(Reply::Ready { outbox, next_event }).is_err() {
+    if reply.send(Reply::Ready).is_err() {
         return;
     }
 
     let track = prof.register_track(label);
+    let mut inbuf: Vec<Routed<M>> = Vec::new();
     let mut busy = vec![0u64; built.len()];
-    let mut wait_start = prof.tick();
-    while let Ok(c) = cmd.recv() {
-        let wait_ns = prof.lap(wait_start);
-        if let Some(w0) = wait_start {
+    let mut go_seen = 0u64;
+    loop {
+        let t0 = prof.tick();
+        go_seen = gates.go.wait(go_seen);
+        let wait_ns = prof.lap(t0);
+        if let Some(w0) = t0 {
             track.slice(Phase::BarrierWait, usize::MAX, prof.offset_ns(w0), wait_ns);
         }
-        match c {
-            Cmd::Epoch { until, batches } => {
-                debug_assert_eq!(batches.len(), built.len());
-                busy.iter_mut().for_each(|b| *b = 0);
-                for (i, ((id, w), batch)) in built.iter_mut().zip(batches).enumerate() {
-                    if !batch.is_empty() {
-                        let t = prof.tick();
-                        w.deliver(batch);
-                        if t.is_some() {
-                            let ns = prof.lap(t);
-                            prof.phase(*id, Phase::Merge, ns);
-                            busy[i] += ns;
-                        }
-                    }
-                }
-                let mut outbox = Vec::new();
-                let mut next_event: Option<SimTime> = None;
-                for (i, (id, w)) in built.iter_mut().enumerate() {
-                    let t = prof.tick();
-                    let ev0 = t.map(|_| w.sim().events_processed());
-                    w.sim().run_until(until);
-                    if let Some(t0) = t {
-                        let ns = prof.lap(t);
-                        prof.phase(*id, Phase::Execute, ns);
-                        prof.epoch_events(*id, w.sim().events_processed() - ev0.unwrap_or(0));
-                        track.slice(Phase::Execute, *id, prof.offset_ns(t0), ns);
-                        busy[i] += ns;
-                    }
-                    let t = prof.tick();
-                    outbox.extend(w.drain_outbox());
-                    if t.is_some() {
-                        let ns = prof.lap(t);
-                        prof.phase(*id, Phase::OutboxDrain, ns);
-                        busy[i] += ns;
-                    }
-                    next_event = w.sim().next_event_at().min_opt(next_event);
-                }
-                if prof.is_on() {
-                    // Tile the epoch: each hosted world charges the
-                    // channel wait plus its siblings' busy time as
-                    // barrier wait, so per-world phase sums approximate
-                    // this thread's wall time.
-                    let total_busy: u64 = busy.iter().sum();
-                    for (i, (id, _)) in built.iter().enumerate() {
-                        prof.phase(*id, Phase::BarrierWait, wait_ns + (total_busy - busy[i]));
-                    }
-                }
-                if reply.send(Reply::EpochDone { outbox, next_event }).is_err() {
-                    return;
+        if shared.stop.load(Ordering::SeqCst) {
+            let list = built.drain(..).map(|(id, w)| (id, w.finalize())).collect();
+            let _ = reply.send(Reply::Finalized(list));
+            return;
+        }
+
+        busy.iter_mut().for_each(|b| *b = 0);
+        for (i, (id, w)) in built.iter_mut().enumerate() {
+            let bound_ns = shared.bounds[*id].load(Ordering::Relaxed);
+            if bound_ns == NEVER {
+                continue;
+            }
+            {
+                let mut slot = shared.inboxes[*id].lock().unwrap();
+                std::mem::swap(&mut *slot, &mut inbuf);
+            }
+            if !inbuf.is_empty() {
+                let t = prof.tick();
+                canonical_sort(&mut inbuf);
+                w.deliver(&mut inbuf);
+                debug_assert!(inbuf.is_empty(), "deliver must drain the batch");
+                if t.is_some() {
+                    let ns = prof.lap(t);
+                    prof.phase(*id, Phase::Merge, ns);
+                    busy[i] += ns;
                 }
             }
-            Cmd::Finalize => {
-                let list = built.drain(..).map(|(id, w)| (id, w.finalize())).collect();
-                let _ = reply.send(Reply::Finalized(list));
-                return;
+            let t = prof.tick();
+            let events = w.sim().run_until(SimTime::from_nanos(bound_ns));
+            if let Some(s0) = t {
+                let ns = prof.lap(t);
+                prof.phase(*id, Phase::Execute, ns);
+                prof.epoch_events(*id, events);
+                track.slice(Phase::Execute, *id, prof.offset_ns(s0), ns);
+                busy[i] += ns;
+            }
+            let t = prof.tick();
+            w.drain_outbox_into(&mut outbuf);
+            if !outbuf.is_empty() {
+                let mut slot = shared.outboxes[*id].lock().unwrap();
+                debug_assert!(slot.is_empty(), "outbox slot not drained last round");
+                std::mem::swap(&mut *slot, &mut outbuf);
+            }
+            if t.is_some() {
+                let ns = prof.lap(t);
+                prof.phase(*id, Phase::OutboxDrain, ns);
+                busy[i] += ns;
+            }
+            shared.next_events[*id].store(ns_opt(w.sim().next_event_at()), Ordering::Relaxed);
+        }
+        if prof.is_on() {
+            // Tile the round: each hosted world charges the gate wait
+            // plus its siblings' busy time as barrier wait, so per-world
+            // phase sums approximate this thread's wall time.
+            let total_busy: u64 = busy.iter().sum();
+            for (i, (id, _)) in built.iter().enumerate() {
+                prof.phase(*id, Phase::BarrierWait, wait_ns + (total_busy - busy[i]));
             }
         }
-        wait_start = prof.tick();
-    }
-}
-
-/// `Option<SimTime>` minimum where `None` means "no pending event".
-trait MinOpt {
-    fn min_opt(self, other: Self) -> Self;
-}
-
-impl MinOpt for Option<SimTime> {
-    fn min_opt(self, other: Self) -> Self {
-        match (self, other) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, None) => a,
-            (None, b) => b,
-        }
+        gates.done.open();
     }
 }
 
@@ -686,12 +1116,12 @@ mod tests {
             &self.sim
         }
 
-        fn drain_outbox(&mut self) -> Vec<Routed<u64>> {
-            std::mem::take(&mut self.state.borrow_mut().outbox)
+        fn drain_outbox_into(&mut self, out: &mut Vec<Routed<u64>>) {
+            out.append(&mut self.state.borrow_mut().outbox);
         }
 
-        fn deliver(&mut self, batch: Vec<Routed<u64>>) {
-            for r in batch {
+        fn deliver(&mut self, batch: &mut Vec<Routed<u64>>) {
+            for r in batch.drain(..) {
                 assert_eq!(r.dst_world, self.id);
                 assert!(r.deliver_at >= self.sim.now(), "delivery in the past");
                 let st = self.state.clone();
@@ -713,29 +1143,42 @@ mod tests {
         }
     }
 
-    fn run_ring(shards: usize) -> Vec<(u64, u64)> {
-        const WORLDS: usize = 4;
-        const TICKS: u32 = 25;
+    fn ring_shards(
+        shards: usize,
+        worlds: usize,
+        ticks: u32,
+    ) -> (
+        Vec<(usize, Box<dyn ShardWorld<Msg = u64>>)>,
+        Vec<Vec<(usize, WorldBuilder<u64>)>>,
+    ) {
         let mut local: Vec<(usize, Box<dyn ShardWorld<Msg = u64>>)> = Vec::new();
         let mut remote: Vec<Vec<(usize, WorldBuilder<u64>)>> =
             (1..shards).map(|_| Vec::new()).collect();
-        for id in 0..WORLDS {
+        for id in 0..worlds {
             let shard = id % shards;
             if shard == 0 {
-                local.push((id, Box::new(RingWorld::new(id, WORLDS, TICKS))));
+                local.push((id, Box::new(RingWorld::new(id, worlds, ticks))));
             } else {
                 remote[shard - 1].push((
                     id,
                     Box::new(move || {
-                        Box::new(RingWorld::new(id, WORLDS, TICKS))
+                        Box::new(RingWorld::new(id, worlds, ticks))
                             as Box<dyn ShardWorld<Msg = u64>>
                     }) as WorldBuilder<u64>,
                 ));
             }
         }
+        (local, remote)
+    }
+
+    fn run_ring(shards: usize) -> Vec<(u64, u64)> {
+        const WORLDS: usize = 4;
+        const TICKS: u32 = 25;
+        let (local, remote) = ring_shards(shards, WORLDS, TICKS);
         let mut coord = ShardCoordinator::new(LOOKAHEAD, local, remote);
         coord.run_until(SimTime::from_millis(10));
         assert!(coord.epochs() > 0);
+        assert!(coord.sync_rounds() >= coord.epochs() - 1);
         assert_eq!(coord.cross_messages(), WORLDS as u64 * TICKS as u64);
         coord
             .finalize()
@@ -750,6 +1193,34 @@ mod tests {
         assert_eq!(one.iter().map(|(_, r)| r).sum::<u64>(), 100);
         for shards in [2, 3, 4] {
             assert_eq!(one, run_ring(shards), "shards={shards} diverged");
+        }
+    }
+
+    /// Restricting the matrix to the edges the ring actually uses
+    /// (`i → i+1`) must not change any world's observed messages, for
+    /// any shard count.
+    #[test]
+    fn ring_with_exact_matrix_matches_uniform_for_any_shard_count() {
+        const WORLDS: usize = 4;
+        const TICKS: u32 = 25;
+        let run = |shards: usize| -> Vec<(u64, u64)> {
+            let (local, remote) = ring_shards(shards, WORLDS, TICKS);
+            let mut m = LookaheadMatrix::disconnected(WORLDS);
+            for id in 0..WORLDS {
+                m.set(id, (id + 1) % WORLDS, LOOKAHEAD);
+            }
+            let mut coord =
+                ShardCoordinator::with_matrix(Arc::new(m), local, remote, Profiler::off());
+            coord.run_until(SimTime::from_millis(10));
+            coord
+                .finalize()
+                .into_iter()
+                .map(|(_, t)| *t.downcast::<(u64, u64)>().expect("ring telemetry"))
+                .collect()
+        };
+        let uniform = run_ring(1);
+        for shards in [1, 2, 4] {
+            assert_eq!(uniform, run(shards), "shards={shards} diverged");
         }
     }
 
@@ -782,37 +1253,102 @@ mod tests {
         }
     }
 
-    #[test]
-    fn merged_clock_jumps_idle_gaps() {
-        // Two worlds, one event each, far apart: the run must not need
-        // deadline/lookahead epochs.
-        struct Sparse {
-            sim: Sim,
+    struct Sparse {
+        sim: Sim,
+    }
+    impl ShardWorld for Sparse {
+        type Msg = ();
+        fn sim(&self) -> &Sim {
+            &self.sim
         }
-        impl ShardWorld for Sparse {
-            type Msg = ();
-            fn sim(&self) -> &Sim {
-                &self.sim
-            }
-            fn drain_outbox(&mut self) -> Vec<Routed<()>> {
-                Vec::new()
-            }
-            fn deliver(&mut self, _: Vec<Routed<()>>) {}
-            fn finalize(self: Box<Self>) -> Box<dyn Any + Send> {
-                Box::new(self.sim.events_processed())
-            }
+        fn drain_outbox_into(&mut self, _out: &mut Vec<Routed<()>>) {}
+        fn deliver(&mut self, batch: &mut Vec<Routed<()>>) {
+            batch.clear();
         }
+        fn finalize(self: Box<Self>) -> Box<dyn Any + Send> {
+            Box::new(self.sim.events_processed())
+        }
+    }
+
+    fn sparse_locals() -> Vec<(usize, Box<dyn ShardWorld<Msg = ()>>)> {
         let mut local: Vec<(usize, Box<dyn ShardWorld<Msg = ()>>)> = Vec::new();
         for id in 0..2usize {
             let sim = Sim::new(id as u64);
             sim.schedule_at(SimTime::from_secs(5 + id as u64), |_| {});
             local.push((id, Box::new(Sparse { sim })));
         }
-        let mut coord = ShardCoordinator::new(LOOKAHEAD, local, Vec::new());
+        local
+    }
+
+    #[test]
+    fn merged_clock_jumps_idle_gaps() {
+        // Two worlds, one event each, far apart: the run must not need
+        // deadline/lookahead epochs.
+        let mut coord = ShardCoordinator::new(LOOKAHEAD, sparse_locals(), Vec::new());
         coord.run_until(SimTime::from_secs(60));
-        // One epoch per event neighbourhood plus the final jump — far
+        // One window per event neighbourhood plus the final jump — far
         // fewer than the 600k a fixed 100 us cadence would need.
         assert!(coord.epochs() < 10, "epochs = {}", coord.epochs());
         assert_eq!(coord.now(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn disconnected_worlds_run_in_one_window() {
+        // With no reachable pairs there is no conservative constraint at
+        // all: the whole run is a single window and each world runs
+        // straight to the deadline.
+        let m = Arc::new(LookaheadMatrix::disconnected(2));
+        let mut coord =
+            ShardCoordinator::with_matrix(m, sparse_locals(), Vec::new(), Profiler::off());
+        coord.run_until(SimTime::from_secs(60));
+        assert_eq!(coord.epochs(), 1, "sync_rounds = {}", coord.sync_rounds());
+        assert_eq!(coord.now(), SimTime::from_secs(60));
+        let events: u64 = coord
+            .finalize()
+            .into_iter()
+            .map(|(_, t)| *t.downcast::<u64>().expect("event count"))
+            .sum();
+        assert_eq!(events, 2);
+    }
+
+    #[test]
+    fn lookahead_matrix_basics() {
+        let mut m = LookaheadMatrix::disconnected(3);
+        assert!(!m.reachable(0, 1));
+        assert_eq!(m.min_finite(), None);
+        m.set(0, 1, Duration::from_micros(100));
+        m.set(1, 0, Duration::from_millis(1));
+        assert!(m.reachable(0, 1));
+        assert!(m.reachable(1, 0));
+        assert!(!m.reachable(0, 2));
+        assert!(!m.reachable(1, 1));
+        assert_eq!(m.get_ns(0, 1), 100_000);
+        assert_eq!(m.min_finite(), Some(Duration::from_micros(100)));
+
+        let u = LookaheadMatrix::uniform(3, Duration::from_micros(50));
+        for s in 0..3 {
+            for d in 0..3 {
+                assert_eq!(u.reachable(s, d), s != d);
+            }
+        }
+
+        let star = LookaheadMatrix::from_reachability(4, Duration::from_micros(100), |s, d| {
+            s == 0 || d == 0
+        });
+        assert!(star.reachable(0, 3) && star.reachable(3, 0));
+        assert!(!star.reachable(1, 2));
+        assert_eq!(star.min_finite(), Some(Duration::from_micros(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn lookahead_matrix_rejects_zero_entries() {
+        LookaheadMatrix::disconnected(2).set(0, 1, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not route to themselves")]
+    fn lookahead_matrix_rejects_self_edges() {
+        LookaheadMatrix::disconnected(2).set(1, 1, Duration::from_micros(1));
     }
 }

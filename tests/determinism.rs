@@ -100,12 +100,118 @@ fn podscale_sharded_digest_is_identical_for_shards_1_2_4() {
             base.sharding.as_ref().expect("shard stats"),
             run.sharding.as_ref().expect("shard stats"),
         );
-        assert_eq!(a.epochs, b.epochs, "epoch count diverged at --shards {s}");
+        assert_eq!(
+            a.epochs, b.epochs,
+            "epoch window count diverged at --shards {s}"
+        );
+        assert_eq!(
+            a.sync_rounds, b.sync_rounds,
+            "sync round count diverged at --shards {s} — the adaptive \
+             scheduler let thread timing into a scheduling decision"
+        );
         assert_eq!(
             a.cross_messages, b.cross_messages,
             "cross-world traffic diverged at --shards {s}"
         );
     }
+}
+
+/// Property test for the adaptive scheduler's safety precondition: the
+/// per-pair lookahead matrix handed to the coordinator must never exceed
+/// the true minimum cross-world delivery latency for any reachable pair.
+/// If an entry overstated the real minimum, a message could arrive inside
+/// an epoch bound the scheduler already committed to — unsound.
+///
+/// The pod builds its matrix from the network's `base_latency` over the
+/// control-plane star. Here we drive the same routing layer with
+/// randomized payload sizes and destinations (deterministic LCG) and check
+/// every observed routed envelope clears its pair's matrix entry.
+#[test]
+fn lookahead_matrix_never_undercuts_observed_path_latency() {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use ustore_net::{Addr, NetConfig, Network};
+    use ustore_sim::{FastMap, LookaheadMatrix, Sim};
+
+    const WORLDS: usize = 5;
+    let cfg = NetConfig::default();
+    let matrix = Arc::new(LookaheadMatrix::from_reachability(
+        WORLDS,
+        cfg.base_latency,
+        // The pod's control-plane star: world 0 talks to everyone,
+        // leaf worlds only talk to world 0.
+        |src, dst| src == 0 || dst == 0,
+    ));
+    assert_eq!(
+        matrix.min_finite(),
+        Some(cfg.base_latency),
+        "star matrix floor is the network base latency"
+    );
+    assert!(
+        !matrix.reachable(1, 2),
+        "leaf worlds do not talk to each other"
+    );
+
+    let mut placement = FastMap::default();
+    let addrs: Vec<Addr> = (0..WORLDS)
+        .map(|w| {
+            let a = Addr::new(format!("w{w}"));
+            placement.insert(a.clone(), w);
+            a
+        })
+        .collect();
+    let placement = Arc::new(placement);
+
+    let mut state = 0x5EED_1A7E_9C3Fu64;
+    let mut rand = move |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+
+    let mut routed = 0u64;
+    let mut out = Vec::new();
+    for src in 0..WORLDS {
+        let sim = Sim::new(0xC0FF_EE00 + src as u64);
+        let net = Network::new(cfg.clone());
+        net.enable_shard_routing_with_lookahead(src, placement.clone(), matrix.clone());
+        net.register(&addrs[src]);
+        // Advance virtual time so latencies are measured off a nonzero now.
+        sim.schedule_in(Duration::from_millis(rand(50)), |_| {});
+        sim.run();
+        for _ in 0..64 {
+            let dst = if src == 0 {
+                1 + rand(WORLDS as u64 - 1) as usize
+            } else {
+                0 // the only world a leaf can reach
+            };
+            let bytes = rand(1 << 20);
+            net.send(&sim, &addrs[src], &addrs[dst], bytes, Arc::new(bytes));
+        }
+        net.drain_outbox_into(&mut out);
+        for r in out.drain(..) {
+            routed += 1;
+            assert!(
+                matrix.reachable(r.src_world, r.dst_world),
+                "routed envelope {} -> {} over a pair the matrix excludes",
+                r.src_world,
+                r.dst_world
+            );
+            let latency = r.deliver_at.duration_since(sim.now());
+            let bound = Duration::from_nanos(matrix.get_ns(r.src_world, r.dst_world));
+            assert!(
+                latency >= bound,
+                "observed delivery latency {:?} undercuts the lookahead \
+                 matrix entry {:?} for pair {} -> {}",
+                latency,
+                bound,
+                r.src_world,
+                r.dst_world
+            );
+        }
+    }
+    assert_eq!(routed, WORLDS as u64 * 64, "every randomized send routed");
 }
 
 /// Golden test for the wall-clock profiler: it observes the engine from a
