@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N]
-//!       [--json] [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]
+//!       [--partitions N] [--json] [--prom-out FILE] [--trace-out FILE]
+//!       [--ts-out FILE]
 //! repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]
 //! repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE]
 //!       [--trace-out FILE] [--json]
@@ -27,6 +28,15 @@
 //! sharded (default: up to 4 threads), and `perf` sweeps shard counts up
 //! to `N` for the shard-scaling section of `BENCH_podscale.json`. Both
 //! `--jobs` and `--shards` must be ≥ 1 — `0` is rejected, not clamped.
+//!
+//! `--partitions N` splits the Master's metadata namespace into `N`
+//! partitions (each its own replicated log) for the `podscale` and
+//! `megapod` experiments; `1` (the default) is the monolithic layout and
+//! is bit-identical with the pre-partition system. Like `--shards`, `0`
+//! is rejected. The `perf` and `slo` subcommands measure the partitioned
+//! pod themselves (the `metadata` section of `BENCH_podscale.json` and
+//! the control-plane block of the SLO report), so they do not take the
+//! flag.
 //!
 //! Each experiment builds its own independent simulator, so the selected
 //! experiments run on a thread pool (`--jobs`, default: available
@@ -145,7 +155,13 @@ struct PickOutput {
     artifacts: Option<TelemetryArtifacts>,
 }
 
-fn run_pick(pick: &str, seed: u64, repeats: u64, shards: Option<usize>) -> PickOutput {
+fn run_pick(
+    pick: &str,
+    seed: u64,
+    repeats: u64,
+    shards: Option<usize>,
+    partitions: Option<u32>,
+) -> PickOutput {
     let mut out = PickOutput {
         reports: Vec::new(),
         telemetry: None,
@@ -180,19 +196,23 @@ fn run_pick(pick: &str, seed: u64, repeats: u64, shards: Option<usize>) -> PickO
             out.reports.push(ablation::allocation_ablation(seed));
         }
         "podscale" => {
+            let mut cfg = podscale::PodConfig::pod();
+            if let Some(p) = partitions {
+                cfg.partitions = p;
+            }
             let run = match shards {
-                Some(s) => podscale::run_podscale_sharded(seed, &podscale::PodConfig::pod(), s),
-                None => podscale::run_podscale(seed, &podscale::PodConfig::pod()),
+                Some(s) => podscale::run_podscale_sharded(seed, &cfg, s),
+                None => podscale::run_podscale(seed, &cfg),
             };
             out.telemetry = Some(("podscale", run.telemetry.clone()));
             out.reports.push(run.report);
         }
         "megapod" => {
-            let run = megapod::run_megapod(
-                seed,
-                &megapod::megapod(),
-                shards.unwrap_or_else(default_shards),
-            );
+            let mut cfg = megapod::megapod();
+            if let Some(p) = partitions {
+                cfg.partitions = p;
+            }
+            let run = megapod::run_megapod(seed, &cfg, shards.unwrap_or_else(default_shards));
             out.telemetry = Some(("megapod", run.telemetry.clone()));
             out.reports.push(run.report);
         }
@@ -207,6 +227,7 @@ fn main() {
     let mut repeats: u64 = 6;
     let mut jobs: usize = std::thread::available_parallelism().map_or(1, usize::from);
     let mut shards: Option<usize> = None;
+    let mut partitions: Option<u32> = None;
     let mut json = false;
     let mut quick = false;
     let mut bench_out = String::from("BENCH_podscale.json");
@@ -247,6 +268,14 @@ fn main() {
                         .and_then(|v| v.parse().ok())
                         .filter(|&v: &usize| v >= 1)
                         .unwrap_or_else(|| usage("--shards needs a positive number")),
+                );
+            }
+            "--partitions" => {
+                partitions = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u32| v >= 1)
+                        .unwrap_or_else(|| usage("--partitions needs a positive number")),
                 );
             }
             "--json" => json = true,
@@ -315,6 +344,13 @@ fn main() {
         if let Some(path) = path {
             check_writable_destination(flag, path);
         }
+    }
+    if partitions.is_some()
+        && picks
+            .iter()
+            .any(|p| matches!(p.as_str(), "perf" | "profile" | "slo" | "fuzz"))
+    {
+        usage("--partitions applies to podscale/megapod (perf and slo measure the partitioned pod themselves)");
     }
     if picks.iter().any(|p| p == "fuzz") {
         if picks.len() > 1 {
@@ -407,6 +443,9 @@ fn main() {
             usage(&format!("unknown experiment {p:?}"));
         }
     }
+    if partitions.is_some() && !picks.iter().any(|p| p == "podscale" || p == "megapod") {
+        usage("--partitions is only used by the podscale and megapod experiments");
+    }
 
     // Every experiment owns an independent simulator, so they run on a
     // thread pool and join in selection order — output is byte-identical
@@ -421,7 +460,7 @@ fn main() {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(pick) = picks.get(i) else { break };
-                let out = run_pick(pick, seed, repeats, shards);
+                let out = run_pick(pick, seed, repeats, shards, partitions);
                 *slots[i].lock().expect("result slot") = Some(out);
             });
         }
@@ -616,6 +655,21 @@ fn run_slo_command(
         );
         std::process::exit(1);
     }
+    if !run.leased_digest_matches {
+        eprintln!(
+            "error: telemetry digest changed with tracing on in the partitioned+leased run ({:016x} != {:016x})",
+            run.leased.digest, run.leased_untraced_digest
+        );
+        std::process::exit(1);
+    }
+    if ustore_sim::RequestTracer::compiled_in() && !matches!(run.lease_hit_rate, Some(r) if r > 0.0)
+    {
+        eprintln!(
+            "error: the leased run never hit the location-lease cache (hit rate {:?}) — the lease path is dead",
+            run.lease_hit_rate
+        );
+        std::process::exit(1);
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -710,7 +764,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N] [--json]\n\
+        "usage: repro [experiment ...] [--seed N] [--repeats N] [--jobs N] [--shards N] [--partitions N] [--json]\n\
          \x20            [--prom-out FILE] [--trace-out FILE] [--ts-out FILE]\n\
          \x20      repro perf [--quick] [--seed N] [--shards N] [--bench-out FILE] [--json]\n\
          \x20      repro profile [--quick] [--seed N] [--shards N] [--prom-out FILE] [--trace-out FILE] [--json]\n\
@@ -718,7 +772,8 @@ fn usage(err: &str) -> ! {
          \x20      repro fuzz [--quick] [--seed N] [--shards N] [--campaigns N] [--replay SEED] [--synthetic-fail] [--fuzz-out FILE] [--json]\n\
          experiments: table1 table2 table3 table4 table5 fig5 fig6 duplex failover degraded hdfs rolling ablation podscale megapod all\n\
          (podscale — 256 hosts / 1024 disks — and megapod — 1024 hosts / 4096 disks — are not part of `all`;\n\
-         run them explicitly or via `perf`; --shards selects the parallel engine, --jobs/--shards must be >= 1)"
+         run them explicitly or via `perf`; --shards selects the parallel engine, --partitions splits the\n\
+         Master's metadata namespace; --jobs/--shards/--partitions must be >= 1)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

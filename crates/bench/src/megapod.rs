@@ -37,6 +37,16 @@ pub fn megapod_quick() -> PodConfig {
     }
 }
 
+/// The megapod with its control plane scaled out to match: 16 metadata
+/// partitions (one per unit-group world, each replica group co-located
+/// with its units) and client location leases. This is the shape where
+/// partitioning matters — 4096 disks of heartbeat, allocation and lookup
+/// traffic through one serialized log is the bottleneck the partition map
+/// removes.
+pub fn megapod_partitioned() -> PodConfig {
+    megapod().partitioned()
+}
+
 /// Runs the megapod on the sharded engine.
 pub fn run_megapod(seed: u64, cfg: &PodConfig, shards: usize) -> PodscaleRun {
     run_podscale_sharded(seed, cfg, shards)
@@ -54,5 +64,13 @@ mod tests {
         assert_eq!(cfg.disks(), 4096);
         assert_eq!(cfg.world_groups, 16);
         assert_eq!(megapod_quick().disks(), 4096);
+    }
+
+    #[test]
+    fn partitioned_megapod_scales_metadata_with_the_worlds() {
+        let cfg = megapod_partitioned();
+        assert_eq!(cfg.partitions, 16, "one partition per unit-group world");
+        assert!(cfg.location_lease.is_some(), "clients lease locations");
+        assert_eq!(cfg.disks(), 4096, "same data plane as the megapod");
     }
 }

@@ -208,6 +208,11 @@ pub struct PerfReport {
     /// TTFB decomposition snapshots and the tracing-on digest gate
     /// ([`crate::slo::slo_section`]).
     pub slo: Json,
+    /// The control-plane section: the partitioned + leased pod's partition
+    /// count, per-partition replicated-log lengths, lease hit rate, and
+    /// the client-observed `master_lookup` distribution before/after
+    /// ([`crate::slo::metadata_section`]).
+    pub metadata: Json,
     /// The fault-model section: a reference fuzz campaign set's
     /// durability nines, repair bandwidth, scrub coverage, watchdog FP/FN
     /// rates, and the replay determinism gate
@@ -381,6 +386,15 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
     let slo_classic = run_podscale_traced(opts.seed, &pod, TracePlan::default());
     let slo = slo::slo_section(&slo_sharded, &slo_classic, Some(unprofiled_digest));
 
+    // The control-plane section: the same pod with per-world metadata
+    // partitions and client location leases, traced so the report carries
+    // the master_lookup before/after and the lease hit rate alongside the
+    // per-partition replicated-log lengths.
+    let leased_pod = pod.clone().partitioned();
+    let leased_run =
+        run_podscale_sharded_traced(opts.seed, &leased_pod, max_shards, TracePlan::default());
+    let metadata = slo::metadata_section(slo_sharded.slo.as_ref(), &leased_run, &leased_pod);
+
     // The fault-model section: a small reference fuzz campaign set under
     // the empirical fault model, including its replay determinism gate.
     let fuzz_run = fuzz::run_fuzz(&fuzz::FuzzOptions {
@@ -408,6 +422,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfReport {
         sharding,
         profile,
         slo,
+        metadata,
         faults,
     }
 }
@@ -447,7 +462,7 @@ impl PerfReport {
     pub fn to_bench_json(&self) -> Json {
         let b = pre_overhaul_baseline(self.quick);
         Json::obj([
-            ("schema", Json::str("ustore-bench-podscale-v6")),
+            ("schema", Json::str("ustore-bench-podscale-v7")),
             ("mode", Json::str(if self.quick { "quick" } else { "full" })),
             ("seed", Json::u64(self.seed)),
             (
@@ -555,6 +570,7 @@ impl PerfReport {
             ),
             ("profile", self.profile.clone()),
             ("slo", self.slo.clone()),
+            ("metadata", self.metadata.clone()),
             ("faults", self.faults.clone()),
         ])
     }
@@ -644,6 +660,17 @@ impl PerfReport {
             self.sharding.megapod.sample.events_per_sec,
             "",
         ));
+        if let Some(r) = self.metadata.get("lease_hit_rate").and_then(Json::as_f64) {
+            rows.push(Row::measured_only("lease cache hit rate", r, ""));
+        }
+        if let Some(p) = self
+            .metadata
+            .get("partitions")
+            .and_then(Json::as_f64)
+            .filter(|&p| p > 1.0)
+        {
+            rows.push(Row::measured_only("metadata partitions", p, ""));
+        }
         if let Some(nines) = self
             .faults
             .get("durability")
@@ -712,10 +739,14 @@ mod tests {
             },
             profile: Json::obj([("digest_matches_unprofiled", Json::Bool(true))]),
             slo: Json::obj([("digest_matches_untraced", Json::Bool(true))]),
+            metadata: Json::obj([
+                ("partitions", Json::u64(8)),
+                ("lease_hit_rate", Json::f64(0.75)),
+            ]),
             faults: Json::obj([("replay", Json::obj([("digest_matches", Json::Bool(true))]))]),
         };
         let j = rep.to_bench_json().to_string();
-        assert!(j.contains(r#""schema":"ustore-bench-podscale-v6""#));
+        assert!(j.contains(r#""schema":"ustore-bench-podscale-v7""#));
         assert!(j.contains(r#""events_per_sec":200"#));
         assert!(j.contains(r#""two_runs_identical":true"#));
         assert!(j.contains(r#""podscale_digest":"00000000deadbeef""#));
@@ -734,6 +765,10 @@ mod tests {
         assert!(
             j.contains(r#""slo":{"digest_matches_untraced":true}"#),
             "slo section carried through"
+        );
+        assert!(
+            j.contains(r#""metadata":{"partitions":8,"lease_hit_rate":0.75}"#),
+            "metadata section carried through"
         );
         assert!(
             j.contains(r#""faults":{"replay":{"digest_matches":true}}"#),

@@ -22,8 +22,8 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use ustore::{
-    Mounted, ShardedPod, ShardedPodConfig, SpaceInfo, SystemConfig, TelemetryPlan, TracePlan,
-    UStoreClient, UStoreSystem, WatchdogConfig,
+    ClientLibConfig, MasterConfig, Mounted, ShardedPod, ShardedPodConfig, SpaceInfo, SystemConfig,
+    TelemetryPlan, TracePlan, UStoreClient, UStoreSystem, WatchdogConfig,
 };
 use ustore_net::BlockDevice;
 use ustore_sim::{
@@ -60,6 +60,16 @@ pub struct PodConfig {
     /// the telemetry digest) depends on it, while the shard count does
     /// not. Must divide into `units` (1..=units).
     pub world_groups: u32,
+    /// Metadata partitions the Master splits its namespace into. `1` is
+    /// the monolithic pre-partition layout and leaves every run
+    /// bit-identical with it.
+    pub partitions: u32,
+    /// Client-side location lease. `None` (the default) always asks the
+    /// Master; `Some(d)` caches resolved locations for `d` and adds a
+    /// periodic directory-refresh lookup per client so the lease cache is
+    /// actually exercised. Part of the scenario: it changes the event
+    /// stream, so leased digests are not comparable with unleased ones.
+    pub location_lease: Option<Duration>,
 }
 
 impl PodConfig {
@@ -77,6 +87,20 @@ impl PodConfig {
             read_interval: Duration::from_millis(500),
             scrape_interval: Duration::from_millis(500),
             world_groups: 8,
+            partitions: 1,
+            location_lease: None,
+        }
+    }
+
+    /// The same pod with the control plane scaled out: one metadata
+    /// partition per unit-group world (so each partition's replica group
+    /// co-locates with the units it serves) and a client-side location
+    /// lease long enough that steady-state directory refreshes hit cache.
+    pub fn partitioned(self) -> PodConfig {
+        PodConfig {
+            partitions: self.world_groups,
+            location_lease: Some(Duration::from_secs(2)),
+            ..self
         }
     }
 
@@ -174,6 +198,11 @@ pub struct PodscaleRun {
     /// Request-lifecycle trace snapshot (traced runs only — see
     /// [`run_podscale_traced`] / [`run_podscale_sharded_traced`]).
     pub slo: Option<TraceSnapshot>,
+    /// Replicated-log length of every metadata partition at the end of
+    /// the run, as `(partition, applied length)` pairs in partition order
+    /// (partition 0 = the base cluster, which also carries elections and
+    /// sessions).
+    pub partition_logs: Vec<(u32, u64)>,
     /// Wall seconds spent settling and advancing the engine (world
     /// construction excluded) — the denominator for the profiler's
     /// phase-coverage check.
@@ -282,6 +311,31 @@ fn drive_workload(
             });
         }
     }
+    // With a location lease configured, add the directory-refresh traffic
+    // the lease exists for: each client periodically re-checks where its
+    // space lives (upper layers do this before scheduling restore jobs).
+    // The first check misses and asks the Master; checks inside the lease
+    // window are served from cache. Unleased runs skip this entirely so
+    // their event stream stays bit-identical with the pre-lease harness.
+    if cfg.location_lease.is_some() {
+        for ((_, c), client) in mounts.iter().zip(clients) {
+            let name = infos.borrow()[*c as usize]
+                .as_ref()
+                .expect("pod allocation served")
+                .name;
+            let stagger = Duration::from_millis(11 * u64::from(*c) % 103);
+            let client = client.clone();
+            let err = io_errors.clone();
+            sim.every(cfg.read_interval + stagger, cfg.read_interval, move |sim| {
+                let err = err.clone();
+                client.lookup(sim, name, move |_, r| {
+                    if r.is_err() {
+                        err.set(err.get() + 1);
+                    }
+                });
+            });
+        }
+    }
     advance(cfg.run);
     (writes_ok.get(), reads_ok.get(), io_errors.get())
 }
@@ -331,6 +385,14 @@ fn run_podscale_opts(
             hosts: cfg.hosts_per_unit,
             disks: cfg.disks_per_unit,
             fanin: cfg.fanin,
+            master: MasterConfig {
+                partitions: cfg.partitions.max(1),
+                ..MasterConfig::default()
+            },
+            clientlib: ClientLibConfig {
+                location_lease: cfg.location_lease,
+                ..ClientLibConfig::default()
+            },
             ..SystemConfig::default()
         },
     );
@@ -392,6 +454,7 @@ fn run_podscale_opts(
         ("hosts", Json::u64(u64::from(cfg.hosts()))),
         ("disks", Json::u64(u64::from(cfg.disks()))),
         ("clients", Json::u64(u64::from(cfg.clients))),
+        ("partitions", Json::u64(u64::from(cfg.partitions.max(1)))),
         ("sim_seconds", Json::f64(system.sim.now().as_secs_f64())),
         ("events", Json::u64(events)),
         ("peak_queue_depth", Json::f64(peak_queue_depth)),
@@ -418,6 +481,12 @@ fn run_podscale_opts(
         ],
     );
     let sim_seconds = system.sim.now().as_secs_f64();
+    let partition_logs: Vec<(u32, u64)> = system
+        .partition_log_lens()
+        .into_iter()
+        .enumerate()
+        .map(|(k, len)| (k as u32, len))
+        .collect();
     // Break the engine's Rc cycles (pending recurring timers capture the
     // sim and components) so back-to-back harness runs in one process
     // don't accumulate each run's heap.
@@ -436,6 +505,7 @@ fn run_podscale_opts(
         prof: profiler.snapshot(),
         traffic: None,
         slo: tracer.snapshot(),
+        partition_logs,
         run_wall_seconds,
     }
 }
@@ -498,6 +568,14 @@ fn run_podscale_sharded_opts(
                 hosts: cfg.hosts_per_unit,
                 disks: cfg.disks_per_unit,
                 fanin: cfg.fanin,
+                master: MasterConfig {
+                    partitions: cfg.partitions.max(1),
+                    ..MasterConfig::default()
+                },
+                clientlib: ClientLibConfig {
+                    location_lease: cfg.location_lease,
+                    ..ClientLibConfig::default()
+                },
                 ..SystemConfig::default()
             },
             groups: cfg.world_groups,
@@ -544,6 +622,7 @@ fn run_podscale_sharded_opts(
     let mut events = 0u64;
     let mut peak_max = 0f64;
     let mut peak_sum = 0f64;
+    let mut partition_logs: Vec<(u32, u64)> = Vec::new();
     for w in &worlds {
         let mut d = fnv1a(w.metrics_json.as_bytes());
         d ^= fnv1a(w.spans_json.as_bytes()).rotate_left(1);
@@ -552,7 +631,9 @@ fn run_podscale_sharded_opts(
         events += w.events;
         peak_max = peak_max.max(w.peak_queue_depth);
         peak_sum += w.peak_queue_depth;
+        partition_logs.extend(w.partition_logs.iter().copied());
     }
+    partition_logs.sort_unstable();
     let sharding = ShardStats {
         shards,
         groups: cfg.world_groups,
@@ -571,6 +652,7 @@ fn run_podscale_sharded_opts(
         ("disks", Json::u64(u64::from(cfg.disks()))),
         ("clients", Json::u64(u64::from(cfg.clients))),
         ("world_groups", Json::u64(u64::from(cfg.world_groups))),
+        ("partitions", Json::u64(u64::from(cfg.partitions.max(1)))),
         ("shards", Json::u64(shards as u64)),
         ("epochs", Json::u64(epochs)),
         ("sync_rounds", Json::u64(sync_rounds)),
@@ -617,6 +699,7 @@ fn run_podscale_sharded_opts(
         prof,
         traffic,
         slo,
+        partition_logs,
         run_wall_seconds,
     }
 }
@@ -665,6 +748,26 @@ mod tests {
             let c = slo.min_coverage(q).expect("traffic on both kinds");
             assert!(c >= 0.95, "stage coverage {c:.3} below 0.95 at q={q}");
         }
+    }
+
+    #[test]
+    fn partitioned_leased_tiny_pod_serves_io() {
+        let cfg = PodConfig::tiny().partitioned();
+        assert_eq!(cfg.partitions, cfg.world_groups);
+        let run = run_podscale_sharded(906, &cfg, 2);
+        assert!(run.writes_ok > 0, "archival writes completed");
+        assert!(run.reads_ok > 0, "restore reads completed");
+        assert_eq!(run.io_errors, 0, "healthy pod serves all IO and lookups");
+        assert_eq!(
+            run.partition_logs.len(),
+            cfg.partitions as usize,
+            "every metadata partition reports its log"
+        );
+        assert!(
+            run.partition_logs.iter().all(|&(_, len)| len > 0),
+            "every partition's replicated log applied entries: {:?}",
+            run.partition_logs
+        );
     }
 
     #[test]

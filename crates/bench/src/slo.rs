@@ -73,6 +73,19 @@ pub struct SloRun {
     /// Minimum coverage over kinds and reported quantiles on the sharded
     /// snapshot. `None` when the build has no tracer (`--no-default-features`).
     pub min_coverage: Option<f64>,
+    /// The partitioned + leased pod shape (the same pod with one metadata
+    /// partition per unit-group world and client location leases).
+    pub leased_pod: PodConfig,
+    /// The traced partitioned + leased sharded run (`slo` populated) —
+    /// the before/after comparison for the `master_lookup` stage.
+    pub leased: PodscaleRun,
+    /// Telemetry digest of the untraced partitioned + leased run.
+    pub leased_untraced_digest: u64,
+    /// Tracer-purity gate for the partitioned + leased configuration.
+    pub leased_digest_matches: bool,
+    /// Fraction of location-lease consultations the leased run served
+    /// from cache. `None` when the build has no tracer.
+    pub lease_hit_rate: Option<f64>,
 }
 
 /// Runs the SLO harness: traced sharded, untraced sharded (the digest
@@ -89,13 +102,21 @@ pub fn run_slo(opts: &SloOptions) -> SloRun {
     };
     let sharded = run_podscale_sharded_traced(opts.seed, &pod, opts.shards, plan.clone());
     let untraced = run_podscale_sharded(opts.seed, &pod, opts.shards);
-    let classic = run_podscale_traced(opts.seed, &pod, plan);
+    let classic = run_podscale_traced(opts.seed, &pod, plan.clone());
+    // The same pod with the control plane scaled out: per-world metadata
+    // partitions plus client location leases. Traced for the before/after
+    // master_lookup comparison, untraced for its own purity gate (leased
+    // digests are a different scenario, so they get their own pair).
+    let leased_pod = pod.clone().partitioned();
+    let leased = run_podscale_sharded_traced(opts.seed, &leased_pod, opts.shards, plan);
+    let leased_untraced = run_podscale_sharded(opts.seed, &leased_pod, opts.shards);
     let min_coverage = sharded.slo.as_ref().and_then(|s| {
         SLO_QUANTILES
             .iter()
             .filter_map(|&(_, q)| s.min_coverage(q))
             .min_by(|a, b| a.partial_cmp(b).expect("coverage is finite"))
     });
+    let lease_hit_rate = leased.slo.as_ref().and_then(TraceSnapshot::lease_hit_rate);
     SloRun {
         seed: opts.seed,
         quick: opts.quick,
@@ -104,9 +125,66 @@ pub fn run_slo(opts: &SloOptions) -> SloRun {
         untraced_digest: untraced.digest,
         digest_matches_untraced: sharded.digest == untraced.digest,
         min_coverage,
+        leased_untraced_digest: leased_untraced.digest,
+        leased_digest_matches: leased.digest == leased_untraced.digest,
+        lease_hit_rate,
+        leased_pod,
+        leased,
         sharded,
         classic,
     }
+}
+
+/// The `metadata` section of `BENCH_podscale.json` (schema v7) and of the
+/// `repro slo` report: the partitioned + leased control-plane comparison —
+/// partition count, per-partition replicated-log lengths, lease traffic,
+/// and the client-observed `master_lookup` distribution before (monolithic
+/// Master, no lease) and after (partitioned + leased).
+pub fn metadata_section(
+    baseline: Option<&TraceSnapshot>,
+    leased: &PodscaleRun,
+    leased_pod: &PodConfig,
+) -> Json {
+    let mut out = Json::obj([
+        (
+            "partitions",
+            Json::u64(u64::from(leased_pod.partitions.max(1))),
+        ),
+        (
+            "lease_ms",
+            leased_pod
+                .location_lease
+                .map_or(Json::Null, |d| Json::u64(d.as_millis() as u64)),
+        ),
+        ("digest", Json::str(format!("{:016x}", leased.digest))),
+        (
+            "partition_log_lens",
+            Json::arr(leased.partition_logs.iter().map(|&(p, len)| {
+                Json::obj([
+                    ("partition", Json::u64(u64::from(p))),
+                    ("log_len", Json::u64(len)),
+                ])
+            })),
+        ),
+    ]);
+    if let Some(snap) = &leased.slo {
+        out.insert("lease_hits", Json::u64(snap.lease_hits));
+        out.insert("lease_misses", Json::u64(snap.lease_misses));
+        if let Some(r) = snap.lease_hit_rate() {
+            out.insert("lease_hit_rate", Json::f64(r));
+        }
+        let q = |h: &ustore_sim::Histogram, q: f64| Json::u64(h.quantile(q).unwrap_or(0));
+        let mut lookup = Json::obj([
+            ("after_p50_ns", q(&snap.master_lookup, 0.5)),
+            ("after_p99_ns", q(&snap.master_lookup, 0.99)),
+        ]);
+        if let Some(base) = baseline {
+            lookup.insert("before_p50_ns", q(&base.master_lookup, 0.5));
+            lookup.insert("before_p99_ns", q(&base.master_lookup, 0.99));
+        }
+        out.insert("master_lookup", lookup);
+    }
+    out
 }
 
 /// The `slo` section of `BENCH_podscale.json` (schema v4, unchanged in v6): the traced
@@ -159,6 +237,16 @@ impl SloRun {
             "slo",
             slo_section(&self.sharded, &self.classic, Some(self.untraced_digest)),
         );
+        let mut meta = metadata_section(self.sharded.slo.as_ref(), &self.leased, &self.leased_pod);
+        meta.insert(
+            "untraced_digest",
+            Json::str(format!("{:016x}", self.leased_untraced_digest)),
+        );
+        meta.insert(
+            "digest_matches_untraced",
+            Json::Bool(self.leased_digest_matches),
+        );
+        doc.insert("metadata", meta);
         doc
     }
 
@@ -333,6 +421,85 @@ impl SloRun {
                 self.untraced_digest
             ),
         );
+
+        p(&mut out, String::new());
+        p(
+            &mut out,
+            format!(
+                "control plane off the critical path: {} metadata partitions, {} lease",
+                self.leased_pod.partitions,
+                self.leased_pod
+                    .location_lease
+                    .map_or_else(|| "no".to_string(), |d| format!("{} ms", d.as_millis())),
+            ),
+        );
+        match &self.leased.slo {
+            None => p(
+                &mut out,
+                "  (no trace snapshot — built without the `reqtrace` feature)".to_string(),
+            ),
+            Some(snap) => {
+                p(
+                    &mut out,
+                    format!(
+                        "  lease consultations: {} hits / {} misses{}",
+                        snap.lease_hits,
+                        snap.lease_misses,
+                        snap.lease_hit_rate()
+                            .map_or_else(String::new, |r| format!(" (hit rate {:.1}%)", r * 100.0)),
+                    ),
+                );
+                // The median is where the lease shows up: hits are served
+                // locally (recorded as zero), so at hit rates above 50%
+                // the median consultation becomes free. The tail is the
+                // residual misses, measured under full workload.
+                let q = |h: &ustore_sim::Histogram, q: f64| {
+                    h.quantile(q).map_or_else(|| "n/a".to_string(), fmt_ms)
+                };
+                let base = self.sharded.slo.as_ref();
+                p(
+                    &mut out,
+                    format!(
+                        "  master_lookup p50: {} unpartitioned -> {} partitioned+leased",
+                        base.map_or_else(|| "n/a".to_string(), |s| q(&s.master_lookup, 0.5)),
+                        q(&snap.master_lookup, 0.5),
+                    ),
+                );
+                p(
+                    &mut out,
+                    format!(
+                        "  master_lookup p99: {} unpartitioned -> {} partitioned+leased (residual misses)",
+                        base.map_or_else(|| "n/a".to_string(), |s| q(&s.master_lookup, 0.99)),
+                        q(&snap.master_lookup, 0.99),
+                    ),
+                );
+            }
+        }
+        p(
+            &mut out,
+            format!(
+                "  partition logs: {}",
+                self.leased
+                    .partition_logs
+                    .iter()
+                    .map(|(p, len)| format!("p{p}={len}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ),
+        );
+        p(
+            &mut out,
+            format!(
+                "  determinism: leased traced digest {:016x} {} untraced {:016x}",
+                self.leased.digest,
+                if self.leased_digest_matches {
+                    "=="
+                } else {
+                    "!="
+                },
+                self.leased_untraced_digest
+            ),
+        );
         out
     }
 }
@@ -385,10 +552,51 @@ mod tests {
             run.digest_matches_untraced,
             "tracing must not perturb the simulation"
         );
+        assert!(
+            run.leased_digest_matches,
+            "tracing must not perturb the partitioned + leased simulation"
+        );
+        assert_eq!(
+            run.leased_pod.partitions, run.pod.world_groups,
+            "one metadata partition per unit-group world"
+        );
+        assert_eq!(run.leased.io_errors, 0, "leased pod serves all IO");
+        assert!(
+            run.leased.partition_logs.len() == run.leased_pod.partitions as usize
+                && run.leased.partition_logs.iter().all(|&(_, l)| l > 0),
+            "every metadata partition applied log entries: {:?}",
+            run.leased.partition_logs
+        );
         if !RequestTracer::compiled_in() {
             assert!(run.sharded.slo.is_none());
+            assert!(run.lease_hit_rate.is_none());
             return;
         }
+        assert!(
+            run.lease_hit_rate.expect("leases consulted") > 0.0,
+            "steady-state directory refreshes must hit the lease cache"
+        );
+        // Lease hits are served locally and recorded as zero, so with a
+        // healthy hit rate the *median* directory consultation becomes
+        // free; the tail (p99) is still a real Master round trip and is
+        // measured under full workload, so it is not comparable with the
+        // unleased baseline's bring-up-time lookups.
+        let base_p50 = run
+            .sharded
+            .slo
+            .as_ref()
+            .and_then(|s| s.master_lookup.quantile(0.5))
+            .expect("baseline lookups measured");
+        let leased_p50 = run
+            .leased
+            .slo
+            .as_ref()
+            .and_then(|s| s.master_lookup.quantile(0.5))
+            .unwrap_or(0);
+        assert!(
+            leased_p50 < base_p50,
+            "leased master_lookup p50 ({leased_p50} ns) must beat the unleased baseline ({base_p50} ns)"
+        );
         let snap = run.sharded.slo.as_ref().expect("traced run has snapshot");
         assert!(snap.seen > 0, "workload completed under trace");
         assert!(snap.worst().is_some(), "exemplars retained");
@@ -405,9 +613,14 @@ mod tests {
         assert!(text.contains("spin_up_wait"));
         assert!(text.contains("worst request"));
         assert!(text.contains("=="));
+        assert!(text.contains("metadata partitions"));
+        assert!(text.contains("lease consultations"));
         let json = run.to_json().to_string();
         assert!(json.contains(r#""experiment":"slo""#));
         assert!(json.contains(r#""digest_matches_untraced":true"#));
+        assert!(json.contains(r#""metadata":"#));
+        assert!(json.contains(r#""lease_hit_rate":"#));
+        assert!(json.contains(r#""partition_log_lens":"#));
         let trace = run.request_trace().to_string();
         assert!(trace.contains("requests"));
         assert!(trace.contains("reqtrace"));

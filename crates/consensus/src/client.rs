@@ -134,6 +134,17 @@ impl CoordClient {
                 cb(sim, notif.event.clone());
             }
         });
+        // Pending watch callbacks capture whoever registered them — which
+        // is usually the component that owns this client, a cycle the RPC
+        // endpoint's own breaker cannot see. Clear them at teardown,
+        // capturing weakly so the registry keeps nothing alive.
+        let weak = Rc::downgrade(&client.inner);
+        net.on_teardown(move || {
+            if let Some(inner) = weak.upgrade() {
+                let watches = std::mem::take(&mut inner.borrow_mut().watches);
+                drop(watches);
+            }
+        });
         client
     }
 

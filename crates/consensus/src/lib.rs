@@ -14,15 +14,20 @@
 //! - [`client`]: a session-oriented client ([`CoordClient`]) with automatic
 //!   leader discovery and retry, plus a leader-election recipe used by the
 //!   Master's active/standby processes.
+//! - [`group`]: independent replica groups ([`CoordGroup`]) backing the
+//!   partitioned Master's per-unit-group metadata namespaces, each with
+//!   its own replicated log.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod group;
 pub mod paxos;
 pub mod rsm;
 pub mod store;
 
 pub use client::{ClientConfig, ClientError, CoordClient, Election};
+pub use group::{group_addrs, CoordGroup};
 pub use paxos::{AcceptReply, Acceptor, Ballot, PrepareReply, Proposer};
 pub use rsm::{CoordConfig, CoordServer, ReadOp, ReadResult, WatchNotification, WatchReg};
 pub use store::{

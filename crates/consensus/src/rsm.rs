@@ -261,7 +261,10 @@ impl CoordServer {
     pub fn new(sim: &Sim, net: &Network, id: u32, peers: Vec<Addr>, config: CoordConfig) -> Self {
         assert!((id as usize) < peers.len(), "server id out of range");
         let rpc = RpcNode::new(net, peers[id as usize].clone());
-        let label = format!("coord-{id}");
+        // Metric component = the replica's address ("coord-3", or
+        // "p1-coord-3" for a metadata-partition group), so co-located
+        // clusters never merge counters.
+        let label = rpc.addr().to_string();
         let metrics = CoordMetrics {
             elections: sim.counter(&label, "consensus.elections"),
             leader_changes: sim.counter(&label, "consensus.leader_changes"),

@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use ustore_fabric::DiskId;
 use ustore_net::{Addr, BlockDevice, BlockError, IscsiSession, Network, ReadCb, RpcNode, WriteCb};
-use ustore_sim::{ReqKind, Sim, SpanId, TraceId, TraceLevel};
+use ustore_sim::{FastMap, ReqKind, Sim, SimTime, SpanId, TraceId, TraceLevel};
 
 use crate::ids::SpaceName;
 use crate::messages::{
@@ -44,6 +44,13 @@ pub struct ClientLibConfig {
     pub remount_backoff: Duration,
     /// Give up remounting after this long and fail queued IO.
     pub remount_deadline: Duration,
+    /// Location-lease duration: when `Some`, resolved space locations are
+    /// cached and served locally until the lease expires, keeping the
+    /// Master off the lookup path. IO failures, releases and vanished
+    /// spaces invalidate the cached entry immediately, so a stale lease
+    /// never routes IO past the first error. `None` (the default)
+    /// preserves the uncached, always-ask-the-Master behavior bit for bit.
+    pub location_lease: Option<Duration>,
 }
 
 impl Default for ClientLibConfig {
@@ -56,6 +63,7 @@ impl Default for ClientLibConfig {
             mount_settle: Duration::from_millis(1000),
             remount_backoff: Duration::from_millis(300),
             remount_deadline: Duration::from_secs(60),
+            location_lease: None,
         }
     }
 }
@@ -90,6 +98,9 @@ pub struct UStoreClient {
     masters: Vec<Addr>,
     hint: Rc<RefCell<usize>>,
     config: ClientLibConfig,
+    /// Location-lease cache: resolved space → (info, lease expiry).
+    /// Only populated when `config.location_lease` is set.
+    leases: Rc<RefCell<FastMap<SpaceName, (SpaceInfo, SimTime)>>>,
 }
 
 impl fmt::Debug for UStoreClient {
@@ -113,6 +124,7 @@ impl UStoreClient {
             masters,
             hint: Rc::new(RefCell::new(0)),
             config,
+            leases: Rc::new(RefCell::new(FastMap::default())),
         }
     }
 
@@ -233,13 +245,73 @@ impl UStoreClient {
     }
 
     /// Directory lookup: where does this space live right now?
+    ///
+    /// With a location lease configured, a still-valid cached answer is
+    /// served locally (synchronously — the Master never sees the
+    /// request); otherwise the Master is asked and a resolved location
+    /// (one with a live host) is cached under a fresh lease.
     pub fn lookup(
         &self,
         sim: &Sim,
         name: SpaceName,
         cb: impl FnOnce(&Sim, Result<SpaceInfo, ClientLibError>) + 'static,
     ) {
-        self.master_result::<SpaceInfo>(sim, "master.lookup", Arc::new(LookupReq { name }), cb);
+        let Some(lease) = self.config.location_lease else {
+            self.master_result::<SpaceInfo>(sim, "master.lookup", Arc::new(LookupReq { name }), cb);
+            return;
+        };
+        let cached = self
+            .leases
+            .borrow()
+            .get(&name)
+            .filter(|(_, expires)| sim.now() < *expires)
+            .map(|(info, _)| info.clone());
+        let tracer = sim.reqtracer();
+        if let Some(info) = cached {
+            tracer.note_lease(true);
+            tracer.note_master_lookup(Duration::ZERO);
+            cb(sim, Ok(info));
+            return;
+        }
+        self.leases.borrow_mut().remove(&name);
+        tracer.note_lease(false);
+        let leases = self.leases.clone();
+        let asked = sim.now();
+        self.master_result::<SpaceInfo>(
+            sim,
+            "master.lookup",
+            Arc::new(LookupReq { name }),
+            move |sim, r| {
+                sim.reqtracer()
+                    .note_master_lookup(sim.now().duration_since(asked));
+                if let Ok(info) = &r {
+                    if info.host_addr.is_some() {
+                        leases
+                            .borrow_mut()
+                            .insert(name, (info.clone(), sim.now() + lease));
+                    }
+                }
+                cb(sim, r);
+            },
+        );
+    }
+
+    /// Drops the cached location of `name` (no-op without a lease
+    /// configured). IO errors, releases and vanished spaces call this so
+    /// no request is ever routed on a lease the system knows is stale.
+    fn invalidate_lease(&self, name: SpaceName) {
+        if self.config.location_lease.is_some() {
+            self.leases.borrow_mut().remove(&name);
+        }
+    }
+
+    /// The currently cached (unexpired) location of `name`, if any.
+    pub fn cached_location(&self, sim: &Sim, name: SpaceName) -> Option<SpaceInfo> {
+        self.leases
+            .borrow()
+            .get(&name)
+            .filter(|(_, expires)| sim.now() < *expires)
+            .map(|(info, _)| info.clone())
     }
 
     /// Releases an allocated space.
@@ -249,6 +321,7 @@ impl UStoreClient {
         name: SpaceName,
         cb: impl FnOnce(&Sim, Result<(), ClientLibError>) + 'static,
     ) {
+        self.invalidate_lease(name);
         self.master_result::<()>(sim, "master.release", Arc::new(ReleaseReq { name }), cb);
     }
 
@@ -296,6 +369,26 @@ impl UStoreClient {
             })),
             client: self.clone(),
         };
+        // Remount-notification callbacks and queued IO callbacks routinely
+        // capture the mount (and through it this client and its RPC node),
+        // forming Rc cycles; clear them when the simulator is torn down so
+        // harnesses running many pods in-process release each world's heap.
+        let weak = Rc::downgrade(&mounted.inner);
+        sim.on_teardown(move || {
+            if let Some(inner) = weak.upgrade() {
+                let (queue, callbacks, session) = {
+                    let mut m = inner.borrow_mut();
+                    (
+                        std::mem::take(&mut m.queue),
+                        std::mem::take(&mut m.on_remount),
+                        m.session.take(),
+                    )
+                };
+                drop(queue);
+                drop(callbacks);
+                drop(session);
+            }
+        });
         let m2 = mounted.clone();
         let once = Rc::new(RefCell::new(Some(cb)));
         mounted.remount(sim, move |sim, r| {
@@ -495,6 +588,9 @@ impl Mounted {
             return;
         }
         // Put the op at the front and (re)start the remount machinery.
+        // The failed session's location lease is dead: the space may have
+        // moved, so the remount must re-resolve through the Master.
+        self.client.invalidate_lease(self.name());
         {
             let mut m = self.inner.borrow_mut();
             m.queue.push_front(op);
@@ -577,7 +673,11 @@ impl Mounted {
             let tracer = sim.reqtracer();
             if tracer.is_on() {
                 let lookup_dur = sim.now().duration_since(lookup_started);
-                tracer.note_master_lookup(lookup_dur);
+                // With a lease configured, `lookup` itself records the
+                // distribution (hits as zero); don't double-count here.
+                if this.client.config.location_lease.is_none() {
+                    tracer.note_master_lookup(lookup_dur);
+                }
                 let ids: Vec<TraceId> = this
                     .inner
                     .borrow()
@@ -606,6 +706,7 @@ impl Mounted {
                 };
             match r {
                 Err(ClientLibError::Master(MasterError::NoSuchSpace)) => {
+                    this.client.invalidate_lease(name);
                     this.inner.borrow_mut().remounting = false;
                     sim.span_attr(span, "error", "no_such_space");
                     sim.span_end(span);
@@ -623,7 +724,15 @@ impl Mounted {
                             &info.target,
                             this.client.config.io_timeout,
                             move |sim, sess| match sess {
-                                Err(_) => retry(this2, sim, done),
+                                Err(_) => {
+                                    // The location we just resolved (and
+                                    // possibly leased) does not answer:
+                                    // drop it, or every retry would be
+                                    // served the same dead endpoint from
+                                    // cache for the rest of the lease.
+                                    this2.client.invalidate_lease(this2.name());
+                                    retry(this2, sim, done);
+                                }
                                 Ok(session) => {
                                     // Device settle (Figure 6 part 3).
                                     let settle = this2.client.config.mount_settle;

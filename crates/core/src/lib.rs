@@ -50,6 +50,7 @@ pub mod endpoint;
 pub mod ids;
 pub mod master;
 pub mod messages;
+pub mod meta;
 pub mod sharded;
 pub mod system;
 pub mod watchdog;
@@ -61,8 +62,10 @@ pub use endpoint::{Endpoint, EndpointConfig};
 pub use ids::{ParseSpaceNameError, SpaceName, UnitId};
 pub use master::{Master, MasterConfig, UnitConf};
 pub use messages::{MasterError, SpaceInfo};
+pub use meta::MetaRouter;
 pub use sharded::{
-    world_of_unit, PodWorld, ShardedPod, ShardedPodConfig, TelemetryPlan, TracePlan, WorldTelemetry,
+    partition_world, world_of_unit, PodWorld, ShardedPod, ShardedPodConfig, TelemetryPlan,
+    TracePlan, WorldTelemetry,
 };
 pub use system::{
     coord_addr, host_addr, master_addr, unit_conf_for, unit_host_addr, SystemConfig, UStoreSystem,

@@ -20,7 +20,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ustore_consensus::{ClientConfig as CoordClientConfig, CoordClient, CreateMode, Election};
+use ustore_consensus::{
+    group_addrs, ClientConfig as CoordClientConfig, CoordClient, CreateMode, Election,
+};
 use ustore_fabric::{DiskId, HostId};
 use ustore_net::{Addr, Network, RpcNode};
 use ustore_sim::{CounterHandle, FastMap, FastSet, Sim, SimTime, TraceLevel};
@@ -33,6 +35,7 @@ use crate::messages::{
     HeartbeatAck, LookupReq, LookupResp, MasterError, PlanReq, PlanResp, ReleaseReq, ReleaseResp,
     SpaceInfo, UnexposeReq,
 };
+use crate::meta::MetaRouter;
 
 /// Static configuration of one deploy unit (part of SysConf).
 #[derive(Debug, Clone)]
@@ -63,6 +66,12 @@ pub struct MasterConfig {
     pub disk_timeout: Duration,
     /// Minimum gap between recovery attempts for the same disk.
     pub disk_retry: Duration,
+    /// Metadata partitions (§IV-A scaled out): StorAlloc is split into
+    /// per-unit-group namespaces, each persisted in its own replicated
+    /// log. Partition 0 lives in the base coordination cluster under the
+    /// legacy paths; `1` (the default) is the pre-partition Master,
+    /// byte-for-byte.
+    pub partitions: u32,
 }
 
 impl Default for MasterConfig {
@@ -74,6 +83,7 @@ impl Default for MasterConfig {
             execute_timeout: Duration::from_secs(40),
             disk_timeout: Duration::from_secs(8),
             disk_retry: Duration::from_secs(30),
+            partitions: 1,
         }
     }
 }
@@ -109,7 +119,11 @@ struct M {
 #[derive(Clone)]
 pub struct Master {
     rpc: RpcNode,
+    /// Partition-0 client: base cluster — election, sessions, legacy paths.
     coord: CoordClient,
+    /// Clients for partitions 1.. (empty in a single-partition deployment).
+    part_coords: Rc<Vec<CoordClient>>,
+    router: MetaRouter,
     inner: Rc<RefCell<M>>,
     election: Rc<RefCell<Option<Rc<Election>>>>,
 }
@@ -136,12 +150,26 @@ impl Master {
         config: MasterConfig,
     ) -> Master {
         let rpc = RpcNode::new(net, addr.clone());
+        let router = MetaRouter::new(config.partitions, units.len() as u32);
         let coord = CoordClient::new(
             net,
-            Addr::new(format!("{addr}-zk")),
-            coord_servers,
+            MetaRouter::coord_socket(&addr, 0),
+            coord_servers.clone(),
             CoordClientConfig::default(),
         );
+        // One additional session per metadata partition, against that
+        // partition's own replica group. Nothing is created at
+        // `partitions == 1`.
+        let part_coords: Vec<CoordClient> = (1..router.partitions())
+            .map(|k| {
+                CoordClient::new(
+                    net,
+                    MetaRouter::coord_socket(&addr, k),
+                    group_addrs(&coord_servers, k),
+                    CoordClientConfig::default(),
+                )
+            })
+            .collect();
         let mut alloc = Allocator::new();
         for u in &units {
             for (d, cap) in &u.disks {
@@ -151,6 +179,8 @@ impl Master {
         let master = Master {
             rpc,
             coord: coord.clone(),
+            part_coords: Rc::new(part_coords),
+            router,
             inner: Rc::new(RefCell::new(M {
                 config,
                 active: false,
@@ -171,6 +201,15 @@ impl Master {
             election: Rc::new(RefCell::new(None)),
         };
         master.install_handlers();
+        // The election's `on_change` closure captures this Master, and the
+        // Master holds the election handle back — drop it (weakly) at
+        // teardown so the pair can be collected.
+        let weak = Rc::downgrade(&master.election);
+        sim.on_teardown(move || {
+            if let Some(e) = weak.upgrade() {
+                *e.borrow_mut() = None;
+            }
+        });
         // Connect to the coordination service and join the election.
         let m2 = master.clone();
         coord.connect(sim, move |sim, r| {
@@ -195,8 +234,38 @@ impl Master {
             );
             *m2.election.borrow_mut() = Some(election);
         });
+        // Partition sessions connect concurrently with the election: the
+        // election needs several RPC round trips, so by the time this
+        // process can activate and serve allocations the routed sessions
+        // are already live.
+        for (i, c) in master.part_coords.iter().enumerate() {
+            let part = i as u32 + 1;
+            c.connect(sim, move |sim, r| {
+                if r.is_err() {
+                    sim.trace(
+                        TraceLevel::Error,
+                        "master",
+                        format!("cannot reach metadata partition {part}"),
+                    );
+                }
+            });
+        }
         master.arm_sweeper(sim);
         master
+    }
+
+    /// The coordination client owning metadata partition `p`.
+    fn coord_for(&self, p: u32) -> &CoordClient {
+        if p == 0 {
+            &self.coord
+        } else {
+            &self.part_coords[(p - 1) as usize]
+        }
+    }
+
+    /// Number of metadata partitions this master routes across.
+    pub fn partitions(&self) -> u32 {
+        self.router.partitions()
     }
 
     /// Whether this process is currently the active master.
@@ -214,6 +283,9 @@ impl Master {
     pub fn pause(&self) {
         self.inner.borrow_mut().active = false;
         self.coord.stop_pinging();
+        for c in self.part_coords.iter() {
+            c.stop_pinging();
+        }
     }
 
     /// SysStat view: the host a disk is believed attached to.
@@ -247,66 +319,98 @@ impl Master {
     }
 
     fn ensure_meta_paths(&self, sim: &Sim, then: impl FnOnce(&Sim) + 'static) {
-        let coord = self.coord.clone();
-        let coord2 = coord.clone();
-        coord.create(
-            sim,
-            "/ustore",
-            Vec::new(),
-            CreateMode::Persistent,
-            move |sim, _| {
-                coord2.create(
-                    sim,
-                    "/ustore/alloc",
-                    Vec::new(),
-                    CreateMode::Persistent,
-                    move |sim, _| {
-                        then(sim);
-                    },
-                );
-            },
-        );
+        // Every partition creates its namespace chain in its own log; the
+        // continuation fires once all of them exist. With one partition
+        // this is the legacy `/ustore` → `/ustore/alloc` chain, verbatim.
+        let total = self.router.partitions();
+        let remaining = Rc::new(RefCell::new(total));
+        let then = Rc::new(RefCell::new(Some(then)));
+        for p in 0..total {
+            let coord = self.coord_for(p).clone();
+            let chain = self.router.create_chain(p);
+            let remaining = remaining.clone();
+            let then = then.clone();
+            create_chain(
+                sim,
+                coord,
+                chain,
+                0,
+                Box::new(move |sim| {
+                    let done = {
+                        let mut r = remaining.borrow_mut();
+                        *r -= 1;
+                        *r == 0
+                    };
+                    if done {
+                        if let Some(t) = then.borrow_mut().take() {
+                            t(sim);
+                        }
+                    }
+                }),
+            );
+        }
     }
 
     fn load_allocations(&self, sim: &Sim) {
-        // Read /ustore/alloc/<space-name-with-escaped-slashes>.
-        let this = self.clone();
-        self.coord
-            .children_watch(sim, "/ustore/alloc", None, move |sim, r| {
+        // Read <alloc-dir>/<space-name-with-escaped-slashes> from every
+        // partition's log; activation completes once every partition has
+        // been replayed. A metadata-store error stalls activation, exactly
+        // as the single-log Master did.
+        let parts_remaining = Rc::new(RefCell::new(self.router.partitions()));
+        for p in 0..self.router.partitions() {
+            let this = self.clone();
+            let coord = self.coord_for(p).clone();
+            let dir = self.router.alloc_dir(p);
+            let dir2 = dir.clone();
+            let parts_remaining = parts_remaining.clone();
+            coord.clone().children_watch(sim, dir, None, move |sim, r| {
+                let part_done = move |this: &Master, sim: &Sim| {
+                    let done = {
+                        let mut rem = parts_remaining.borrow_mut();
+                        *rem -= 1;
+                        *rem == 0
+                    };
+                    if done {
+                        this.finish_activation(sim);
+                    }
+                };
                 let Ok(kids) = r else {
                     sim.trace(TraceLevel::Error, "master", "cannot list allocations");
                     return;
                 };
-                let total = kids.len();
-                if total == 0 {
-                    this.finish_activation(sim);
+                if kids.is_empty() {
+                    part_done(&this, sim);
                     return;
                 }
-                let remaining = Rc::new(RefCell::new(total));
+                let remaining = Rc::new(RefCell::new(kids.len()));
+                let part_done = Rc::new(RefCell::new(Some(part_done)));
                 for kid in kids {
                     let Some(name) = decode_space(&kid) else {
                         continue;
                     };
                     let this2 = this.clone();
                     let remaining = remaining.clone();
-                    this.coord
-                        .get(sim, format!("/ustore/alloc/{kid}"), move |sim, r| {
-                            if let Ok(Some((data, _))) = r {
-                                if let Some(extent) = decode_extent(&data) {
-                                    this2.inner.borrow_mut().alloc.restore(name, extent);
-                                }
+                    let part_done = part_done.clone();
+                    coord.get(sim, format!("{dir2}/{kid}"), move |sim, r| {
+                        if let Ok(Some((data, _))) = r {
+                            if let Some(extent) = decode_extent(&data) {
+                                this2.inner.borrow_mut().alloc.restore(name, extent);
                             }
-                            let done = {
-                                let mut rem = remaining.borrow_mut();
-                                *rem -= 1;
-                                *rem == 0
-                            };
-                            if done {
-                                this2.finish_activation(sim);
+                        }
+                        let done = {
+                            let mut rem = remaining.borrow_mut();
+                            *rem -= 1;
+                            *rem == 0
+                        };
+                        if done {
+                            if let Some(pd) = part_done.borrow_mut().take() {
+                                pd(&this2, sim);
                             }
-                        });
+                        }
+                    });
                 }
             });
+        }
     }
 
     fn finish_activation(&self, sim: &Sim) {
@@ -459,14 +563,20 @@ impl Master {
             }
         };
         // Persist synchronously to the metadata store before replying
-        // (§IV-A: "stored persistently in the Master synchronously").
-        let znode = format!("/ustore/alloc/{}", encode_space(allocation.name));
+        // (§IV-A: "stored persistently in the Master synchronously") —
+        // routed to the partition owning the space's unit.
+        let part = self.router.partition_of_unit(allocation.name.unit);
+        let znode = format!(
+            "{}/{}",
+            self.router.alloc_dir(part),
+            encode_space(allocation.name)
+        );
         let data = encode_extent(&allocation.extent);
         let this = self.clone();
         let name = allocation.name;
         let extent = allocation.extent.clone();
         self.inner.borrow_mut().pending_persist.insert(name);
-        self.coord
+        self.coord_for(part)
             .create(sim, znode, data, CreateMode::Persistent, move |sim, r| {
                 this.inner.borrow_mut().pending_persist.remove(&name);
                 if r.is_err() {
@@ -590,11 +700,13 @@ impl Master {
                 |_, _| {},
             );
         }
-        let znode = format!("/ustore/alloc/{}", encode_space(name));
-        self.coord.delete(sim, znode, None, move |sim, r| {
-            let resp: ReleaseResp = r.map_err(|_| MasterError::MetadataUnavailable);
-            responder.reply(sim, Arc::new(resp), 16);
-        });
+        let part = self.router.partition_of_unit(name.unit);
+        let znode = format!("{}/{}", self.router.alloc_dir(part), encode_space(name));
+        self.coord_for(part)
+            .delete(sim, znode, None, move |sim, r| {
+                let resp: ReleaseResp = r.map_err(|_| MasterError::MetadataUnavailable);
+                responder.reply(sim, Arc::new(resp), 16);
+            });
     }
 
     fn on_disk_power(&self, sim: &Sim, req: DiskPowerReq, responder: ustore_net::Responder) {
@@ -1111,6 +1223,33 @@ fn close_failover_spans(sim: &Sim, unit: UnitId, dead: HostId, error: Option<&st
         sim.span_attr(root, "error", e);
     }
     sim.span_end(root);
+}
+
+/// Creates `paths[idx..]` in order (parents first) on `coord`, then fires
+/// `then`. Already-existing nodes are fine: create errors are ignored,
+/// exactly like the pre-partition bootstrap chain.
+fn create_chain(
+    sim: &Sim,
+    coord: CoordClient,
+    paths: Vec<String>,
+    idx: usize,
+    then: Box<dyn FnOnce(&Sim)>,
+) {
+    if idx >= paths.len() {
+        then(sim);
+        return;
+    }
+    let path = paths[idx].clone();
+    let coord2 = coord.clone();
+    coord.create(
+        sim,
+        path,
+        Vec::new(),
+        CreateMode::Persistent,
+        move |sim, _| {
+            create_chain(sim, coord2, paths, idx + 1, then);
+        },
+    );
 }
 
 /// Encodes a space name as a single znode name (slashes become dots).

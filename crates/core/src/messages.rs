@@ -3,6 +3,13 @@
 //! All messages travel over `ustore-net`'s RPC layer as `Rc<dyn Any>`
 //! payloads; this module is the single place where both sides of each
 //! conversation agree on the types.
+//!
+//! Metadata partitioning is deliberately invisible here: clients address
+//! *a Master*, and the Master routes each request to the partition owning
+//! the space's unit (see `crate::meta::MetaRouter`). No wire format
+//! changes when the partition count does, which is what lets a
+//! single-partition deployment remain byte-identical with the
+//! pre-partition system.
 
 use std::fmt;
 

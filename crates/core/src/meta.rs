@@ -1,0 +1,132 @@
+//! Metadata partition routing.
+//!
+//! The partitioned Master splits StorAlloc into per-unit-group namespaces,
+//! each persisted in its own replicated log (an independent
+//! `ustore_consensus::CoordGroup` replica set). [`MetaRouter`] is the thin,
+//! purely-arithmetic map from a unit (and therefore a space name) to its
+//! owning partition and that partition's znode namespace.
+//!
+//! Partition 0 is special: it lives in the **base** coordination cluster
+//! under the legacy `/ustore/alloc` directory, and also carries everything
+//! that must stay globally serialized (master election, client sessions).
+//! A single-partition deployment therefore touches exactly the znodes the
+//! pre-partition Master touched — byte-identical event streams.
+
+use crate::ids::UnitId;
+
+/// Maps units to metadata partitions and partitions to znode namespaces.
+///
+/// Partitioning follows the unit-group rule used by the sharded engine:
+/// contiguous blocks of `ceil(units / partitions)` units per partition, so
+/// a partition map with `partitions == groups` aligns one metadata
+/// partition with each unit-group world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaRouter {
+    partitions: u32,
+    units_per_partition: u32,
+}
+
+impl MetaRouter {
+    /// A router over `units` deploy units split into `partitions`
+    /// partitions. Both are clamped to at least 1.
+    pub fn new(partitions: u32, units: u32) -> MetaRouter {
+        let partitions = partitions.max(1);
+        MetaRouter {
+            partitions,
+            units_per_partition: units.max(1).div_ceil(partitions).max(1),
+        }
+    }
+
+    /// Number of partitions (≥ 1).
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The partition owning `unit`'s metadata.
+    pub fn partition_of_unit(&self, unit: UnitId) -> u32 {
+        (unit.0 / self.units_per_partition).min(self.partitions - 1)
+    }
+
+    /// The allocation directory of partition `p`. Partition 0 keeps the
+    /// legacy `/ustore/alloc` path.
+    pub fn alloc_dir(&self, p: u32) -> String {
+        if p == 0 {
+            "/ustore/alloc".to_owned()
+        } else {
+            format!("/ustore/p{p}/alloc")
+        }
+    }
+
+    /// The znode paths that must exist (created in order, parents first)
+    /// before partition `p` serves allocations.
+    pub fn create_chain(&self, p: u32) -> Vec<String> {
+        if p == 0 {
+            vec!["/ustore".to_owned(), "/ustore/alloc".to_owned()]
+        } else {
+            vec![
+                "/ustore".to_owned(),
+                format!("/ustore/p{p}"),
+                format!("/ustore/p{p}/alloc"),
+            ]
+        }
+    }
+
+    /// The coordination-client socket address a master at `master_addr`
+    /// uses for partition `p` (partition 0 reuses the legacy `-zk` socket).
+    pub fn coord_socket(master_addr: &ustore_net::Addr, p: u32) -> ustore_net::Addr {
+        if p == 0 {
+            ustore_net::Addr::new(format!("{master_addr}-zk"))
+        } else {
+            ustore_net::Addr::new(format!("{master_addr}-zk-p{p}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_owns_everything_under_legacy_paths() {
+        let r = MetaRouter::new(1, 8);
+        assert_eq!(r.partitions(), 1);
+        for u in 0..8 {
+            assert_eq!(r.partition_of_unit(UnitId(u)), 0);
+        }
+        assert_eq!(r.alloc_dir(0), "/ustore/alloc");
+        assert_eq!(r.create_chain(0), vec!["/ustore", "/ustore/alloc"]);
+    }
+
+    #[test]
+    fn contiguous_blocks_and_clamping() {
+        let r = MetaRouter::new(4, 8);
+        assert_eq!(r.partition_of_unit(UnitId(0)), 0);
+        assert_eq!(r.partition_of_unit(UnitId(1)), 0);
+        assert_eq!(r.partition_of_unit(UnitId(2)), 1);
+        assert_eq!(r.partition_of_unit(UnitId(7)), 3);
+        // More partitions than units: trailing partitions own nothing,
+        // high units clamp into the last partition.
+        let r = MetaRouter::new(4, 2);
+        assert_eq!(r.partition_of_unit(UnitId(0)), 0);
+        assert_eq!(r.partition_of_unit(UnitId(1)), 1);
+        assert_eq!(r.partition_of_unit(UnitId(9)), 3);
+    }
+
+    #[test]
+    fn partition_namespaces_are_disjoint() {
+        let r = MetaRouter::new(3, 6);
+        assert_eq!(r.alloc_dir(1), "/ustore/p1/alloc");
+        assert_eq!(r.alloc_dir(2), "/ustore/p2/alloc");
+        assert_eq!(
+            r.create_chain(2),
+            vec!["/ustore", "/ustore/p2", "/ustore/p2/alloc"]
+        );
+    }
+
+    #[test]
+    fn coord_sockets() {
+        let m = ustore_net::Addr::new("master-1");
+        assert_eq!(MetaRouter::coord_socket(&m, 0).as_str(), "master-1-zk");
+        assert_eq!(MetaRouter::coord_socket(&m, 3).as_str(), "master-1-zk-p3");
+    }
+}

@@ -22,7 +22,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ustore_consensus::{CoordConfig, CoordServer};
+use ustore_consensus::{CoordConfig, CoordGroup, CoordServer};
 use ustore_fabric::{FabricRuntime, Topology};
 use ustore_net::{Addr, Envelope, Network, RpcNode};
 use ustore_sim::{
@@ -113,6 +113,10 @@ pub struct WorldTelemetry {
     pub events: u64,
     /// Peak live event-queue depth of this world's engine.
     pub peak_queue_depth: f64,
+    /// Replicated-log lengths of the metadata partitions hosted by this
+    /// world, as `(partition, applied length)` pairs (partition 0 = the
+    /// base cluster). Empty for worlds hosting no coordination replicas.
+    pub partition_logs: Vec<(u32, u64)>,
 }
 
 /// One world of the sharded pod.
@@ -124,6 +128,7 @@ pub struct PodWorld {
     endpoints: Vec<Endpoint>,
     controllers: Vec<Rc<Controller>>,
     coord: Vec<CoordServer>,
+    coord_groups: Vec<CoordGroup>,
     masters: Vec<Master>,
     scraper: Rc<RefCell<Option<Scraper>>>,
 }
@@ -168,6 +173,11 @@ impl ShardWorld for PodWorld {
             &self.coord,
             &self.masters,
         );
+        let mut partition_logs: Vec<(u32, u64)> = Vec::new();
+        if let Some(base) = self.coord.iter().map(|s| s.applied_len()).max() {
+            partition_logs.push((0, base));
+        }
+        partition_logs.extend(self.coord_groups.iter().map(|g| (g.group(), g.log_len())));
         let telemetry = Box::new(WorldTelemetry {
             world: self.id,
             metrics_json: self.sim.metrics_snapshot().to_json().to_string(),
@@ -184,6 +194,7 @@ impl ShardWorld for PodWorld {
                 .metrics_snapshot()
                 .gauge("sim", "queue_depth_max")
                 .unwrap_or(0.0),
+            partition_logs,
         });
         // Break the engine's Rc cycles (pending recurring timers capture
         // the sim and components) so harnesses running many sharded pods
@@ -216,6 +227,29 @@ pub fn world_of_unit(unit: u32, units: u32, groups: u32) -> usize {
     1 + (unit / units_per_group(units, groups)) as usize
 }
 
+/// The world metadata partition `partition`'s replica group is placed in:
+/// the unit-group world owning every unit of the partition when the
+/// partition map aligns with the world decomposition (metadata co-located
+/// with the data it describes), else the control world. Partition 0 — the
+/// base cluster — always lives in the control world.
+pub fn partition_world(partition: u32, partitions: u32, units: u32, groups: u32) -> usize {
+    if partition == 0 {
+        return 0;
+    }
+    let per = units.max(1).div_ceil(partitions.max(1)).max(1);
+    let lo = partition * per;
+    let hi = ((partition + 1) * per).min(units);
+    if lo >= hi {
+        return 0; // partition owns no units; keep it with the control plane
+    }
+    let w = world_of_unit(lo, units, groups);
+    if (lo..hi).all(|u| world_of_unit(u, units, groups) == w) {
+        w
+    } else {
+        0
+    }
+}
+
 /// Builds the static address → world placement map shared by all worlds.
 fn build_placement(cfg: &ShardedPodConfig) -> Arc<FastMap<Addr, usize>> {
     let sys = &cfg.system;
@@ -227,6 +261,19 @@ fn build_placement(cfg: &ShardedPodConfig) -> Arc<FastMap<Addr, usize>> {
         let m = master_addr(i);
         placement.insert(Addr::new(format!("{m}-zk")), 0);
         placement.insert(m, 0);
+    }
+    // Metadata partitions: each partition's replica group lives in the
+    // unit-group world owning its units (or world 0 when the maps don't
+    // align); the masters' per-partition client sockets stay in world 0.
+    let partitions = sys.master.partitions.max(1);
+    for k in 1..partitions {
+        let world = partition_world(k, partitions, sys.units, cfg.groups);
+        for i in 0..sys.coord_nodes {
+            placement.insert(Addr::new(format!("p{k}-{}", coord_addr(i))), world);
+        }
+        for m in 0..sys.masters {
+            placement.insert(Addr::new(format!("{}-zk-p{k}", master_addr(m))), 0);
+        }
     }
     for name in &cfg.clients {
         placement.insert(Addr::new(name.as_str()), 0);
@@ -287,10 +334,19 @@ fn build_control_world(
     if let Some(m) = traffic {
         net.set_traffic_matrix(m);
     }
+    let net2 = net.clone();
+    sim.on_teardown(move || net2.teardown());
 
     let coord_addrs: Vec<Addr> = (0..sys.coord_nodes).map(coord_addr).collect();
     let coord: Vec<CoordServer> = (0..sys.coord_nodes)
         .map(|i| CoordServer::new(&sim, &net, i, coord_addrs.clone(), CoordConfig::default()))
+        .collect();
+    // Metadata-partition replica groups whose placement falls back to the
+    // control world (misaligned partition/world maps).
+    let partitions = sys.master.partitions.max(1);
+    let coord_groups: Vec<CoordGroup> = (1..partitions)
+        .filter(|&k| partition_world(k, partitions, sys.units, cfg.groups) == 0)
+        .map(|k| CoordGroup::new(&sim, &net, k, &coord_addrs, CoordConfig::default()))
         .collect();
     let unit_confs: Vec<_> = (0..sys.units)
         .map(|u| unit_conf_for(UnitId(u), sys))
@@ -331,6 +387,7 @@ fn build_control_world(
             endpoints: Vec::new(),
             controllers: Vec::new(),
             coord,
+            coord_groups,
             masters,
             scraper,
         },
@@ -339,10 +396,12 @@ fn build_control_world(
 }
 
 /// Builds unit-group world `id` hosting units `lo..hi`.
+#[allow(clippy::too_many_arguments)]
 fn build_unit_world(
     id: usize,
     seed: u64,
     sys: &SystemConfig,
+    groups: u32,
     lo: u32,
     hi: u32,
     placement: Arc<FastMap<Addr, usize>>,
@@ -360,6 +419,16 @@ fn build_unit_world(
     if let Some(m) = traffic {
         net.set_traffic_matrix(m);
     }
+    let net2 = net.clone();
+    sim.on_teardown(move || net2.teardown());
+    // Metadata-partition replica groups co-located with this world's
+    // units: the partition's log lives next to the data it describes.
+    let partitions = sys.master.partitions.max(1);
+    let coord_addrs: Vec<Addr> = (0..sys.coord_nodes).map(coord_addr).collect();
+    let coord_groups: Vec<CoordGroup> = (1..partitions)
+        .filter(|&k| partition_world(k, partitions, sys.units, groups) == id)
+        .map(|k| CoordGroup::new(&sim, &net, k, &coord_addrs, CoordConfig::default()))
+        .collect();
     let master_addrs: Vec<Addr> = (0..sys.masters).map(master_addr).collect();
     let mut runtimes = Vec::new();
     let mut endpoints = Vec::new();
@@ -394,6 +463,7 @@ fn build_unit_world(
         endpoints,
         controllers,
         coord: Vec::new(),
+        coord_groups,
         masters: Vec::new(),
         scraper,
     }
@@ -470,11 +540,40 @@ impl ShardedPod {
         // never to each other (clients reach EndPoints via world 0 as
         // well). The lookahead matrix encodes exactly that star, so the
         // adaptive scheduler never lets one unit world's horizon
-        // constrain a sibling's.
+        // constrain a sibling's. With a partitioned Master the partition
+        // map is fed in as well: unit worlds sharing a metadata partition
+        // get direct (non-star) edges, declaring the coupling their
+        // shared replicated log implies. Reachability is a capability,
+        // not a schedule — a partition map that adds no such pairs (e.g.
+        // one partition per world) leaves the star untouched.
+        let partitions = sys.master.partitions.max(1);
+        let units = sys.units;
+        let groups = cfg.groups;
+        let partition_of_world = move |w: usize| -> Option<u32> {
+            if w == 0 || partitions == 1 {
+                return None;
+            }
+            let per = units_per_group(units, groups);
+            let lo = (w as u32 - 1) * per;
+            let hi = ((w as u32) * per).min(units);
+            let router = crate::meta::MetaRouter::new(partitions, units);
+            let p = router.partition_of_unit(UnitId(lo));
+            (lo..hi)
+                .all(|u| router.partition_of_unit(UnitId(u)) == p)
+                .then_some(p)
+        };
         let matrix = Arc::new(LookaheadMatrix::from_reachability(
             world_count,
             lookahead,
-            |src, dst| src == 0 || dst == 0,
+            |src, dst| {
+                if src == 0 || dst == 0 {
+                    return true;
+                }
+                matches!(
+                    (partition_of_world(src), partition_of_world(dst)),
+                    (Some(a), Some(b)) if a == b
+                )
+            },
         ));
         let (control, clients) = build_control_world(
             seed,
@@ -505,6 +604,7 @@ impl ShardedPod {
                         id,
                         seed,
                         sys,
+                        cfg.groups,
                         lo,
                         hi,
                         placement.clone(),
@@ -517,6 +617,7 @@ impl ShardedPod {
                 ));
             } else {
                 let sys = sys.clone();
+                let groups = cfg.groups;
                 let placement = placement.clone();
                 let matrix = matrix.clone();
                 let telemetry = cfg.telemetry.clone();
@@ -530,6 +631,7 @@ impl ShardedPod {
                             id,
                             seed,
                             &sys,
+                            groups,
                             lo,
                             hi,
                             placement,

@@ -11,7 +11,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use ustore_consensus::{CoordConfig, CoordServer};
+use ustore_consensus::{CoordConfig, CoordGroup, CoordServer};
 use ustore_fabric::{DiskId, FabricRuntime, HostId, RuntimeConfig, Topology};
 use ustore_net::{Addr, NetConfig, Network, RpcNode};
 use ustore_sim::{Scraper, ScraperConfig, Sim, TraceLevel};
@@ -82,6 +82,9 @@ pub struct UStoreSystem {
     pub runtimes: Vec<FabricRuntime>,
     /// Coordination cluster replicas.
     pub coord: Vec<CoordServer>,
+    /// Per-partition metadata replica groups (partitions 1.. of
+    /// `config.master.partitions`; empty for a single-partition Master).
+    pub partition_groups: Vec<CoordGroup>,
     /// Master processes (index 0 usually becomes active first).
     pub masters: Vec<Master>,
     /// EndPoints across all units.
@@ -155,10 +158,19 @@ impl UStoreSystem {
     pub fn build(sim: Sim, config: SystemConfig) -> UStoreSystem {
         assert!(config.units >= 1, "need at least one deploy unit");
         let net = Network::new(config.net.clone());
+        // Tearing the simulator down also severs the network/RPC closure
+        // tables, so repeated in-process builds don't accumulate heap.
+        let net2 = net.clone();
+        sim.on_teardown(move || net2.teardown());
         // Coordination cluster.
         let coord_addrs: Vec<Addr> = (0..config.coord_nodes).map(coord_addr).collect();
         let coord: Vec<CoordServer> = (0..config.coord_nodes)
             .map(|i| CoordServer::new(&sim, &net, i, coord_addrs.clone(), CoordConfig::default()))
+            .collect();
+        // One extra replica group per metadata partition beyond the first
+        // (partition 0 is the base cluster itself).
+        let partition_groups: Vec<CoordGroup> = (1..config.master.partitions.max(1))
+            .map(|k| CoordGroup::new(&sim, &net, k, &coord_addrs, CoordConfig::default()))
             .collect();
         // Hardware + SysConf, one entry per deploy unit.
         let mut runtimes = Vec::new();
@@ -214,11 +226,27 @@ impl UStoreSystem {
             runtime: runtimes[0].clone(),
             runtimes,
             coord,
+            partition_groups,
             masters,
             endpoints,
             controllers,
             config,
         }
+    }
+
+    /// Replicated-log length of every metadata partition, in partition
+    /// order (index 0 = the base cluster, which also carries elections and
+    /// sessions; indices 1.. = the per-partition groups).
+    pub fn partition_log_lens(&self) -> Vec<u64> {
+        let base = self
+            .coord
+            .iter()
+            .map(|s| s.applied_len())
+            .max()
+            .unwrap_or(0);
+        std::iter::once(base)
+            .chain(self.partition_groups.iter().map(|g| g.log_len()))
+            .collect()
     }
 
     /// Builds the paper's prototype deployment with default parameters.
@@ -297,13 +325,20 @@ impl UStoreSystem {
         }
     }
 
-    /// Kills a master process (service socket, coordination session).
+    /// Kills a master process (service socket, coordination sessions —
+    /// including its per-partition metadata sessions).
     pub fn kill_master(&self, i: usize) {
         self.net.set_down(&self.sim, &master_addr(i as u32));
         self.net.set_down(
             &self.sim,
             &Addr::new(format!("{}-zk", master_addr(i as u32))),
         );
+        for k in 1..self.config.master.partitions.max(1) {
+            self.net.set_down(
+                &self.sim,
+                &Addr::new(format!("{}-zk-p{k}", master_addr(i as u32))),
+            );
+        }
         self.masters[i].pause();
     }
 

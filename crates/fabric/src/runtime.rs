@@ -199,6 +199,19 @@ impl FabricRuntime {
             })),
         };
         rt.mount_all(sim);
+        // Hot-plug listeners capture their subscribers (an EndPoint on
+        // each host holds this runtime back) — a cycle the event-queue
+        // teardown cannot reach. Register a weak breaker so one
+        // `Sim::teardown` releases the whole unit.
+        let weak = Rc::downgrade(&rt.inner);
+        sim.on_teardown(move || {
+            if let Some(inner) = weak.upgrade() {
+                let hosts: Vec<UsbHost> = inner.borrow().hosts.values().cloned().collect();
+                for h in hosts {
+                    h.clear_listeners();
+                }
+            }
+        });
         rt
     }
 

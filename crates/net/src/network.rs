@@ -139,6 +139,10 @@ struct Inner {
     sent: u64,
     delivered: u64,
     dropped: u64,
+    /// Endpoint teardown hooks, run once by [`Network::teardown`].
+    /// Endpoints whose handler tables cycle back to their owning
+    /// components (see [`Network::on_teardown`]) register breakers here.
+    teardown_hooks: Vec<Box<dyn FnOnce()>>,
 }
 
 /// Handle to the shared network fabric.
@@ -190,6 +194,7 @@ impl Network {
                 sent: 0,
                 delivered: 0,
                 dropped: 0,
+                teardown_hooks: Vec::new(),
             })),
         }
     }
@@ -495,6 +500,49 @@ impl Network {
     /// The configured parameters.
     pub fn config(&self) -> NetConfig {
         self.inner.borrow().config.clone()
+    }
+
+    /// Registers a hook to run once at [`Network::teardown`] time.
+    ///
+    /// Every bound handler is an `Rc` closure capturing its endpoint, and
+    /// endpoints in turn hold handler tables capturing the components that
+    /// own them — reference cycles the event-queue teardown cannot reach.
+    /// Endpoints register a breaker here (capturing their state weakly so
+    /// the registry itself keeps nothing alive) to clear those tables.
+    pub fn on_teardown(&self, hook: impl FnOnce() + 'static) {
+        self.inner.borrow_mut().teardown_hooks.push(Box::new(hook));
+    }
+
+    /// Drops every node's receive handler, the routing outbox, and runs
+    /// the registered endpoint teardown hooks — breaking the component
+    /// `Rc` cycles rooted in this fabric. The network stays usable for
+    /// counter reads (`stats`, `publish_metrics`) but delivers nothing
+    /// afterwards. Harnesses arm this via `sim.on_teardown(..)` so one
+    /// `Sim::teardown` call releases the whole deployment.
+    pub fn teardown(&self) {
+        let (handlers, outbox, hooks) = {
+            let mut i = self.inner.borrow_mut();
+            let handlers: Vec<_> = i
+                .nodes
+                .values_mut()
+                .filter_map(|n| n.handler.take())
+                .collect();
+            let outbox = i
+                .routing
+                .as_mut()
+                .map(|r| std::mem::take(&mut r.outbox))
+                .unwrap_or_default();
+            let hooks = std::mem::take(&mut i.teardown_hooks);
+            (handlers, outbox, hooks)
+        };
+        // Run hooks (and drop closures) outside the borrow: a handler drop
+        // may release the last strong ref to a component that holds this
+        // network.
+        for hook in hooks {
+            hook();
+        }
+        drop(handlers);
+        drop(outbox);
     }
 }
 

@@ -197,6 +197,25 @@ impl RpcNode {
         };
         let n = node.clone();
         net.bind(&addr, move |sim, env| n.on_message(sim, env));
+        // The handler map is a cycle anchor independent of the network
+        // bind: served closures capture component clones which hold this
+        // RpcNode back. Register a weak breaker so `Network::teardown`
+        // clears the map (and any orphaned pending callbacks) without the
+        // registry itself keeping the endpoint alive.
+        let weak = Rc::downgrade(&node.inner);
+        net.on_teardown(move || {
+            if let Some(inner) = weak.upgrade() {
+                let (handlers, pending) = {
+                    let mut i = inner.borrow_mut();
+                    (
+                        std::mem::take(&mut i.handlers),
+                        std::mem::take(&mut i.pending),
+                    )
+                };
+                drop(handlers);
+                drop(pending);
+            }
+        });
         node
     }
 

@@ -172,6 +172,11 @@ struct Inner {
     /// disk — pick up the stamp without plumbing it through every
     /// signature.
     current_stamp: Option<ReqStamp>,
+    /// Component teardown hooks, run once by [`Sim::teardown`]. Components
+    /// whose closure tables form `Rc` cycles independent of the event
+    /// queue (network handler maps, rpc handler maps, remount callbacks)
+    /// register a breaker here at construction time.
+    teardown_hooks: Vec<Box<dyn FnOnce()>>,
 }
 
 /// See [`Sim::set_wallclock_prof`].
@@ -257,6 +262,7 @@ impl Sim {
                 wallprof: None,
                 reqtracer: RequestTracer::off(),
                 current_stamp: None,
+                teardown_hooks: Vec::new(),
             })),
         }
     }
@@ -509,7 +515,18 @@ impl Sim {
     /// The queue, arenas and their closures are moved out and dropped
     /// *after* the engine borrow is released, so closure drops that
     /// release component `Rc`s can never observe a held borrow.
+    ///
+    /// Before the queue is dropped, every hook registered through
+    /// [`Sim::on_teardown`] runs (in registration order). Components whose
+    /// closure tables cycle independently of the queue — a network node's
+    /// handler captures an rpc endpoint whose handler map captures the
+    /// component that owns the endpoint — register breakers there, so one
+    /// `teardown()` call releases the whole component graph.
     pub fn teardown(&self) {
+        let hooks = std::mem::take(&mut self.inner.borrow_mut().teardown_hooks);
+        for hook in hooks {
+            hook();
+        }
         let retained = {
             let mut inner = self.inner.borrow_mut();
             inner.live_pending = 0;
@@ -520,6 +537,16 @@ impl Sim {
             )
         };
         drop(retained);
+    }
+
+    /// Registers a hook to run once at [`Sim::teardown`] time, before the
+    /// event queue is dropped. Hooks must not schedule events or touch the
+    /// engine; they exist purely to break component-level `Rc` cycles
+    /// (clear handler maps, drop callback vectors). Hooks should capture
+    /// components weakly where possible so the registry itself never keeps
+    /// a component alive.
+    pub fn on_teardown(&self, hook: impl FnOnce() + 'static) {
+        self.inner.borrow_mut().teardown_hooks.push(Box::new(hook));
     }
 
     /// The instant of the earliest live pending event, if any.

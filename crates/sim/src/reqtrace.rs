@@ -235,6 +235,8 @@ struct TraceInner {
     master_lookup: Histogram,
     lookups_served: u64,
     lookups_unresolved: u64,
+    lease_hits: u64,
+    lease_misses: u64,
     annotations: Vec<(u64, String)>,
     retries: u64,
     abandoned: u64,
@@ -258,6 +260,8 @@ impl TraceInner {
             master_lookup: Histogram::new(),
             lookups_served: 0,
             lookups_unresolved: 0,
+            lease_hits: 0,
+            lease_misses: 0,
             annotations: Vec::new(),
             retries: 0,
             abandoned: 0,
@@ -477,6 +481,20 @@ impl RequestTracer {
         }
     }
 
+    /// Counts one client-side location-lease consultation: `hit` means a
+    /// cached `SpaceInfo` under a live lease answered the lookup (or
+    /// validated an IO dispatch) without a Master round trip.
+    pub fn note_lease(&self, hit: bool) {
+        if let Some(inner) = &self.0 {
+            let mut t = inner.lock().unwrap();
+            if hit {
+                t.lease_hits += 1;
+            } else {
+                t.lease_misses += 1;
+            }
+        }
+    }
+
     /// Records a cluster-level annotation (watchdog escalation, failover
     /// start, ...) that the SLO report prints alongside slow exemplars.
     /// Capped so runaway scenarios cannot grow the trace unbounded.
@@ -623,6 +641,8 @@ impl RequestTracer {
             master_lookup: t.master_lookup.clone(),
             lookups_served: t.lookups_served,
             lookups_unresolved: t.lookups_unresolved,
+            lease_hits: t.lease_hits,
+            lease_misses: t.lease_misses,
             annotations: t.annotations.clone(),
         })
     }
@@ -714,6 +734,10 @@ pub struct TraceSnapshot {
     pub lookups_served: u64,
     /// Master lookups answered NotActive / NoSuchSpace (failover spin).
     pub lookups_unresolved: u64,
+    /// Client-side location-lease consultations answered from cache.
+    pub lease_hits: u64,
+    /// Consultations that required (or triggered) a Master round trip.
+    pub lease_misses: u64,
     /// Cluster-level annotations `(sim_ns, label)` in emission order,
     /// capped at [`ANNOTATION_CAP`].
     pub annotations: Vec<(u64, String)>,
@@ -728,6 +752,13 @@ impl TraceSnapshot {
     /// The slowest completed request, if any.
     pub fn worst(&self) -> Option<&TraceRecord> {
         self.exemplars.first()
+    }
+
+    /// Fraction of lease consultations served from cache, or `None` when
+    /// no leases were consulted (lease caching disabled).
+    pub fn lease_hit_rate(&self) -> Option<f64> {
+        let total = self.lease_hits + self.lease_misses;
+        (total > 0).then(|| self.lease_hits as f64 / total as f64)
     }
 
     /// Minimum coverage across kinds with traffic for quantile `q`.
@@ -756,6 +787,8 @@ impl TraceSnapshot {
             ),
             ("lookups_served", Json::u64(self.lookups_served)),
             ("lookups_unresolved", Json::u64(self.lookups_unresolved)),
+            ("lease_hits", Json::u64(self.lease_hits)),
+            ("lease_misses", Json::u64(self.lease_misses)),
             ("annotations", Json::u64(self.annotations.len() as u64)),
         ]);
         for stats in &self.kinds {

@@ -237,6 +237,16 @@ impl UsbHost {
         self.inner.borrow_mut().listeners.push(Rc::new(f));
     }
 
+    /// Drops every registered hot-plug listener.
+    ///
+    /// Listeners capture the component that subscribed, which usually
+    /// holds (a handle to) this host back — an `Rc` cycle outside the
+    /// event queue. Harness teardown calls this so repeated in-process
+    /// builds don't accumulate whole deployments.
+    pub fn clear_listeners(&self) {
+        self.inner.borrow_mut().listeners.clear();
+    }
+
     fn emit(&self, sim: &Sim, ev: UsbEvent) {
         let listeners: Vec<_> = self.inner.borrow().listeners.clone();
         for l in listeners {

@@ -116,6 +116,147 @@ fn podscale_sharded_digest_is_identical_for_shards_1_2_4() {
     }
 }
 
+/// Golden test for the partitioned control plane on the sharded engine:
+/// with one metadata partition per unit-group world (replica groups
+/// co-located with their units, so the lookahead matrix gains
+/// same-partition edges) and client location leases on, the telemetry
+/// digest must still be bit-identical at every executor thread count.
+/// This is the determinism gate for both new mechanisms at once: the
+/// partition routing and the widened lookahead can change *scheduling*,
+/// never *outcomes*.
+#[test]
+fn partitioned_leased_sharded_digest_is_identical_for_shards_1_2_4() {
+    let cfg = PodConfig::tiny().partitioned();
+    assert!(cfg.partitions > 1, "partitioned shape under test");
+    let runs: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|s| (s, run_podscale_sharded(7, &cfg, s)))
+        .collect();
+    let (_, base) = &runs[0];
+    assert!(base.writes_ok > 0 && base.reads_ok > 0, "workload served");
+    assert_eq!(base.io_errors, 0, "healthy pod serves all IO");
+    for (s, run) in &runs[1..] {
+        assert_eq!(
+            run.digest, base.digest,
+            "partitioned telemetry digest diverged at --shards {s}"
+        );
+        assert_eq!(run.events, base.events);
+        assert_eq!(run.writes_ok, base.writes_ok);
+        assert_eq!(run.reads_ok, base.reads_ok);
+        assert_eq!(
+            run.partition_logs, base.partition_logs,
+            "per-partition log lengths diverged at --shards {s}"
+        );
+        let (a, b) = (
+            base.sharding.as_ref().expect("shard stats"),
+            run.sharding.as_ref().expect("shard stats"),
+        );
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.sync_rounds, b.sync_rounds);
+        assert_eq!(a.cross_messages, b.cross_messages);
+    }
+    // The monolithic pod at the same seed is a different scenario (extra
+    // replica groups, refresh lookups): its digest must differ, or the
+    // partitioned comparison above is vacuous.
+    let mono = run_podscale_sharded(7, &PodConfig::tiny(), 2);
+    assert_ne!(
+        mono.digest, base.digest,
+        "partitioned and monolithic scenarios produced identical telemetry"
+    );
+}
+
+/// Equivalence of the partitioned Master with the monolithic one: the
+/// partition map changes *where metadata lives*, never *what it says*.
+/// The same allocation workload against partitions=1 and partitions=4
+/// must yield identical spaces, identical lookup answers, and — after the
+/// active master is killed and the standby rebuilds from the replicated
+/// logs — identical recovered state.
+#[test]
+fn partitioned_master_agrees_with_monolithic_on_allocate_lookup_recover() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Duration;
+    use ustore::{MasterConfig, SpaceInfo, SystemConfig, UStoreSystem};
+
+    fn run_scenario(partitions: u32) -> (Vec<SpaceInfo>, Vec<SpaceInfo>) {
+        let sim = ustore_sim::Sim::new(0xE0_0415);
+        let s = UStoreSystem::build(
+            sim,
+            SystemConfig {
+                units: 4,
+                master: MasterConfig {
+                    partitions,
+                    ..MasterConfig::default()
+                },
+                ..SystemConfig::default()
+            },
+        );
+        s.settle();
+        let client = s.client("equiv");
+        let run_for = |secs: u64| s.sim.run_until(s.sim.now() + Duration::from_secs(secs));
+        // A serialized request sequence: each allocate observes the
+        // state left by the previous one, so the balance rule's answer
+        // is a pure function of the sequence — the property under test.
+        // (Concurrent allocates would commit in a transport-dependent
+        // interleaving, which partitioning legitimately changes.)
+        let allocated: Rc<RefCell<Vec<Option<SpaceInfo>>>> = Rc::new(RefCell::new(vec![None; 8]));
+        for i in 0..8usize {
+            let out = allocated.clone();
+            client.allocate(&s.sim, format!("svc-{i}"), 1 << 30, move |_, r| {
+                out.borrow_mut()[i] = Some(r.expect("allocate"));
+            });
+            run_for(3);
+        }
+        let allocated: Vec<SpaceInfo> = allocated
+            .borrow()
+            .iter()
+            .map(|o| o.clone().expect("allocation served"))
+            .collect();
+        // Fail the active master over; the standby rebuilds SysConf from
+        // the replicated logs (all partitions) before serving lookups.
+        let active = s
+            .masters
+            .iter()
+            .position(|m| m.is_active())
+            .expect("active master");
+        s.kill_master(active);
+        run_for(40);
+        // One lookup at a time: the client's master-selection hint is
+        // shared, and a concurrent batch would advance it in lockstep
+        // while the first post-failover timeouts are still resolving.
+        let recovered: Rc<RefCell<Vec<Option<SpaceInfo>>>> = Rc::new(RefCell::new(vec![None; 8]));
+        for (i, info) in allocated.iter().enumerate() {
+            let out = recovered.clone();
+            client.lookup(&s.sim, info.name, move |_, r| {
+                out.borrow_mut()[i] = Some(r.expect("lookup after failover"));
+            });
+            run_for(3);
+        }
+        let recovered: Vec<SpaceInfo> = recovered
+            .borrow()
+            .iter()
+            .map(|o| o.clone().expect("lookup served"))
+            .collect();
+        s.sim.teardown();
+        (allocated, recovered)
+    }
+
+    let (mono_alloc, mono_rec) = run_scenario(1);
+    let (part_alloc, part_rec) = run_scenario(4);
+    assert_eq!(
+        mono_alloc, part_alloc,
+        "allocation answers differ between monolithic and partitioned Master"
+    );
+    assert_eq!(
+        mono_rec, part_rec,
+        "post-failover lookup answers differ between monolithic and partitioned Master"
+    );
+    for (a, r) in mono_alloc.iter().zip(&mono_rec) {
+        assert_eq!(a.name, r.name);
+        assert_eq!(a.size, r.size, "recovered extent size drifted");
+    }
+}
+
 /// Property test for the adaptive scheduler's safety precondition: the
 /// per-pair lookahead matrix handed to the coordinator must never exceed
 /// the true minimum cross-world delivery latency for any reachable pair.

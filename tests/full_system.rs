@@ -293,3 +293,86 @@ fn multi_unit_deployment_allocates_and_fails_over_per_unit() {
         "disk left the dead host"
     );
 }
+
+#[test]
+fn stale_location_lease_is_invalidated_by_io_failure() {
+    // A long location lease (60 virtual seconds — longer than the whole
+    // test) would pin every directory answer to its first resolution.
+    // The lease contract is that IO failures kill the cached entry, so a
+    // remount after a host death re-resolves through the Master instead
+    // of retrying the dead endpoint off a stale lease.
+    let s = UStoreSystem::build(
+        Sim::new(9010),
+        SystemConfig {
+            clientlib: ustore::ClientLibConfig {
+                location_lease: Some(Duration::from_secs(60)),
+                ..ustore::ClientLibConfig::default()
+            },
+            ..SystemConfig::default()
+        },
+    );
+    s.settle();
+    let client = s.client("app");
+    let info = allocate(&s, &client, "svc", 1 << 30);
+    // Prime the lease with a directory lookup.
+    let primed = Rc::new(Cell::new(false));
+    let p = primed.clone();
+    client.lookup(&s.sim, info.name, move |_, r| {
+        r.expect("lookup");
+        p.set(true);
+    });
+    run_for(&s, 2);
+    assert!(primed.get(), "lookup served");
+    let old_host = client
+        .cached_location(&s.sim, info.name)
+        .expect("location leased")
+        .host_addr
+        .expect("host known");
+    let m = mount(&s, &client, &info);
+    m.write(
+        &s.sim,
+        0,
+        b"leased".to_vec(),
+        Box::new(|_, r| r.expect("write")),
+    );
+    run_for(&s, 2);
+    // Kill the serving host mid-lease and issue IO against it.
+    let victim = s.runtime.attached_host(info.name.disk).expect("attached");
+    s.kill_host(victim);
+    let ok = Rc::new(Cell::new(false));
+    let o = ok.clone();
+    m.read(
+        &s.sim,
+        0,
+        6,
+        Box::new(move |_, r| {
+            assert_eq!(r.expect("read after failover"), b"leased".to_vec());
+            o.set(true);
+        }),
+    );
+    run_for(&s, 30);
+    assert!(ok.get(), "IO recovered past the dead endpoint");
+    assert!(m.remount_count() >= 1, "remount machinery re-resolved");
+    // The stale lease did not survive: whatever is cached now (the
+    // remount's fresh answer, or nothing) no longer names the dead host.
+    if let Some(now) = client.cached_location(&s.sim, info.name) {
+        assert_ne!(
+            now.host_addr,
+            Some(old_host.clone()),
+            "lease still points at the dead host"
+        );
+    }
+    // And a fresh directory lookup resolves to the new serving host.
+    let resolved = Rc::new(RefCell::new(None));
+    let o = resolved.clone();
+    client.lookup(&s.sim, info.name, move |_, r| {
+        *o.borrow_mut() = Some(r.expect("re-resolve"));
+    });
+    run_for(&s, 5);
+    let fresh = resolved.borrow_mut().take().expect("lookup served");
+    assert_ne!(
+        fresh.host_addr,
+        Some(old_host),
+        "directory still names the dead host"
+    );
+}
